@@ -1,0 +1,81 @@
+//! Ablation benchmark: which Locaware ingredient buys which share of the gains.
+//!
+//! Runs the full Locaware protocol against its two ablated variants (no
+//! location-aware selection / no Bloom routing) and against Dicas-Keys, on the
+//! same substrate, and reports both the metric values (printed once) and the
+//! run time of each variant. This quantifies the design choices DESIGN.md calls
+//! out: locality-aware selection drives the Figure 2 gain, Bloom routing drives
+//! the Figure 4 gain.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use locaware::{ProtocolKind, Simulation, SimulationConfig};
+
+const QUERIES: usize = 400;
+
+const VARIANTS: [ProtocolKind; 4] = [
+    ProtocolKind::Locaware,
+    ProtocolKind::LocawareNoLocality,
+    ProtocolKind::LocawareNoBloom,
+    ProtocolKind::DicasKeys,
+];
+
+fn substrate() -> Simulation {
+    let mut config = SimulationConfig::small(200);
+    config.seed = 6;
+    Simulation::build(config)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let simulation = substrate();
+
+    // Print the ablation table once so `cargo bench` output documents the
+    // metric differences alongside the timings.
+    eprintln!("# ablation at 200 peers / {QUERIES} queries");
+    eprintln!(
+        "{:<22} {:>14} {:>14} {:>14}",
+        "variant", "distance (ms)", "msgs/query", "success"
+    );
+    let mut full_distance = f64::NAN;
+    let mut no_locality_distance = f64::NAN;
+    for kind in VARIANTS {
+        let report = simulation.run(kind, QUERIES);
+        eprintln!(
+            "{:<22} {:>14.2} {:>14.2} {:>14.4}",
+            kind.label(),
+            report.avg_download_distance_ms(),
+            report.avg_messages_per_query(),
+            report.success_rate()
+        );
+        match kind {
+            ProtocolKind::Locaware => full_distance = report.avg_download_distance_ms(),
+            ProtocolKind::LocawareNoLocality => {
+                no_locality_distance = report.avg_download_distance_ms()
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        full_distance <= no_locality_distance,
+        "locality-aware selection must not increase download distance \
+         ({full_distance:.1}ms vs {no_locality_distance:.1}ms)"
+    );
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for kind in VARIANTS {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let report = simulation.run(kind, QUERIES);
+                black_box((
+                    report.avg_download_distance_ms(),
+                    report.success_rate(),
+                    report.avg_messages_per_query(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks of the Bloom-filter substrate (§4.2 of the paper).
+//!
+//! Measures the three operations on the query path — keyword insertion,
+//! all-keywords membership tests (the neighbour-selection test), and
+//! changed-bit delta computation/application (the footnote-1 update scheme) —
+//! at the paper's 1200-bit / 150-keyword operating point.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use locaware_bloom::{BloomDelta, BloomFilter, BloomParams, CountingBloomFilter};
+
+fn keywords(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("keyword-{i}")).collect()
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let kws = keywords(150);
+    c.bench_function("bloom/insert_150_keywords_1200_bits", |b| {
+        b.iter(|| {
+            let mut filter = BloomFilter::new(BloomParams::new(1200, 5));
+            for kw in &kws {
+                filter.insert(black_box(kw));
+            }
+            black_box(filter.count_ones())
+        })
+    });
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let kws = keywords(150);
+    let mut filter = BloomFilter::new(BloomParams::new(1200, 5));
+    for kw in &kws {
+        filter.insert(kw);
+    }
+    let mut group = c.benchmark_group("bloom/contains_all");
+    for query_len in [1usize, 2, 3] {
+        let query: Vec<&str> = kws.iter().take(query_len).map(|s| s.as_str()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(query_len), &query, |b, q| {
+            b.iter(|| black_box(filter.contains_all(q.iter().copied())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let kws = keywords(150);
+    let mut old = BloomFilter::new(BloomParams::new(1200, 5));
+    for kw in &kws {
+        old.insert(kw);
+    }
+    let mut new = old.clone();
+    new.insert("a-fresh-filename-keyword");
+    new.insert("another-fresh-keyword");
+    new.insert("third-fresh-keyword");
+
+    c.bench_function("bloom/delta_between_snapshots", |b| {
+        b.iter(|| black_box(BloomDelta::between(&old, &new)))
+    });
+
+    let delta = BloomDelta::between(&old, &new);
+    c.bench_function("bloom/delta_apply", |b| {
+        b.iter(|| {
+            let mut target = old.clone();
+            delta.apply(&mut target);
+            black_box(target.count_ones())
+        })
+    });
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let kws = keywords(150);
+    c.bench_function("bloom/counting_insert_remove_cycle", |b| {
+        b.iter(|| {
+            let mut filter = CountingBloomFilter::new(BloomParams::new(1200, 5));
+            for kw in &kws {
+                filter.insert(kw);
+            }
+            for kw in &kws {
+                filter.remove(kw);
+            }
+            black_box(filter.is_empty())
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_membership, bench_delta, bench_counting);
+criterion_main!(benches);

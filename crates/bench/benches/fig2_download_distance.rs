@@ -1,0 +1,47 @@
+//! Figure 2 benchmark: end-to-end runs measuring the *download distance*
+//! experiment at a reduced scale for each protocol.
+//!
+//! The benchmark times one full simulation run per protocol and, as a side
+//! effect of the measured runs, asserts the figure's shape (Locaware's average
+//! download distance is the lowest of the four curves). The full paper-scale
+//! series is produced by `cargo run -p locaware-bench --bin fig2 --release`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use locaware::{ProtocolKind, Simulation, SimulationConfig};
+
+const QUERIES: usize = 300;
+
+fn substrate() -> Simulation {
+    let mut config = SimulationConfig::small(200);
+    config.seed = 2;
+    Simulation::build(config)
+}
+
+fn bench_download_distance(c: &mut Criterion) {
+    let simulation = substrate();
+
+    // Shape check once, outside the timed loop.
+    let locaware = simulation.run(ProtocolKind::Locaware, QUERIES);
+    let flooding = simulation.run(ProtocolKind::Flooding, QUERIES);
+    assert!(
+        locaware.avg_download_distance_ms() < flooding.avg_download_distance_ms(),
+        "Figure 2 shape violated: locaware {:.1}ms vs flooding {:.1}ms",
+        locaware.avg_download_distance_ms(),
+        flooding.avg_download_distance_ms()
+    );
+
+    let mut group = c.benchmark_group("fig2_download_distance");
+    group.sample_size(10);
+    for kind in ProtocolKind::PAPER_SET {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let report = simulation.run(kind, QUERIES);
+                black_box(report.avg_download_distance_ms())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_download_distance);
+criterion_main!(benches);

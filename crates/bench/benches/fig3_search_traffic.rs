@@ -1,0 +1,45 @@
+//! Figure 3 benchmark: end-to-end runs measuring the *search traffic*
+//! experiment at a reduced scale for each protocol.
+//!
+//! Asserts the figure's shape (index-caching protocols cut the bulk of
+//! flooding's messages) and times one run per protocol. The paper-scale series
+//! is produced by `cargo run -p locaware-bench --bin fig3 --release`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use locaware::{ProtocolKind, Simulation, SimulationConfig};
+
+const QUERIES: usize = 300;
+
+fn substrate() -> Simulation {
+    let mut config = SimulationConfig::small(200);
+    config.seed = 3;
+    Simulation::build(config)
+}
+
+fn bench_search_traffic(c: &mut Criterion) {
+    let simulation = substrate();
+
+    let locaware = simulation.run(ProtocolKind::Locaware, QUERIES);
+    let flooding = simulation.run(ProtocolKind::Flooding, QUERIES);
+    assert!(
+        locaware.avg_messages_per_query() * 2.0 < flooding.avg_messages_per_query(),
+        "Figure 3 shape violated: locaware {:.1} vs flooding {:.1} messages/query",
+        locaware.avg_messages_per_query(),
+        flooding.avg_messages_per_query()
+    );
+
+    let mut group = c.benchmark_group("fig3_search_traffic");
+    group.sample_size(10);
+    for kind in ProtocolKind::PAPER_SET {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let report = simulation.run(kind, QUERIES);
+                black_box(report.avg_messages_per_query())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_traffic);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 4 benchmark: end-to-end runs measuring the *success rate* experiment
+//! at a reduced scale for each protocol.
+//!
+//! Asserts the figure's shape (flooding has the highest success rate; Locaware
+//! beats the Dicas variants) and times one run per protocol. The paper-scale
+//! series is produced by `cargo run -p locaware-bench --bin fig4 --release`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use locaware::{ProtocolKind, Simulation, SimulationConfig};
+
+const QUERIES: usize = 400;
+
+fn substrate() -> Simulation {
+    let mut config = SimulationConfig::small(200);
+    config.seed = 4;
+    Simulation::build(config)
+}
+
+fn bench_success_rate(c: &mut Criterion) {
+    let simulation = substrate();
+
+    let locaware = simulation.run(ProtocolKind::Locaware, QUERIES);
+    let flooding = simulation.run(ProtocolKind::Flooding, QUERIES);
+    let dicas = simulation.run(ProtocolKind::Dicas, QUERIES);
+    assert!(
+        flooding.success_rate() > locaware.success_rate(),
+        "Figure 4 shape violated: flooding {:.3} should exceed locaware {:.3}",
+        flooding.success_rate(),
+        locaware.success_rate()
+    );
+    assert!(
+        locaware.success_rate() > dicas.success_rate(),
+        "Figure 4 shape violated: locaware {:.3} should exceed dicas {:.3}",
+        locaware.success_rate(),
+        dicas.success_rate()
+    );
+
+    let mut group = c.benchmark_group("fig4_success_rate");
+    group.sample_size(10);
+    for kind in ProtocolKind::PAPER_SET {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let report = simulation.run(kind, QUERIES);
+                black_box(report.success_rate())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_success_rate);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Microbenchmarks of the location subsystem (§4.1.1): landmark RTT
+//! measurement, locId (Lehmer) encoding, and the RTT-probing provider fallback
+//! of §5.1.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use locaware_net::brite::PlacementModel;
+use locaware_net::{closest_by_rtt, BriteConfig, BriteGenerator, LandmarkSet, LocId, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_locid_encoding(c: &mut Criterion) {
+    let orderings: Vec<Vec<usize>> = vec![
+        vec![0, 1, 2, 3],
+        vec![3, 1, 0, 2],
+        vec![2, 3, 1, 0],
+        vec![1, 0, 3, 2],
+    ];
+    c.bench_function("locid/lehmer_encode_4_landmarks", |b| {
+        b.iter(|| {
+            for o in &orderings {
+                black_box(LocId::from_ordering(o));
+            }
+        })
+    });
+}
+
+fn bench_landmark_assignment(c: &mut Criterion) {
+    let generator = BriteGenerator::new(BriteConfig {
+        nodes: 1000,
+        placement: PlacementModel::Clustered {
+            clusters: 24,
+            sigma: 0.03,
+        },
+        ..BriteConfig::default()
+    });
+    let topology = generator.generate(&mut StdRng::seed_from_u64(1));
+    let landmarks = LandmarkSet::spread(4);
+    c.bench_function("locid/assign_all_1000_peers", |b| {
+        b.iter(|| black_box(landmarks.assign_all(&topology).len()))
+    });
+}
+
+fn bench_rtt_probe(c: &mut Criterion) {
+    let generator = BriteGenerator::new(BriteConfig {
+        nodes: 1000,
+        ..BriteConfig::default()
+    });
+    let topology = generator.generate(&mut StdRng::seed_from_u64(2));
+    let candidates: Vec<NodeId> = (1..6).map(NodeId).collect();
+    c.bench_function("locid/rtt_probe_5_providers", |b| {
+        b.iter(|| black_box(closest_by_rtt(&topology, NodeId(0), &candidates)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_locid_encoding,
+    bench_landmark_assignment,
+    bench_rtt_probe
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the response index (the `RI` of §3.2/§4.1).
+//!
+//! Measures insertion with provider refresh, keyword lookup at the paper's
+//! 50-filename capacity, and the eviction path when the index is full.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use locaware::{FileId, KeywordId, LocId, PeerId, ResponseIndex};
+
+fn filled_index() -> ResponseIndex {
+    let mut index = ResponseIndex::new(50, 5);
+    for f in 0..50u32 {
+        let keywords: Vec<KeywordId> = (0..3).map(|k| KeywordId(f * 3 + k)).collect();
+        for p in 0..5u32 {
+            index.insert(FileId(f), &keywords, [(PeerId(1000 + p), LocId(p % 24))]);
+        }
+    }
+    index
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("response_index/fill_50_files_5_providers", |b| {
+        b.iter(|| black_box(filled_index().len()))
+    });
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let index = filled_index();
+    let present = [KeywordId(30), KeywordId(31)];
+    let absent = [KeywordId(30), KeywordId(999)];
+    c.bench_function("response_index/lookup_hit", |b| {
+        b.iter(|| black_box(index.lookup_by_keywords(&present)))
+    });
+    c.bench_function("response_index/lookup_miss", |b| {
+        b.iter(|| black_box(index.lookup_by_keywords(&absent)))
+    });
+}
+
+fn bench_eviction(c: &mut Criterion) {
+    c.bench_function("response_index/insert_with_eviction", |b| {
+        let mut index = filled_index();
+        let mut next = 1000u32;
+        b.iter(|| {
+            let keywords = [KeywordId(next), KeywordId(next + 1), KeywordId(next + 2)];
+            let evicted = index.insert(FileId(next), &keywords, [(PeerId(7), LocId(0))]);
+            next += 1;
+            black_box(evicted.len())
+        })
+    });
+}
+
+fn bench_provider_refresh(c: &mut Criterion) {
+    c.bench_function("response_index/provider_refresh", |b| {
+        let mut index = filled_index();
+        let keywords = [KeywordId(0), KeywordId(1), KeywordId(2)];
+        b.iter(|| {
+            let evicted = index.insert(FileId(0), &keywords, [(PeerId(1000), LocId(3))]);
+            black_box(evicted.len())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_lookup,
+    bench_eviction,
+    bench_provider_refresh
+);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! Microbenchmarks of the per-hop routing decision of each protocol.
+//!
+//! Builds a paper-scale substrate once and measures how long one forwarding
+//! decision takes at a hub peer for flooding, Dicas, Dicas-Keys and Locaware —
+//! the per-message cost a deployed peer would pay.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use locaware::protocol::{build_protocol, PeerView, QueryContext};
+use locaware::{
+    GroupScheme, LocId, PeerId, PeerState, ProtocolKind, QueryId, Simulation, SimulationConfig,
+};
+use locaware_bloom::BloomParams;
+use locaware_workload::KeywordId;
+
+struct RoutingFixture {
+    simulation: Simulation,
+    peers: Vec<PeerState>,
+    scheme: GroupScheme,
+}
+
+fn fixture() -> RoutingFixture {
+    let mut config = SimulationConfig::small(300);
+    config.seed = 5;
+    let simulation = Simulation::build(config.clone());
+    let scheme = GroupScheme::new(config.group_count);
+    let bloom_params = BloomParams::new(config.bloom_bits, config.bloom_hashes);
+
+    let peers: Vec<PeerState> = (0..config.peers)
+        .map(|i| {
+            let id = PeerId(i as u32);
+            let mut state = PeerState::new(
+                id,
+                simulation.loc_ids()[i],
+                simulation.group_ids()[i],
+                bloom_params,
+                config.response_index_capacity,
+                config.max_providers_per_file,
+            );
+            for &file in &simulation.initial_shares()[i] {
+                state.share_file(file);
+            }
+            for &n in simulation.overlay().neighbors(id) {
+                state.record_neighbor(n, simulation.group_ids()[n.index()], bloom_params);
+            }
+            // Give every peer some cached content so Bloom/Gid matching has
+            // something to work with.
+            let file = locaware::FileId((i as u32 * 7) % simulation.catalog().len() as u32);
+            let keywords = simulation.catalog().filename(file).keywords().to_vec();
+            state.cache_index(file, &keywords, [(PeerId((i as u32 + 1) % 300), LocId(0))]);
+            state
+        })
+        .collect();
+
+    RoutingFixture {
+        simulation,
+        peers,
+        scheme,
+    }
+}
+
+fn bench_forward_decision(c: &mut Criterion) {
+    let fx = fixture();
+    let config = fx.simulation.config().clone();
+    let query = QueryContext {
+        query: QueryId(1),
+        origin: PeerId(10),
+        origin_loc: fx.simulation.loc_ids()[10],
+        keywords: fx
+            .simulation
+            .catalog()
+            .filename(locaware::FileId(0))
+            .keywords()
+            .to_vec(),
+        target_filename: Some(locaware::FileId(0)),
+    };
+
+    let mut group = c.benchmark_group("routing/forward_decision");
+    for kind in [
+        ProtocolKind::Flooding,
+        ProtocolKind::Dicas,
+        ProtocolKind::DicasKeys,
+        ProtocolKind::Locaware,
+    ] {
+        let protocol = build_protocol(kind, &config);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let view = PeerView {
+                    state: &fx.peers[0],
+                    graph: fx.simulation.overlay(),
+                    scheme: &fx.scheme,
+                    catalog: fx.simulation.catalog(),
+                };
+                black_box(protocol.forward_targets(&view, &query, Some(PeerId(1))))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_match(c: &mut Criterion) {
+    let fx = fixture();
+    let config = fx.simulation.config().clone();
+    let keywords: Vec<KeywordId> = fx
+        .simulation
+        .catalog()
+        .filename(locaware::FileId(0))
+        .keywords()
+        .to_vec();
+    let query = QueryContext {
+        query: QueryId(2),
+        origin: PeerId(10),
+        origin_loc: fx.simulation.loc_ids()[10],
+        keywords,
+        target_filename: None,
+    };
+    let protocol = build_protocol(ProtocolKind::Locaware, &config);
+    c.bench_function("routing/local_match_locaware", |b| {
+        b.iter(|| {
+            let view = PeerView {
+                state: &fx.peers[0],
+                graph: fx.simulation.overlay(),
+                scheme: &fx.scheme,
+                catalog: fx.simulation.catalog(),
+            };
+            black_box(protocol.local_match(&view, &query))
+        })
+    });
+}
+
+criterion_group!(benches, bench_forward_decision, bench_local_match);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation study: which Locaware mechanism buys which share of the gains.
+//!
+//! Runs the full protocol, its two ablated variants and the two Dicas
+//! baselines over one substrate and prints the three paper metrics per
+//! variant, plus a response-index capacity sweep for the full protocol.
+//!
+//! ```text
+//! cargo run -p locaware-bench --bin ablation --release              # paper scale
+//! cargo run -p locaware-bench --bin ablation --release -- --quick   # smoke run
+//! ```
+
+use locaware::{ProtocolKind, Simulation, SimulationConfig};
+use locaware_metrics::Table;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (peers, queries) = if quick { (200usize, 600usize) } else { (1000, 3000) };
+    let mut config = if peers == 1000 {
+        SimulationConfig::paper_defaults()
+    } else {
+        SimulationConfig::small(peers)
+    };
+    config.seed = 0x10ca_aa2e;
+
+    eprintln!("# ablation: {peers} peers, {queries} queries");
+    let simulation = Simulation::build(config.clone());
+
+    let variants = [
+        ProtocolKind::Locaware,
+        ProtocolKind::LocawareNoLocality,
+        ProtocolKind::LocawareNoBloom,
+        ProtocolKind::DicasKeys,
+        ProtocolKind::Dicas,
+    ];
+    let mut table = Table::new([
+        "variant",
+        "success rate",
+        "messages / query",
+        "download distance (ms)",
+        "locality match",
+        "cache hit share",
+    ]);
+    for kind in variants {
+        let report = simulation.run(kind, queries);
+        table.push_row([
+            kind.label().to_string(),
+            format!("{:.4}", report.success_rate()),
+            format!("{:.2}", report.avg_messages_per_query()),
+            format!("{:.2}", report.avg_download_distance_ms()),
+            format!("{:.4}", report.locality_match_rate()),
+            format!("{:.4}", report.cache_hit_share()),
+        ]);
+    }
+    println!("# Mechanism ablation");
+    println!("{}", table.render());
+
+    // Response-index capacity sweep: how small can the 50-filename cache get
+    // before the protocol degrades?
+    let mut capacity_table = Table::new([
+        "RI capacity (filenames)",
+        "success rate",
+        "download distance (ms)",
+        "cache hit share",
+    ]);
+    for capacity in [5usize, 10, 25, 50, 100] {
+        let mut swept = config.clone();
+        swept.response_index_capacity = capacity;
+        let simulation = Simulation::build(swept);
+        let report = simulation.run(ProtocolKind::Locaware, queries);
+        capacity_table.push_row([
+            capacity.to_string(),
+            format!("{:.4}", report.success_rate()),
+            format!("{:.2}", report.avg_download_distance_ms()),
+            format!("{:.4}", report.cache_hit_share()),
+        ]);
+    }
+    println!("# Response-index capacity sweep (Locaware)");
+    println!("{}", capacity_table.render());
+}

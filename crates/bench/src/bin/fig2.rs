@@ -1,0 +1,15 @@
+//! Regenerates **Figure 2** of the paper: average download distance vs. number
+//! of queries for Locaware, Flooding, Dicas and Dicas-Keys.
+//!
+//! ```text
+//! cargo run -p locaware-bench --bin fig2 --release              # paper scale
+//! cargo run -p locaware-bench --bin fig2 --release -- --quick   # smoke run
+//! cargo run -p locaware-bench --bin fig2 --release -- --csv     # CSV output
+//! ```
+
+use locaware_bench::{run_figure_binary, MetricKind};
+
+fn main() {
+    let output = run_figure_binary(MetricKind::DownloadDistance, std::env::args().skip(1));
+    print!("{output}");
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Figure 3** of the paper: search traffic (messages per query)
+//! vs. number of queries for Locaware, Flooding, Dicas and Dicas-Keys.
+//!
+//! ```text
+//! cargo run -p locaware-bench --bin fig3 --release              # paper scale
+//! cargo run -p locaware-bench --bin fig3 --release -- --quick   # smoke run
+//! cargo run -p locaware-bench --bin fig3 --release -- --csv     # CSV output
+//! ```
+
+use locaware_bench::{run_figure_binary, MetricKind};
+
+fn main() {
+    let output = run_figure_binary(MetricKind::SearchTraffic, std::env::args().skip(1));
+    print!("{output}");
+}

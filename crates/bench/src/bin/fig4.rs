@@ -1,0 +1,15 @@
+//! Regenerates **Figure 4** of the paper: success rate vs. number of queries
+//! for Locaware, Flooding, Dicas and Dicas-Keys.
+//!
+//! ```text
+//! cargo run -p locaware-bench --bin fig4 --release              # paper scale
+//! cargo run -p locaware-bench --bin fig4 --release -- --quick   # smoke run
+//! cargo run -p locaware-bench --bin fig4 --release -- --csv     # CSV output
+//! ```
+
+use locaware_bench::{run_figure_binary, MetricKind};
+
+fn main() {
+    let output = run_figure_binary(MetricKind::SuccessRate, std::env::args().skip(1));
+    print!("{output}");
+}

@@ -1,0 +1,74 @@
+//! Runs a single protocol once and dumps the full report: summary metrics,
+//! message counters by kind and routing-decision counts. Useful for debugging
+//! and for the ablation analysis in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p locaware-bench --bin inspect --release -- locaware 1000 3000
+//! cargo run -p locaware-bench --bin inspect --release -- dicas-keys 200 500
+//! ```
+//!
+//! Arguments: `<protocol> [peers] [queries] [seed]`.
+
+use locaware::{ProtocolKind, Simulation, SimulationConfig};
+
+fn parse_protocol(name: &str) -> Option<ProtocolKind> {
+    Some(match name {
+        "flooding" => ProtocolKind::Flooding,
+        "dicas" => ProtocolKind::Dicas,
+        "dicas-keys" => ProtocolKind::DicasKeys,
+        "locaware" => ProtocolKind::Locaware,
+        "locaware-no-locality" => ProtocolKind::LocawareNoLocality,
+        "locaware-no-bloom" => ProtocolKind::LocawareNoBloom,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(protocol) = args.first().and_then(|a| parse_protocol(a)) else {
+        eprintln!("usage: inspect <protocol> [peers] [queries] [seed]");
+        eprintln!("protocols: flooding dicas dicas-keys locaware locaware-no-locality locaware-no-bloom");
+        std::process::exit(2);
+    };
+    let peers: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let queries: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let seed: u64 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(0x10ca_aa2e);
+
+    let mut config = if peers == 1000 {
+        SimulationConfig::paper_defaults()
+    } else {
+        SimulationConfig::small(peers)
+    };
+    config.seed = seed;
+
+    eprintln!("# building substrate: {peers} peers, seed {seed}");
+    let simulation = Simulation::build(config);
+    eprintln!("# running {} with {queries} queries", protocol.label());
+    let report = simulation.run(protocol, queries);
+
+    println!("{}", report.summary_table().render());
+    println!("# message counters");
+    for (kind, count) in report.message_counters.iter() {
+        println!("  {kind:<16} {count}");
+    }
+    println!("# routing decisions");
+    for (decision, count) in report.routing_decisions.iter() {
+        println!("  {decision:<16} {count}");
+    }
+    println!("# simulated time: {:.1}s, events: {}", report.simulated_end_time_secs, report.dispatched_events);
+
+    // Success over the last quarter of the run vs the first quarter: shows the
+    // warm-up effect the paper's Figure 2 discussion highlights.
+    let n = report.metrics.len();
+    if n >= 8 {
+        let first = report.metrics.prefix(n / 4);
+        let last = report.metrics.tail_window(n / 4);
+        println!(
+            "# warm-up: first-quarter success {:.3} / distance {:.1}ms  ->  last-quarter success {:.3} / distance {:.1}ms",
+            first.success_rate(),
+            first.avg_download_distance_ms(),
+            last.success_rate(),
+            last.avg_download_distance_ms()
+        );
+    }
+}

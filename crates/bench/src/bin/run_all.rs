@@ -1,0 +1,61 @@
+//! Runs the full evaluation once and prints all three figures (2, 3 and 4),
+//! the per-protocol headline table and the paper-claim comparison.
+//!
+//! This is the binary behind `EXPERIMENTS.md`:
+//!
+//! ```text
+//! cargo run -p locaware-bench --bin run_all --release               # paper scale
+//! cargo run -p locaware-bench --bin run_all --release -- --quick    # smoke run
+//! ```
+
+use locaware_bench::{CliOptions, MetricKind};
+
+fn main() {
+    let options = match CliOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(problem) => {
+            eprintln!("error: {problem}");
+            eprintln!(
+                "usage: run_all [--quick] [--peers N] [--queries a,b,c] [--reps N] [--seed N] [--threads N] [--csv]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "# running sweep: {} peers, query counts {:?}, {} repetition(s), protocols {:?}",
+        options.sweep.config.peers,
+        options.sweep.query_counts,
+        options.sweep.repetitions,
+        options
+            .sweep
+            .protocols
+            .iter()
+            .map(|p| p.label())
+            .collect::<Vec<_>>()
+    );
+
+    let outcome = options.sweep.run();
+
+    for metric in [
+        MetricKind::DownloadDistance,
+        MetricKind::SearchTraffic,
+        MetricKind::SuccessRate,
+    ] {
+        let figure = outcome.figure(metric);
+        if options.csv {
+            println!("# {}", metric.title());
+            print!("{}", figure.to_csv());
+            println!();
+        } else {
+            print!("{}", figure.to_table());
+            println!();
+        }
+    }
+
+    println!("# Per-protocol averages over the whole sweep");
+    print!("{}", outcome.headline_table().render());
+    println!();
+    println!("# Paper headline claims vs. this reproduction");
+    print!("{}", outcome.paper_claims().table().render());
+}

@@ -1,0 +1,583 @@
+//! # locaware-bench — experiment harness for the paper's figures
+//!
+//! The Locaware evaluation (§5.2) reports three figures, each plotting a metric
+//! against the number of queries for four approaches (Locaware, Flooding,
+//! Dicas, Dicas-Keys):
+//!
+//! * **Figure 2** — average download distance,
+//! * **Figure 3** — search traffic (messages per query),
+//! * **Figure 4** — success rate.
+//!
+//! [`Sweep`] runs the full grid (protocol × query count × repetition) over
+//! identical substrates and produces all three figures in one pass, since every
+//! run measures all three metrics anyway. The experiment binaries
+//! (`fig2`, `fig3`, `fig4`, `run_all`) print one figure each (or all), both as
+//! an aligned table and as CSV, and the Criterion benchmarks reuse the same
+//! harness at a reduced scale.
+//!
+//! Repetitions use distinct derived seeds and the reported value is the mean
+//! across repetitions. Independent grid points run on worker threads
+//! (crossbeam scoped threads); each point is itself single-threaded and fully
+//! deterministic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use locaware::{Figure, ProtocolKind, SeriesPoint, Simulation, SimulationConfig, SimulationReport};
+use locaware_metrics::Table;
+
+/// Which metric a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Figure 2: average download distance in milliseconds.
+    DownloadDistance,
+    /// Figure 3: average messages per query.
+    SearchTraffic,
+    /// Figure 4: fraction of satisfied queries.
+    SuccessRate,
+}
+
+impl MetricKind {
+    /// The metric's value in a finished report.
+    pub fn extract(self, report: &SimulationReport) -> f64 {
+        match self {
+            MetricKind::DownloadDistance => report.avg_download_distance_ms(),
+            MetricKind::SearchTraffic => report.avg_messages_per_query(),
+            MetricKind::SuccessRate => report.success_rate(),
+        }
+    }
+
+    /// Human-readable axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MetricKind::DownloadDistance => "avg download distance (ms)",
+            MetricKind::SearchTraffic => "messages per query",
+            MetricKind::SuccessRate => "success rate",
+        }
+    }
+
+    /// The figure number in the paper.
+    pub fn figure_number(self) -> u32 {
+        match self {
+            MetricKind::DownloadDistance => 2,
+            MetricKind::SearchTraffic => 3,
+            MetricKind::SuccessRate => 4,
+        }
+    }
+
+    /// Figure title, e.g. `"Figure 2: comparison of download distance"`.
+    pub fn title(self) -> String {
+        let name = match self {
+            MetricKind::DownloadDistance => "download distance",
+            MetricKind::SearchTraffic => "search traffic",
+            MetricKind::SuccessRate => "success rate",
+        };
+        format!("Figure {}: comparison of {}", self.figure_number(), name)
+    }
+}
+
+/// The full experiment grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Base configuration (the paper's defaults unless scaled down).
+    pub config: SimulationConfig,
+    /// Protocols to compare (defaults to the paper's four).
+    pub protocols: Vec<ProtocolKind>,
+    /// Query counts forming the x-axis.
+    pub query_counts: Vec<usize>,
+    /// Independent repetitions (distinct seeds) averaged per point.
+    pub repetitions: usize,
+    /// Worker threads for independent grid points.
+    pub threads: usize,
+}
+
+impl Default for Sweep {
+    fn default() -> Self {
+        Sweep::paper_scale()
+    }
+}
+
+impl Sweep {
+    /// The paper-scale sweep: 1000 peers, query counts from 500 to 5000.
+    pub fn paper_scale() -> Self {
+        Sweep {
+            config: SimulationConfig::paper_defaults(),
+            protocols: ProtocolKind::PAPER_SET.to_vec(),
+            query_counts: vec![500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000],
+            repetitions: 1,
+            threads: default_threads(),
+        }
+    }
+
+    /// A scaled-down sweep that finishes in seconds; used by the Criterion
+    /// benchmarks, the examples and CI-style smoke runs.
+    pub fn quick() -> Self {
+        Sweep {
+            config: SimulationConfig::small(200),
+            protocols: ProtocolKind::PAPER_SET.to_vec(),
+            query_counts: vec![200, 400, 600, 800],
+            repetitions: 1,
+            threads: default_threads(),
+        }
+    }
+
+    /// Overrides the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Runs the whole grid and collects the three figures.
+    pub fn run(&self) -> SweepOutcome {
+        assert!(!self.protocols.is_empty(), "sweep needs at least one protocol");
+        assert!(!self.query_counts.is_empty(), "sweep needs at least one query count");
+        assert!(self.repetitions >= 1, "sweep needs at least one repetition");
+
+        // Work items: (repetition, query count). All protocols for one item run
+        // against the same substrate object so they stay strictly comparable.
+        let mut items: Vec<(usize, usize)> = Vec::new();
+        for rep in 0..self.repetitions {
+            for &queries in &self.query_counts {
+                items.push((rep, queries));
+            }
+        }
+
+        let results: Mutex<Vec<PointResult>> = Mutex::new(Vec::new());
+        let next: Mutex<usize> = Mutex::new(0);
+        let threads = self.threads.clamp(1, items.len().max(1));
+
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let index = {
+                        let mut guard = next.lock();
+                        let i = *guard;
+                        *guard += 1;
+                        i
+                    };
+                    if index >= items.len() {
+                        break;
+                    }
+                    let (rep, queries) = items[index];
+                    let mut config = self.config.clone();
+                    // Each repetition gets an independent derived seed.
+                    config.seed = self.config.seed.wrapping_add(0x9E37_79B9 * rep as u64);
+                    let simulation = Simulation::build(config);
+                    for &protocol in &self.protocols {
+                        let report = simulation.run(protocol, queries);
+                        results.lock().push(PointResult {
+                            protocol,
+                            queries,
+                            repetition: rep,
+                            download_distance_ms: report.avg_download_distance_ms(),
+                            messages_per_query: report.avg_messages_per_query(),
+                            success_rate: report.success_rate(),
+                            locality_match_rate: report.locality_match_rate(),
+                            cache_hit_share: report.cache_hit_share(),
+                        });
+                    }
+                });
+            }
+        })
+        .expect("sweep worker thread panicked");
+
+        SweepOutcome::from_points(results.into_inner())
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
+}
+
+/// One (protocol, query count, repetition) measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointResult {
+    /// The protocol evaluated.
+    pub protocol: ProtocolKind,
+    /// Number of queries issued.
+    pub queries: usize,
+    /// Repetition index.
+    pub repetition: usize,
+    /// Figure 2 metric.
+    pub download_distance_ms: f64,
+    /// Figure 3 metric.
+    pub messages_per_query: f64,
+    /// Figure 4 metric.
+    pub success_rate: f64,
+    /// Diagnostic: locality match rate.
+    pub locality_match_rate: f64,
+    /// Diagnostic: cache hit share.
+    pub cache_hit_share: f64,
+}
+
+/// The aggregated outcome of a sweep: all three figures plus the raw points.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// Raw per-point measurements (every repetition).
+    pub points: Vec<PointResult>,
+}
+
+impl SweepOutcome {
+    fn from_points(mut points: Vec<PointResult>) -> Self {
+        points.sort_by_key(|p| (p.queries, p.protocol.label().to_string(), p.repetition));
+        SweepOutcome { points }
+    }
+
+    /// Builds the figure for `metric`, averaging repetitions per point.
+    pub fn figure(&self, metric: MetricKind) -> Figure {
+        let mut grouped: BTreeMap<(String, u64), Vec<f64>> = BTreeMap::new();
+        for p in &self.points {
+            let value = match metric {
+                MetricKind::DownloadDistance => p.download_distance_ms,
+                MetricKind::SearchTraffic => p.messages_per_query,
+                MetricKind::SuccessRate => p.success_rate,
+            };
+            grouped
+                .entry((p.protocol.label().to_string(), p.queries as u64))
+                .or_default()
+                .push(value);
+        }
+        let mut figure = Figure::new(metric.title(), metric.label());
+        for ((label, queries), values) in grouped {
+            let mean = values.iter().sum::<f64>() / values.len() as f64;
+            figure.push(label, SeriesPoint { queries, value: mean });
+        }
+        figure
+    }
+
+    /// All three figures.
+    pub fn figures(&self) -> [Figure; 3] {
+        [
+            self.figure(MetricKind::DownloadDistance),
+            self.figure(MetricKind::SearchTraffic),
+            self.figure(MetricKind::SuccessRate),
+        ]
+    }
+
+    /// A paper-style headline comparison: mean metric per protocol across the
+    /// whole sweep, plus the headline ratios the paper quotes.
+    pub fn headline_table(&self) -> Table {
+        let mut table = Table::new([
+            "protocol",
+            "avg download distance (ms)",
+            "messages / query",
+            "success rate",
+            "locality match",
+            "cache hit share",
+        ]);
+        let mut by_protocol: BTreeMap<String, Vec<&PointResult>> = BTreeMap::new();
+        for p in &self.points {
+            by_protocol.entry(p.protocol.label().to_string()).or_default().push(p);
+        }
+        for (label, points) in by_protocol {
+            let n = points.len() as f64;
+            let dd = points.iter().map(|p| p.download_distance_ms).sum::<f64>() / n;
+            let mq = points.iter().map(|p| p.messages_per_query).sum::<f64>() / n;
+            let sr = points.iter().map(|p| p.success_rate).sum::<f64>() / n;
+            let lm = points.iter().map(|p| p.locality_match_rate).sum::<f64>() / n;
+            let ch = points.iter().map(|p| p.cache_hit_share).sum::<f64>() / n;
+            table.push_row([
+                label,
+                format!("{dd:.2}"),
+                format!("{mq:.2}"),
+                format!("{sr:.4}"),
+                format!("{lm:.4}"),
+                format!("{ch:.4}"),
+            ]);
+        }
+        table
+    }
+
+    /// The paper's headline claims, computed from this sweep:
+    /// (download-distance reduction vs best baseline, traffic reduction vs
+    /// flooding, success-rate gain vs Dicas, success-rate gain vs Dicas-Keys).
+    pub fn paper_claims(&self) -> PaperClaims {
+        let fig2 = self.figure(MetricKind::DownloadDistance);
+        let fig3 = self.figure(MetricKind::SearchTraffic);
+        let fig4 = self.figure(MetricKind::SuccessRate);
+
+        // The paper compares Locaware's download distance against "the other
+        // approaches" collectively; average the three baselines at each x
+        // before computing the reduction so a single baseline's early-run
+        // artefacts (e.g. Dicas' few, nearby-only successes) do not dominate.
+        let baselines = ["flooding", "dicas", "dicas-keys"];
+        let mut reductions = Vec::new();
+        for x in fig2.x_values() {
+            let baseline_values: Vec<f64> = baselines
+                .iter()
+                .filter_map(|b| fig2.value_at(b, x))
+                .collect();
+            if baseline_values.is_empty() {
+                continue;
+            }
+            let baseline_mean = baseline_values.iter().sum::<f64>() / baseline_values.len() as f64;
+            if let Some(locaware) = fig2.value_at("locaware", x) {
+                if baseline_mean > 0.0 {
+                    reductions.push((baseline_mean - locaware) / baseline_mean);
+                }
+            }
+        }
+        let distance_reduction = if reductions.is_empty() {
+            f64::NAN
+        } else {
+            reductions.iter().sum::<f64>() / reductions.len() as f64
+        };
+        let traffic_reduction = fig3.relative_reduction("locaware", "flooding").unwrap_or(f64::NAN);
+        let success_gain_vs_dicas = relative_gain(&fig4, "locaware", "dicas");
+        let success_gain_vs_dicas_keys = relative_gain(&fig4, "locaware", "dicas-keys");
+
+        PaperClaims {
+            distance_reduction_vs_baselines: distance_reduction,
+            traffic_reduction_vs_flooding: traffic_reduction,
+            success_gain_vs_dicas,
+            success_gain_vs_dicas_keys,
+        }
+    }
+}
+
+/// Relative gain of curve `a` over curve `b` averaged over common x values:
+/// `mean((a - b) / b)`. Positive means `a` is higher (better for success rate).
+fn relative_gain(figure: &Figure, a: &str, b: &str) -> f64 {
+    let mut gains = Vec::new();
+    for x in figure.x_values() {
+        if let (Some(va), Some(vb)) = (figure.value_at(a, x), figure.value_at(b, x)) {
+            if vb != 0.0 {
+                gains.push((va - vb) / vb);
+            }
+        }
+    }
+    if gains.is_empty() {
+        f64::NAN
+    } else {
+        gains.iter().sum::<f64>() / gains.len() as f64
+    }
+}
+
+/// The headline quantities §5.2 quotes, recomputed from a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperClaims {
+    /// Paper: "decreased by about 14% compared to the other approaches"
+    /// (computed against the mean of the three baselines).
+    pub distance_reduction_vs_baselines: f64,
+    /// Paper: "outperforms flooding by 98% in terms of search traffic reduction".
+    pub traffic_reduction_vs_flooding: f64,
+    /// Paper: "increases hit ratio by 23% wrt. Dicas".
+    pub success_gain_vs_dicas: f64,
+    /// Paper: "and 33% wrt. Dicas-keys".
+    pub success_gain_vs_dicas_keys: f64,
+}
+
+impl PaperClaims {
+    /// Renders the claims next to the paper's numbers.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(["claim", "paper", "this reproduction"]);
+        t.push_row([
+            "download distance reduction (Locaware vs other approaches)".to_string(),
+            "~14%".to_string(),
+            format!("{:.1}%", self.distance_reduction_vs_baselines * 100.0),
+        ]);
+        t.push_row([
+            "search traffic reduction vs flooding".to_string(),
+            "~98%".to_string(),
+            format!("{:.1}%", self.traffic_reduction_vs_flooding * 100.0),
+        ]);
+        t.push_row([
+            "success rate gain vs Dicas".to_string(),
+            "+23%".to_string(),
+            format!("{:+.1}%", self.success_gain_vs_dicas * 100.0),
+        ]);
+        t.push_row([
+            "success rate gain vs Dicas-Keys".to_string(),
+            "+33%".to_string(),
+            format!("{:+.1}%", self.success_gain_vs_dicas_keys * 100.0),
+        ]);
+        t
+    }
+}
+
+/// Parses the common command-line options of the experiment binaries.
+///
+/// Supported flags: `--quick` (scaled-down run), `--peers N`, `--queries a,b,c`,
+/// `--reps N`, `--seed N`, `--threads N`, `--csv` (print CSV instead of a table).
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// The sweep to run.
+    pub sweep: Sweep,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+impl CliOptions {
+    /// Parses `std::env::args`-style arguments (excluding the program name).
+    pub fn parse<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
+        let mut sweep = if args.iter().any(|a| a == "--quick") {
+            Sweep::quick()
+        } else {
+            Sweep::paper_scale()
+        };
+        let mut csv = false;
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {}
+                "--csv" => csv = true,
+                "--peers" => {
+                    let value = next_value(&args, &mut i)?;
+                    let peers: usize = value.parse().map_err(|_| format!("bad --peers {value}"))?;
+                    sweep.config = SimulationConfig {
+                        seed: sweep.config.seed,
+                        ..SimulationConfig::small(peers)
+                    };
+                }
+                "--queries" => {
+                    let value = next_value(&args, &mut i)?;
+                    let counts: Result<Vec<usize>, _> =
+                        value.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                    sweep.query_counts = counts.map_err(|_| format!("bad --queries {value}"))?;
+                }
+                "--reps" => {
+                    let value = next_value(&args, &mut i)?;
+                    sweep.repetitions = value.parse().map_err(|_| format!("bad --reps {value}"))?;
+                }
+                "--seed" => {
+                    let value = next_value(&args, &mut i)?;
+                    sweep.config.seed = value.parse().map_err(|_| format!("bad --seed {value}"))?;
+                }
+                "--threads" => {
+                    let value = next_value(&args, &mut i)?;
+                    sweep.threads = value.parse().map_err(|_| format!("bad --threads {value}"))?;
+                }
+                other => return Err(format!("unknown option {other}")),
+            }
+            i += 1;
+        }
+        if sweep.query_counts.is_empty() || sweep.repetitions == 0 {
+            return Err("sweep must have at least one query count and one repetition".into());
+        }
+        Ok(CliOptions { sweep, csv })
+    }
+}
+
+fn next_value(args: &[String], i: &mut usize) -> Result<String, String> {
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+}
+
+/// Runs a sweep and prints one figure (used by the `fig2`/`fig3`/`fig4` binaries).
+pub fn run_figure_binary(metric: MetricKind, args: impl IntoIterator<Item = String>) -> String {
+    let options = match CliOptions::parse(args) {
+        Ok(o) => o,
+        Err(problem) => {
+            return format!(
+                "error: {problem}\nusage: [--quick] [--peers N] [--queries a,b,c] [--reps N] [--seed N] [--threads N] [--csv]\n"
+            );
+        }
+    };
+    let outcome = options.sweep.run();
+    let figure = outcome.figure(metric);
+    let mut out = String::new();
+    if options.csv {
+        out.push_str(&figure.to_csv());
+    } else {
+        out.push_str(&figure.to_table());
+        out.push('\n');
+        out.push_str(&outcome.paper_claims().table().render());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> Sweep {
+        Sweep {
+            config: SimulationConfig::small(60),
+            protocols: ProtocolKind::PAPER_SET.to_vec(),
+            query_counts: vec![30, 60],
+            repetitions: 1,
+            threads: 2,
+        }
+        .with_seed(11)
+    }
+
+    #[test]
+    fn sweep_produces_every_grid_point() {
+        let outcome = tiny_sweep().run();
+        assert_eq!(outcome.points.len(), 4 * 2);
+        let fig3 = outcome.figure(MetricKind::SearchTraffic);
+        assert_eq!(fig3.labels().len(), 4);
+        assert_eq!(fig3.x_values(), vec![30, 60]);
+        for label in fig3.labels() {
+            for x in fig3.x_values() {
+                assert!(fig3.value_at(label, x).is_some(), "{label} missing x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn flooding_dominates_search_traffic() {
+        let outcome = tiny_sweep().run();
+        let fig3 = outcome.figure(MetricKind::SearchTraffic);
+        for x in fig3.x_values() {
+            let flooding = fig3.value_at("flooding", x).unwrap();
+            let locaware = fig3.value_at("locaware", x).unwrap();
+            assert!(
+                flooding > locaware * 2.0,
+                "flooding must produce far more traffic ({flooding} vs {locaware})"
+            );
+        }
+    }
+
+    #[test]
+    fn metric_kind_accessors() {
+        assert_eq!(MetricKind::DownloadDistance.figure_number(), 2);
+        assert_eq!(MetricKind::SearchTraffic.figure_number(), 3);
+        assert_eq!(MetricKind::SuccessRate.figure_number(), 4);
+        assert!(MetricKind::SuccessRate.title().contains("Figure 4"));
+    }
+
+    #[test]
+    fn cli_parsing_round_trips() {
+        let options = CliOptions::parse([
+            "--quick", "--queries", "10,20", "--reps", "2", "--seed", "99", "--threads", "3",
+            "--csv",
+        ])
+        .unwrap();
+        assert!(options.csv);
+        assert_eq!(options.sweep.query_counts, vec![10, 20]);
+        assert_eq!(options.sweep.repetitions, 2);
+        assert_eq!(options.sweep.config.seed, 99);
+        assert_eq!(options.sweep.threads, 3);
+
+        assert!(CliOptions::parse(["--bogus"]).is_err());
+        assert!(CliOptions::parse(["--queries"]).is_err());
+        assert!(CliOptions::parse(["--queries", "abc"]).is_err());
+    }
+
+    #[test]
+    fn headline_table_and_claims_render() {
+        let outcome = tiny_sweep().run();
+        let table = outcome.headline_table();
+        assert_eq!(table.len(), 4);
+        let claims = outcome.paper_claims();
+        assert!(claims.traffic_reduction_vs_flooding > 0.5);
+        let rendered = claims.table().render();
+        assert!(rendered.contains("~98%"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Incremental Bloom-filter updates ("changed-bit" deltas).
+//!
+//! §4.2, footnote 1: *"when a filename is added or deleted, a small number of
+//! bits may change in the bit vector of the BF. Thus, n only needs to transmit
+//! the location of the changed bits. The number of changed bits in a 1200-bit
+//! vector of the BF is limited by 12 at most and the location of each bit by 11
+//! bits. Thus, the information to be sent is limited by I = 12 · 11 bits =
+//! 0.132 Kb."*
+//!
+//! [`BloomDelta`] captures exactly that encoding: the positions whose bit value
+//! flipped between two filter snapshots, plus the cost accounting (11 bits per
+//! position for a 1200-bit filter, `ceil(log2 m)` in general).
+
+use serde::{Deserialize, Serialize};
+
+use crate::filter::BloomFilter;
+
+/// The set of bit positions that flipped between two snapshots of a filter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomDelta {
+    /// Flipped bit positions, in increasing order.
+    positions: Vec<u32>,
+    /// Number of bits in the underlying filter (needed to size the encoding).
+    filter_bits: u32,
+}
+
+impl BloomDelta {
+    /// Computes the delta that transforms `old` into `new`.
+    ///
+    /// # Panics
+    /// Panics if the two filters have different parameters.
+    pub fn between(old: &BloomFilter, new: &BloomFilter) -> Self {
+        let positions = old.changed_bits(new).into_iter().map(|p| p as u32).collect();
+        BloomDelta {
+            positions,
+            filter_bits: old.bits() as u32,
+        }
+    }
+
+    /// Builds a delta from raw positions (used by tests and by the overlay's
+    /// message decoding).
+    pub fn from_positions(positions: Vec<u32>, filter_bits: u32) -> Self {
+        let mut positions = positions;
+        positions.sort_unstable();
+        positions.dedup();
+        BloomDelta {
+            positions,
+            filter_bits,
+        }
+    }
+
+    /// The flipped positions.
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Number of flipped bits.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Applies the delta to `filter`, flipping each listed bit.
+    ///
+    /// Applying the same delta twice is an involution (it undoes itself), which
+    /// is exactly the XOR semantics of "changed bits".
+    ///
+    /// # Panics
+    /// Panics if the filter's size differs from the delta's.
+    pub fn apply(&self, filter: &mut BloomFilter) {
+        assert_eq!(
+            filter.bits() as u32,
+            self.filter_bits,
+            "delta was computed for a filter of different size"
+        );
+        for &pos in &self.positions {
+            let pos = pos as usize;
+            if filter.get_bit(pos) {
+                filter.clear_bit(pos);
+            } else {
+                filter.set_bit(pos);
+            }
+        }
+    }
+
+    /// Bits needed to encode a single position: `ceil(log2(filter_bits))`.
+    ///
+    /// For the paper's 1200-bit filter this is 11 bits.
+    pub fn bits_per_position(&self) -> u32 {
+        if self.filter_bits <= 1 {
+            1
+        } else {
+            32 - (self.filter_bits - 1).leading_zeros()
+        }
+    }
+
+    /// Total encoded size of this delta in bits (positions only, as the paper
+    /// counts it).
+    pub fn encoded_bits(&self) -> u64 {
+        self.positions.len() as u64 * u64::from(self.bits_per_position())
+    }
+
+    /// Total encoded size in bytes, rounded up (what a real wire format would
+    /// occupy at minimum).
+    pub fn encoded_bytes(&self) -> u64 {
+        self.encoded_bits().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::BloomParams;
+
+    #[test]
+    fn delta_between_snapshots_reconstructs_the_new_filter() {
+        let mut old = BloomFilter::paper_default();
+        old.insert("madonna");
+        old.insert("prayer");
+        let mut new = old.clone();
+        new.insert("vogue");
+
+        let delta = BloomDelta::between(&old, &new);
+        assert!(!delta.is_empty());
+
+        let mut reconstructed = old.clone();
+        delta.apply(&mut reconstructed);
+        assert_eq!(reconstructed, new);
+    }
+
+    #[test]
+    fn applying_twice_is_identity() {
+        let mut old = BloomFilter::paper_default();
+        old.insert("a");
+        let mut new = old.clone();
+        new.insert("b");
+        let delta = BloomDelta::between(&old, &new);
+
+        let mut f = old.clone();
+        delta.apply(&mut f);
+        delta.apply(&mut f);
+        assert_eq!(f, old);
+    }
+
+    #[test]
+    fn empty_delta_for_identical_filters() {
+        let f = BloomFilter::paper_default();
+        let delta = BloomDelta::between(&f, &f.clone());
+        assert!(delta.is_empty());
+        assert_eq!(delta.encoded_bits(), 0);
+    }
+
+    #[test]
+    fn paper_footnote_size_bound_holds() {
+        // Adding one filename (3 keywords × 5 probes) flips at most 15 bits;
+        // the paper's bound of 12 assumes its own k; what we verify here is the
+        // 11-bits-per-position claim and that a single-filename update stays in
+        // the tens-of-bits range, i.e. negligible vs. a full 1200-bit push.
+        let mut old = BloomFilter::paper_default();
+        for i in 0..49 {
+            old.insert(&format!("kw-a-{i}"));
+            old.insert(&format!("kw-b-{i}"));
+            old.insert(&format!("kw-c-{i}"));
+        }
+        let mut new = old.clone();
+        new.insert("fresh-one");
+        new.insert("fresh-two");
+        new.insert("fresh-three");
+        let delta = BloomDelta::between(&old, &new);
+        assert_eq!(delta.bits_per_position(), 11, "1200-bit filter needs 11 bits/position");
+        assert!(delta.len() <= 15, "at most k × keywords bits can flip, got {}", delta.len());
+        assert!(delta.encoded_bits() <= 15 * 11);
+        assert!(delta.encoded_bits() < 1200, "delta must beat retransmitting the filter");
+    }
+
+    #[test]
+    fn bits_per_position_general_formula() {
+        let d = BloomDelta::from_positions(vec![], 1200);
+        assert_eq!(d.bits_per_position(), 11);
+        assert_eq!(BloomDelta::from_positions(vec![], 1024).bits_per_position(), 10);
+        assert_eq!(BloomDelta::from_positions(vec![], 1025).bits_per_position(), 11);
+        assert_eq!(BloomDelta::from_positions(vec![], 2).bits_per_position(), 1);
+        assert_eq!(BloomDelta::from_positions(vec![], 1).bits_per_position(), 1);
+    }
+
+    #[test]
+    fn from_positions_sorts_and_dedups() {
+        let d = BloomDelta::from_positions(vec![9, 3, 9, 1], 100);
+        assert_eq!(d.positions(), &[1, 3, 9]);
+        assert_eq!(d.encoded_bytes(), (3 * 7 + 7) / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "different size")]
+    fn applying_to_wrong_size_filter_panics() {
+        let small = BloomFilter::new(BloomParams::new(100, 3));
+        let delta = BloomDelta::from_positions(vec![5], 1200);
+        let mut target = small;
+        delta.apply(&mut target);
+    }
+}

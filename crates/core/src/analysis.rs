@@ -1,0 +1,253 @@
+//! Post-run analysis helpers.
+//!
+//! [`RunAnalysis`] turns the per-query records of a [`SimulationReport`] into
+//! the distributional and temporal views used by the `inspect` binary, the
+//! examples and EXPERIMENTS.md:
+//!
+//! * **warm-up series** — how success rate and download distance evolve as the
+//!   run progresses (Figure 2's "Locaware shows improvement with the increase
+//!   of queries" is exactly this view),
+//! * **download-distance histogram** — whether the savings come from the tail
+//!   (avoiding the farthest providers) or shift the whole distribution,
+//! * **hop histogram** — how deep into the overlay queries travel before the
+//!   first hit,
+//! * **locality/caching breakdown** — what fraction of satisfied queries were
+//!   served from the requestor's locality and from caches.
+
+use serde::{Deserialize, Serialize};
+
+use locaware_metrics::{Histogram, RunMetrics, Table};
+
+use crate::results::SimulationReport;
+
+/// One window of the warm-up series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmupPoint {
+    /// Index of the window (0 = earliest queries).
+    pub window: usize,
+    /// First query index covered by the window.
+    pub start_query: usize,
+    /// Number of queries in the window.
+    pub queries: usize,
+    /// Success rate within the window.
+    pub success_rate: f64,
+    /// Average download distance within the window (satisfied queries only).
+    pub download_distance_ms: f64,
+    /// Locality-match rate within the window.
+    pub locality_match_rate: f64,
+}
+
+/// Distributional and temporal views over one run.
+#[derive(Debug, Clone)]
+pub struct RunAnalysis {
+    metrics: RunMetrics,
+}
+
+impl RunAnalysis {
+    /// Analyses the records of a report.
+    pub fn of(report: &SimulationReport) -> Self {
+        RunAnalysis {
+            metrics: report.metrics.clone(),
+        }
+    }
+
+    /// Analyses a bare metrics collection.
+    pub fn of_metrics(metrics: RunMetrics) -> Self {
+        RunAnalysis { metrics }
+    }
+
+    /// Splits the run into `windows` equal windows (in query-issue order) and
+    /// reports each window's metrics. Returns fewer windows when the run is
+    /// shorter than `windows` queries.
+    pub fn warmup_series(&self, windows: usize) -> Vec<WarmupPoint> {
+        let total = self.metrics.len();
+        if total == 0 || windows == 0 {
+            return Vec::new();
+        }
+        let windows = windows.min(total);
+        let per_window = total / windows;
+        let mut out = Vec::with_capacity(windows);
+        for w in 0..windows {
+            let start = w * per_window;
+            let end = if w == windows - 1 { total } else { start + per_window };
+            let slice = RunMetrics::from_records(self.metrics.records()[start..end].to_vec());
+            out.push(WarmupPoint {
+                window: w,
+                start_query: start,
+                queries: end - start,
+                success_rate: slice.success_rate(),
+                download_distance_ms: slice.avg_download_distance_ms(),
+                locality_match_rate: slice.locality_match_rate(),
+            });
+        }
+        out
+    }
+
+    /// Histogram of download distances over satisfied queries, in the paper's
+    /// 0–500 ms latency range.
+    pub fn distance_histogram(&self) -> Histogram {
+        let mut histogram = Histogram::for_latencies_ms();
+        for record in self.metrics.records() {
+            if let Some(d) = record.download_distance_ms {
+                histogram.record(d);
+            }
+        }
+        histogram
+    }
+
+    /// Histogram of overlay hops from the requestor to the first hit.
+    pub fn hops_histogram(&self, ttl: u32) -> Histogram {
+        let mut histogram = Histogram::new(0.0, f64::from(ttl) + 1.0, (ttl + 1) as usize);
+        for record in self.metrics.records() {
+            if let Some(hops) = record.hops_to_hit {
+                histogram.record(f64::from(hops));
+            }
+        }
+        histogram
+    }
+
+    /// A compact breakdown table of where satisfied queries were served from.
+    pub fn breakdown_table(&self) -> Table {
+        let satisfied: Vec<_> = self
+            .metrics
+            .records()
+            .iter()
+            .filter(|r| r.is_success())
+            .collect();
+        let total = self.metrics.len();
+        let n = satisfied.len();
+        let from_cache = satisfied.iter().filter(|r| r.answered_from_cache).count();
+        let local = satisfied.iter().filter(|r| r.locality_match).count();
+        let multi_provider = satisfied.iter().filter(|r| r.providers_offered > 1).count();
+        let pct = |count: usize, of: usize| {
+            if of == 0 {
+                "n/a".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * count as f64 / of as f64)
+            }
+        };
+        let mut table = Table::new(["breakdown", "count", "share"]);
+        table.push_row(["queries issued".to_string(), total.to_string(), "100.0%".to_string()]);
+        table.push_row(["satisfied".to_string(), n.to_string(), pct(n, total)]);
+        table.push_row([
+            "answered from a response index".to_string(),
+            from_cache.to_string(),
+            pct(from_cache, n),
+        ]);
+        table.push_row([
+            "served from the requestor's locality".to_string(),
+            local.to_string(),
+            pct(local, n),
+        ]);
+        table.push_row([
+            "offered more than one provider".to_string(),
+            multi_provider.to_string(),
+            pct(multi_provider, n),
+        ]);
+        table
+    }
+
+    /// Relative change of a metric between the first and last warm-up window:
+    /// negative means the metric decreased over the run (e.g. download distance
+    /// shrinking as replication spreads).
+    pub fn warmup_trend(&self, windows: usize, metric: impl Fn(&WarmupPoint) -> f64) -> Option<f64> {
+        let series = self.warmup_series(windows);
+        let first = series.first()?;
+        let last = series.last()?;
+        let base = metric(first);
+        if base == 0.0 {
+            return None;
+        }
+        Some((metric(last) - base) / base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locaware_metrics::{QueryOutcome, QueryRecord};
+
+    fn record(index: u64, success: bool, distance: f64, hops: u32, local: bool) -> QueryRecord {
+        QueryRecord {
+            index,
+            requestor: (index % 10) as u32,
+            outcome: if success {
+                QueryOutcome::Satisfied
+            } else {
+                QueryOutcome::Unsatisfied
+            },
+            messages: 10,
+            download_distance_ms: success.then_some(distance),
+            locality_match: success && local,
+            providers_offered: if success { 3 } else { 0 },
+            hops_to_hit: success.then_some(hops),
+            answered_from_cache: success && index % 2 == 0,
+        }
+    }
+
+    /// A run that improves over time: the second half succeeds more often and
+    /// downloads from closer providers.
+    fn improving_run() -> RunAnalysis {
+        let mut records = Vec::new();
+        for i in 0..100u64 {
+            let late = i >= 50;
+            let success = if late { i % 2 == 0 } else { i % 4 == 0 };
+            let distance = if late { 80.0 } else { 200.0 };
+            records.push(record(i, success, distance, 3, late));
+        }
+        RunAnalysis::of_metrics(RunMetrics::from_records(records))
+    }
+
+    #[test]
+    fn warmup_series_shows_the_improvement() {
+        let analysis = improving_run();
+        let series = analysis.warmup_series(4);
+        assert_eq!(series.len(), 4);
+        assert_eq!(series.iter().map(|w| w.queries).sum::<usize>(), 100);
+        assert!(series[3].success_rate > series[0].success_rate);
+        assert!(series[3].download_distance_ms < series[0].download_distance_ms);
+
+        let trend = analysis
+            .warmup_trend(4, |w| w.download_distance_ms)
+            .expect("non-degenerate run");
+        assert!(trend < 0.0, "distance should shrink over the run, trend {trend}");
+    }
+
+    #[test]
+    fn warmup_series_edge_cases() {
+        let empty = RunAnalysis::of_metrics(RunMetrics::new());
+        assert!(empty.warmup_series(4).is_empty());
+        assert!(empty.warmup_trend(4, |w| w.success_rate).is_none());
+
+        let tiny = RunAnalysis::of_metrics(RunMetrics::from_records(vec![record(0, true, 50.0, 1, true)]));
+        let series = tiny.warmup_series(10);
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].queries, 1);
+    }
+
+    #[test]
+    fn histograms_cover_only_satisfied_queries() {
+        let analysis = improving_run();
+        let distances = analysis.distance_histogram();
+        let hops = analysis.hops_histogram(7);
+        let satisfied = improving_run()
+            .warmup_series(1)
+            .first()
+            .map(|w| (w.success_rate * w.queries as f64).round() as u64)
+            .unwrap();
+        assert_eq!(distances.total(), satisfied);
+        assert_eq!(hops.total(), satisfied);
+        assert_eq!(distances.overflow(), 0);
+    }
+
+    #[test]
+    fn breakdown_table_is_consistent() {
+        let analysis = improving_run();
+        let table = analysis.breakdown_table();
+        assert_eq!(table.len(), 5);
+        let rendered = table.render();
+        assert!(rendered.contains("queries issued"));
+        assert!(rendered.contains("satisfied"));
+        assert!(rendered.contains("100"));
+    }
+}

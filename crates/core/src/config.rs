@@ -1,0 +1,326 @@
+//! Simulation configuration.
+//!
+//! [`SimulationConfig`] gathers every parameter of the paper's experimental
+//! methodology (§5.1) with the paper's values as defaults, so
+//! `SimulationConfig::paper_defaults()` is exactly the published setup and the
+//! experiment binaries only override the number of queries and the protocol
+//! under test.
+
+use serde::{Deserialize, Serialize};
+
+use locaware_net::brite::PlacementModel;
+use locaware_overlay::{ChurnConfig, GraphModel};
+
+/// Which protocol a run evaluates (the four curves of Figures 2–4, plus
+/// ablation variants of Locaware used by the ablation benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Gnutella-style blind flooding, no index caching (baseline of Figure 3/4).
+    Flooding,
+    /// Dicas: group-based index caching and routing keyed on the full filename.
+    Dicas,
+    /// Dicas-Keys: the Dicas variant hashing query keywords instead of the
+    /// filename (the paper's keyword-search comparator).
+    DicasKeys,
+    /// Locaware: location-aware index caching with Bloom-filter keyword routing
+    /// (the paper's contribution).
+    Locaware,
+    /// Ablation: Locaware without location-aware provider selection (providers
+    /// are chosen uniformly at random among those offered).
+    LocawareNoLocality,
+    /// Ablation: Locaware without Bloom-filter routing (falls back to Gid-based
+    /// routing only, like Dicas-Keys, but keeps the richer response index).
+    LocawareNoBloom,
+}
+
+impl ProtocolKind {
+    /// The four protocols compared in the paper's figures, in the order the
+    /// paper lists them.
+    pub const PAPER_SET: [ProtocolKind; 4] = [
+        ProtocolKind::Locaware,
+        ProtocolKind::Flooding,
+        ProtocolKind::Dicas,
+        ProtocolKind::DicasKeys,
+    ];
+
+    /// A short label used in figures and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Flooding => "flooding",
+            ProtocolKind::Dicas => "dicas",
+            ProtocolKind::DicasKeys => "dicas-keys",
+            ProtocolKind::Locaware => "locaware",
+            ProtocolKind::LocawareNoLocality => "locaware-no-locality",
+            ProtocolKind::LocawareNoBloom => "locaware-no-bloom",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Every knob of the simulated system, defaulting to the paper's §5.1 values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Master seed from which every random stream is derived.
+    pub seed: u64,
+
+    // --- population & overlay -------------------------------------------------
+    /// Number of peers (paper: 1000).
+    pub peers: usize,
+    /// Average overlay degree (paper: 3).
+    pub average_degree: f64,
+    /// Overlay wiring model (paper: random).
+    pub graph_model: GraphModel,
+    /// Query TTL (paper: 7).
+    pub ttl: u32,
+
+    // --- physical underlay -----------------------------------------------------
+    /// Minimum one-way link latency in milliseconds (paper: 10).
+    pub min_latency_ms: f64,
+    /// Maximum one-way link latency in milliseconds (paper: 500).
+    pub max_latency_ms: f64,
+    /// Physical placement model (clustered placement gives the regional
+    /// structure that makes landmark binning meaningful).
+    pub placement: PlacementModel,
+    /// Number of landmarks (paper: 4, giving 24 locIds).
+    pub landmarks: usize,
+
+    // --- content & workload ----------------------------------------------------
+    /// Size of the file pool (paper: 3000).
+    pub file_pool: usize,
+    /// Size of the keyword pool (paper: 9000).
+    pub keyword_pool: usize,
+    /// Keywords per filename (paper: 3).
+    pub keywords_per_file: usize,
+    /// Files initially shared per peer (paper: 3).
+    pub files_per_peer: usize,
+    /// Zipf exponent of query popularity (paper: "Zipf distribution"; Gnutella
+    /// traces suggest ≈1).
+    pub zipf_exponent: f64,
+    /// Minimum query keywords (paper: 1).
+    pub min_query_keywords: usize,
+    /// Maximum query keywords (paper: 3).
+    pub max_query_keywords: usize,
+    /// Per-peer query rate in queries/second (paper: 0.00083).
+    pub query_rate_per_peer: f64,
+
+    // --- caching ---------------------------------------------------------------
+    /// Group count `M` for the `hash(f) mod M` caching/routing rule. The paper
+    /// inherits the parameter from Dicas without stating its evaluated value;
+    /// 4 keeps roughly a quarter of the peers eligible per file, matching the
+    /// Dicas paper's small-M regime.
+    pub group_count: u32,
+    /// Response-index capacity in distinct filenames (paper sizes the Bloom
+    /// filter for 50).
+    pub response_index_capacity: usize,
+    /// Maximum provider entries kept per cached filename (Locaware caches
+    /// "several indexes per file"; Dicas keeps 1 by construction).
+    pub max_providers_per_file: usize,
+    /// Maximum provider entries returned in one query response.
+    pub max_providers_per_response: usize,
+
+    // --- Bloom filters ---------------------------------------------------------
+    /// Bloom filter size in bits (paper: 1200).
+    pub bloom_bits: usize,
+    /// Bloom hash probes per keyword.
+    pub bloom_hashes: usize,
+    /// Period of the neighbour Bloom-filter synchronisation process, in
+    /// seconds of simulated time.
+    pub bloom_sync_period_secs: f64,
+
+    // --- churn (off by default; the paper's evaluation is static) ---------------
+    /// Churn model parameters.
+    pub churn: ChurnConfig,
+
+    // --- safety ---------------------------------------------------------------
+    /// Upper bound on dispatched events per run (guards against event storms).
+    pub max_events: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+impl SimulationConfig {
+    /// The configuration of §5.1 of the paper.
+    pub fn paper_defaults() -> Self {
+        SimulationConfig {
+            seed: 0x10ca_aa2e,
+            peers: 1000,
+            average_degree: 3.0,
+            graph_model: GraphModel::Random,
+            ttl: 7,
+            min_latency_ms: 10.0,
+            max_latency_ms: 500.0,
+            placement: PlacementModel::Clustered {
+                clusters: 24,
+                sigma: 0.03,
+            },
+            landmarks: 4,
+            file_pool: 3000,
+            keyword_pool: 9000,
+            keywords_per_file: 3,
+            files_per_peer: 3,
+            zipf_exponent: 1.0,
+            min_query_keywords: 1,
+            max_query_keywords: 3,
+            query_rate_per_peer: 0.00083,
+            group_count: 4,
+            response_index_capacity: 50,
+            max_providers_per_file: 5,
+            max_providers_per_response: 5,
+            bloom_bits: 1200,
+            bloom_hashes: 5,
+            bloom_sync_period_secs: 60.0,
+            churn: ChurnConfig::disabled(),
+            max_events: 200_000_000,
+        }
+    }
+
+    /// A scaled-down configuration (fewer peers and files) that keeps every
+    /// ratio of the paper's setup; used by unit/integration tests and the
+    /// quickstart example so they run in milliseconds.
+    pub fn small(peers: usize) -> Self {
+        let scale = peers as f64 / 1000.0;
+        let file_pool = ((3000.0 * scale).round() as usize).max(30);
+        SimulationConfig {
+            peers,
+            file_pool,
+            keyword_pool: (file_pool * 3).max(60),
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Validates internal consistency; returns a human-readable error for the
+    /// first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.peers == 0 {
+            return Err("peers must be positive".into());
+        }
+        if self.average_degree <= 0.0 || self.average_degree as usize >= self.peers {
+            return Err("average degree must be in (0, peers)".into());
+        }
+        if self.ttl == 0 {
+            return Err("ttl must be at least 1".into());
+        }
+        if self.min_latency_ms <= 0.0 || self.max_latency_ms < self.min_latency_ms {
+            return Err("latency range must satisfy 0 < min <= max".into());
+        }
+        if self.landmarks == 0 || self.landmarks > 8 {
+            return Err("landmarks must be in 1..=8".into());
+        }
+        if self.file_pool == 0 || self.keyword_pool == 0 {
+            return Err("file and keyword pools must be non-empty".into());
+        }
+        if self.keywords_per_file == 0 || self.keywords_per_file > self.keyword_pool {
+            return Err("keywords per file must be in 1..=keyword_pool".into());
+        }
+        if self.files_per_peer > self.file_pool {
+            return Err("files per peer cannot exceed the file pool".into());
+        }
+        if self.min_query_keywords == 0
+            || self.min_query_keywords > self.max_query_keywords
+            || self.max_query_keywords > self.keywords_per_file
+        {
+            return Err("query keyword bounds must satisfy 1 <= min <= max <= keywords_per_file".into());
+        }
+        if self.query_rate_per_peer <= 0.0 {
+            return Err("query rate must be positive".into());
+        }
+        if self.group_count == 0 {
+            return Err("group count M must be positive".into());
+        }
+        if self.response_index_capacity == 0
+            || self.max_providers_per_file == 0
+            || self.max_providers_per_response == 0
+        {
+            return Err("cache capacities must be positive".into());
+        }
+        if self.bloom_bits == 0 || self.bloom_hashes == 0 {
+            return Err("Bloom filter parameters must be positive".into());
+        }
+        if self.bloom_sync_period_secs <= 0.0 {
+            return Err("Bloom sync period must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_1() {
+        let c = SimulationConfig::paper_defaults();
+        assert_eq!(c.peers, 1000);
+        assert_eq!(c.average_degree, 3.0);
+        assert_eq!(c.ttl, 7);
+        assert_eq!(c.min_latency_ms, 10.0);
+        assert_eq!(c.max_latency_ms, 500.0);
+        assert_eq!(c.landmarks, 4);
+        assert_eq!(c.file_pool, 3000);
+        assert_eq!(c.keyword_pool, 9000);
+        assert_eq!(c.keywords_per_file, 3);
+        assert_eq!(c.files_per_peer, 3);
+        assert_eq!(c.min_query_keywords, 1);
+        assert_eq!(c.max_query_keywords, 3);
+        assert!((c.query_rate_per_peer - 0.00083).abs() < 1e-12);
+        assert_eq!(c.response_index_capacity, 50);
+        assert_eq!(c.bloom_bits, 1200);
+        assert!(c.churn.is_disabled());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn small_config_keeps_ratios_and_validates() {
+        let c = SimulationConfig::small(100);
+        assert_eq!(c.peers, 100);
+        assert_eq!(c.file_pool, 300);
+        assert_eq!(c.keyword_pool, 900);
+        assert!(c.validate().is_ok());
+        let tiny = SimulationConfig::small(10);
+        assert!(tiny.validate().is_ok());
+        assert!(tiny.file_pool >= 30);
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        let mut c = SimulationConfig::paper_defaults();
+        c.peers = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.ttl = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.max_latency_ms = 1.0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.min_query_keywords = 5;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.group_count = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.landmarks = 9;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn protocol_labels_are_stable() {
+        assert_eq!(ProtocolKind::Locaware.label(), "locaware");
+        assert_eq!(ProtocolKind::Flooding.to_string(), "flooding");
+        assert_eq!(ProtocolKind::PAPER_SET.len(), 4);
+    }
+}

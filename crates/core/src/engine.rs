@@ -1,0 +1,718 @@
+//! The protocol simulation engine.
+//!
+//! [`ProtocolEngine`] wires the substrate crates together and executes one run:
+//! queries arrive according to the workload's Poisson process, travel over the
+//! overlay according to the protocol's routing policy with per-link latencies
+//! from the physical topology, responses travel back along reverse paths and
+//! are cached according to the protocol's caching rule, and the requestor picks
+//! a provider according to the protocol's selection policy. Every query
+//! produces one [`QueryRecord`]; Figures 2–4 are aggregations of those records.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use locaware_metrics::{CounterSet, QueryOutcome, QueryRecord, RunMetrics};
+use locaware_net::{LocId, PhysicalTopology};
+use locaware_overlay::{
+    ChurnEventKind, ForwardDecision, Message, MessageKind, OverlayGraph, PeerId, ProviderEntry,
+    QueryId,
+};
+use locaware_overlay::routing::decrement_ttl;
+use locaware_overlay::churn::ChurnEvent;
+use locaware_sim::{Duration, Engine as SimEngine, EngineContext, RngFactory, SimTime, StreamId};
+use locaware_workload::{Arrival, Catalog, FileId, KeywordId, QueryGenerator};
+
+use crate::config::{ProtocolKind, SimulationConfig};
+use crate::group::GroupScheme;
+use crate::peer::PeerState;
+use crate::protocol::{Protocol, PeerView, QueryContext, ResponseContext};
+use crate::provider::select_provider;
+use crate::results::SimulationReport;
+
+/// The engine's event vocabulary.
+#[derive(Debug, Clone)]
+pub(crate) enum Event {
+    /// The `i`-th pre-generated arrival fires: its peer issues a query.
+    Issue(usize),
+    /// A message arrives at `to`, having been sent by `from`.
+    Deliver {
+        /// Sending peer.
+        from: PeerId,
+        /// Receiving peer.
+        to: PeerId,
+        /// The message.
+        message: Message,
+    },
+    /// A periodic Bloom-filter synchronisation round.
+    BloomSync,
+    /// A churn transition.
+    Churn(ChurnEvent),
+}
+
+/// Per-query bookkeeping while the query is in flight.
+#[derive(Debug, Clone)]
+struct QueryTracking {
+    index: u64,
+    origin: PeerId,
+    origin_loc: LocId,
+    keywords: Vec<KeywordId>,
+    satisfied: bool,
+    messages: u64,
+    download_distance_ms: Option<f64>,
+    locality_match: bool,
+    providers_offered: usize,
+    hops_to_hit: Option<u32>,
+    answered_from_cache: bool,
+}
+
+/// Everything needed to execute one protocol run over a prepared substrate.
+pub(crate) struct ProtocolEngine<'a> {
+    config: &'a SimulationConfig,
+    protocol: Box<dyn Protocol>,
+    topology: &'a PhysicalTopology,
+    loc_ids: &'a [LocId],
+    catalog: &'a Catalog,
+    scheme: GroupScheme,
+    graph: OverlayGraph,
+    peers: Vec<PeerState>,
+    arrivals: Vec<Arrival>,
+    churn_schedule: Vec<ChurnEvent>,
+    query_generator: QueryGenerator,
+    workload_rng: StdRng,
+    selection_rng: StdRng,
+    churn_rng: StdRng,
+    tracking: HashMap<QueryId, QueryTracking>,
+    next_query_id: u64,
+    message_counters: CounterSet<String>,
+    routing_decisions: CounterSet<String>,
+    background_messages: u64,
+    queries_issued: u64,
+}
+
+impl<'a> ProtocolEngine<'a> {
+    /// Builds an engine for one run.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        config: &'a SimulationConfig,
+        kind: ProtocolKind,
+        topology: &'a PhysicalTopology,
+        loc_ids: &'a [LocId],
+        graph: &OverlayGraph,
+        catalog: &'a Catalog,
+        initial_shares: &[Vec<FileId>],
+        gids: &[crate::group::GroupId],
+        arrivals: Vec<Arrival>,
+        churn_schedule: Vec<ChurnEvent>,
+        rng_factory: &RngFactory,
+    ) -> Self {
+        let protocol = crate::protocol::build_protocol(kind, config);
+        let scheme = GroupScheme::new(config.group_count);
+        let bloom_params = locaware_bloom::BloomParams::new(config.bloom_bits, config.bloom_hashes);
+        let max_providers = protocol.max_providers_per_file(config);
+
+        let mut peers: Vec<PeerState> = (0..config.peers)
+            .map(|i| {
+                let id = PeerId(i as u32);
+                let mut state = PeerState::new(
+                    id,
+                    loc_ids[i],
+                    gids[i],
+                    bloom_params,
+                    config.response_index_capacity,
+                    max_providers,
+                );
+                for &file in &initial_shares[i] {
+                    state.share_file(file);
+                    if protocol.uses_bloom_sync() {
+                        // §5.2: Bloom routing must not miss results held by
+                        // neighbours, so a peer's filter also covers the
+                        // filenames it stores itself (see DESIGN.md).
+                        state.advertise_keywords(catalog.filename(file).keywords());
+                    }
+                }
+                state
+            })
+            .collect();
+
+        // Neighbours exchange group ids on join (§4.2); modelled as already
+        // known at simulation start, like the paper's static setup.
+        for i in 0..config.peers {
+            let id = PeerId(i as u32);
+            for &n in graph.neighbors(id) {
+                let gid = gids[n.index()];
+                peers[i].record_neighbor(n, gid, bloom_params);
+            }
+        }
+
+        // Initial Bloom exchange between neighbours ("Neighboring peers
+        // exchange their group Ids as well as their Bloom filters", §4.2).
+        if protocol.uses_bloom_sync() {
+            let initial_blooms: Vec<_> = peers
+                .iter_mut()
+                .map(|p| {
+                    let _ = p.take_bloom_update();
+                    p.exported_bloom().clone()
+                })
+                .collect();
+            for i in 0..config.peers {
+                let id = PeerId(i as u32);
+                for &n in graph.neighbors(id) {
+                    let bloom = initial_blooms[n.index()].clone();
+                    peers[i].set_neighbor_bloom(n, bloom);
+                }
+            }
+        }
+
+        let mut workload_rng = rng_factory.stream(StreamId::QueryWorkload);
+        let query_generator = QueryGenerator::new(
+            catalog,
+            locaware_workload::QueryWorkloadConfig {
+                zipf_exponent: config.zipf_exponent,
+                min_keywords: config.min_query_keywords,
+                max_keywords: config.max_query_keywords,
+            },
+            &mut workload_rng,
+        );
+
+        ProtocolEngine {
+            config,
+            protocol,
+            topology,
+            loc_ids,
+            catalog,
+            scheme,
+            graph: graph.clone(),
+            peers,
+            arrivals,
+            churn_schedule,
+            query_generator,
+            workload_rng,
+            selection_rng: rng_factory.stream(StreamId::ProtocolTieBreak),
+            churn_rng: rng_factory.stream(StreamId::Churn),
+            tracking: HashMap::new(),
+            next_query_id: 0,
+            message_counters: CounterSet::new(),
+            routing_decisions: CounterSet::new(),
+            background_messages: 0,
+            queries_issued: 0,
+        }
+    }
+
+    /// Executes the run and produces the report.
+    pub(crate) fn run(mut self) -> SimulationReport {
+        let mut sim: SimEngine<Event> = SimEngine::new().with_max_events(self.config.max_events);
+
+        // Schedule query arrivals.
+        let last_arrival = self.arrivals.last().map(|a| a.at).unwrap_or(SimTime::ZERO);
+        for (i, arrival) in self.arrivals.iter().enumerate() {
+            sim.schedule(arrival.at, Event::Issue(i));
+        }
+
+        // Schedule periodic Bloom synchronisation rounds over the workload span
+        // (plus a small drain margin so late responses still see fresh filters).
+        if self.protocol.uses_bloom_sync() {
+            let period = Duration::from_secs_f64(self.config.bloom_sync_period_secs);
+            let horizon = last_arrival + Duration::from_secs(60);
+            let mut t = SimTime::ZERO + period;
+            while t <= horizon {
+                sim.schedule(t, Event::BloomSync);
+                t = t + period;
+            }
+        }
+
+        // Schedule churn transitions (empty for the paper's static setup).
+        for event in std::mem::take(&mut self.churn_schedule) {
+            sim.schedule(event.at, Event::Churn(event));
+        }
+
+        let run_stats = sim.run(|ctx, event| self.handle(ctx, event));
+
+        self.finalize(run_stats.end_time, run_stats.dispatched)
+    }
+
+    // --- event handlers ---------------------------------------------------------
+
+    fn handle(&mut self, ctx: &mut EngineContext<'_, Event>, event: Event) {
+        match event {
+            Event::Issue(index) => self.handle_issue(ctx, index),
+            Event::Deliver { from, to, message } => self.handle_deliver(ctx, from, to, message),
+            Event::BloomSync => self.handle_bloom_sync(ctx),
+            Event::Churn(churn) => self.handle_churn(churn),
+        }
+    }
+
+    fn handle_issue(&mut self, ctx: &mut EngineContext<'_, Event>, index: usize) {
+        let origin = PeerId(self.arrivals[index].peer as u32);
+        if !self.peers[origin.index()].online {
+            return;
+        }
+        // Peers query for files they do not already hold; re-draw a few times
+        // if the Zipf draw lands on a file the requestor stores.
+        let mut query = self.query_generator.generate(self.catalog, &mut self.workload_rng);
+        for _ in 0..16 {
+            if !self.peers[origin.index()].has_file(query.target) {
+                break;
+            }
+            query = self.query_generator.generate(self.catalog, &mut self.workload_rng);
+        }
+
+        let query_id = QueryId(self.next_query_id);
+        self.next_query_id += 1;
+        let query_index = self.queries_issued;
+        self.queries_issued += 1;
+
+        let origin_loc = self.loc_ids[origin.index()];
+        self.tracking.insert(
+            query_id,
+            QueryTracking {
+                index: query_index,
+                origin,
+                origin_loc,
+                keywords: query.keywords.clone(),
+                satisfied: false,
+                messages: 0,
+                download_distance_ms: None,
+                locality_match: false,
+                providers_offered: 0,
+                hops_to_hit: None,
+                answered_from_cache: false,
+            },
+        );
+
+        // The originator registers the query locally (no upstream).
+        self.peers[origin.index()].router.on_query(query_id, None);
+
+        let target_filename = if self.protocol.kind() == ProtocolKind::Dicas {
+            Some(query.target)
+        } else {
+            None
+        };
+        let qctx = QueryContext {
+            query: query_id,
+            origin,
+            origin_loc,
+            keywords: query.keywords.clone(),
+            target_filename,
+        };
+
+        let (targets, decision) = {
+            let view = self.view(origin);
+            self.protocol.forward_targets(&view, &qctx, None)
+        };
+        self.routing_decisions.increment(decision_label(decision).to_string());
+
+        let message = Message::Query {
+            query: query_id,
+            origin,
+            origin_loc,
+            keywords: query.keywords.iter().map(|k| k.0).collect(),
+            target_filename: target_filename.map(|f| f.0),
+            ttl: self.config.ttl,
+        };
+        for target in targets {
+            self.send(ctx, origin, target, message.clone(), Some(query_id));
+        }
+    }
+
+    fn handle_deliver(
+        &mut self,
+        ctx: &mut EngineContext<'_, Event>,
+        from: PeerId,
+        to: PeerId,
+        message: Message,
+    ) {
+        if !self.peers[to.index()].online {
+            return;
+        }
+        match message {
+            Message::Query {
+                query,
+                origin,
+                origin_loc,
+                keywords,
+                target_filename,
+                ttl,
+            } => {
+                let is_new = self.peers[to.index()].router.on_query(query, Some(from));
+                if !is_new {
+                    return;
+                }
+                let keywords: Vec<KeywordId> = keywords.into_iter().map(KeywordId).collect();
+                let qctx = QueryContext {
+                    query,
+                    origin,
+                    origin_loc: LocId(origin_loc.value()),
+                    keywords: keywords.clone(),
+                    target_filename: target_filename.map(FileId),
+                };
+
+                let local_match = {
+                    let view = self.view(to);
+                    self.protocol.local_match(&view, &qctx)
+                };
+
+                if let Some(hit) = local_match {
+                    let hops = self.config.ttl.saturating_sub(ttl) + 1;
+                    if let Some(tracking) = self.tracking.get_mut(&query) {
+                        if tracking.hops_to_hit.is_none() {
+                            tracking.hops_to_hit = Some(hops);
+                            tracking.answered_from_cache = hit.from_cache;
+                        }
+                    }
+                    // §4.1.2: the answering peer records the requestor as a new
+                    // provider of the file (subject to its caching rule).
+                    let requestor_entry = ProviderEntry {
+                        provider: origin,
+                        loc_id: qctx.origin_loc,
+                    };
+                    let response_ctx = ResponseContext {
+                        file: hit.file,
+                        file_keywords: self.catalog.filename(hit.file).keywords().to_vec(),
+                        query_keywords: qctx.keywords.clone(),
+                        providers: Vec::new(),
+                        requestor: requestor_entry,
+                    };
+                    self.protocol
+                        .cache_response(&mut self.peers[to.index()], &self.scheme, &response_ctx);
+
+                    let response = Message::QueryResponse {
+                        query,
+                        file: hit.file.0,
+                        file_keywords: self
+                            .catalog
+                            .filename(hit.file)
+                            .keywords()
+                            .iter()
+                            .map(|k| k.0)
+                            .collect(),
+                        providers: hit.providers,
+                        requestor: requestor_entry,
+                    };
+                    if let Some(upstream) = self.peers[to.index()].router.response_next_hop(query) {
+                        self.send(ctx, to, upstream, response, Some(query));
+                    }
+                    return;
+                }
+
+                // No local hit: keep forwarding while TTL allows.
+                let Some(new_ttl) = decrement_ttl(ttl) else {
+                    return;
+                };
+                let (targets, decision) = {
+                    let view = self.view(to);
+                    self.protocol.forward_targets(&view, &qctx, Some(from))
+                };
+                self.routing_decisions.increment(decision_label(decision).to_string());
+                let forwarded = Message::Query {
+                    query,
+                    origin,
+                    origin_loc: qctx.origin_loc,
+                    keywords: keywords.iter().map(|k| k.0).collect(),
+                    target_filename: target_filename,
+                    ttl: new_ttl,
+                };
+                for target in targets {
+                    self.send(ctx, to, target, forwarded.clone(), Some(query));
+                }
+            }
+            Message::QueryResponse {
+                query,
+                file,
+                file_keywords,
+                providers,
+                requestor,
+            } => {
+                let file = FileId(file);
+                let keywords: Vec<KeywordId> = file_keywords.iter().map(|&k| KeywordId(k)).collect();
+                let is_origin = self
+                    .tracking
+                    .get(&query)
+                    .map(|t| t.origin == to)
+                    .unwrap_or(false);
+
+                if is_origin {
+                    self.handle_response_at_origin(query, file, &providers);
+                    return;
+                }
+
+                // Intermediate peer: cache per protocol rule, then relay.
+                let response_ctx = ResponseContext {
+                    file,
+                    file_keywords: keywords,
+                    query_keywords: self
+                        .tracking
+                        .get(&query)
+                        .map(|t| t.keywords.clone())
+                        .unwrap_or_default(),
+                    providers: providers.clone(),
+                    requestor,
+                };
+                self.protocol
+                    .cache_response(&mut self.peers[to.index()], &self.scheme, &response_ctx);
+
+                if let Some(upstream) = self.peers[to.index()].router.response_next_hop(query) {
+                    let relay = Message::QueryResponse {
+                        query,
+                        file: file.0,
+                        file_keywords,
+                        providers,
+                        requestor,
+                    };
+                    self.send(ctx, to, upstream, relay, Some(query));
+                }
+            }
+            Message::BloomFull { filter } => {
+                self.peers[to.index()].set_neighbor_bloom(from, filter);
+            }
+            Message::BloomDelta { delta } => {
+                self.peers[to.index()].apply_neighbor_bloom_delta(from, &delta);
+            }
+            Message::GroupAnnounce { gid } => {
+                let params =
+                    locaware_bloom::BloomParams::new(self.config.bloom_bits, self.config.bloom_hashes);
+                self.peers[to.index()].record_neighbor(from, crate::group::GroupId(gid), params);
+            }
+            Message::Ping | Message::Pong => {
+                // Keep-alives carry no protocol state.
+            }
+        }
+    }
+
+    fn handle_response_at_origin(&mut self, query: QueryId, file: FileId, providers: &[ProviderEntry]) {
+        let Some(tracking) = self.tracking.get_mut(&query) else {
+            return;
+        };
+        if tracking.satisfied {
+            return;
+        }
+        // Only online providers can actually serve the download (matters only
+        // when churn is enabled; the static setup never filters anything).
+        let online: Vec<ProviderEntry> = providers
+            .iter()
+            .copied()
+            .filter(|p| {
+                self.peers
+                    .get(p.provider.index())
+                    .map(|peer| peer.online)
+                    .unwrap_or(false)
+            })
+            .collect();
+        tracking.providers_offered = tracking.providers_offered.max(online.len());
+        let selection = select_provider(
+            self.protocol.selection_policy(),
+            self.topology,
+            tracking.origin,
+            tracking.origin_loc,
+            &online,
+            &mut self.selection_rng,
+        );
+        let Some(selected) = selection else {
+            return;
+        };
+        tracking.satisfied = true;
+        tracking.locality_match = selected.locality_match;
+        tracking.download_distance_ms = Some(
+            self.topology
+                .latency(tracking.origin, selected.provider)
+                .as_millis_f64(),
+        );
+        // Natural replication: the requestor now stores (and later serves) the file.
+        let origin = tracking.origin;
+        self.peers[origin.index()].share_file(file);
+        if self.protocol.uses_bloom_sync() {
+            let keywords = self.catalog.filename(file).keywords().to_vec();
+            self.peers[origin.index()].advertise_keywords(&keywords);
+        }
+    }
+
+    fn handle_bloom_sync(&mut self, ctx: &mut EngineContext<'_, Event>) {
+        for i in 0..self.peers.len() {
+            if !self.peers[i].online {
+                continue;
+            }
+            let Some(delta) = self.peers[i].take_bloom_update() else {
+                continue;
+            };
+            let from = PeerId(i as u32);
+            let neighbors: Vec<PeerId> = self
+                .graph
+                .neighbors(from)
+                .iter()
+                .copied()
+                .filter(|&n| self.graph.is_active(n))
+                .collect();
+            for n in neighbors {
+                let message = Message::BloomDelta {
+                    delta: delta.clone(),
+                };
+                self.send_background(ctx, from, n, message);
+            }
+        }
+    }
+
+    fn handle_churn(&mut self, event: ChurnEvent) {
+        let peer = event.peer;
+        if peer.index() >= self.peers.len() {
+            return;
+        }
+        match event.kind {
+            ChurnEventKind::Leave => {
+                if !self.peers[peer.index()].online {
+                    return;
+                }
+                let old_neighbors = self.graph.depart(peer);
+                self.peers[peer.index()].online = false;
+                for n in old_neighbors {
+                    self.peers[n.index()].forget_neighbor(peer);
+                }
+            }
+            ChurnEventKind::Join => {
+                if self.peers[peer.index()].online {
+                    return;
+                }
+                self.graph.rejoin(peer);
+                self.peers[peer.index()].online = true;
+                self.peers[peer.index()].reset_volatile_state();
+                // Re-wire to `average_degree` random online peers.
+                let degree = self.config.average_degree.round() as usize;
+                let candidates: Vec<PeerId> = self
+                    .graph
+                    .active_peers()
+                    .filter(|&p| p != peer)
+                    .collect();
+                let params =
+                    locaware_bloom::BloomParams::new(self.config.bloom_bits, self.config.bloom_hashes);
+                for _ in 0..degree.max(1) {
+                    if candidates.is_empty() {
+                        break;
+                    }
+                    let pick = candidates[self.churn_rng.gen_range(0..candidates.len())];
+                    if self.graph.add_edge(peer, pick) {
+                        let peer_gid = self.peers[peer.index()].gid;
+                        let pick_gid = self.peers[pick.index()].gid;
+                        self.peers[peer.index()].record_neighbor(pick, pick_gid, params);
+                        self.peers[pick.index()].record_neighbor(peer, peer_gid, params);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- helpers ---------------------------------------------------------------
+
+    fn view(&self, peer: PeerId) -> PeerView<'_> {
+        PeerView {
+            state: &self.peers[peer.index()],
+            graph: &self.graph,
+            scheme: &self.scheme,
+            catalog: self.catalog,
+        }
+    }
+
+    /// Sends a query-related message, charging it to the query's traffic count.
+    fn send(
+        &mut self,
+        ctx: &mut EngineContext<'_, Event>,
+        from: PeerId,
+        to: PeerId,
+        message: Message,
+        query: Option<QueryId>,
+    ) {
+        self.message_counters
+            .increment(kind_label(message.kind()).to_string());
+        if let Some(query) = query {
+            if let Some(tracking) = self.tracking.get_mut(&query) {
+                tracking.messages += 1;
+            }
+        }
+        let latency = self.topology.latency(from, to);
+        ctx.schedule_in(latency, Event::Deliver { from, to, message });
+    }
+
+    /// Sends a background (non-query) message such as a Bloom update.
+    fn send_background(
+        &mut self,
+        ctx: &mut EngineContext<'_, Event>,
+        from: PeerId,
+        to: PeerId,
+        message: Message,
+    ) {
+        self.message_counters
+            .increment(kind_label(message.kind()).to_string());
+        self.background_messages += 1;
+        let latency = self.topology.latency(from, to);
+        ctx.schedule_in(latency, Event::Deliver { from, to, message });
+    }
+
+    fn finalize(self, end_time: SimTime, dispatched_events: u64) -> SimulationReport {
+        let mut records: Vec<(u64, QueryRecord)> = self
+            .tracking
+            .values()
+            .map(|t| {
+                (
+                    t.index,
+                    QueryRecord {
+                        index: t.index,
+                        requestor: t.origin.0,
+                        outcome: if t.satisfied {
+                            QueryOutcome::Satisfied
+                        } else {
+                            QueryOutcome::Unsatisfied
+                        },
+                        messages: t.messages,
+                        download_distance_ms: t.download_distance_ms,
+                        locality_match: t.locality_match,
+                        providers_offered: t.providers_offered,
+                        hops_to_hit: t.hops_to_hit,
+                        answered_from_cache: t.answered_from_cache,
+                    },
+                )
+            })
+            .collect();
+        records.sort_by_key(|(index, _)| *index);
+        let mut metrics = RunMetrics::new();
+        for (_, record) in records {
+            metrics.push(record);
+        }
+
+        let total_replicas: usize = self.peers.iter().map(|p| p.shared_file_count()).sum();
+        let total_cached: usize = self.peers.iter().map(|p| p.response_index.len()).sum();
+
+        SimulationReport {
+            protocol: self.protocol.kind(),
+            queries_issued: self.queries_issued,
+            metrics,
+            message_counters: self.message_counters,
+            routing_decisions: self.routing_decisions,
+            background_messages: self.background_messages,
+            total_file_replicas: total_replicas,
+            total_cached_index_entries: total_cached,
+            simulated_end_time_secs: end_time.as_secs_f64(),
+            dispatched_events,
+        }
+    }
+}
+
+fn kind_label(kind: MessageKind) -> &'static str {
+    match kind {
+        MessageKind::Query => "query",
+        MessageKind::QueryResponse => "query-response",
+        MessageKind::BloomFull => "bloom-full",
+        MessageKind::BloomDelta => "bloom-delta",
+        MessageKind::GroupAnnounce => "group-announce",
+        MessageKind::Ping => "ping",
+        MessageKind::Pong => "pong",
+    }
+}
+
+fn decision_label(decision: ForwardDecision) -> &'static str {
+    match decision {
+        ForwardDecision::Flood => "flood",
+        ForwardDecision::BloomMatch => "bloom-match",
+        ForwardDecision::GidMatch => "gid-match",
+        ForwardDecision::HighDegree => "high-degree",
+        ForwardDecision::NotForwarded => "not-forwarded",
+    }
+}

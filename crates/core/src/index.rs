@@ -1,0 +1,364 @@
+//! The response index (`RI`): Locaware's location-aware index cache.
+//!
+//! §3.2: *"each peer n maintains a cache of file indexes called response index
+//! and noted RI_n"*, where an index of `f` contains the filename and the
+//! address of a provider. §4.1 extends each entry with the provider's `locId`
+//! and allows *several* providers per file. §4.1.2 fixes the replacement rule:
+//! *"peer n constantly updates the list of providers of f in its RI_n as new
+//! queries for f pass by n: the most recent p_f entries replace the oldest
+//! ones"*, and the cache capacity is bounded by the peer's storage (the paper
+//! sizes its Bloom filter for 50 filenames).
+//!
+//! [`ResponseIndex`] implements exactly that: a bounded map from file to a
+//! bounded, recency-ordered provider list, with least-recently-updated filename
+//! eviction and explicit eviction reporting so the owning peer can keep its
+//! Bloom filter in sync.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use locaware_net::LocId;
+use locaware_overlay::PeerId;
+use locaware_workload::{FileId, KeywordId};
+
+/// One provider entry in the index: address + location id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProviderRecord {
+    /// The provider peer.
+    pub peer: PeerId,
+    /// The provider's locId.
+    pub loc_id: LocId,
+    /// Recency stamp (larger = more recent); used by the replacement rule.
+    pub freshness: u64,
+}
+
+/// A cached filename with its known providers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// The file this entry indexes.
+    pub file: FileId,
+    /// All keywords of the filename (needed for keyword matching and for
+    /// Bloom-filter maintenance on eviction).
+    pub keywords: Vec<KeywordId>,
+    /// Known providers, oldest first, newest last.
+    providers: Vec<ProviderRecord>,
+    /// Recency stamp of the last touch of this entry (insert or provider add).
+    last_touched: u64,
+}
+
+impl IndexEntry {
+    /// Known providers, oldest first.
+    pub fn providers(&self) -> &[ProviderRecord] {
+        &self.providers
+    }
+
+    /// Number of providers currently recorded.
+    pub fn provider_count(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// True if the entry's keywords contain every keyword of `query` (the §3.1
+    /// satisfaction rule applied to a cached index).
+    pub fn matches(&self, query: &[KeywordId]) -> bool {
+        !query.is_empty() && query.iter().all(|kw| self.keywords.contains(kw))
+    }
+}
+
+/// A filename evicted from the index, reported so the owner can update its
+/// Bloom filter (remove the evicted filename's keywords).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction {
+    /// The evicted file.
+    pub file: FileId,
+    /// The keywords of its filename.
+    pub keywords: Vec<KeywordId>,
+}
+
+/// The bounded, location-aware response index of one peer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseIndex {
+    entries: HashMap<FileId, IndexEntry>,
+    /// Maximum number of distinct filenames (paper: 50).
+    capacity: usize,
+    /// Maximum providers kept per filename.
+    max_providers: usize,
+    /// Monotonic recency counter.
+    clock: u64,
+}
+
+impl ResponseIndex {
+    /// Creates an empty index.
+    ///
+    /// # Panics
+    /// Panics if either capacity is zero.
+    pub fn new(capacity: usize, max_providers: usize) -> Self {
+        assert!(capacity > 0, "response index capacity must be positive");
+        assert!(max_providers > 0, "provider capacity must be positive");
+        ResponseIndex {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            max_providers,
+            clock: 0,
+        }
+    }
+
+    /// Number of cached filenames.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of filenames this index holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum providers per filename.
+    pub fn max_providers(&self) -> usize {
+        self.max_providers
+    }
+
+    /// The entry for `file`, if cached.
+    pub fn entry(&self, file: FileId) -> Option<&IndexEntry> {
+        self.entries.get(&file)
+    }
+
+    /// True if `file` is cached.
+    pub fn contains(&self, file: FileId) -> bool {
+        self.entries.contains_key(&file)
+    }
+
+    /// Iterator over all entries (arbitrary order).
+    pub fn entries(&self) -> impl Iterator<Item = &IndexEntry> {
+        self.entries.values()
+    }
+
+    /// Every cached filename's keywords (with multiplicity across files), used
+    /// to rebuild a Bloom filter from scratch.
+    pub fn all_keywords(&self) -> impl Iterator<Item = KeywordId> + '_ {
+        self.entries.values().flat_map(|e| e.keywords.iter().copied())
+    }
+
+    /// Cached files whose filename matches every keyword of `query`.
+    pub fn lookup_by_keywords(&self, query: &[KeywordId]) -> Vec<FileId> {
+        let mut files: Vec<FileId> = self
+            .entries
+            .values()
+            .filter(|e| e.matches(query))
+            .map(|e| e.file)
+            .collect();
+        files.sort_unstable();
+        files
+    }
+
+    /// Records providers for `file`, creating the entry if needed. Returns any
+    /// filename evicted to make room (so the caller can update its Bloom
+    /// filter). `keywords` must be the full keyword list of `file`'s filename.
+    ///
+    /// Existing providers are refreshed (their freshness bumped and locId
+    /// updated); when the provider list overflows, the oldest entries are
+    /// dropped, per §4.1.2.
+    pub fn insert(
+        &mut self,
+        file: FileId,
+        keywords: &[KeywordId],
+        providers: impl IntoIterator<Item = (PeerId, LocId)>,
+    ) -> Vec<Eviction> {
+        self.clock += 1;
+        let now = self.clock;
+        let mut evictions = Vec::new();
+
+        if !self.entries.contains_key(&file) && self.entries.len() >= self.capacity {
+            if let Some(evicted) = self.evict_least_recent() {
+                evictions.push(evicted);
+            }
+        }
+
+        let entry = self.entries.entry(file).or_insert_with(|| IndexEntry {
+            file,
+            keywords: keywords.to_vec(),
+            providers: Vec::new(),
+            last_touched: now,
+        });
+        entry.last_touched = now;
+
+        for (peer, loc_id) in providers {
+            match entry.providers.iter_mut().find(|p| p.peer == peer) {
+                Some(existing) => {
+                    existing.loc_id = loc_id;
+                    existing.freshness = now;
+                }
+                None => entry.providers.push(ProviderRecord {
+                    peer,
+                    loc_id,
+                    freshness: now,
+                }),
+            }
+        }
+        // Keep only the most recent `max_providers` entries (oldest dropped).
+        if entry.providers.len() > self.max_providers {
+            entry.providers.sort_by_key(|p| p.freshness);
+            let overflow = entry.providers.len() - self.max_providers;
+            entry.providers.drain(0..overflow);
+        }
+        evictions
+    }
+
+    /// Removes every provider record pointing at `peer` (used under churn when
+    /// a provider departs). Entries left with no providers are dropped and
+    /// reported as evictions.
+    pub fn remove_provider(&mut self, peer: PeerId) -> Vec<Eviction> {
+        let mut evictions = Vec::new();
+        let emptied: Vec<FileId> = self
+            .entries
+            .iter_mut()
+            .filter_map(|(&file, entry)| {
+                entry.providers.retain(|p| p.peer != peer);
+                if entry.providers.is_empty() {
+                    Some(file)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for file in emptied {
+            if let Some(entry) = self.entries.remove(&file) {
+                evictions.push(Eviction {
+                    file,
+                    keywords: entry.keywords,
+                });
+            }
+        }
+        evictions
+    }
+
+    /// Drops everything (used when a peer leaves and rejoins: its cache is lost).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn evict_least_recent(&mut self) -> Option<Eviction> {
+        let victim = self
+            .entries
+            .values()
+            .min_by_key(|e| (e.last_touched, e.file))
+            .map(|e| e.file)?;
+        self.entries.remove(&victim).map(|entry| Eviction {
+            file: victim,
+            keywords: entry.keywords,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kws(ids: &[u32]) -> Vec<KeywordId> {
+        ids.iter().map(|&i| KeywordId(i)).collect()
+    }
+
+    fn provider(p: u32, loc: u32) -> (PeerId, LocId) {
+        (PeerId(p), LocId(loc))
+    }
+
+    #[test]
+    fn insert_and_lookup_by_keywords() {
+        let mut ri = ResponseIndex::new(10, 3);
+        ri.insert(FileId(1), &kws(&[10, 20, 30]), [provider(5, 2)]);
+        ri.insert(FileId(2), &kws(&[10, 40, 50]), [provider(6, 1)]);
+
+        assert_eq!(ri.len(), 2);
+        assert!(ri.contains(FileId(1)));
+        assert_eq!(ri.lookup_by_keywords(&kws(&[10])), vec![FileId(1), FileId(2)]);
+        assert_eq!(ri.lookup_by_keywords(&kws(&[10, 30])), vec![FileId(1)]);
+        assert!(ri.lookup_by_keywords(&kws(&[99])).is_empty());
+        assert!(ri.lookup_by_keywords(&[]).is_empty(), "empty queries match nothing");
+    }
+
+    #[test]
+    fn providers_are_refreshed_not_duplicated() {
+        let mut ri = ResponseIndex::new(10, 3);
+        ri.insert(FileId(1), &kws(&[1, 2, 3]), [provider(5, 2)]);
+        ri.insert(FileId(1), &kws(&[1, 2, 3]), [provider(5, 7)]);
+        let entry = ri.entry(FileId(1)).unwrap();
+        assert_eq!(entry.provider_count(), 1);
+        assert_eq!(entry.providers()[0].loc_id, LocId(7), "locId refreshed to the latest");
+    }
+
+    #[test]
+    fn most_recent_providers_replace_the_oldest() {
+        let mut ri = ResponseIndex::new(10, 3);
+        for p in 0..5u32 {
+            ri.insert(FileId(1), &kws(&[1, 2, 3]), [provider(p, p)]);
+        }
+        let entry = ri.entry(FileId(1)).unwrap();
+        assert_eq!(entry.provider_count(), 3);
+        let kept: Vec<u32> = entry.providers().iter().map(|p| p.peer.0).collect();
+        assert_eq!(kept, vec![2, 3, 4], "the three most recent providers survive");
+    }
+
+    #[test]
+    fn filename_capacity_evicts_least_recently_touched() {
+        let mut ri = ResponseIndex::new(2, 2);
+        ri.insert(FileId(1), &kws(&[1]), [provider(1, 0)]);
+        ri.insert(FileId(2), &kws(&[2]), [provider(2, 0)]);
+        // Touch file 1 so file 2 becomes the least-recently-used entry.
+        ri.insert(FileId(1), &kws(&[1]), [provider(9, 0)]);
+        let evictions = ri.insert(FileId(3), &kws(&[3]), [provider(3, 0)]);
+        assert_eq!(evictions.len(), 1);
+        assert_eq!(evictions[0].file, FileId(2));
+        assert_eq!(evictions[0].keywords, kws(&[2]));
+        assert!(ri.contains(FileId(1)));
+        assert!(ri.contains(FileId(3)));
+        assert!(!ri.contains(FileId(2)));
+        assert_eq!(ri.len(), 2);
+    }
+
+    #[test]
+    fn remove_provider_drops_empty_entries() {
+        let mut ri = ResponseIndex::new(10, 3);
+        ri.insert(FileId(1), &kws(&[1, 2]), [provider(5, 0)]);
+        ri.insert(FileId(2), &kws(&[3, 4]), [provider(5, 0), provider(6, 1)]);
+        let evictions = ri.remove_provider(PeerId(5));
+        assert_eq!(evictions.len(), 1);
+        assert_eq!(evictions[0].file, FileId(1));
+        assert!(!ri.contains(FileId(1)));
+        assert_eq!(ri.entry(FileId(2)).unwrap().provider_count(), 1);
+    }
+
+    #[test]
+    fn all_keywords_reflects_contents() {
+        let mut ri = ResponseIndex::new(10, 3);
+        ri.insert(FileId(1), &kws(&[1, 2]), [provider(5, 0)]);
+        ri.insert(FileId(2), &kws(&[2, 3]), [provider(6, 0)]);
+        let mut all: Vec<u32> = ri.all_keywords().map(|k| k.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 2, 3]);
+        ri.clear();
+        assert!(ri.is_empty());
+        assert_eq!(ri.all_keywords().count(), 0);
+    }
+
+    #[test]
+    fn entry_matching_rule() {
+        let mut ri = ResponseIndex::new(10, 3);
+        ri.insert(FileId(1), &kws(&[1, 2, 3]), [provider(5, 0)]);
+        let entry = ri.entry(FileId(1)).unwrap();
+        assert!(entry.matches(&kws(&[1])));
+        assert!(entry.matches(&kws(&[1, 3])));
+        assert!(!entry.matches(&kws(&[1, 9])));
+        assert!(!entry.matches(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = ResponseIndex::new(0, 1);
+    }
+}

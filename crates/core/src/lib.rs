@@ -1,0 +1,76 @@
+//! # locaware — location-aware index caching for unstructured P2P file sharing
+//!
+//! A faithful, from-scratch Rust reproduction of
+//!
+//! > Manal El Dick, Esther Pacitti. *Locaware: Index Caching in Unstructured
+//! > P2P-file Sharing Systems.* DAMAP Workshop (EDBT), March 2009.
+//!
+//! Unstructured (Gnutella-like) file-sharing overlays flood keyword queries,
+//! which wastes bandwidth twice: once in the search itself, and again when the
+//! download is served by a physically distant replica. Locaware attacks both:
+//! query responses are cached as *indexes* (filename → provider addresses) at a
+//! deterministic subset of peers, each index entry carries the provider's
+//! physical *location id*, requestors are recorded as new providers (so natural
+//! replication is visible to the index), and queries are routed by neighbour
+//! Bloom filters summarising cached keywords instead of being flooded.
+//!
+//! ## Crate layout
+//!
+//! * [`config`] — every parameter of the paper's §5.1 setup, with defaults,
+//! * [`group`] — group ids and the `hash(·) mod M` caching/routing rule,
+//! * [`index`] — the location-aware response index (`RI`),
+//! * [`peer`] — per-peer state (storage, index, Bloom filters, neighbours),
+//! * [`provider`] — provider selection (same locality first, then smallest RTT),
+//! * [`protocol`] — the four evaluated policies: flooding, Dicas, Dicas-Keys
+//!   and Locaware (plus ablation variants),
+//! * [`engine`] — the event-driven execution of one run (internal),
+//! * [`simulation`] — substrate construction and the public run API,
+//! * [`results`] — per-run reports feeding the figures,
+//! * [`analysis`] — post-run distributional and warm-up analysis.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use locaware::{ProtocolKind, Simulation, SimulationConfig};
+//!
+//! // A scaled-down substrate so the doctest runs in milliseconds; use
+//! // `SimulationConfig::paper_defaults()` for the 1000-peer setup.
+//! let mut config = SimulationConfig::small(60);
+//! config.seed = 42;
+//! let simulation = Simulation::build(config);
+//!
+//! let report = simulation.run(ProtocolKind::Locaware, 50);
+//! assert_eq!(report.queries_issued, 50);
+//! println!("{}", report.summary_table().render());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod config;
+pub mod engine;
+pub mod group;
+pub mod index;
+pub mod peer;
+pub mod protocol;
+pub mod provider;
+pub mod results;
+pub mod simulation;
+
+pub use analysis::{RunAnalysis, WarmupPoint};
+pub use config::{ProtocolKind, SimulationConfig};
+pub use group::{GroupId, GroupScheme};
+pub use index::{IndexEntry, ProviderRecord, ResponseIndex};
+pub use peer::{NeighborInfo, PeerState};
+pub use protocol::{build_protocol, LocalMatch, PeerView, Protocol, QueryContext, ResponseContext};
+pub use provider::{select_provider, SelectedProvider, SelectionPolicy};
+pub use results::SimulationReport;
+pub use simulation::Simulation;
+
+// Re-export the substrate types that appear in this crate's public API so that
+// downstream users can depend on `locaware` alone.
+pub use locaware_metrics::{Figure, QueryOutcome, QueryRecord, RunMetrics, SeriesPoint};
+pub use locaware_net::{LocId, PhysicalTopology};
+pub use locaware_overlay::{OverlayGraph, PeerId, ProviderEntry, QueryId};
+pub use locaware_workload::{Catalog, FileId, KeywordId};

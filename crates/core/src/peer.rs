@@ -1,0 +1,425 @@
+//! Per-peer protocol state.
+//!
+//! Each peer owns: the files it shares (its "file storage"), its response index
+//! (`RI`, §3.2/§4.1), the Bloom filter summarising the keywords of its cached
+//! filenames (§4.2), what it knows about its direct neighbours (their group ids
+//! and the latest copy of their Bloom filters), and the routing bookkeeping
+//! (duplicate suppression and reverse paths) of the underlying overlay.
+
+use std::collections::{BTreeSet, HashMap};
+
+use locaware_bloom::{BloomDelta, BloomFilter, BloomParams, CountingBloomFilter};
+use locaware_net::LocId;
+use locaware_overlay::{PeerId, QueryRouter};
+use locaware_workload::{FileId, KeywordId};
+
+use crate::group::GroupId;
+use crate::index::ResponseIndex;
+
+/// What a peer knows about one of its direct overlay neighbours.
+#[derive(Debug, Clone)]
+pub struct NeighborInfo {
+    /// The neighbour's group id ("Neighboring peers exchange their group Ids").
+    pub gid: GroupId,
+    /// The latest copy of the neighbour's Bloom filter this peer holds.
+    pub bloom: BloomFilter,
+}
+
+/// The full protocol-visible state of one peer.
+#[derive(Debug, Clone)]
+pub struct PeerState {
+    /// This peer's id (identical at overlay and underlay layers).
+    pub id: PeerId,
+    /// This peer's location id.
+    pub loc_id: LocId,
+    /// This peer's group id.
+    pub gid: GroupId,
+    /// Files this peer can serve (initial shares plus completed downloads).
+    shared_files: BTreeSet<FileId>,
+    /// The response index.
+    pub response_index: ResponseIndex,
+    /// Counting filter tracking the keywords of everything in the response
+    /// index (private; supports deletions).
+    counting_bloom: CountingBloomFilter,
+    /// The last filter version pushed to neighbours.
+    exported_bloom: BloomFilter,
+    /// True if the response index changed since the last export.
+    bloom_dirty: bool,
+    /// Per-neighbour knowledge.
+    pub neighbors: HashMap<PeerId, NeighborInfo>,
+    /// Duplicate suppression and reverse paths.
+    pub router: QueryRouter,
+    /// True while the peer is online (churn can toggle this).
+    pub online: bool,
+}
+
+impl PeerState {
+    /// Creates a fresh peer with an empty cache.
+    pub fn new(
+        id: PeerId,
+        loc_id: LocId,
+        gid: GroupId,
+        bloom_params: BloomParams,
+        index_capacity: usize,
+        max_providers_per_file: usize,
+    ) -> Self {
+        PeerState {
+            id,
+            loc_id,
+            gid,
+            shared_files: BTreeSet::new(),
+            response_index: ResponseIndex::new(index_capacity, max_providers_per_file),
+            counting_bloom: CountingBloomFilter::new(bloom_params),
+            exported_bloom: BloomFilter::new(bloom_params),
+            bloom_dirty: false,
+            neighbors: HashMap::new(),
+            router: QueryRouter::new(),
+            online: true,
+        }
+    }
+
+    // --- file storage ---------------------------------------------------------
+
+    /// Adds a file to this peer's storage (initial share or completed download).
+    /// Returns `true` if the file was not already stored.
+    pub fn share_file(&mut self, file: FileId) -> bool {
+        self.shared_files.insert(file)
+    }
+
+    /// True if the peer stores `file`.
+    pub fn has_file(&self, file: FileId) -> bool {
+        self.shared_files.contains(&file)
+    }
+
+    /// The files this peer stores, in id order.
+    pub fn shared_files(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.shared_files.iter().copied()
+    }
+
+    /// Number of files stored.
+    pub fn shared_file_count(&self) -> usize {
+        self.shared_files.len()
+    }
+
+    // --- response index + Bloom maintenance ------------------------------------
+
+    /// Inserts providers for `file` into the response index and keeps the
+    /// Bloom filter consistent (new filename keywords inserted, evicted
+    /// filename keywords removed). Marks the exported filter dirty when the set
+    /// of cached filenames changes.
+    pub fn cache_index(
+        &mut self,
+        file: FileId,
+        keywords: &[KeywordId],
+        providers: impl IntoIterator<Item = (PeerId, LocId)>,
+    ) {
+        let was_cached = self.response_index.contains(file);
+        let evictions = self.response_index.insert(file, keywords, providers);
+        if !was_cached {
+            for kw in keywords {
+                self.counting_bloom.insert(&kw.canonical());
+            }
+            self.bloom_dirty = true;
+        }
+        for eviction in evictions {
+            for kw in &eviction.keywords {
+                self.counting_bloom.remove(&kw.canonical());
+            }
+            self.bloom_dirty = true;
+        }
+    }
+
+    /// Advertises extra keywords in this peer's Bloom filter without going
+    /// through the response index.
+    ///
+    /// Locaware uses this for the keywords of the peer's *own shared files*:
+    /// §5.2 credits Locaware with "avoid[ing] missing results held by
+    /// neighbors", which requires neighbours' filters to cover locally stored
+    /// files as well as cached indexes. Shared files are never evicted, so no
+    /// matching removal is needed.
+    pub fn advertise_keywords(&mut self, keywords: &[KeywordId]) {
+        for kw in keywords {
+            self.counting_bloom.insert(&kw.canonical());
+        }
+        if !keywords.is_empty() {
+            self.bloom_dirty = true;
+        }
+    }
+
+    /// Drops every index entry pointing at a departed provider, updating the
+    /// Bloom filter for entries that vanish entirely.
+    pub fn forget_provider(&mut self, provider: PeerId) {
+        for eviction in self.response_index.remove_provider(provider) {
+            for kw in &eviction.keywords {
+                self.counting_bloom.remove(&kw.canonical());
+            }
+            self.bloom_dirty = true;
+        }
+    }
+
+    /// The peer's current Bloom filter (projected from the counting filter).
+    pub fn current_bloom(&self) -> BloomFilter {
+        self.counting_bloom.to_bloom()
+    }
+
+    /// The last filter version exported to neighbours.
+    pub fn exported_bloom(&self) -> &BloomFilter {
+        &self.exported_bloom
+    }
+
+    /// True if the exported filter is stale.
+    pub fn bloom_dirty(&self) -> bool {
+        self.bloom_dirty
+    }
+
+    /// If the filter changed since the last export, returns the incremental
+    /// update to push to neighbours (§4.2 footnote) and records the new export.
+    /// Returns `None` when nothing changed.
+    pub fn take_bloom_update(&mut self) -> Option<BloomDelta> {
+        if !self.bloom_dirty {
+            return None;
+        }
+        let current = self.current_bloom();
+        let delta = BloomDelta::between(&self.exported_bloom, &current);
+        self.exported_bloom = current;
+        self.bloom_dirty = false;
+        if delta.is_empty() {
+            None
+        } else {
+            Some(delta)
+        }
+    }
+
+    /// Clears all cached protocol state (used when a peer rejoins after churn:
+    /// caches are volatile, stored files are not).
+    pub fn reset_volatile_state(&mut self) {
+        self.response_index.clear();
+        self.counting_bloom.clear();
+        self.exported_bloom = BloomFilter::new(self.exported_bloom.params());
+        self.bloom_dirty = false;
+        self.router.clear();
+        for info in self.neighbors.values_mut() {
+            info.bloom = BloomFilter::new(info.bloom.params());
+        }
+    }
+
+    // --- neighbour knowledge ----------------------------------------------------
+
+    /// Records a (new) neighbour and its group id, with an empty filter until
+    /// the first Bloom exchange.
+    pub fn record_neighbor(&mut self, neighbor: PeerId, gid: GroupId, bloom_params: BloomParams) {
+        self.neighbors.insert(
+            neighbor,
+            NeighborInfo {
+                gid,
+                bloom: BloomFilter::new(bloom_params),
+            },
+        );
+    }
+
+    /// Forgets a neighbour (overlay edge removed).
+    pub fn forget_neighbor(&mut self, neighbor: PeerId) {
+        self.neighbors.remove(&neighbor);
+    }
+
+    /// Replaces the stored copy of a neighbour's filter (full push).
+    pub fn set_neighbor_bloom(&mut self, neighbor: PeerId, bloom: BloomFilter) {
+        if let Some(info) = self.neighbors.get_mut(&neighbor) {
+            info.bloom = bloom;
+        }
+    }
+
+    /// Applies an incremental update to the stored copy of a neighbour's filter.
+    pub fn apply_neighbor_bloom_delta(&mut self, neighbor: PeerId, delta: &BloomDelta) {
+        if let Some(info) = self.neighbors.get_mut(&neighbor) {
+            delta.apply(&mut info.bloom);
+        }
+    }
+
+    /// Neighbours whose stored Bloom filter contains **every** canonical
+    /// keyword in `keywords` (the §4.2 routing test), in id order.
+    pub fn neighbors_matching_bloom(&self, keywords: &[KeywordId]) -> Vec<PeerId> {
+        if keywords.is_empty() {
+            return Vec::new();
+        }
+        let canonical: Vec<String> = keywords.iter().map(|k| k.canonical()).collect();
+        let mut matches: Vec<PeerId> = self
+            .neighbors
+            .iter()
+            .filter(|(_, info)| {
+                canonical.iter().all(|kw| info.bloom.contains(kw))
+            })
+            .map(|(&p, _)| p)
+            .collect();
+        matches.sort_unstable();
+        matches
+    }
+
+    /// Neighbours whose group id satisfies `predicate`, in id order.
+    pub fn neighbors_matching_gid<F>(&self, predicate: F) -> Vec<PeerId>
+    where
+        F: Fn(GroupId) -> bool,
+    {
+        let mut matches: Vec<PeerId> = self
+            .neighbors
+            .iter()
+            .filter(|(_, info)| predicate(info.gid))
+            .map(|(&p, _)| p)
+            .collect();
+        matches.sort_unstable();
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(id: u32) -> PeerState {
+        PeerState::new(
+            PeerId(id),
+            LocId(0),
+            GroupId(0),
+            BloomParams::default(),
+            4,
+            3,
+        )
+    }
+
+    fn kws(ids: &[u32]) -> Vec<KeywordId> {
+        ids.iter().map(|&i| KeywordId(i)).collect()
+    }
+
+    #[test]
+    fn file_storage_grows_with_downloads() {
+        let mut p = peer(1);
+        assert!(p.share_file(FileId(10)));
+        assert!(!p.share_file(FileId(10)), "duplicate share is a no-op");
+        assert!(p.has_file(FileId(10)));
+        assert!(!p.has_file(FileId(11)));
+        assert_eq!(p.shared_file_count(), 1);
+        assert_eq!(p.shared_files().collect::<Vec<_>>(), vec![FileId(10)]);
+    }
+
+    #[test]
+    fn caching_updates_the_bloom_filter() {
+        let mut p = peer(1);
+        assert!(!p.bloom_dirty());
+        p.cache_index(FileId(5), &kws(&[100, 200, 300]), [(PeerId(9), LocId(2))]);
+        assert!(p.bloom_dirty());
+        let bloom = p.current_bloom();
+        for kw in kws(&[100, 200, 300]) {
+            assert!(bloom.contains(&kw.canonical()));
+        }
+        // Taking the update clears the dirty flag and exports the new filter.
+        let delta = p.take_bloom_update().expect("there should be an update");
+        assert!(!delta.is_empty());
+        assert!(!p.bloom_dirty());
+        assert_eq!(p.exported_bloom(), &p.current_bloom());
+        assert!(p.take_bloom_update().is_none(), "no further change, no update");
+    }
+
+    #[test]
+    fn adding_providers_to_cached_file_does_not_dirty_the_bloom() {
+        let mut p = peer(1);
+        p.cache_index(FileId(5), &kws(&[1, 2, 3]), [(PeerId(9), LocId(2))]);
+        let _ = p.take_bloom_update();
+        p.cache_index(FileId(5), &kws(&[1, 2, 3]), [(PeerId(10), LocId(3))]);
+        assert!(
+            !p.bloom_dirty(),
+            "the filename set did not change, so the filter must not change"
+        );
+    }
+
+    #[test]
+    fn eviction_removes_keywords_from_the_bloom() {
+        let mut p = peer(1); // capacity 4 filenames
+        for f in 0..5u32 {
+            p.cache_index(
+                FileId(f),
+                &kws(&[f * 10, f * 10 + 1, f * 10 + 2]),
+                [(PeerId(50 + f), LocId(0))],
+            );
+        }
+        // File 0 was the least recently touched and must have been evicted.
+        assert!(!p.response_index.contains(FileId(0)));
+        let bloom = p.current_bloom();
+        for kw in kws(&[0, 1, 2]) {
+            assert!(
+                !bloom.contains(&kw.canonical()),
+                "evicted filename keywords must leave the filter"
+            );
+        }
+        for kw in kws(&[40, 41, 42]) {
+            assert!(bloom.contains(&kw.canonical()));
+        }
+    }
+
+    #[test]
+    fn neighbor_bloom_bookkeeping_and_matching() {
+        let mut p = peer(1);
+        p.record_neighbor(PeerId(2), GroupId(1), BloomParams::default());
+        p.record_neighbor(PeerId(3), GroupId(2), BloomParams::default());
+
+        // Neighbour 2 announces a filter containing keywords {7, 8}.
+        let mut remote = BloomFilter::default();
+        remote.insert(&KeywordId(7).canonical());
+        remote.insert(&KeywordId(8).canonical());
+        p.set_neighbor_bloom(PeerId(2), remote);
+
+        assert_eq!(p.neighbors_matching_bloom(&kws(&[7])), vec![PeerId(2)]);
+        assert_eq!(p.neighbors_matching_bloom(&kws(&[7, 8])), vec![PeerId(2)]);
+        assert!(p.neighbors_matching_bloom(&kws(&[7, 9])).is_empty());
+        assert!(p.neighbors_matching_bloom(&[]).is_empty());
+
+        assert_eq!(
+            p.neighbors_matching_gid(|g| g == GroupId(2)),
+            vec![PeerId(3)]
+        );
+        assert_eq!(p.neighbors_matching_gid(|_| true), vec![PeerId(2), PeerId(3)]);
+
+        p.forget_neighbor(PeerId(2));
+        assert!(p.neighbors_matching_bloom(&kws(&[7])).is_empty());
+    }
+
+    #[test]
+    fn neighbor_delta_updates_apply() {
+        let mut p = peer(1);
+        p.record_neighbor(PeerId(2), GroupId(0), BloomParams::default());
+
+        // The neighbour's filter gains keyword 42; we receive only the delta.
+        let empty = BloomFilter::default();
+        let mut updated = BloomFilter::default();
+        updated.insert(&KeywordId(42).canonical());
+        let delta = BloomDelta::between(&empty, &updated);
+        p.apply_neighbor_bloom_delta(PeerId(2), &delta);
+        assert_eq!(p.neighbors_matching_bloom(&kws(&[42])), vec![PeerId(2)]);
+        // Deltas to unknown neighbours are ignored without panicking.
+        p.apply_neighbor_bloom_delta(PeerId(99), &delta);
+    }
+
+    #[test]
+    fn forget_provider_cascades_to_bloom() {
+        let mut p = peer(1);
+        p.cache_index(FileId(5), &kws(&[1, 2, 3]), [(PeerId(9), LocId(2))]);
+        let _ = p.take_bloom_update();
+        p.forget_provider(PeerId(9));
+        assert!(!p.response_index.contains(FileId(5)));
+        assert!(p.bloom_dirty());
+        assert!(!p.current_bloom().contains(&KeywordId(1).canonical()));
+    }
+
+    #[test]
+    fn reset_volatile_state_keeps_files_drops_caches() {
+        let mut p = peer(1);
+        p.share_file(FileId(3));
+        p.cache_index(FileId(5), &kws(&[1, 2]), [(PeerId(9), LocId(2))]);
+        p.record_neighbor(PeerId(2), GroupId(1), BloomParams::default());
+        p.reset_volatile_state();
+        assert!(p.has_file(FileId(3)));
+        assert!(p.response_index.is_empty());
+        assert!(p.current_bloom().is_empty());
+        assert!(!p.bloom_dirty());
+        assert!(p.neighbors.contains_key(&PeerId(2)), "neighbour links survive");
+    }
+}

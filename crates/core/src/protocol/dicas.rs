@@ -1,0 +1,299 @@
+//! Dicas: distributed index caching with filename-hash groups.
+//!
+//! As summarised in §2/§3.2 of the Locaware paper (from Wang et al., IEEE TPDS
+//! 2006): query responses are cached only at peers whose group id matches
+//! `hash(filename) mod M`, and queries are routed "towards peers which are
+//! likely to have the desired indexes", i.e. towards neighbours whose group id
+//! matches the searched filename. Dicas is designed for **filename search**:
+//! the query identifies the exact file, so the routing hash is well-defined.
+//!
+//! Differences from Locaware that the paper calls out (and that this
+//! implementation preserves):
+//! * a single provider is cached per filename (no provider list),
+//! * no location information is kept or used (random provider selection),
+//! * no keyword support — a keyword query can only be routed once it is mapped
+//!   to a concrete filename, which is why the paper evaluates the separate
+//!   Dicas-Keys variant for keyword workloads.
+
+use locaware_overlay::{ForwardDecision, PeerId, ProviderEntry};
+
+use crate::config::{ProtocolKind, SimulationConfig};
+use crate::group::GroupScheme;
+use crate::peer::PeerState;
+use crate::provider::SelectionPolicy;
+
+use super::{
+    high_degree_fallback, storage_matches, LocalMatch, PeerView, Protocol, QueryContext,
+    ResponseContext,
+};
+
+/// The Dicas filename-search baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dicas;
+
+impl Dicas {
+    /// Creates the Dicas policy.
+    pub fn new() -> Self {
+        Dicas
+    }
+}
+
+impl Protocol for Dicas {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Dicas
+    }
+
+    fn selection_policy(&self) -> SelectionPolicy {
+        SelectionPolicy::Random
+    }
+
+    fn max_providers_per_file(&self, _config: &SimulationConfig) -> usize {
+        1
+    }
+
+    fn forward_targets(
+        &self,
+        view: &PeerView<'_>,
+        query: &QueryContext,
+        exclude: Option<PeerId>,
+    ) -> (Vec<PeerId>, ForwardDecision) {
+        // Filename search: the query names the exact file, so route towards
+        // neighbours whose Gid matches hash(f) mod M.
+        let Some(target) = query.target_filename else {
+            // Without a filename Dicas cannot compute the routing hash; fall
+            // back to the high-degree neighbour so the query is not dropped.
+            let targets = high_degree_fallback(view, exclude);
+            let decision = if targets.is_empty() {
+                ForwardDecision::NotForwarded
+            } else {
+                ForwardDecision::HighDegree
+            };
+            return (targets, decision);
+        };
+        let wanted = view.scheme.group_of_file(target);
+        let mut targets: Vec<PeerId> = view
+            .state
+            .neighbors_matching_gid(|gid| gid == wanted)
+            .into_iter()
+            .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
+            .collect();
+        if !targets.is_empty() {
+            return (targets, ForwardDecision::GidMatch);
+        }
+        targets = high_degree_fallback(view, exclude);
+        let decision = if targets.is_empty() {
+            ForwardDecision::NotForwarded
+        } else {
+            ForwardDecision::HighDegree
+        };
+        (targets, decision)
+    }
+
+    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext) -> Option<LocalMatch> {
+        match query.target_filename {
+            Some(target) => {
+                // Exact filename search: either this peer stores the file…
+                if view.state.has_file(target) {
+                    return Some(LocalMatch {
+                        file: target,
+                        providers: vec![ProviderEntry {
+                            provider: view.state.id,
+                            loc_id: view.state.loc_id,
+                        }],
+                        from_cache: false,
+                    });
+                }
+                // …or it has a cached index for it.
+                let entry = view.state.response_index.entry(target)?;
+                let provider = entry.providers().last()?;
+                Some(LocalMatch {
+                    file: target,
+                    providers: vec![ProviderEntry {
+                        provider: provider.peer,
+                        loc_id: provider.loc_id,
+                    }],
+                    from_cache: true,
+                })
+            }
+            None => {
+                // Keyword query reaching a Dicas peer: it can still serve a file
+                // it physically stores, but its index is keyed by filename and
+                // cannot be searched by keyword.
+                let file = storage_matches(view, &query.keywords).into_iter().next()?;
+                Some(LocalMatch {
+                    file,
+                    providers: vec![ProviderEntry {
+                        provider: view.state.id,
+                        loc_id: view.state.loc_id,
+                    }],
+                    from_cache: false,
+                })
+            }
+        }
+    }
+
+    fn cache_response(
+        &self,
+        state: &mut PeerState,
+        scheme: &GroupScheme,
+        response: &ResponseContext,
+    ) {
+        // Cache only at peers whose Gid matches hash(f) mod M, and keep only
+        // the responding provider (a single index per filename).
+        if !scheme.gid_matches_file(state.gid, response.file) {
+            return;
+        }
+        let Some(provider) = response.providers.first() else {
+            return;
+        };
+        state.cache_index(
+            response.file,
+            &response.file_keywords,
+            [(provider.provider, provider.loc_id)],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::Fixture;
+    use super::*;
+    use locaware_net::LocId;
+    use locaware_workload::FileId;
+
+    fn response_for(fx: &Fixture, file: u32, provider: u32) -> ResponseContext {
+        ResponseContext {
+            file: FileId(file),
+            file_keywords: fx.catalog.filename(FileId(file)).keywords().to_vec(),
+            query_keywords: vec![],
+            providers: vec![ProviderEntry {
+                provider: PeerId(provider),
+                loc_id: LocId(2),
+            }],
+            requestor: ProviderEntry {
+                provider: PeerId(4),
+                loc_id: LocId(1),
+            },
+        }
+    }
+
+    #[test]
+    fn routes_towards_matching_gid_neighbors() {
+        let fx = Fixture::new(4);
+        let protocol = Dicas::new();
+        // Peer 0's neighbours have gids 1, 2, 3, 0 (peer id mod 4).
+        // Pick a target file and find which neighbour gid it maps to.
+        let target = FileId(1);
+        let wanted = fx.scheme.group_of_file(target);
+        let query = fx.query(&[3, 4], Some(1));
+        let (targets, decision) = protocol.forward_targets(&fx.view(0), &query, None);
+        assert_eq!(decision, ForwardDecision::GidMatch);
+        for t in &targets {
+            assert_eq!(fx.scheme.group_of_file(target), wanted);
+            assert_eq!(t.0 % 4, wanted.value(), "every target's gid must match the file");
+        }
+        assert!(!targets.is_empty());
+    }
+
+    #[test]
+    fn falls_back_to_the_high_degree_neighbor() {
+        let fx = Fixture::new(4);
+        let protocol = Dicas::new();
+        // From leaf peer 3, the only neighbour is the hub 0 (gid 0). Choose a
+        // file whose group is not 0 so the gid match fails.
+        let target = (0..4u32)
+            .map(FileId)
+            .find(|&f| fx.scheme.group_of_file(f).value() != 0)
+            .expect("some file must hash outside group 0");
+        let query = fx.query(&[0], Some(target.0));
+        let (targets, decision) = protocol.forward_targets(&fx.view(3), &query, None);
+        assert_eq!(targets, vec![PeerId(0)]);
+        assert_eq!(decision, ForwardDecision::HighDegree);
+    }
+
+    #[test]
+    fn matches_exact_filename_from_storage_and_from_cache() {
+        let mut fx = Fixture::new(4);
+        let protocol = Dicas::new();
+        let query = fx.query(&[0, 1], Some(0));
+
+        // Nothing known: no match.
+        assert!(protocol.local_match(&fx.view(0), &query).is_none());
+
+        // From storage.
+        fx.peers[0].share_file(FileId(0));
+        let hit = protocol.local_match(&fx.view(0), &query).unwrap();
+        assert_eq!(hit.file, FileId(0));
+        assert!(!hit.from_cache);
+
+        // From cache (on a peer that does not store the file).
+        fx.peers[1].cache_index(
+            FileId(0),
+            fx.catalog.filename(FileId(0)).keywords(),
+            [(PeerId(9), LocId(5))],
+        );
+        let hit = protocol.local_match(&fx.view(1), &query).unwrap();
+        assert!(hit.from_cache);
+        assert_eq!(hit.providers.len(), 1);
+        assert_eq!(hit.providers[0].provider, PeerId(9));
+    }
+
+    #[test]
+    fn caches_single_provider_only_at_matching_gid_peers() {
+        let mut fx = Fixture::new(4);
+        let protocol = Dicas::new();
+        let file = FileId(2);
+        let matching_gid = fx.scheme.group_of_file(file);
+        let response = response_for(&fx, 2, 7);
+        let scheme = fx.scheme;
+
+        for i in 0..5usize {
+            protocol.cache_response(&mut fx.peers[i], &scheme, &response);
+        }
+        for (i, peer) in fx.peers.iter().enumerate() {
+            let should_cache = peer.gid == matching_gid;
+            assert_eq!(
+                peer.response_index.contains(file),
+                should_cache,
+                "peer {i} gid {:?} matching {:?}",
+                peer.gid,
+                matching_gid
+            );
+            if should_cache {
+                let entry = peer.response_index.entry(file).unwrap();
+                assert_eq!(entry.provider_count(), 1);
+                assert_eq!(entry.providers()[0].peer, PeerId(7));
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_query_without_filename_uses_storage_only() {
+        let mut fx = Fixture::new(4);
+        let protocol = Dicas::new();
+        let query = fx.query(&[0], None);
+        // A cached index for a matching file is *not* found via keywords.
+        fx.peers[0].cache_index(
+            FileId(0),
+            fx.catalog.filename(FileId(0)).keywords(),
+            [(PeerId(9), LocId(5))],
+        );
+        assert!(protocol.local_match(&fx.view(0), &query).is_none());
+        // But a stored file is.
+        fx.peers[0].share_file(FileId(2)); // keywords {0,6,7} contains 0
+        let hit = protocol.local_match(&fx.view(0), &query).unwrap();
+        assert_eq!(hit.file, FileId(2));
+    }
+
+    #[test]
+    fn policy_flags() {
+        let protocol = Dicas::new();
+        assert_eq!(protocol.kind(), ProtocolKind::Dicas);
+        assert_eq!(protocol.selection_policy(), SelectionPolicy::Random);
+        assert!(!protocol.uses_bloom_sync());
+        assert_eq!(
+            protocol.max_providers_per_file(&SimulationConfig::small(10)),
+            1
+        );
+    }
+}

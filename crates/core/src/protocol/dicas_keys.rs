@@ -1,0 +1,269 @@
+//! Dicas-Keys: the Dicas variant for keyword search.
+//!
+//! §2 of the Locaware paper: *"some proposed strategy consists in caching
+//! indexes based on hashing query keywords instead of the whole filename, which
+//! causes a large amount of duplicated cached indexes."* §5.1 evaluates this
+//! variant as "Dicas-Keys (designed for keyword search)".
+//!
+//! Concretely: routing and caching apply the group rule to the *keywords* —
+//! a query is forwarded to neighbours whose Gid matches `hash(kw) mod M` for
+//! some query keyword, and a response is cached at peers whose Gid matches one
+//! of the filename's keywords. Because a filename has several keywords mapping
+//! to several groups, the same index ends up duplicated across groups (the
+//! storage overhead the paper criticises), and routing by a keyword hash often
+//! walks towards peers caching *other* files that share that keyword (the
+//! "misleads keyword queries" effect behind its low success rate in Figure 4).
+
+use locaware_overlay::{ForwardDecision, PeerId, ProviderEntry};
+
+use crate::config::{ProtocolKind, SimulationConfig};
+use crate::group::GroupScheme;
+use crate::peer::PeerState;
+use crate::provider::SelectionPolicy;
+
+use super::{
+    high_degree_fallback, storage_matches, LocalMatch, PeerView, Protocol, QueryContext,
+    ResponseContext,
+};
+
+/// The Dicas-Keys keyword-search baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DicasKeys;
+
+impl DicasKeys {
+    /// Creates the Dicas-Keys policy.
+    pub fn new() -> Self {
+        DicasKeys
+    }
+}
+
+impl Protocol for DicasKeys {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::DicasKeys
+    }
+
+    fn selection_policy(&self) -> SelectionPolicy {
+        SelectionPolicy::Random
+    }
+
+    fn max_providers_per_file(&self, _config: &SimulationConfig) -> usize {
+        1
+    }
+
+    fn forward_targets(
+        &self,
+        view: &PeerView<'_>,
+        query: &QueryContext,
+        exclude: Option<PeerId>,
+    ) -> (Vec<PeerId>, ForwardDecision) {
+        let scheme = view.scheme;
+        let mut targets: Vec<PeerId> = view
+            .state
+            .neighbors_matching_gid(|gid| scheme.gid_matches_any_keyword(gid, &query.keywords))
+            .into_iter()
+            .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
+            .collect();
+        if !targets.is_empty() {
+            return (targets, ForwardDecision::GidMatch);
+        }
+        targets = high_degree_fallback(view, exclude);
+        let decision = if targets.is_empty() {
+            ForwardDecision::NotForwarded
+        } else {
+            ForwardDecision::HighDegree
+        };
+        (targets, decision)
+    }
+
+    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext) -> Option<LocalMatch> {
+        // 1. Own storage.
+        if let Some(file) = storage_matches(view, &query.keywords).into_iter().next() {
+            return Some(LocalMatch {
+                file,
+                providers: vec![ProviderEntry {
+                    provider: view.state.id,
+                    loc_id: view.state.loc_id,
+                }],
+                from_cache: false,
+            });
+        }
+        // 2. Cached indexes, matched by keywords.
+        let file = view
+            .state
+            .response_index
+            .lookup_by_keywords(&query.keywords)
+            .into_iter()
+            .next()?;
+        let entry = view.state.response_index.entry(file)?;
+        let provider = entry.providers().last()?;
+        Some(LocalMatch {
+            file,
+            providers: vec![ProviderEntry {
+                provider: provider.peer,
+                loc_id: provider.loc_id,
+            }],
+            from_cache: true,
+        })
+    }
+
+    fn cache_response(
+        &self,
+        state: &mut PeerState,
+        scheme: &GroupScheme,
+        response: &ResponseContext,
+    ) {
+        // Keyword-hash caching: the index is keyed on the *query's* keywords
+        // (whatever subset of the filename the original requestor typed) and
+        // cached wherever any of those keywords maps to this peer's group.
+        // This is the strategy the paper criticises: the same file ends up
+        // duplicated across keyword groups, yet a later query using a
+        // different keyword subset neither routes to the same groups nor
+        // matches the partially-keyed entry.
+        let keying = if response.query_keywords.is_empty() {
+            &response.file_keywords
+        } else {
+            &response.query_keywords
+        };
+        if !scheme.gid_matches_any_keyword(state.gid, keying) {
+            return;
+        }
+        let Some(provider) = response.providers.first() else {
+            return;
+        };
+        state.cache_index(response.file, keying, [(provider.provider, provider.loc_id)]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::Fixture;
+    use super::*;
+    use locaware_net::LocId;
+    use locaware_workload::FileId;
+
+    fn response_for(fx: &Fixture, file: u32, provider: u32) -> ResponseContext {
+        ResponseContext {
+            file: FileId(file),
+            file_keywords: fx.catalog.filename(FileId(file)).keywords().to_vec(),
+            query_keywords: vec![],
+            providers: vec![ProviderEntry {
+                provider: PeerId(provider),
+                loc_id: LocId(2),
+            }],
+            requestor: ProviderEntry {
+                provider: PeerId(4),
+                loc_id: LocId(1),
+            },
+        }
+    }
+
+    #[test]
+    fn routes_by_keyword_group() {
+        let fx = Fixture::new(4);
+        let protocol = DicasKeys::new();
+        let query = fx.query(&[0, 1], None);
+        let (targets, decision) = protocol.forward_targets(&fx.view(0), &query, None);
+        match decision {
+            ForwardDecision::GidMatch => {
+                for t in &targets {
+                    let gid = fx.peers[t.index()].gid;
+                    assert!(fx.scheme.gid_matches_any_keyword(gid, &query.keywords));
+                }
+            }
+            ForwardDecision::HighDegree => {
+                // Legitimate when no neighbour's gid matches either keyword.
+                assert_eq!(targets.len(), 1);
+            }
+            other => panic!("unexpected decision {other:?}"),
+        }
+    }
+
+    #[test]
+    fn caching_is_duplicated_across_keyword_groups() {
+        // With M = 2 groups and 3 keywords per filename, a filename almost
+        // always maps to both groups, so *every* peer caches it — the
+        // duplication the paper criticises.
+        let mut fx = Fixture::new(2);
+        let protocol = DicasKeys::new();
+        let scheme = fx.scheme;
+        let response = response_for(&fx, 0, 7);
+        let groups: std::collections::HashSet<u32> = fx
+            .catalog
+            .filename(FileId(0))
+            .keywords()
+            .iter()
+            .map(|&kw| scheme.group_of_keyword(kw).value())
+            .collect();
+
+        let mut cached = 0usize;
+        for i in 0..5usize {
+            protocol.cache_response(&mut fx.peers[i], &scheme, &response);
+            if fx.peers[i].response_index.contains(FileId(0)) {
+                cached += 1;
+                assert!(groups.contains(&fx.peers[i].gid.value()));
+            }
+        }
+        // Every peer whose gid is in the filename's keyword-group set caches.
+        let eligible = fx
+            .peers
+            .iter()
+            .filter(|p| groups.contains(&p.gid.value()))
+            .count();
+        assert_eq!(cached, eligible);
+        assert!(cached >= 2, "keyword hashing should spread the index widely");
+    }
+
+    #[test]
+    fn matches_from_storage_and_keyword_indexed_cache() {
+        let mut fx = Fixture::new(4);
+        let protocol = DicasKeys::new();
+        let query = fx.query(&[0, 6], None); // matches file 2 = {0,6,7}
+
+        assert!(protocol.local_match(&fx.view(1), &query).is_none());
+
+        // Cache hit by keywords.
+        fx.peers[1].cache_index(
+            FileId(2),
+            fx.catalog.filename(FileId(2)).keywords(),
+            [(PeerId(8), LocId(4))],
+        );
+        let hit = protocol.local_match(&fx.view(1), &query).unwrap();
+        assert_eq!(hit.file, FileId(2));
+        assert!(hit.from_cache);
+        assert_eq!(hit.providers[0].provider, PeerId(8));
+
+        // Storage hit takes precedence.
+        fx.peers[1].share_file(FileId(2));
+        let hit = protocol.local_match(&fx.view(1), &query).unwrap();
+        assert!(!hit.from_cache);
+        assert_eq!(hit.providers[0].provider, PeerId(1));
+    }
+
+    #[test]
+    fn policy_flags() {
+        let protocol = DicasKeys::new();
+        assert_eq!(protocol.kind(), ProtocolKind::DicasKeys);
+        assert_eq!(protocol.selection_policy(), SelectionPolicy::Random);
+        assert!(!protocol.uses_bloom_sync());
+    }
+
+    #[test]
+    fn no_keyword_match_means_no_cache() {
+        let mut fx = Fixture::new(4);
+        let protocol = DicasKeys::new();
+        let scheme = fx.scheme;
+        let response = response_for(&fx, 3, 7);
+        // Find a peer whose gid matches none of file 3's keyword groups.
+        let groups: std::collections::HashSet<u32> = fx
+            .catalog
+            .filename(FileId(3))
+            .keywords()
+            .iter()
+            .map(|&kw| scheme.group_of_keyword(kw).value())
+            .collect();
+        if let Some(i) = (0..5usize).find(|&i| !groups.contains(&fx.peers[i].gid.value())) {
+            protocol.cache_response(&mut fx.peers[i], &scheme, &response);
+            assert!(!fx.peers[i].response_index.contains(FileId(3)));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Blind flooding (the Gnutella baseline).
+//!
+//! §3.1: *"Query routing is done by blindly flooding q over the P2P network and
+//! is bounded by a fixed TTL."* There is no index caching at all: only peers
+//! that actually store a satisfying file answer. Flooding is the upper bound on
+//! success rate and the (very high) baseline for search traffic in Figures 3–4.
+
+use locaware_overlay::{ForwardDecision, PeerId, ProviderEntry};
+
+use crate::config::{ProtocolKind, SimulationConfig};
+use crate::group::GroupScheme;
+use crate::peer::PeerState;
+use crate::provider::SelectionPolicy;
+
+use super::{
+    all_neighbors_except, storage_matches, LocalMatch, PeerView, Protocol, QueryContext,
+    ResponseContext,
+};
+
+/// The flooding baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Flooding;
+
+impl Flooding {
+    /// Creates the flooding policy.
+    pub fn new() -> Self {
+        Flooding
+    }
+}
+
+impl Protocol for Flooding {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Flooding
+    }
+
+    fn selection_policy(&self) -> SelectionPolicy {
+        SelectionPolicy::Random
+    }
+
+    fn max_providers_per_file(&self, _config: &SimulationConfig) -> usize {
+        1
+    }
+
+    fn forward_targets(
+        &self,
+        view: &PeerView<'_>,
+        _query: &QueryContext,
+        exclude: Option<PeerId>,
+    ) -> (Vec<PeerId>, ForwardDecision) {
+        let targets = all_neighbors_except(view, exclude);
+        if targets.is_empty() {
+            (targets, ForwardDecision::NotForwarded)
+        } else {
+            (targets, ForwardDecision::Flood)
+        }
+    }
+
+    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext) -> Option<LocalMatch> {
+        // Only the peer's own storage can answer: flooding caches nothing.
+        let file = storage_matches(view, &query.keywords).into_iter().next()?;
+        Some(LocalMatch {
+            file,
+            providers: vec![ProviderEntry {
+                provider: view.state.id,
+                loc_id: view.state.loc_id,
+            }],
+            from_cache: false,
+        })
+    }
+
+    fn cache_response(
+        &self,
+        _state: &mut PeerState,
+        _scheme: &GroupScheme,
+        _response: &ResponseContext,
+    ) {
+        // Flooding performs no index caching.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::Fixture;
+    use super::*;
+    use locaware_net::LocId;
+    use locaware_workload::{FileId, KeywordId};
+
+    #[test]
+    fn forwards_to_every_neighbor_except_the_sender() {
+        let fx = Fixture::new(4);
+        let protocol = Flooding::new();
+        let query = fx.query(&[0], None);
+        let (targets, decision) =
+            protocol.forward_targets(&fx.view(0), &query, Some(PeerId(3)));
+        assert_eq!(targets, vec![PeerId(1), PeerId(2), PeerId(4)]);
+        assert_eq!(decision, ForwardDecision::Flood);
+    }
+
+    #[test]
+    fn leaf_with_only_the_sender_does_not_forward() {
+        let fx = Fixture::new(4);
+        let protocol = Flooding::new();
+        let query = fx.query(&[0], None);
+        let (targets, decision) =
+            protocol.forward_targets(&fx.view(3), &query, Some(PeerId(0)));
+        assert!(targets.is_empty());
+        assert_eq!(decision, ForwardDecision::NotForwarded);
+    }
+
+    #[test]
+    fn answers_only_from_its_own_storage() {
+        let mut fx = Fixture::new(4);
+        let protocol = Flooding::new();
+        let query = fx.query(&[0, 1], None);
+        assert!(protocol.local_match(&fx.view(0), &query).is_none());
+
+        fx.peers[0].share_file(FileId(0)); // keywords {0,1,2}
+        let hit = protocol.local_match(&fx.view(0), &query).unwrap();
+        assert_eq!(hit.file, FileId(0));
+        assert!(!hit.from_cache);
+        assert_eq!(hit.providers.len(), 1);
+        assert_eq!(hit.providers[0].provider, PeerId(0));
+    }
+
+    #[test]
+    fn never_caches_passing_responses() {
+        let mut fx = Fixture::new(4);
+        let protocol = Flooding::new();
+        let response = ResponseContext {
+            file: FileId(0),
+            file_keywords: vec![KeywordId(0), KeywordId(1), KeywordId(2)],
+            query_keywords: vec![],
+            providers: vec![ProviderEntry {
+                provider: PeerId(3),
+                loc_id: LocId(0),
+            }],
+            requestor: ProviderEntry {
+                provider: PeerId(4),
+                loc_id: LocId(1),
+            },
+        };
+        let scheme = fx.scheme;
+        protocol.cache_response(&mut fx.peers[0], &scheme, &response);
+        assert!(fx.peers[0].response_index.is_empty());
+        assert!(!fx.peers[0].bloom_dirty());
+    }
+
+    #[test]
+    fn policy_flags() {
+        let protocol = Flooding::new();
+        assert_eq!(protocol.kind(), ProtocolKind::Flooding);
+        assert_eq!(protocol.selection_policy(), SelectionPolicy::Random);
+        assert!(!protocol.uses_bloom_sync());
+    }
+}

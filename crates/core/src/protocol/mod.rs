@@ -1,0 +1,342 @@
+//! Search/caching protocol policies.
+//!
+//! The simulation engine (in [`crate::engine`]) provides the mechanism shared
+//! by every approach — event-driven message delivery, TTL handling, duplicate
+//! suppression, reverse-path responses, metric collection. What differs between
+//! the compared approaches is *policy*, captured by the [`Protocol`] trait:
+//!
+//! 1. **Routing** — which neighbours a query is forwarded to
+//!    ([`Protocol::forward_targets`]),
+//! 2. **Matching** — whether a peer can answer a query locally, and with which
+//!    provider entries ([`Protocol::local_match`]),
+//! 3. **Caching** — whether/how a peer intercepting a response updates its
+//!    response index ([`Protocol::cache_response`]),
+//! 4. **Selection** — how the requestor chooses among offered providers
+//!    ([`Protocol::selection_policy`]).
+//!
+//! Four policies are implemented, matching the curves of Figures 2–4:
+//! [`flooding::Flooding`], [`dicas::Dicas`], [`dicas_keys::DicasKeys`] and
+//! [`locaware::Locaware`] (whose ablation switches also cover the
+//! `LocawareNoLocality` / `LocawareNoBloom` variants).
+
+pub mod dicas;
+pub mod dicas_keys;
+pub mod flooding;
+pub mod locaware;
+
+use locaware_net::LocId;
+use locaware_overlay::{ForwardDecision, OverlayGraph, PeerId, ProviderEntry, QueryId};
+use locaware_workload::{Catalog, FileId, KeywordId};
+
+use crate::config::{ProtocolKind, SimulationConfig};
+use crate::group::GroupScheme;
+use crate::peer::PeerState;
+use crate::provider::SelectionPolicy;
+
+/// A read-only view of everything a protocol may consult when making a
+/// decision at one peer.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerView<'a> {
+    /// The deciding peer's state.
+    pub state: &'a PeerState,
+    /// The overlay graph (for neighbour lists and degrees).
+    pub graph: &'a OverlayGraph,
+    /// The group scheme in force.
+    pub scheme: &'a GroupScheme,
+    /// The global catalog (for filename keyword lookups).
+    pub catalog: &'a Catalog,
+}
+
+/// The protocol-relevant content of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryContext {
+    /// The query id.
+    pub query: QueryId,
+    /// The originating peer.
+    pub origin: PeerId,
+    /// The originator's location id.
+    pub origin_loc: LocId,
+    /// The query keywords.
+    pub keywords: Vec<KeywordId>,
+    /// For filename-search protocols (Dicas): the exact file searched.
+    pub target_filename: Option<FileId>,
+}
+
+/// A local hit: the answering peer found a satisfying file either in its own
+/// storage or in its response index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalMatch {
+    /// The satisfying file.
+    pub file: FileId,
+    /// Provider entries to return to the requestor (at least one).
+    pub providers: Vec<ProviderEntry>,
+    /// True if the hit came from the response index rather than file storage.
+    pub from_cache: bool,
+}
+
+/// The protocol-relevant content of a response being cached at an intermediate
+/// peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseContext {
+    /// The file the response is about.
+    pub file: FileId,
+    /// The full keyword list of the file's filename.
+    pub file_keywords: Vec<KeywordId>,
+    /// The keywords the original query was expressed with (a subset of
+    /// `file_keywords`). Dicas-Keys keys its cache on these, which is exactly
+    /// the source of the duplication/mismatch the paper criticises.
+    pub query_keywords: Vec<KeywordId>,
+    /// The providers advertised by the response.
+    pub providers: Vec<ProviderEntry>,
+    /// The original requestor (Locaware records it as a new provider, §4.1.2).
+    pub requestor: ProviderEntry,
+}
+
+/// A search/caching policy. Implementations are stateless (all mutable state
+/// lives in [`PeerState`]) so one instance is shared across every peer.
+pub trait Protocol: Send + Sync {
+    /// Which protocol this is (used for labels and reports).
+    fn kind(&self) -> ProtocolKind;
+
+    /// How the requestor chooses among offered providers.
+    fn selection_policy(&self) -> SelectionPolicy;
+
+    /// Whether the engine should run the periodic Bloom synchronisation
+    /// process for this protocol.
+    fn uses_bloom_sync(&self) -> bool {
+        false
+    }
+
+    /// Maximum provider entries a peer keeps per cached filename.
+    fn max_providers_per_file(&self, config: &SimulationConfig) -> usize {
+        let _ = config;
+        1
+    }
+
+    /// The neighbours `view.state` should forward the query to, excluding
+    /// `exclude` (the neighbour the query arrived from). The second element
+    /// records *why* those targets were chosen, for the routing-decision
+    /// statistics.
+    fn forward_targets(
+        &self,
+        view: &PeerView<'_>,
+        query: &QueryContext,
+        exclude: Option<PeerId>,
+    ) -> (Vec<PeerId>, ForwardDecision);
+
+    /// Attempts to answer the query at `view.state` from local knowledge.
+    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext) -> Option<LocalMatch>;
+
+    /// Lets an intermediate peer cache a passing response according to the
+    /// protocol's caching rule.
+    fn cache_response(
+        &self,
+        state: &mut PeerState,
+        scheme: &GroupScheme,
+        response: &ResponseContext,
+    );
+}
+
+/// Creates the protocol implementation for a [`ProtocolKind`].
+pub fn build_protocol(kind: ProtocolKind, config: &SimulationConfig) -> Box<dyn Protocol> {
+    match kind {
+        ProtocolKind::Flooding => Box::new(flooding::Flooding::new()),
+        ProtocolKind::Dicas => Box::new(dicas::Dicas::new()),
+        ProtocolKind::DicasKeys => Box::new(dicas_keys::DicasKeys::new()),
+        ProtocolKind::Locaware => Box::new(locaware::Locaware::new(config)),
+        ProtocolKind::LocawareNoLocality => Box::new(locaware::Locaware::without_locality(config)),
+        ProtocolKind::LocawareNoBloom => Box::new(locaware::Locaware::without_bloom(config)),
+    }
+}
+
+/// Shared helper: every neighbour except the one the query came from, in id
+/// order (plain flooding).
+pub(crate) fn all_neighbors_except(
+    view: &PeerView<'_>,
+    exclude: Option<PeerId>,
+) -> Vec<PeerId> {
+    view.graph
+        .neighbors(view.state.id)
+        .iter()
+        .copied()
+        .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
+        .collect()
+}
+
+/// Shared helper: the single highest-degree neighbour (excluding `exclude`),
+/// used as the last-resort forwarding rule of §4.2 "to avoid blocking the query
+/// forwarding".
+pub(crate) fn high_degree_fallback(
+    view: &PeerView<'_>,
+    exclude: Option<PeerId>,
+) -> Vec<PeerId> {
+    view.graph
+        .neighbors(view.state.id)
+        .iter()
+        .copied()
+        .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
+        .max_by_key(|&n| (view.graph.degree(n), std::cmp::Reverse(n.0)))
+        .map(|n| vec![n])
+        .unwrap_or_default()
+}
+
+/// Shared helper: files in the peer's own storage whose filename satisfies the
+/// query keywords, in id order.
+pub(crate) fn storage_matches(view: &PeerView<'_>, keywords: &[KeywordId]) -> Vec<FileId> {
+    if keywords.is_empty() {
+        return Vec::new();
+    }
+    view.state
+        .shared_files()
+        .filter(|&f| view.catalog.file_matches(f, keywords))
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Small fixtures shared by the protocol unit tests.
+
+    use super::*;
+    use locaware_bloom::BloomParams;
+    use locaware_overlay::OverlayGraph;
+    use locaware_workload::{Catalog, Filename, KeywordPool};
+
+    use crate::group::GroupId;
+
+    /// A deterministic 5-peer fixture:
+    ///
+    /// * overlay: star around peer 0 (neighbours 1–4), plus edge 1–2,
+    /// * catalog: 4 files over 12 keywords,
+    /// * peer 0 is the deciding peer; its gid and locId are configurable.
+    pub struct Fixture {
+        pub graph: OverlayGraph,
+        pub catalog: Catalog,
+        pub scheme: GroupScheme,
+        pub peers: Vec<PeerState>,
+    }
+
+    impl Fixture {
+        pub fn new(modulus: u32) -> Self {
+            let mut graph = OverlayGraph::new(5);
+            for n in 1..5u32 {
+                graph.add_edge(PeerId(0), PeerId(n));
+            }
+            graph.add_edge(PeerId(1), PeerId(2));
+
+            let pool = KeywordPool::new(12);
+            let filenames = vec![
+                Filename::new(vec![KeywordId(0), KeywordId(1), KeywordId(2)]),
+                Filename::new(vec![KeywordId(3), KeywordId(4), KeywordId(5)]),
+                Filename::new(vec![KeywordId(0), KeywordId(6), KeywordId(7)]),
+                Filename::new(vec![KeywordId(8), KeywordId(9), KeywordId(10)]),
+            ];
+            let catalog = Catalog::from_filenames(pool, filenames);
+            let scheme = GroupScheme::new(modulus);
+
+            let peers = (0..5u32)
+                .map(|i| {
+                    let mut p = PeerState::new(
+                        PeerId(i),
+                        LocId(i % 3),
+                        GroupId(i % modulus),
+                        BloomParams::default(),
+                        8,
+                        4,
+                    );
+                    for n in graph.neighbors(PeerId(i)) {
+                        p.record_neighbor(*n, GroupId(n.0 % modulus), BloomParams::default());
+                    }
+                    p
+                })
+                .collect();
+
+            Fixture {
+                graph,
+                catalog,
+                scheme,
+                peers,
+            }
+        }
+
+        pub fn view(&self, peer: usize) -> PeerView<'_> {
+            PeerView {
+                state: &self.peers[peer],
+                graph: &self.graph,
+                scheme: &self.scheme,
+                catalog: &self.catalog,
+            }
+        }
+
+        pub fn query(&self, keywords: &[u32], target: Option<u32>) -> QueryContext {
+            QueryContext {
+                query: QueryId(1),
+                origin: PeerId(4),
+                origin_loc: LocId(1),
+                keywords: keywords.iter().map(|&k| KeywordId(k)).collect(),
+                target_filename: target.map(FileId),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::Fixture;
+    use super::*;
+
+    #[test]
+    fn all_neighbors_except_filters_the_sender() {
+        let fx = Fixture::new(4);
+        let view = fx.view(0);
+        let all = all_neighbors_except(&view, None);
+        assert_eq!(all, vec![PeerId(1), PeerId(2), PeerId(3), PeerId(4)]);
+        let without_2 = all_neighbors_except(&view, Some(PeerId(2)));
+        assert_eq!(without_2, vec![PeerId(1), PeerId(3), PeerId(4)]);
+    }
+
+    #[test]
+    fn high_degree_fallback_prefers_the_hub() {
+        let fx = Fixture::new(4);
+        // From peer 3, the only neighbour is peer 0 (degree 4).
+        let view = fx.view(3);
+        assert_eq!(high_degree_fallback(&view, None), vec![PeerId(0)]);
+        assert!(high_degree_fallback(&view, Some(PeerId(0))).is_empty());
+        // From peer 0, neighbours 1 and 2 have degree 2 (> 1); lowest id wins the tie.
+        let view0 = fx.view(0);
+        assert_eq!(high_degree_fallback(&view0, None), vec![PeerId(1)]);
+    }
+
+    #[test]
+    fn storage_matches_respects_the_all_keywords_rule() {
+        let mut fx = Fixture::new(4);
+        fx.peers[0].share_file(FileId(0)); // keywords {0,1,2}
+        fx.peers[0].share_file(FileId(2)); // keywords {0,6,7}
+        let view = fx.view(0);
+        assert_eq!(
+            storage_matches(&view, &[KeywordId(0)]),
+            vec![FileId(0), FileId(2)]
+        );
+        assert_eq!(
+            storage_matches(&view, &[KeywordId(0), KeywordId(1)]),
+            vec![FileId(0)]
+        );
+        assert!(storage_matches(&view, &[KeywordId(11)]).is_empty());
+        assert!(storage_matches(&view, &[]).is_empty());
+    }
+
+    #[test]
+    fn build_protocol_covers_every_kind() {
+        let config = SimulationConfig::small(20);
+        for kind in [
+            ProtocolKind::Flooding,
+            ProtocolKind::Dicas,
+            ProtocolKind::DicasKeys,
+            ProtocolKind::Locaware,
+            ProtocolKind::LocawareNoLocality,
+            ProtocolKind::LocawareNoBloom,
+        ] {
+            let protocol = build_protocol(kind, &config);
+            assert_eq!(protocol.kind(), kind);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Results of one simulation run.
+
+use serde::{Deserialize, Serialize};
+
+use locaware_metrics::{CounterSet, RunMetrics, Table};
+
+use crate::config::ProtocolKind;
+
+/// Everything measured during one run of one protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// The protocol evaluated.
+    pub protocol: ProtocolKind,
+    /// Number of queries issued.
+    pub queries_issued: u64,
+    /// Per-query records and their aggregations (Figures 2–4 read from here).
+    pub metrics: RunMetrics,
+    /// Message counts by kind (query, query-response, bloom-delta, …).
+    pub message_counters: CounterSet<String>,
+    /// Routing-decision counts (flood, bloom-match, gid-match, high-degree).
+    pub routing_decisions: CounterSet<String>,
+    /// Messages not attributable to a query (Bloom synchronisation traffic).
+    pub background_messages: u64,
+    /// Total (peer, file) replicas at the end of the run — shows natural
+    /// replication at work.
+    pub total_file_replicas: usize,
+    /// Total response-index entries across all peers at the end of the run.
+    pub total_cached_index_entries: usize,
+    /// Simulated time at which the run finished, in seconds.
+    pub simulated_end_time_secs: f64,
+    /// Number of simulation events dispatched.
+    pub dispatched_events: u64,
+}
+
+impl SimulationReport {
+    /// Figure 4 metric: fraction of satisfied queries.
+    pub fn success_rate(&self) -> f64 {
+        self.metrics.success_rate()
+    }
+
+    /// Figure 3 metric: average messages per query.
+    pub fn avg_messages_per_query(&self) -> f64 {
+        self.metrics.avg_messages_per_query()
+    }
+
+    /// Figure 2 metric: average download distance (ms) over satisfied queries.
+    pub fn avg_download_distance_ms(&self) -> f64 {
+        self.metrics.avg_download_distance_ms()
+    }
+
+    /// Fraction of satisfied queries served by a provider in the requestor's
+    /// locality.
+    pub fn locality_match_rate(&self) -> f64 {
+        self.metrics.locality_match_rate()
+    }
+
+    /// Fraction of satisfied queries answered from a response index.
+    pub fn cache_hit_share(&self) -> f64 {
+        self.metrics.cache_hit_share()
+    }
+
+    /// A one-row-per-metric summary table for reports and examples.
+    pub fn summary_table(&self) -> Table {
+        let mut table = Table::new(["metric", "value"]);
+        table.push_row(["protocol".to_string(), self.protocol.label().to_string()]);
+        table.push_row(["queries issued".to_string(), self.queries_issued.to_string()]);
+        table.push_row([
+            "success rate".to_string(),
+            format!("{:.4}", self.success_rate()),
+        ]);
+        table.push_row([
+            "avg messages / query".to_string(),
+            format!("{:.2}", self.avg_messages_per_query()),
+        ]);
+        table.push_row([
+            "avg download distance (ms)".to_string(),
+            format!("{:.2}", self.avg_download_distance_ms()),
+        ]);
+        table.push_row([
+            "locality match rate".to_string(),
+            format!("{:.4}", self.locality_match_rate()),
+        ]);
+        table.push_row([
+            "cache hit share".to_string(),
+            format!("{:.4}", self.cache_hit_share()),
+        ]);
+        table.push_row([
+            "background messages".to_string(),
+            self.background_messages.to_string(),
+        ]);
+        table.push_row([
+            "file replicas at end".to_string(),
+            self.total_file_replicas.to_string(),
+        ]);
+        table.push_row([
+            "cached index entries at end".to_string(),
+            self.total_cached_index_entries.to_string(),
+        ]);
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locaware_metrics::{QueryOutcome, QueryRecord};
+
+    fn report() -> SimulationReport {
+        let mut metrics = RunMetrics::new();
+        metrics.push(QueryRecord {
+            index: 0,
+            requestor: 1,
+            outcome: QueryOutcome::Satisfied,
+            messages: 10,
+            download_distance_ms: Some(120.0),
+            locality_match: true,
+            providers_offered: 3,
+            hops_to_hit: Some(2),
+            answered_from_cache: true,
+        });
+        metrics.push(QueryRecord {
+            index: 1,
+            requestor: 2,
+            outcome: QueryOutcome::Unsatisfied,
+            messages: 14,
+            download_distance_ms: None,
+            locality_match: false,
+            providers_offered: 0,
+            hops_to_hit: None,
+            answered_from_cache: false,
+        });
+        SimulationReport {
+            protocol: ProtocolKind::Locaware,
+            queries_issued: 2,
+            metrics,
+            message_counters: CounterSet::new(),
+            routing_decisions: CounterSet::new(),
+            background_messages: 5,
+            total_file_replicas: 3001,
+            total_cached_index_entries: 40,
+            simulated_end_time_secs: 100.0,
+            dispatched_events: 123,
+        }
+    }
+
+    #[test]
+    fn convenience_accessors_delegate_to_metrics() {
+        let r = report();
+        assert!((r.success_rate() - 0.5).abs() < 1e-12);
+        assert!((r.avg_messages_per_query() - 12.0).abs() < 1e-12);
+        assert!((r.avg_download_distance_ms() - 120.0).abs() < 1e-12);
+        assert!((r.locality_match_rate() - 1.0).abs() < 1e-12);
+        assert!((r.cache_hit_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_table_contains_the_headline_numbers() {
+        let rendered = report().summary_table().render();
+        assert!(rendered.contains("locaware"));
+        assert!(rendered.contains("0.5000"));
+        assert!(rendered.contains("12.00"));
+        assert!(rendered.contains("120.00"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Building and running simulations.
+//!
+//! [`Simulation`] prepares the *substrate* once — physical topology, landmark
+//! locIds, overlay graph, catalog, initial file placement, group ids and the
+//! query arrival schedule — and then runs any number of protocols over that
+//! identical substrate. Keeping the substrate fixed across protocols is what
+//! makes the curves of Figures 2–4 comparable: every protocol sees the same
+//! peers, the same files, the same queries at the same times.
+
+use locaware_net::{BriteConfig, BriteGenerator, LandmarkSet, LocId, PhysicalTopology};
+use locaware_overlay::{ChurnModel, GeneratorConfig, OverlayGraph};
+use locaware_overlay::churn::ChurnEvent;
+use locaware_sim::{RngFactory, SimTime, StreamId};
+use locaware_workload::{
+    Arrival, ArrivalConfig, ArrivalProcess, Catalog, CatalogConfig, FileId, InitialPlacement,
+    PlacementConfig,
+};
+
+use crate::config::{ProtocolKind, SimulationConfig};
+use crate::engine::ProtocolEngine;
+use crate::group::{GroupId, GroupScheme};
+use crate::results::SimulationReport;
+
+/// A prepared simulation substrate, ready to run protocols.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimulationConfig,
+    rng_factory: RngFactory,
+    topology: PhysicalTopology,
+    landmarks: LandmarkSet,
+    loc_ids: Vec<LocId>,
+    graph: OverlayGraph,
+    catalog: Catalog,
+    initial_shares: Vec<Vec<FileId>>,
+    gids: Vec<GroupId>,
+}
+
+impl Simulation {
+    /// Builds the substrate described by `config`.
+    ///
+    /// # Panics
+    /// Panics if the configuration does not validate; call
+    /// [`SimulationConfig::validate`] first to handle errors gracefully.
+    pub fn build(config: SimulationConfig) -> Self {
+        if let Err(problem) = config.validate() {
+            panic!("invalid simulation configuration: {problem}");
+        }
+        let rng_factory = RngFactory::new(config.seed);
+
+        let topology = BriteGenerator::new(BriteConfig {
+            nodes: config.peers,
+            placement: config.placement,
+            min_latency_ms: config.min_latency_ms,
+            max_latency_ms: config.max_latency_ms,
+            jitter_fraction: 0.05,
+        })
+        .generate(&mut rng_factory.stream(StreamId::PhysicalTopology));
+
+        let landmarks = LandmarkSet::spread(config.landmarks);
+        let loc_ids = landmarks.assign_all(&topology);
+
+        let graph = GeneratorConfig {
+            peers: config.peers,
+            average_degree: config.average_degree,
+            model: config.graph_model,
+        }
+        .generate(&mut rng_factory.stream(StreamId::OverlayGraph));
+
+        let catalog = Catalog::generate(
+            CatalogConfig {
+                files: config.file_pool,
+                keywords: config.keyword_pool,
+                keywords_per_file: config.keywords_per_file,
+            },
+            &mut rng_factory.stream(StreamId::Catalog),
+        );
+
+        let placement = InitialPlacement::generate(
+            PlacementConfig {
+                peers: config.peers,
+                files_per_peer: config.files_per_peer,
+                file_pool: config.file_pool,
+            },
+            &mut rng_factory.stream(StreamId::FilePlacement),
+        );
+        let initial_shares: Vec<Vec<FileId>> = (0..config.peers)
+            .map(|p| placement.files_of(p).to_vec())
+            .collect();
+
+        let gids = GroupScheme::new(config.group_count)
+            .assign_all(config.peers, &mut rng_factory.stream(StreamId::GroupAssignment));
+
+        Simulation {
+            config,
+            rng_factory,
+            topology,
+            landmarks,
+            loc_ids,
+            graph,
+            catalog,
+            initial_shares,
+            gids,
+        }
+    }
+
+    /// The configuration this substrate was built from.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The physical topology.
+    pub fn topology(&self) -> &PhysicalTopology {
+        &self.topology
+    }
+
+    /// The landmark set.
+    pub fn landmarks(&self) -> &LandmarkSet {
+        &self.landmarks
+    }
+
+    /// Each peer's location id.
+    pub fn loc_ids(&self) -> &[LocId] {
+        &self.loc_ids
+    }
+
+    /// The overlay graph.
+    pub fn overlay(&self) -> &OverlayGraph {
+        &self.graph
+    }
+
+    /// The file catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Each peer's group id.
+    pub fn group_ids(&self) -> &[GroupId] {
+        &self.gids
+    }
+
+    /// Each peer's initially shared files.
+    pub fn initial_shares(&self) -> &[Vec<FileId>] {
+        &self.initial_shares
+    }
+
+    /// Generates the arrival schedule for `num_queries` queries. Every protocol
+    /// run with the same substrate and query count sees the same schedule.
+    pub fn arrivals(&self, num_queries: usize) -> Vec<Arrival> {
+        ArrivalProcess::new(ArrivalConfig {
+            peers: self.config.peers,
+            rate_per_peer: self.config.query_rate_per_peer,
+        })
+        .generate_count(num_queries, &mut self.rng_factory.stream(StreamId::Arrivals))
+    }
+
+    /// Generates the churn schedule over the span of `arrivals` (empty when
+    /// churn is disabled, which is the paper's setup).
+    pub fn churn_schedule(&self, arrivals: &[Arrival]) -> Vec<ChurnEvent> {
+        if self.config.churn.is_disabled() {
+            return Vec::new();
+        }
+        let horizon = arrivals
+            .last()
+            .map(|a| a.at)
+            .unwrap_or(SimTime::ZERO);
+        ChurnModel::new(self.config.churn).schedule(
+            self.config.peers,
+            horizon,
+            &mut self.rng_factory.stream(StreamId::Churn),
+        )
+    }
+
+    /// Runs `protocol` over this substrate with `num_queries` queries.
+    pub fn run(&self, protocol: ProtocolKind, num_queries: usize) -> SimulationReport {
+        let arrivals = self.arrivals(num_queries);
+        let churn = self.churn_schedule(&arrivals);
+        ProtocolEngine::new(
+            &self.config,
+            protocol,
+            &self.topology,
+            &self.loc_ids,
+            &self.graph,
+            &self.catalog,
+            &self.initial_shares,
+            &self.gids,
+            arrivals,
+            churn,
+            &self.rng_factory,
+        )
+        .run()
+    }
+
+    /// Runs every protocol in `protocols` over the identical substrate and
+    /// query schedule, returning the reports in the same order.
+    pub fn run_all(&self, protocols: &[ProtocolKind], num_queries: usize) -> Vec<SimulationReport> {
+        protocols
+            .iter()
+            .map(|&p| self.run(p, num_queries))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sim() -> Simulation {
+        let mut config = SimulationConfig::small(60);
+        config.seed = 7;
+        Simulation::build(config)
+    }
+
+    #[test]
+    fn substrate_dimensions_match_the_config() {
+        let sim = small_sim();
+        assert_eq!(sim.topology().len(), 60);
+        assert_eq!(sim.loc_ids().len(), 60);
+        assert_eq!(sim.overlay().len(), 60);
+        assert!(sim.overlay().is_connected());
+        assert_eq!(sim.catalog().len(), sim.config().file_pool);
+        assert_eq!(sim.group_ids().len(), 60);
+        assert_eq!(sim.initial_shares().len(), 60);
+        for shares in sim.initial_shares() {
+            assert_eq!(shares.len(), sim.config().files_per_peer);
+        }
+    }
+
+    #[test]
+    fn substrate_is_deterministic_for_a_seed() {
+        let a = small_sim();
+        let b = small_sim();
+        assert_eq!(a.loc_ids(), b.loc_ids());
+        assert_eq!(a.group_ids(), b.group_ids());
+        assert_eq!(a.initial_shares(), b.initial_shares());
+        let arr_a = a.arrivals(50);
+        let arr_b = b.arrivals(50);
+        assert_eq!(arr_a, arr_b);
+    }
+
+    #[test]
+    fn runs_produce_one_record_per_query() {
+        let sim = small_sim();
+        let report = sim.run(ProtocolKind::Flooding, 40);
+        assert_eq!(report.queries_issued, 40);
+        assert_eq!(report.metrics.len(), 40);
+        assert!(report.dispatched_events > 0);
+    }
+
+    #[test]
+    fn identical_runs_are_bit_for_bit_reproducible() {
+        let sim = small_sim();
+        let a = sim.run(ProtocolKind::Locaware, 30);
+        let b = sim.run(ProtocolKind::Locaware, 30);
+        assert_eq!(a.metrics.records(), b.metrics.records());
+        assert_eq!(a.success_rate(), b.success_rate());
+        assert_eq!(a.avg_messages_per_query(), b.avg_messages_per_query());
+    }
+
+    #[test]
+    fn flooding_produces_more_traffic_than_locaware() {
+        let sim = small_sim();
+        let flooding = sim.run(ProtocolKind::Flooding, 60);
+        let locaware = sim.run(ProtocolKind::Locaware, 60);
+        assert!(
+            flooding.avg_messages_per_query() > locaware.avg_messages_per_query(),
+            "flooding {} vs locaware {}",
+            flooding.avg_messages_per_query(),
+            locaware.avg_messages_per_query()
+        );
+    }
+
+    #[test]
+    fn churn_schedule_is_empty_when_disabled() {
+        let sim = small_sim();
+        let arrivals = sim.arrivals(10);
+        assert!(sim.churn_schedule(&arrivals).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation configuration")]
+    fn invalid_configs_are_rejected_at_build() {
+        let mut config = SimulationConfig::small(10);
+        config.ttl = 0;
+        let _ = Simulation::build(config);
+    }
+}

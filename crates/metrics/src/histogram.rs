@@ -1,0 +1,244 @@
+//! Fixed-bucket histograms.
+//!
+//! Used for distributional views that single averages hide: the distribution
+//! of download distances (is Locaware shaving the tail or the whole curve?),
+//! hop counts to the first hit, and providers offered per response.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[min, max)` with equally sized buckets plus an overflow
+/// bucket for values ≥ `max`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    underflow: u64,
+    total: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` equal buckets covering `[min, max)`.
+    ///
+    /// # Panics
+    /// Panics if `buckets` is zero or the range is empty/invalid.
+    pub fn new(min: f64, max: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        assert!(
+            max > min && min.is_finite() && max.is_finite(),
+            "histogram range must be a finite, non-empty interval"
+        );
+        Histogram {
+            min,
+            max,
+            counts: vec![0; buckets],
+            overflow: 0,
+            underflow: 0,
+            total: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// A histogram shaped for one-way latencies of the paper's underlay
+    /// (10–500 ms) in 10 ms buckets.
+    pub fn for_latencies_ms() -> Self {
+        Histogram::new(0.0, 500.0, 50)
+    }
+
+    /// Number of regular buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of one bucket.
+    pub fn bucket_width(&self) -> f64 {
+        (self.max - self.min) / self.counts.len() as f64
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.total += 1;
+        self.sum += value;
+        if value < self.min {
+            self.underflow += 1;
+        } else if value >= self.max {
+            self.overflow += 1;
+        } else {
+            let index = ((value - self.min) / self.bucket_width()) as usize;
+            let index = index.min(self.counts.len() - 1);
+            self.counts[index] += 1;
+        }
+    }
+
+    /// Records every value of a slice.
+    pub fn record_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all recorded observations (0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_start(&self, i: usize) -> f64 {
+        self.min + i as f64 * self.bucket_width()
+    }
+
+    /// Approximate quantile (0 ≤ q ≤ 1) from the bucketed counts, taking the
+    /// upper edge of the bucket where the cumulative count crosses `q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let threshold = (q * self.total as f64).ceil() as u64;
+        let mut cumulative = self.underflow;
+        if cumulative >= threshold {
+            return self.min;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= threshold {
+                return self.bucket_start(i) + self.bucket_width();
+            }
+        }
+        self.max
+    }
+
+    /// Renders an ASCII bar chart (one line per non-empty bucket).
+    pub fn render(&self, max_bar_width: usize) -> String {
+        let peak = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bar = "#".repeat(((c as f64 / peak as f64) * max_bar_width as f64).ceil() as usize);
+            out.push_str(&format!(
+                "{:>8.1} - {:>8.1} | {:>8} {}\n",
+                self.bucket_start(i),
+                self.bucket_start(i) + self.bucket_width(),
+                c,
+                bar
+            ));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("{:>21} | {:>8}\n", "< range", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("{:>21} | {:>8}\n", ">= range", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_fall_into_the_right_buckets() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.record(5.0); // bucket 0
+        h.record(15.0); // bucket 1
+        h.record(99.9); // bucket 9
+        h.record(100.0); // overflow
+        h.record(-1.0); // underflow
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn mean_and_quantiles_are_sensible() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!((h.mean() - 50.0).abs() < 0.51);
+        let median = h.quantile(0.5);
+        assert!((45.0..=55.0).contains(&median), "median estimate {median}");
+        let p95 = h.quantile(0.95);
+        assert!((90.0..=100.0).contains(&p95), "p95 estimate {p95}");
+        assert_eq!(h.quantile(0.0), 0.0, "the 0-quantile is the range minimum");
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn latency_preset_covers_the_paper_range() {
+        let mut h = Histogram::for_latencies_ms();
+        h.record_all(&[10.0, 255.0, 499.9]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.underflow(), 0);
+        assert!((h.bucket_width() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_draws_bars_for_non_empty_buckets() {
+        let mut h = Histogram::new(0.0, 30.0, 3);
+        for _ in 0..4 {
+            h.record(5.0);
+        }
+        h.record(25.0);
+        let text = h.render(20);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_is_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty interval")]
+    fn inverted_range_is_rejected() {
+        let _ = Histogram::new(10.0, 0.0, 4);
+    }
+}

@@ -1,0 +1,131 @@
+//! RTT probing for provider selection.
+//!
+//! §5.1 adjusts the provider-selection strategy: *"when a requestor peer does
+//! not find a provider with matching locId amongst its received indexes, it
+//! measures its RTT to the set of available providers and chooses the one with
+//! the smallest RTT."*
+//!
+//! [`ProximityProbe`] models that measurement step against the physical
+//! topology and also accounts for its cost (one probe per candidate), which the
+//! simulation can fold into its traffic metrics if desired.
+
+use locaware_sim::Duration;
+
+use crate::topology::{NodeId, PhysicalTopology};
+
+/// Outcome of probing a set of candidate providers from a requestor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// The candidate with the smallest RTT, if any candidates were given.
+    pub best: Option<NodeId>,
+    /// RTT to the best candidate.
+    pub best_rtt: Option<Duration>,
+    /// Number of probes performed (= number of candidates).
+    pub probes: usize,
+}
+
+/// Measures RTTs from a requestor to candidate providers over a topology.
+#[derive(Debug, Clone, Copy)]
+pub struct ProximityProbe<'a> {
+    topology: &'a PhysicalTopology,
+}
+
+impl<'a> ProximityProbe<'a> {
+    /// Creates a probe bound to a topology.
+    pub fn new(topology: &'a PhysicalTopology) -> Self {
+        ProximityProbe { topology }
+    }
+
+    /// RTT between `from` and a single candidate.
+    pub fn rtt(&self, from: NodeId, candidate: NodeId) -> Duration {
+        self.topology.rtt(from, candidate)
+    }
+
+    /// Probes every candidate and returns the closest one.
+    ///
+    /// Ties are broken by node id so the outcome is deterministic.
+    pub fn probe(&self, from: NodeId, candidates: &[NodeId]) -> ProbeOutcome {
+        let mut best: Option<(Duration, NodeId)> = None;
+        for &c in candidates {
+            let rtt = self.topology.rtt(from, c);
+            let key = (rtt, c);
+            if best.map_or(true, |b| key < b) {
+                best = Some(key);
+            }
+        }
+        ProbeOutcome {
+            best: best.map(|(_, n)| n),
+            best_rtt: best.map(|(d, _)| d),
+            probes: candidates.len(),
+        }
+    }
+}
+
+/// Convenience wrapper: the closest candidate by RTT, or `None` if the slice is
+/// empty.
+pub fn closest_by_rtt(
+    topology: &PhysicalTopology,
+    from: NodeId,
+    candidates: &[NodeId],
+) -> Option<NodeId> {
+    ProximityProbe::new(topology).probe(from, candidates).best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordinates::Point;
+    use crate::topology::LatencyModel;
+
+    fn topo() -> PhysicalTopology {
+        PhysicalTopology::new(
+            vec![
+                Point::new(0.0, 0.0), // 0: requestor
+                Point::new(0.1, 0.0), // 1: close
+                Point::new(0.9, 0.9), // 2: far
+                Point::new(0.1, 0.05), // 3: close-ish
+            ],
+            LatencyModel {
+                jitter_fraction: 0.0,
+                ..LatencyModel::default()
+            },
+        )
+    }
+
+    #[test]
+    fn picks_the_closest_candidate() {
+        let t = topo();
+        let out = ProximityProbe::new(&t).probe(NodeId(0), &[NodeId(2), NodeId(1), NodeId(3)]);
+        assert_eq!(out.best, Some(NodeId(1)));
+        assert_eq!(out.probes, 3);
+        assert_eq!(out.best_rtt, Some(t.rtt(NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn empty_candidate_set_yields_none() {
+        let t = topo();
+        let out = ProximityProbe::new(&t).probe(NodeId(0), &[]);
+        assert_eq!(out.best, None);
+        assert_eq!(out.best_rtt, None);
+        assert_eq!(out.probes, 0);
+    }
+
+    #[test]
+    fn helper_matches_probe() {
+        let t = topo();
+        assert_eq!(
+            closest_by_rtt(&t, NodeId(0), &[NodeId(2), NodeId(3)]),
+            Some(NodeId(3))
+        );
+        assert_eq!(closest_by_rtt(&t, NodeId(0), &[]), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_node_id() {
+        // Candidates 1 and 1 duplicated — and a self-probe candidate with zero RTT.
+        let t = topo();
+        let out = ProximityProbe::new(&t).probe(NodeId(0), &[NodeId(0), NodeId(1)]);
+        // Probing yourself has RTT 0, which is minimal.
+        assert_eq!(out.best, Some(NodeId(0)));
+    }
+}

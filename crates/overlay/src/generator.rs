@@ -1,0 +1,254 @@
+//! Overlay graph generators.
+//!
+//! The paper's setup: "we generate an unstructured P2P topology of 1000 peers
+//! with an average connectivity degree of 3" (§5.1). [`GraphModel::Random`]
+//! reproduces that: it wires a random spanning structure first (so the overlay
+//! is connected and no query is unreachable by construction) and then adds
+//! random extra edges until the target average degree is met.
+//!
+//! [`GraphModel::PreferentialAttachment`] produces a heavier-tailed degree
+//! distribution, closer to measured Gnutella snapshots; it is used by the
+//! sensitivity tests and the ablation benchmarks to check that Locaware's
+//! gains do not depend on the exact degree distribution.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::OverlayGraph;
+use crate::PeerId;
+
+/// Which random-graph family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GraphModel {
+    /// Connected random graph with a target average degree (paper default).
+    Random,
+    /// Preferential attachment: each new peer connects to `m` existing peers
+    /// chosen proportionally to their current degree (Barabási–Albert style).
+    PreferentialAttachment,
+}
+
+/// Configuration of the overlay generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of peers.
+    pub peers: usize,
+    /// Target average degree (the paper uses 3).
+    pub average_degree: f64,
+    /// Graph family.
+    pub model: GraphModel,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            peers: 1000,
+            average_degree: 3.0,
+            model: GraphModel::Random,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Generates an overlay graph using the supplied RNG.
+    ///
+    /// # Panics
+    /// Panics if `peers == 0` or the average degree is not positive, or if the
+    /// requested degree is unachievable (≥ peers).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> OverlayGraph {
+        assert!(self.peers > 0, "overlay must contain at least one peer");
+        assert!(
+            self.average_degree > 0.0,
+            "average degree must be positive"
+        );
+        assert!(
+            (self.average_degree as usize) < self.peers,
+            "average degree must be smaller than the number of peers"
+        );
+        match self.model {
+            GraphModel::Random => generate_random(self.peers, self.average_degree, rng),
+            GraphModel::PreferentialAttachment => {
+                generate_preferential(self.peers, self.average_degree, rng)
+            }
+        }
+    }
+}
+
+/// Connected random graph: random spanning tree + random extra edges until the
+/// target number of edges (`peers * average_degree / 2`) is reached.
+fn generate_random<R: Rng + ?Sized>(peers: usize, average_degree: f64, rng: &mut R) -> OverlayGraph {
+    let mut graph = OverlayGraph::new(peers);
+    if peers == 1 {
+        return graph;
+    }
+
+    // Random spanning tree via a random permutation: peer i attaches to a
+    // uniformly random earlier peer in the permutation order. This yields a
+    // uniformly random labelled tree shape family good enough for connectivity.
+    let mut order: Vec<u32> = (0..peers as u32).collect();
+    order.shuffle(rng);
+    for i in 1..peers {
+        let parent = order[rng.gen_range(0..i)];
+        graph.add_edge(PeerId(order[i]), PeerId(parent));
+    }
+
+    let target_edges = ((peers as f64 * average_degree) / 2.0).round() as usize;
+    let mut guard = 0usize;
+    let guard_limit = target_edges * 50 + 1000;
+    while graph.edge_count() < target_edges && guard < guard_limit {
+        guard += 1;
+        let a = PeerId(rng.gen_range(0..peers as u32));
+        let b = PeerId(rng.gen_range(0..peers as u32));
+        graph.add_edge(a, b);
+    }
+    graph
+}
+
+/// Preferential attachment with `m ≈ average_degree / 2` links per new node.
+fn generate_preferential<R: Rng + ?Sized>(
+    peers: usize,
+    average_degree: f64,
+    rng: &mut R,
+) -> OverlayGraph {
+    let mut graph = OverlayGraph::new(peers);
+    if peers == 1 {
+        return graph;
+    }
+    let m = ((average_degree / 2.0).round() as usize).max(1);
+
+    // Repeated-nodes list: node id appears once per incident edge end, which
+    // makes degree-proportional sampling O(1).
+    let mut endpoints: Vec<u32> = Vec::with_capacity(peers * m * 2);
+
+    // Seed with a small clique of m+1 nodes.
+    let seed = (m + 1).min(peers);
+    for a in 0..seed {
+        for b in (a + 1)..seed {
+            if graph.add_edge(PeerId(a as u32), PeerId(b as u32)) {
+                endpoints.push(a as u32);
+                endpoints.push(b as u32);
+            }
+        }
+    }
+
+    for new in seed..peers {
+        let mut attached = 0usize;
+        let mut attempts = 0usize;
+        while attached < m && attempts < m * 20 {
+            attempts += 1;
+            let target = if endpoints.is_empty() {
+                rng.gen_range(0..new as u32)
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if graph.add_edge(PeerId(new as u32), PeerId(target)) {
+                endpoints.push(new as u32);
+                endpoints.push(target);
+                attached += 1;
+            }
+        }
+        // Guarantee connectivity even if sampling kept hitting duplicates.
+        if attached == 0 {
+            let target = rng.gen_range(0..new as u32);
+            graph.add_edge(PeerId(new as u32), PeerId(target));
+            endpoints.push(new as u32);
+            endpoints.push(target);
+        }
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_graph_matches_paper_setup() {
+        let cfg = GeneratorConfig::default();
+        let g = cfg.generate(&mut StdRng::seed_from_u64(1));
+        assert_eq!(g.len(), 1000);
+        assert!(g.is_connected(), "generated overlay must be connected");
+        let avg = g.average_degree();
+        assert!(
+            (2.7..=3.3).contains(&avg),
+            "average degree should be close to 3, got {avg}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::default();
+        let a = cfg.generate(&mut StdRng::seed_from_u64(7));
+        let b = cfg.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GeneratorConfig {
+            peers: 100,
+            ..GeneratorConfig::default()
+        };
+        let a = cfg.generate(&mut StdRng::seed_from_u64(1));
+        let b = cfg.generate(&mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn preferential_attachment_is_connected_and_skewed() {
+        let cfg = GeneratorConfig {
+            peers: 500,
+            average_degree: 4.0,
+            model: GraphModel::PreferentialAttachment,
+        };
+        let g = cfg.generate(&mut StdRng::seed_from_u64(3));
+        assert!(g.is_connected());
+        let hist = g.degree_histogram();
+        let max_degree = hist.len() - 1;
+        // A heavy tail: some node should have degree well above the average.
+        assert!(
+            max_degree as f64 > 3.0 * g.average_degree(),
+            "expected a hub, max degree {max_degree}, avg {}",
+            g.average_degree()
+        );
+    }
+
+    #[test]
+    fn single_peer_graph_is_fine() {
+        let cfg = GeneratorConfig {
+            peers: 1,
+            average_degree: 0.5,
+            model: GraphModel::Random,
+        };
+        let g = cfg.generate(&mut StdRng::seed_from_u64(4));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn small_graphs_are_connected_across_seeds() {
+        for seed in 0..20 {
+            let cfg = GeneratorConfig {
+                peers: 30,
+                average_degree: 3.0,
+                model: GraphModel::Random,
+            };
+            let g = cfg.generate(&mut StdRng::seed_from_u64(seed));
+            assert!(g.is_connected(), "seed {seed} produced a disconnected overlay");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the number of peers")]
+    fn impossible_degree_is_rejected() {
+        let cfg = GeneratorConfig {
+            peers: 3,
+            average_degree: 5.0,
+            model: GraphModel::Random,
+        };
+        let _ = cfg.generate(&mut StdRng::seed_from_u64(0));
+    }
+}

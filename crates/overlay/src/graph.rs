@@ -1,0 +1,333 @@
+//! The overlay graph: who is a logical neighbour of whom.
+//!
+//! The graph is undirected. Peers keep their neighbour lists sorted so that
+//! iteration order — and therefore every downstream decision that iterates over
+//! neighbours — is deterministic.
+
+use std::collections::VecDeque;
+
+use crate::PeerId;
+
+/// An undirected overlay graph over peers `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlayGraph {
+    /// Adjacency lists, indexed by peer id; each list is sorted and duplicate-free.
+    adjacency: Vec<Vec<PeerId>>,
+    /// Peers that have left the overlay (ids are never reused).
+    departed: Vec<bool>,
+    edges: usize,
+}
+
+impl OverlayGraph {
+    /// Creates an edgeless graph over `peers` peers.
+    pub fn new(peers: usize) -> Self {
+        OverlayGraph {
+            adjacency: vec![Vec::new(); peers],
+            departed: vec![false; peers],
+            edges: 0,
+        }
+    }
+
+    /// Number of peer slots (including departed peers).
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// True if the graph has no peers at all.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Average degree over *active* peers.
+    pub fn average_degree(&self) -> f64 {
+        let active = self.active_count();
+        if active == 0 {
+            0.0
+        } else {
+            2.0 * self.edges as f64 / active as f64
+        }
+    }
+
+    /// Number of peers currently in the overlay.
+    pub fn active_count(&self) -> usize {
+        self.departed.iter().filter(|&&d| !d).count()
+    }
+
+    /// Iterator over all active peers.
+    pub fn active_peers(&self) -> impl Iterator<Item = PeerId> + '_ {
+        self.departed
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| !d)
+            .map(|(i, _)| PeerId(i as u32))
+    }
+
+    /// True if `p` is currently part of the overlay.
+    pub fn is_active(&self, p: PeerId) -> bool {
+        !self.departed[p.index()]
+    }
+
+    /// The sorted neighbour list of `p`.
+    pub fn neighbors(&self, p: PeerId) -> &[PeerId] {
+        &self.adjacency[p.index()]
+    }
+
+    /// Degree of `p`.
+    pub fn degree(&self, p: PeerId) -> usize {
+        self.adjacency[p.index()].len()
+    }
+
+    /// The neighbour of `p` with the highest degree (ties broken by id), if any.
+    ///
+    /// This implements the last-resort forwarding rule of §4.2: "or to a highly
+    /// connected neighbor [...] to avoid blocking the query forwarding".
+    pub fn highest_degree_neighbor(&self, p: PeerId) -> Option<PeerId> {
+        self.adjacency[p.index()]
+            .iter()
+            .copied()
+            .max_by_key(|&n| (self.degree(n), std::cmp::Reverse(n.0)))
+    }
+
+    /// True if `a` and `b` are directly connected.
+    pub fn are_neighbors(&self, a: PeerId, b: PeerId) -> bool {
+        self.adjacency[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Adds an undirected edge. Self-loops and duplicates are ignored.
+    /// Returns true if an edge was actually added.
+    pub fn add_edge(&mut self, a: PeerId, b: PeerId) -> bool {
+        if a == b || self.are_neighbors(a, b) {
+            return false;
+        }
+        assert!(
+            a.index() < self.adjacency.len() && b.index() < self.adjacency.len(),
+            "peer id out of range"
+        );
+        let ia = self.adjacency[a.index()].binary_search(&b).unwrap_err();
+        self.adjacency[a.index()].insert(ia, b);
+        let ib = self.adjacency[b.index()].binary_search(&a).unwrap_err();
+        self.adjacency[b.index()].insert(ib, a);
+        self.edges += 1;
+        true
+    }
+
+    /// Removes an undirected edge. Returns true if the edge existed.
+    pub fn remove_edge(&mut self, a: PeerId, b: PeerId) -> bool {
+        let Ok(ia) = self.adjacency[a.index()].binary_search(&b) else {
+            return false;
+        };
+        self.adjacency[a.index()].remove(ia);
+        if let Ok(ib) = self.adjacency[b.index()].binary_search(&a) {
+            self.adjacency[b.index()].remove(ib);
+        }
+        self.edges -= 1;
+        true
+    }
+
+    /// Disconnects `p` from all its neighbours and marks it departed.
+    /// Returns the neighbours it had (used by churn to re-wire on rejoin).
+    pub fn depart(&mut self, p: PeerId) -> Vec<PeerId> {
+        let neighbors = self.adjacency[p.index()].clone();
+        for n in &neighbors {
+            self.remove_edge(p, *n);
+        }
+        self.departed[p.index()] = true;
+        neighbors
+    }
+
+    /// Marks a departed peer as active again (without edges; the caller wires it).
+    pub fn rejoin(&mut self, p: PeerId) {
+        self.departed[p.index()] = false;
+    }
+
+    /// Peers reachable from `start` (breadth-first), including `start` itself.
+    pub fn reachable_from(&self, start: PeerId) -> Vec<PeerId> {
+        let mut visited = vec![false; self.adjacency.len()];
+        let mut queue = VecDeque::new();
+        let mut out = Vec::new();
+        if !self.is_active(start) {
+            return out;
+        }
+        visited[start.index()] = true;
+        queue.push_back(start);
+        while let Some(p) = queue.pop_front() {
+            out.push(p);
+            for &n in self.neighbors(p) {
+                if !visited[n.index()] && self.is_active(n) {
+                    visited[n.index()] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// True if every active peer can reach every other active peer.
+    pub fn is_connected(&self) -> bool {
+        let active = self.active_count();
+        if active <= 1 {
+            return true;
+        }
+        let start = match self.active_peers().next() {
+            Some(p) => p,
+            None => return true,
+        };
+        self.reachable_from(start).len() == active
+    }
+
+    /// Peers within `ttl` overlay hops of `origin` (excluding `origin`).
+    ///
+    /// This is the maximum scope a TTL-bounded flood can reach; used by tests
+    /// and by the ground-truth success-rate analysis.
+    pub fn peers_within(&self, origin: PeerId, ttl: u32) -> Vec<PeerId> {
+        let mut dist = vec![u32::MAX; self.adjacency.len()];
+        let mut queue = VecDeque::new();
+        dist[origin.index()] = 0;
+        queue.push_back(origin);
+        let mut out = Vec::new();
+        while let Some(p) = queue.pop_front() {
+            if dist[p.index()] >= ttl {
+                continue;
+            }
+            for &n in self.neighbors(p) {
+                if self.is_active(n) && dist[n.index()] == u32::MAX {
+                    dist[n.index()] = dist[p.index()] + 1;
+                    out.push(n);
+                    queue.push_back(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// Degree distribution histogram: `hist[d]` = number of active peers with degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let max_degree = self
+            .active_peers()
+            .map(|p| self.degree(p))
+            .max()
+            .unwrap_or(0);
+        let mut hist = vec![0usize; max_degree + 1];
+        for p in self.active_peers() {
+            hist[self.degree(p)] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> OverlayGraph {
+        let mut g = OverlayGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(PeerId(i as u32), PeerId(i as u32 + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let mut g = OverlayGraph::new(4);
+        assert!(g.add_edge(PeerId(0), PeerId(1)));
+        assert!(!g.add_edge(PeerId(0), PeerId(1)), "duplicate edges are ignored");
+        assert!(!g.add_edge(PeerId(2), PeerId(2)), "self loops are ignored");
+        assert!(g.are_neighbors(PeerId(0), PeerId(1)));
+        assert!(g.are_neighbors(PeerId(1), PeerId(0)));
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.remove_edge(PeerId(0), PeerId(1)));
+        assert!(!g.remove_edge(PeerId(0), PeerId(1)));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn neighbor_lists_stay_sorted() {
+        let mut g = OverlayGraph::new(5);
+        g.add_edge(PeerId(2), PeerId(4));
+        g.add_edge(PeerId(2), PeerId(0));
+        g.add_edge(PeerId(2), PeerId(3));
+        assert_eq!(g.neighbors(PeerId(2)), &[PeerId(0), PeerId(3), PeerId(4)]);
+        assert_eq!(g.degree(PeerId(2)), 3);
+    }
+
+    #[test]
+    fn highest_degree_neighbor_breaks_ties_by_id() {
+        let mut g = OverlayGraph::new(6);
+        // 0 - 1, 0 - 2; 1 has extra edges making it the hub.
+        g.add_edge(PeerId(0), PeerId(1));
+        g.add_edge(PeerId(0), PeerId(2));
+        g.add_edge(PeerId(1), PeerId(3));
+        g.add_edge(PeerId(1), PeerId(4));
+        assert_eq!(g.highest_degree_neighbor(PeerId(0)), Some(PeerId(1)));
+        // Peer 5 has no neighbours at all.
+        assert_eq!(g.highest_degree_neighbor(PeerId(5)), None);
+        // Tie: both neighbours of 3 have degree 3 after adding edges? make a tie explicitly.
+        let mut tie = OverlayGraph::new(4);
+        tie.add_edge(PeerId(0), PeerId(1));
+        tie.add_edge(PeerId(0), PeerId(2));
+        tie.add_edge(PeerId(1), PeerId(3));
+        tie.add_edge(PeerId(2), PeerId(3));
+        // Neighbours of 0 are 1 and 2, both degree 2 → lowest id wins.
+        assert_eq!(tie.highest_degree_neighbor(PeerId(0)), Some(PeerId(1)));
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let mut g = path_graph(5);
+        assert!(g.is_connected());
+        g.remove_edge(PeerId(2), PeerId(3));
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn reachability_and_ttl_scope() {
+        let g = path_graph(10);
+        assert_eq!(g.reachable_from(PeerId(0)).len(), 10);
+        // From one end of a path, TTL 3 reaches exactly 3 peers.
+        let within = g.peers_within(PeerId(0), 3);
+        assert_eq!(within.len(), 3);
+        assert!(within.contains(&PeerId(1)));
+        assert!(within.contains(&PeerId(3)));
+        assert!(!within.contains(&PeerId(4)));
+        // TTL 0 reaches nobody.
+        assert!(g.peers_within(PeerId(0), 0).is_empty());
+    }
+
+    #[test]
+    fn departure_and_rejoin() {
+        let mut g = path_graph(4);
+        let old_neighbors = g.depart(PeerId(1));
+        assert_eq!(old_neighbors, vec![PeerId(0), PeerId(2)]);
+        assert!(!g.is_active(PeerId(1)));
+        assert_eq!(g.active_count(), 3);
+        assert_eq!(g.degree(PeerId(0)), 0);
+        assert!(!g.is_connected(), "path breaks without the departed peer");
+
+        g.rejoin(PeerId(1));
+        g.add_edge(PeerId(1), PeerId(0));
+        g.add_edge(PeerId(1), PeerId(2));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn average_degree_and_histogram() {
+        let g = path_graph(4); // degrees 1,2,2,1
+        assert!((g.average_degree() - 1.5).abs() < 1e-12);
+        let hist = g.degree_histogram();
+        assert_eq!(hist, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn empty_and_single_peer_graphs_are_connected() {
+        assert!(OverlayGraph::new(0).is_connected());
+        assert!(OverlayGraph::new(1).is_connected());
+        let g = OverlayGraph::new(2);
+        assert!(!g.is_connected(), "two isolated peers are not connected");
+    }
+}

@@ -1,0 +1,51 @@
+//! # locaware-overlay — the unstructured (Gnutella-like) overlay substrate
+//!
+//! §3.1 of the Locaware paper describes the substrate its protocol runs on:
+//! *"each peer joins the network by establishing logical links to randomly
+//! chosen peers, referred to as its neighbors. Normally, the neighborhood of a
+//! peer is set without knowledge of the underlying topology."* Query routing is
+//! *"done by blindly flooding q over the P2P network and is bounded by a fixed
+//! TTL. Query responses follow the reverse path of their corresponding q, back
+//! to the requesting peer."*
+//!
+//! This crate implements that substrate:
+//!
+//! * [`graph`] — the overlay graph: random neighbour wiring at a target average
+//!   degree (the paper's setup uses 1000 peers with average degree 3),
+//!   connectivity repair, degree queries (needed for the "highly connected
+//!   neighbour" fallback of §4.2), and dynamic join/leave for churn,
+//! * [`generator`] — graph generators: Erdős–Rényi-style random wiring and a
+//!   preferential-attachment variant with a heavier-tailed degree distribution,
+//! * [`message`] — the overlay message vocabulary (queries, query responses,
+//!   Bloom-filter updates, keep-alives) with wire-size estimation used by the
+//!   traffic metrics,
+//! * [`routing`] — mechanism shared by every protocol: TTL bookkeeping,
+//!   duplicate-query suppression and reverse-path tables for routing responses
+//!   back to the requestor,
+//! * [`churn`] — an optional session-based churn model (exponential on/off
+//!   times) exercised by the robustness example and tests.
+//!
+//! Which neighbours a query is forwarded to is *policy* and lives in the
+//! `locaware` core crate (flooding, Dicas, Dicas-Keys, Locaware); this crate
+//! only provides the mechanism those policies share.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod churn;
+pub mod generator;
+pub mod graph;
+pub mod message;
+pub mod routing;
+pub mod stats;
+
+pub use churn::{ChurnConfig, ChurnEvent, ChurnEventKind, ChurnModel};
+pub use generator::{GeneratorConfig, GraphModel};
+pub use graph::OverlayGraph;
+pub use message::{Message, MessageId, MessageKind, ProviderEntry, QueryId};
+pub use routing::{ForwardDecision, QueryRouter, ReversePathTable, SeenQueries};
+pub use stats::GraphStats;
+
+/// Peers are identified by the same id at the overlay and underlay layers, so
+/// no translation table is needed when crossing layers.
+pub use locaware_net::NodeId as PeerId;

@@ -1,0 +1,258 @@
+//! Routing mechanism shared by every protocol.
+//!
+//! §3.1: queries are flooded with a bounded TTL and *"query responses follow
+//! the reverse path of their corresponding q, back to the requesting peer"*.
+//! Real Gnutella implements this with per-peer duplicate suppression (a query
+//! seen twice is dropped) and a reverse-path table (query id → the neighbour it
+//! was first received from). [`QueryRouter`] bundles both for one peer.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::QueryId;
+use crate::PeerId;
+
+/// Why a set of forwarding targets was chosen — recorded so that the metrics
+/// can attribute routing decisions to the Bloom-filter match, the Gid fallback
+/// or the last-resort high-degree neighbour (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ForwardDecision {
+    /// Plain flooding to all neighbours (minus the one it came from).
+    Flood,
+    /// Neighbours whose Bloom filter matched every query keyword.
+    BloomMatch,
+    /// Neighbours whose group id matches the query.
+    GidMatch,
+    /// The single highest-degree neighbour, used when nothing else matched.
+    HighDegree,
+    /// The query was not forwarded (TTL exhausted, no neighbours, or satisfied).
+    NotForwarded,
+}
+
+/// Tracks which queries a peer has already processed.
+///
+/// Gnutella drops duplicate copies of a query that arrive over different paths;
+/// without this, TTL-bounded flooding on a cyclic overlay would multiply
+/// traffic and distort Figure 3.
+#[derive(Debug, Clone, Default)]
+pub struct SeenQueries {
+    seen: HashSet<QueryId>,
+}
+
+impl SeenQueries {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `query` as seen. Returns `true` if it was new (i.e. should be
+    /// processed), `false` if it is a duplicate (should be dropped).
+    pub fn first_sighting(&mut self, query: QueryId) -> bool {
+        self.seen.insert(query)
+    }
+
+    /// True if the query has been seen before.
+    pub fn contains(&self, query: QueryId) -> bool {
+        self.seen.contains(&query)
+    }
+
+    /// Number of distinct queries seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True if nothing has been seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Forgets everything (used between experiment repetitions).
+    pub fn clear(&mut self) {
+        self.seen.clear();
+    }
+}
+
+/// The reverse-path table: for each query, the neighbour it was first received
+/// from, i.e. the next hop for responses travelling back to the requestor.
+#[derive(Debug, Clone, Default)]
+pub struct ReversePathTable {
+    upstream: HashMap<QueryId, PeerId>,
+}
+
+impl ReversePathTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `query` was first received from `from`. The first recording
+    /// wins; later copies of the query (via other paths) do not overwrite it,
+    /// matching Gnutella semantics. Returns `true` if this was the first record.
+    pub fn record(&mut self, query: QueryId, from: PeerId) -> bool {
+        match self.upstream.entry(query) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(from);
+                true
+            }
+        }
+    }
+
+    /// The upstream neighbour for `query`, if known.
+    pub fn upstream(&self, query: QueryId) -> Option<PeerId> {
+        self.upstream.get(&query).copied()
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        self.upstream.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.upstream.is_empty()
+    }
+
+    /// Drops the entry for `query` (responses delivered, state can go).
+    pub fn forget(&mut self, query: QueryId) {
+        self.upstream.remove(&query);
+    }
+
+    /// Forgets everything.
+    pub fn clear(&mut self) {
+        self.upstream.clear();
+    }
+}
+
+/// Per-peer routing state: duplicate suppression plus reverse paths.
+#[derive(Debug, Clone, Default)]
+pub struct QueryRouter {
+    seen: SeenQueries,
+    reverse: ReversePathTable,
+}
+
+impl QueryRouter {
+    /// Creates empty routing state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handles the arrival of query `query` from `from` (or from the local user
+    /// when `from` is `None`).
+    ///
+    /// Returns `true` if the query is new and should be processed; duplicates
+    /// return `false` and leave the original reverse path untouched.
+    pub fn on_query(&mut self, query: QueryId, from: Option<PeerId>) -> bool {
+        let new = self.seen.first_sighting(query);
+        if new {
+            if let Some(from) = from {
+                self.reverse.record(query, from);
+            }
+        }
+        new
+    }
+
+    /// The neighbour to send a response for `query` towards, if this peer is not
+    /// the originator.
+    pub fn response_next_hop(&self, query: QueryId) -> Option<PeerId> {
+        self.reverse.upstream(query)
+    }
+
+    /// True if this peer has seen `query`.
+    pub fn has_seen(&self, query: QueryId) -> bool {
+        self.seen.contains(query)
+    }
+
+    /// Access to the duplicate-suppression set (for tests and metrics).
+    pub fn seen(&self) -> &SeenQueries {
+        &self.seen
+    }
+
+    /// Access to the reverse-path table (for tests and metrics).
+    pub fn reverse_paths(&self) -> &ReversePathTable {
+        &self.reverse
+    }
+
+    /// Resets all state.
+    pub fn clear(&mut self) {
+        self.seen.clear();
+        self.reverse.clear();
+    }
+}
+
+/// Decrements a TTL, returning `None` when the query must stop being forwarded.
+///
+/// A query arriving with TTL 1 may still be *answered* locally but produces no
+/// further forwards; this helper centralises that boundary condition.
+pub fn decrement_ttl(ttl: u32) -> Option<u32> {
+    if ttl <= 1 {
+        None
+    } else {
+        Some(ttl - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_queries_are_dropped() {
+        let mut router = QueryRouter::new();
+        assert!(router.on_query(QueryId(1), Some(PeerId(5))));
+        assert!(!router.on_query(QueryId(1), Some(PeerId(6))), "second copy is a duplicate");
+        // The reverse path keeps the *first* upstream.
+        assert_eq!(router.response_next_hop(QueryId(1)), Some(PeerId(5)));
+    }
+
+    #[test]
+    fn locally_issued_queries_have_no_upstream() {
+        let mut router = QueryRouter::new();
+        assert!(router.on_query(QueryId(9), None));
+        assert_eq!(router.response_next_hop(QueryId(9)), None);
+    }
+
+    #[test]
+    fn reverse_path_first_record_wins() {
+        let mut table = ReversePathTable::new();
+        assert!(table.record(QueryId(3), PeerId(1)));
+        assert!(!table.record(QueryId(3), PeerId(2)));
+        assert_eq!(table.upstream(QueryId(3)), Some(PeerId(1)));
+        table.forget(QueryId(3));
+        assert_eq!(table.upstream(QueryId(3)), None);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn seen_queries_bookkeeping() {
+        let mut seen = SeenQueries::new();
+        assert!(seen.is_empty());
+        assert!(seen.first_sighting(QueryId(1)));
+        assert!(seen.first_sighting(QueryId(2)));
+        assert!(!seen.first_sighting(QueryId(1)));
+        assert_eq!(seen.len(), 2);
+        assert!(seen.contains(QueryId(2)));
+        seen.clear();
+        assert!(!seen.contains(QueryId(2)));
+    }
+
+    #[test]
+    fn ttl_decrement_boundaries() {
+        assert_eq!(decrement_ttl(7), Some(6));
+        assert_eq!(decrement_ttl(2), Some(1));
+        assert_eq!(decrement_ttl(1), None);
+        assert_eq!(decrement_ttl(0), None);
+    }
+
+    #[test]
+    fn clear_resets_router() {
+        let mut router = QueryRouter::new();
+        router.on_query(QueryId(1), Some(PeerId(2)));
+        router.clear();
+        assert!(!router.has_seen(QueryId(1)));
+        assert!(router.reverse_paths().is_empty());
+        assert!(router.on_query(QueryId(1), Some(PeerId(3))));
+    }
+}

@@ -1,0 +1,248 @@
+//! Overlay graph statistics.
+//!
+//! The evaluation's behaviour depends heavily on structural properties of the
+//! overlay: how many peers a TTL-7 flood can reach, how skewed the degree
+//! distribution is (the "highly connected neighbour" fallback of §4.2 relies
+//! on hubs existing), and how long typical paths are. [`GraphStats`] computes
+//! those properties; the `inspect` binary and the integration tests use them
+//! to sanity-check generated overlays against the paper's setup.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::OverlayGraph;
+use crate::PeerId;
+
+/// Summary statistics of an overlay graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of active peers.
+    pub peers: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Average degree over active peers.
+    pub average_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Minimum degree (0 means isolated peers exist).
+    pub min_degree: usize,
+    /// True if every active peer can reach every other.
+    pub connected: bool,
+    /// Eccentricity of the sampled sources (an estimate of the diameter).
+    pub estimated_diameter: u32,
+    /// Mean shortest-path length over the sampled sources.
+    pub average_path_length: f64,
+    /// Mean fraction of active peers reachable within the given TTL from the
+    /// sampled sources.
+    pub ttl_reach_fraction: f64,
+    /// The TTL the reach fraction was computed for.
+    pub ttl: u32,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`, estimating path metrics from up to
+    /// `sample` breadth-first searches and measuring reach at `ttl` hops.
+    ///
+    /// Sources are taken deterministically (evenly spaced peer ids) so the
+    /// statistics are reproducible without threading an RNG through.
+    pub fn compute(graph: &OverlayGraph, ttl: u32, sample: usize) -> Self {
+        let active: Vec<PeerId> = graph.active_peers().collect();
+        let peers = active.len();
+        let degrees: Vec<usize> = active.iter().map(|&p| graph.degree(p)).collect();
+        let max_degree = degrees.iter().copied().max().unwrap_or(0);
+        let min_degree = degrees.iter().copied().min().unwrap_or(0);
+
+        let sources: Vec<PeerId> = if peers == 0 {
+            Vec::new()
+        } else {
+            let step = (peers / sample.max(1)).max(1);
+            active.iter().step_by(step).take(sample.max(1)).copied().collect()
+        };
+
+        let mut max_eccentricity = 0u32;
+        let mut path_length_sum = 0.0f64;
+        let mut path_count = 0usize;
+        let mut reach_sum = 0.0f64;
+        for &source in &sources {
+            let distances = bfs_distances(graph, source);
+            let mut reached_within_ttl = 0usize;
+            for (&peer, &distance) in active.iter().zip(distances_for(&active, &distances)) {
+                if peer == source {
+                    continue;
+                }
+                if let Some(d) = distance {
+                    max_eccentricity = max_eccentricity.max(d);
+                    path_length_sum += f64::from(d);
+                    path_count += 1;
+                    if d <= ttl {
+                        reached_within_ttl += 1;
+                    }
+                }
+            }
+            if peers > 1 {
+                reach_sum += reached_within_ttl as f64 / (peers - 1) as f64;
+            }
+        }
+
+        GraphStats {
+            peers,
+            edges: graph.edge_count(),
+            average_degree: graph.average_degree(),
+            max_degree,
+            min_degree,
+            connected: graph.is_connected(),
+            estimated_diameter: max_eccentricity,
+            average_path_length: if path_count == 0 {
+                0.0
+            } else {
+                path_length_sum / path_count as f64
+            },
+            ttl_reach_fraction: if sources.is_empty() {
+                0.0
+            } else {
+                reach_sum / sources.len() as f64
+            },
+            ttl,
+        }
+    }
+
+    /// Renders the statistics as `key: value` lines for reports.
+    pub fn render(&self) -> String {
+        format!(
+            "peers: {}\nedges: {}\naverage degree: {:.2}\ndegree range: {}..={}\nconnected: {}\n\
+             estimated diameter: {}\naverage path length: {:.2}\nTTL-{} reach: {:.1}% of peers\n",
+            self.peers,
+            self.edges,
+            self.average_degree,
+            self.min_degree,
+            self.max_degree,
+            self.connected,
+            self.estimated_diameter,
+            self.average_path_length,
+            self.ttl,
+            self.ttl_reach_fraction * 100.0
+        )
+    }
+}
+
+/// Hop distances from `source` to every peer id (by index), `None` if
+/// unreachable or inactive.
+fn bfs_distances(graph: &OverlayGraph, source: PeerId) -> Vec<Option<u32>> {
+    let mut distances: Vec<Option<u32>> = vec![None; graph.len()];
+    if !graph.is_active(source) {
+        return distances;
+    }
+    distances[source.index()] = Some(0);
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(p) = queue.pop_front() {
+        let d = distances[p.index()].expect("queued peers have a distance");
+        for &n in graph.neighbors(p) {
+            if graph.is_active(n) && distances[n.index()].is_none() {
+                distances[n.index()] = Some(d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    distances
+}
+
+/// Projects the distance vector onto the active-peer list order.
+fn distances_for<'a>(
+    active: &'a [PeerId],
+    distances: &'a [Option<u32>],
+) -> impl Iterator<Item = &'a Option<u32>> + 'a {
+    active.iter().map(move |p| &distances[p.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, GraphModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> OverlayGraph {
+        let mut g = OverlayGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(PeerId(i as u32), PeerId(i as u32 + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn path_graph_statistics_are_exact() {
+        let g = path_graph(10);
+        let stats = GraphStats::compute(&g, 3, 10);
+        assert_eq!(stats.peers, 10);
+        assert_eq!(stats.edges, 9);
+        assert_eq!(stats.max_degree, 2);
+        assert_eq!(stats.min_degree, 1);
+        assert!(stats.connected);
+        assert_eq!(stats.estimated_diameter, 9, "a 10-peer path has diameter 9");
+        // From an end of the path, TTL 3 reaches 3 of the 9 other peers.
+        assert!(stats.ttl_reach_fraction > 0.0 && stats.ttl_reach_fraction < 1.0);
+    }
+
+    #[test]
+    fn full_sampling_equals_partial_sampling_on_symmetric_graphs() {
+        // A cycle is vertex-transitive, so any sample gives the same answer.
+        let mut g = OverlayGraph::new(12);
+        for i in 0..12u32 {
+            g.add_edge(PeerId(i), PeerId((i + 1) % 12));
+        }
+        let full = GraphStats::compute(&g, 2, 12);
+        let sampled = GraphStats::compute(&g, 2, 3);
+        assert_eq!(full.estimated_diameter, sampled.estimated_diameter);
+        assert!((full.average_path_length - sampled.average_path_length).abs() < 1e-9);
+        assert!((full.ttl_reach_fraction - sampled.ttl_reach_fraction).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_overlay_matches_paper_scale_expectations() {
+        let g = GeneratorConfig {
+            peers: 1000,
+            average_degree: 3.0,
+            model: GraphModel::Random,
+        }
+        .generate(&mut StdRng::seed_from_u64(1));
+        let stats = GraphStats::compute(&g, 7, 8);
+        assert!(stats.connected);
+        assert!((2.5..3.5).contains(&stats.average_degree));
+        assert!(
+            stats.ttl_reach_fraction > 0.15,
+            "a TTL-7 flood should cover a sizeable share of a 1000-peer overlay, got {:.2}",
+            stats.ttl_reach_fraction
+        );
+        assert!(stats.estimated_diameter >= 7, "degree-3 random graphs are not that small");
+        assert!(stats.average_path_length > 3.0);
+    }
+
+    #[test]
+    fn departed_peers_are_excluded() {
+        let mut g = path_graph(5);
+        g.depart(PeerId(4));
+        let stats = GraphStats::compute(&g, 2, 5);
+        assert_eq!(stats.peers, 4);
+        assert!(stats.connected, "remaining path of 4 peers is still connected");
+    }
+
+    #[test]
+    fn render_contains_the_headline_numbers() {
+        let stats = GraphStats::compute(&path_graph(4), 2, 4);
+        let text = stats.render();
+        assert!(text.contains("peers: 4"));
+        assert!(text.contains("edges: 3"));
+        assert!(text.contains("TTL-2 reach"));
+    }
+
+    #[test]
+    fn empty_graph_is_handled() {
+        let g = OverlayGraph::new(0);
+        let stats = GraphStats::compute(&g, 7, 4);
+        assert_eq!(stats.peers, 0);
+        assert_eq!(stats.estimated_diameter, 0);
+        assert_eq!(stats.ttl_reach_fraction, 0.0);
+    }
+}

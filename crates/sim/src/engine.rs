@@ -1,0 +1,316 @@
+//! The simulation execution loop.
+//!
+//! [`Engine`] owns the clock and the event queue. User code schedules events
+//! (either up front or from within handlers, via [`EngineContext`]) and then
+//! calls [`Engine::run`] / [`Engine::run_until`] with a handler closure. The
+//! engine repeatedly pops the earliest event, advances the clock to its firing
+//! time and invokes the handler.
+
+use crate::event::{EventId, ScheduledEvent};
+use crate::queue::EventQueue;
+use crate::time::{Duration, SimTime};
+
+/// Why a run loop terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCondition {
+    /// The event queue drained completely.
+    QueueExhausted,
+    /// The configured time horizon was reached before the queue drained.
+    HorizonReached,
+    /// The configured event budget was reached before the queue drained.
+    EventBudgetReached,
+    /// A handler requested an early stop through [`EngineContext::request_stop`].
+    Requested,
+}
+
+/// Summary statistics of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of events dispatched to the handler.
+    pub dispatched: u64,
+    /// Simulated time at which the run stopped.
+    pub end_time: SimTime,
+    /// Why the run stopped.
+    pub stopped: StopCondition,
+}
+
+/// Handler-facing view of the engine: the current time plus the ability to
+/// schedule further events and to request an early stop.
+#[derive(Debug)]
+pub struct EngineContext<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> EngineContext<'a, E> {
+    /// Current simulated time (the firing time of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Duration, payload: E) -> EventId {
+        self.queue.schedule(self.now + delay, payload)
+    }
+
+    /// Schedules `payload` at an absolute time. Times in the past are clamped
+    /// to "immediately after the current event" so the clock never runs
+    /// backwards.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        self.queue.schedule(at, payload)
+    }
+
+    /// Number of events still pending (not counting the one being handled).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Asks the engine to stop after the current handler returns.
+    pub fn request_stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// A deterministic discrete-event simulation engine.
+///
+/// The payload type `E` is the event vocabulary of the embedding simulation;
+/// the engine never inspects it.
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    dispatched: u64,
+    max_events: Option<u64>,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with an empty queue and the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            dispatched: 0,
+            max_events: None,
+        }
+    }
+
+    /// Caps the total number of events a single run may dispatch.
+    ///
+    /// This is a safety valve against accidental event storms (e.g. a protocol
+    /// bug that floods without decrementing TTL); well-formed simulations never
+    /// hit it.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far over the engine's lifetime.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute time before the run starts (or between
+    /// runs). Times earlier than the current clock are clamped to the clock.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        self.queue.schedule(at, payload)
+    }
+
+    /// Schedules an event `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: Duration, payload: E) -> EventId {
+        self.queue.schedule(self.now + delay, payload)
+    }
+
+    /// Runs until the queue is exhausted (or the event budget is hit).
+    pub fn run<F>(&mut self, handler: F) -> RunStats
+    where
+        F: FnMut(&mut EngineContext<'_, E>, E),
+    {
+        self.run_until(SimTime::MAX, handler)
+    }
+
+    /// Runs until the queue is exhausted, the clock would pass `horizon`, the
+    /// event budget is hit, or a handler requests a stop — whichever comes
+    /// first. Events scheduled exactly at `horizon` are still dispatched.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F) -> RunStats
+    where
+        F: FnMut(&mut EngineContext<'_, E>, E),
+    {
+        let start_dispatched = self.dispatched;
+        let stopped = loop {
+            if let Some(max) = self.max_events {
+                if self.dispatched - start_dispatched >= max {
+                    break StopCondition::EventBudgetReached;
+                }
+            }
+            let next_time = match self.queue.peek_time() {
+                None => break StopCondition::QueueExhausted,
+                Some(t) => t,
+            };
+            if next_time > horizon {
+                break StopCondition::HorizonReached;
+            }
+            let ScheduledEvent { at, payload, .. } = self
+                .queue
+                .pop()
+                .expect("peek_time returned Some, pop must succeed");
+            debug_assert!(at >= self.now, "event queue must never run time backwards");
+            self.now = at;
+            self.dispatched += 1;
+
+            let mut stop_requested = false;
+            {
+                let mut ctx = EngineContext {
+                    now: self.now,
+                    queue: &mut self.queue,
+                    stop_requested: &mut stop_requested,
+                };
+                handler(&mut ctx, payload);
+            }
+            if stop_requested {
+                break StopCondition::Requested;
+            }
+        };
+
+        RunStats {
+            dispatched: self.dispatched - start_dispatched,
+            end_time: self.now,
+            stopped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        Tick(u32),
+        Chain(u32),
+    }
+
+    #[test]
+    fn runs_events_in_time_order() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_millis(20), Ev::Tick(2));
+        engine.schedule(SimTime::from_millis(10), Ev::Tick(1));
+        engine.schedule(SimTime::from_millis(30), Ev::Tick(3));
+
+        let mut seen = Vec::new();
+        let stats = engine.run(|ctx, ev| {
+            if let Ev::Tick(i) = ev {
+                seen.push((i, ctx.now()));
+            }
+        });
+
+        assert_eq!(stats.dispatched, 3);
+        assert_eq!(stats.stopped, StopCondition::QueueExhausted);
+        assert_eq!(
+            seen,
+            vec![
+                (1, SimTime::from_millis(10)),
+                (2, SimTime::from_millis(20)),
+                (3, SimTime::from_millis(30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_up_events() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::ZERO, Ev::Chain(0));
+
+        let mut count = 0u32;
+        let stats = engine.run(|ctx, ev| {
+            if let Ev::Chain(i) = ev {
+                count += 1;
+                if i < 9 {
+                    ctx.schedule_in(Duration::from_millis(1), Ev::Chain(i + 1));
+                }
+            }
+        });
+
+        assert_eq!(count, 10);
+        assert_eq!(stats.end_time, SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn horizon_stops_the_run_but_keeps_pending_events() {
+        let mut engine = Engine::new();
+        for i in 0..10 {
+            engine.schedule(SimTime::from_secs(i), Ev::Tick(i as u32));
+        }
+        let stats = engine.run_until(SimTime::from_secs(4), |_, _| {});
+        assert_eq!(stats.stopped, StopCondition::HorizonReached);
+        assert_eq!(stats.dispatched, 5, "events at t=0..=4s inclusive");
+        assert_eq!(engine.pending(), 5);
+
+        // A subsequent run picks up where the first left off.
+        let stats2 = engine.run(|_, _| {});
+        assert_eq!(stats2.dispatched, 5);
+        assert_eq!(stats2.stopped, StopCondition::QueueExhausted);
+        assert_eq!(engine.now(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn event_budget_is_enforced() {
+        let mut engine = Engine::new().with_max_events(100);
+        engine.schedule(SimTime::ZERO, Ev::Chain(0));
+        let stats = engine.run(|ctx, _| {
+            // Infinite chain: every event schedules another one.
+            ctx.schedule_in(Duration::from_millis(1), Ev::Chain(0));
+        });
+        assert_eq!(stats.stopped, StopCondition::EventBudgetReached);
+        assert_eq!(stats.dispatched, 100);
+    }
+
+    #[test]
+    fn request_stop_halts_immediately() {
+        let mut engine = Engine::new();
+        for i in 0..10 {
+            engine.schedule(SimTime::from_millis(i), Ev::Tick(i as u32));
+        }
+        let stats = engine.run(|ctx, ev| {
+            if ev == Ev::Tick(3) {
+                ctx.request_stop();
+            }
+        });
+        assert_eq!(stats.stopped, StopCondition::Requested);
+        assert_eq!(stats.dispatched, 4);
+        assert_eq!(engine.pending(), 6);
+    }
+
+    #[test]
+    fn past_times_are_clamped_to_now() {
+        let mut engine = Engine::new();
+        engine.schedule(SimTime::from_secs(10), Ev::Tick(0));
+        let mut times = Vec::new();
+        engine.run(|ctx, ev| {
+            if ev == Ev::Tick(0) {
+                // Try to schedule "in the past"; it must fire at now, not before.
+                ctx.schedule_at(SimTime::ZERO, Ev::Tick(1));
+            }
+            times.push(ctx.now());
+        });
+        assert_eq!(times, vec![SimTime::from_secs(10), SimTime::from_secs(10)]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Scheduled events and their ordering.
+//!
+//! Events are ordered first by their firing time, then by a monotonically
+//! increasing sequence number. The sequence number guarantees a *stable* FIFO
+//! order among events scheduled for the same instant, which is essential for
+//! reproducibility: two runs with the same seed must dispatch identical event
+//! sequences.
+
+use std::cmp::Ordering;
+
+use crate::time::SimTime;
+
+/// Unique, monotonically increasing identifier assigned to each scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u64);
+
+impl EventId {
+    /// The first event id handed out by a fresh queue.
+    pub const FIRST: EventId = EventId(0);
+
+    /// Returns the next id in sequence.
+    pub fn next(self) -> EventId {
+        EventId(self.0 + 1)
+    }
+}
+
+/// An event together with the time at which it fires and its insertion sequence.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Insertion order; breaks ties among events with equal `at`.
+    pub id: EventId,
+    /// User payload.
+    pub payload: E,
+}
+
+impl<E> ScheduledEvent<E> {
+    /// Creates a new scheduled event.
+    pub fn new(at: SimTime, id: EventId, payload: E) -> Self {
+        ScheduledEvent { at, id, payload }
+    }
+
+    /// The ordering key `(time, sequence)`.
+    pub fn key(&self) -> (SimTime, EventId) {
+        (self.at, self.id)
+    }
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_by_time_then_sequence() {
+        let a = ScheduledEvent::new(SimTime::from_millis(5), EventId(0), ());
+        let b = ScheduledEvent::new(SimTime::from_millis(5), EventId(1), ());
+        let c = ScheduledEvent::new(SimTime::from_millis(3), EventId(2), ());
+        assert!(c < a, "earlier time sorts first");
+        assert!(a < b, "same time: lower sequence sorts first");
+    }
+
+    #[test]
+    fn equality_ignores_payload() {
+        let a = ScheduledEvent::new(SimTime::from_millis(1), EventId(7), 10u32);
+        let b = ScheduledEvent::new(SimTime::from_millis(1), EventId(7), 99u32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_id_next_increments() {
+        assert_eq!(EventId::FIRST.next(), EventId(1));
+        assert_eq!(EventId(41).next(), EventId(42));
+    }
+}

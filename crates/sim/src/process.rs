@@ -1,0 +1,119 @@
+//! Periodic processes.
+//!
+//! Several parts of the reproduction run on a fixed period: Bloom-filter
+//! synchronisation rounds between neighbours (§4.2 of the paper) and the
+//! optional churn model. [`PeriodicProcess`] is a tiny helper that tracks the
+//! next firing time of such a process and produces the sequence of ticks that
+//! fall inside a time window, so the embedding simulation can pre-schedule or
+//! lazily re-schedule them.
+
+use crate::time::{Duration, SimTime};
+
+/// A fixed-period recurring process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicProcess {
+    period: Duration,
+    next_fire: SimTime,
+    fired: u64,
+}
+
+impl PeriodicProcess {
+    /// Creates a process that first fires at `start` and then every `period`.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero — a zero-period process would livelock the
+    /// event loop.
+    pub fn new(start: SimTime, period: Duration) -> Self {
+        assert!(!period.is_zero(), "periodic process period must be non-zero");
+        PeriodicProcess {
+            period,
+            next_fire: start,
+            fired: 0,
+        }
+    }
+
+    /// The period between consecutive firings.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// The next time this process is due to fire.
+    pub fn next_fire(&self) -> SimTime {
+        self.next_fire
+    }
+
+    /// Number of times [`advance`](Self::advance) has been called.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Marks the pending firing as done and moves to the next one, returning
+    /// the time of the firing that was consumed.
+    pub fn advance(&mut self) -> SimTime {
+        let fired_at = self.next_fire;
+        self.next_fire = self.next_fire + self.period;
+        self.fired += 1;
+        fired_at
+    }
+
+    /// Returns every firing time in `(from, to]`, advancing the process past
+    /// them. Useful when a simulation wants to catch up on missed ticks.
+    pub fn ticks_until(&mut self, to: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        while self.next_fire <= to {
+            out.push(self.advance());
+        }
+        out
+    }
+
+    /// True if the process is due at or before `now`.
+    pub fn is_due(&self, now: SimTime) -> bool {
+        self.next_fire <= now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_a_fixed_grid() {
+        let mut p = PeriodicProcess::new(SimTime::from_secs(1), Duration::from_secs(2));
+        assert_eq!(p.advance(), SimTime::from_secs(1));
+        assert_eq!(p.advance(), SimTime::from_secs(3));
+        assert_eq!(p.advance(), SimTime::from_secs(5));
+        assert_eq!(p.fired(), 3);
+        assert_eq!(p.next_fire(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn ticks_until_collects_all_due_firings() {
+        let mut p = PeriodicProcess::new(SimTime::ZERO, Duration::from_millis(100));
+        let ticks = p.ticks_until(SimTime::from_millis(350));
+        assert_eq!(
+            ticks,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(100),
+                SimTime::from_millis(200),
+                SimTime::from_millis(300),
+            ]
+        );
+        assert_eq!(p.next_fire(), SimTime::from_millis(400));
+        assert!(p.ticks_until(SimTime::from_millis(399)).is_empty());
+    }
+
+    #[test]
+    fn is_due_respects_boundaries() {
+        let p = PeriodicProcess::new(SimTime::from_millis(10), Duration::from_millis(10));
+        assert!(!p.is_due(SimTime::from_millis(9)));
+        assert!(p.is_due(SimTime::from_millis(10)));
+        assert!(p.is_due(SimTime::from_millis(11)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_panics() {
+        let _ = PeriodicProcess::new(SimTime::ZERO, Duration::ZERO);
+    }
+}

@@ -1,0 +1,145 @@
+//! The time-ordered event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that pops events in
+//! chronological order (earliest first) with stable FIFO tie-breaking provided
+//! by [`EventId`] sequence numbers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::event::{EventId, ScheduledEvent};
+use crate::time::SimTime;
+
+/// A priority queue of scheduled events, popped in chronological order.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<ScheduledEvent<E>>>,
+    next_id: EventId,
+    scheduled_total: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_id: EventId::FIRST,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_id: EventId::FIRST,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns the assigned [`EventId`].
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let id = self.next_id;
+        self.next_id = self.next_id.next();
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(ScheduledEvent::new(at, id, payload)));
+        id
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+
+    /// Returns the firing time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(ev)| ev.at)
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_chronological_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        let expected: Vec<_> = (0..100).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_millis(7), ());
+        q.schedule(SimTime::from_millis(3), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.at, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn counters_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        // scheduled_total is a lifetime counter and survives clear().
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn event_ids_are_unique_and_increasing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::ZERO, ());
+        let b = q.schedule(SimTime::ZERO, ());
+        let c = q.schedule(SimTime::from_secs(1), ());
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,215 @@
+//! Query arrival process.
+//!
+//! §5.1 fixes the arrival rate at *0.00083 queries per second per peer*. The
+//! aggregate process over `N` peers is Poisson with rate `N × 0.00083`; each
+//! arrival is attributed to a uniformly random peer. [`ArrivalProcess`]
+//! generates the `(time, peer)` sequence either up to a horizon or up to a
+//! fixed number of queries (the figures sweep the *number of queries*, so the
+//! count-bounded form is what the experiment harness uses).
+
+use locaware_sim::{Duration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One query arrival: when and at which peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// The time the query is issued.
+    pub at: SimTime,
+    /// The peer issuing it (index into the peer population).
+    pub peer: usize,
+}
+
+/// Configuration of the arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalConfig {
+    /// Number of peers in the population.
+    pub peers: usize,
+    /// Per-peer query rate in queries per second (paper: 0.00083).
+    pub rate_per_peer: f64,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            peers: 1000,
+            rate_per_peer: crate::PAPER_QUERY_RATE_PER_PEER,
+        }
+    }
+}
+
+impl ArrivalConfig {
+    /// The aggregate Poisson rate over the whole population (queries/second).
+    pub fn aggregate_rate(&self) -> f64 {
+        self.peers as f64 * self.rate_per_peer
+    }
+}
+
+/// Generates Poisson query arrivals.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    config: ArrivalConfig,
+}
+
+impl ArrivalProcess {
+    /// Creates an arrival process.
+    ///
+    /// # Panics
+    /// Panics if the configuration has no peers or a non-positive rate.
+    pub fn new(config: ArrivalConfig) -> Self {
+        assert!(config.peers > 0, "arrival process needs at least one peer");
+        assert!(
+            config.rate_per_peer > 0.0 && config.rate_per_peer.is_finite(),
+            "per-peer rate must be positive and finite"
+        );
+        ArrivalProcess { config }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ArrivalConfig {
+        &self.config
+    }
+
+    /// Generates exactly `count` arrivals starting from time zero.
+    pub fn generate_count<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> Vec<Arrival> {
+        let rate = self.config.aggregate_rate();
+        let mut now = SimTime::ZERO;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            now = now + Duration::from_secs_f64(exponential(rng, 1.0 / rate));
+            out.push(Arrival {
+                at: now,
+                peer: rng.gen_range(0..self.config.peers),
+            });
+        }
+        out
+    }
+
+    /// Generates every arrival up to `horizon`.
+    pub fn generate_until<R: Rng + ?Sized>(&self, horizon: SimTime, rng: &mut R) -> Vec<Arrival> {
+        let rate = self.config.aggregate_rate();
+        let mut now = SimTime::ZERO;
+        let mut out = Vec::new();
+        loop {
+            now = now + Duration::from_secs_f64(exponential(rng, 1.0 / rate));
+            if now > horizon {
+                break;
+            }
+            out.push(Arrival {
+                at: now,
+                peer: rng.gen_range(0..self.config.peers),
+            });
+        }
+        out
+    }
+
+    /// Expected number of arrivals within `window`.
+    pub fn expected_count(&self, window: Duration) -> f64 {
+        self.config.aggregate_rate() * window.as_secs_f64()
+    }
+}
+
+/// Exponential sample with the given mean via inverse-CDF.
+fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn count_bounded_generation_is_monotone_and_sized() {
+        let p = ArrivalProcess::new(ArrivalConfig::default());
+        let arrivals = p.generate_count(500, &mut StdRng::seed_from_u64(1));
+        assert_eq!(arrivals.len(), 500);
+        for w in arrivals.windows(2) {
+            assert!(w[0].at <= w[1].at, "arrival times must be non-decreasing");
+        }
+        for a in &arrivals {
+            assert!(a.peer < 1000);
+        }
+    }
+
+    #[test]
+    fn aggregate_rate_matches_paper_numbers() {
+        let cfg = ArrivalConfig::default();
+        // 1000 peers × 0.00083 q/s = 0.83 q/s for the whole system.
+        assert!((cfg.aggregate_rate() - 0.83).abs() < 1e-9);
+        let p = ArrivalProcess::new(cfg);
+        assert!((p.expected_count(Duration::from_secs(1000)) - 830.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn horizon_bounded_generation_respects_the_horizon() {
+        let p = ArrivalProcess::new(ArrivalConfig {
+            peers: 100,
+            rate_per_peer: 0.01,
+        });
+        let horizon = SimTime::from_secs(10_000);
+        let arrivals = p.generate_until(horizon, &mut StdRng::seed_from_u64(2));
+        assert!(!arrivals.is_empty());
+        for a in &arrivals {
+            assert!(a.at <= horizon);
+        }
+        // Expected about rate × horizon = 1 q/s × 10_000 s = 10_000 arrivals.
+        let expected = p.expected_count(Duration::from_secs(10_000));
+        let got = arrivals.len() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.1,
+            "got {got}, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn inter_arrival_mean_matches_rate() {
+        let p = ArrivalProcess::new(ArrivalConfig::default());
+        let arrivals = p.generate_count(20_000, &mut StdRng::seed_from_u64(3));
+        let total = arrivals.last().unwrap().at.as_secs_f64();
+        let mean_gap = total / arrivals.len() as f64;
+        let expected_gap = 1.0 / p.config().aggregate_rate();
+        assert!(
+            (mean_gap - expected_gap).abs() < expected_gap * 0.05,
+            "mean gap {mean_gap}, expected {expected_gap}"
+        );
+    }
+
+    #[test]
+    fn peers_are_hit_roughly_uniformly() {
+        let p = ArrivalProcess::new(ArrivalConfig {
+            peers: 10,
+            rate_per_peer: 0.01,
+        });
+        let arrivals = p.generate_count(10_000, &mut StdRng::seed_from_u64(4));
+        let mut counts = [0usize; 10];
+        for a in &arrivals {
+            counts[a.peer] += 1;
+        }
+        for (peer, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "peer {peer} issued {c} of 10000 queries; expected ≈1000"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = ArrivalProcess::new(ArrivalConfig::default());
+        let a = p.generate_count(100, &mut StdRng::seed_from_u64(5));
+        let b = p.generate_count(100, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_rate_is_rejected() {
+        let _ = ArrivalProcess::new(ArrivalConfig {
+            peers: 10,
+            rate_per_peer: 0.0,
+        });
+    }
+}

@@ -1,0 +1,331 @@
+//! The file catalog: filenames, their keywords and the ground-truth match
+//! relation between queries and files.
+//!
+//! §3.3 defines the matching rule: a query `q = {kw_i ∈ f}` (1 ≤ |q| ≤ K) "can
+//! be satisfied by any file f which filename contains all keywords of q"
+//! (§3.1). The catalog materialises the keyword → files inverted index so both
+//! the protocols (matching a query against locally stored files) and the
+//! metrics (was a returned file actually a correct answer?) agree on one
+//! definition of satisfaction.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::keywords::{KeywordId, KeywordPool};
+
+/// Identifies a file (and its filename) in the global pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+impl FileId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A filename: the ordered list of keywords composing it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Filename {
+    keywords: Vec<KeywordId>,
+}
+
+impl Filename {
+    /// Creates a filename from its keywords.
+    ///
+    /// # Panics
+    /// Panics if the keyword list is empty.
+    pub fn new(keywords: Vec<KeywordId>) -> Self {
+        assert!(!keywords.is_empty(), "a filename needs at least one keyword");
+        Filename { keywords }
+    }
+
+    /// The keywords of this filename, in order.
+    pub fn keywords(&self) -> &[KeywordId] {
+        &self.keywords
+    }
+
+    /// Number of keywords (the paper's `K`).
+    pub fn len(&self) -> usize {
+        self.keywords.len()
+    }
+
+    /// True if the filename has no keywords (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.keywords.is_empty()
+    }
+
+    /// True if this filename contains every keyword in `query_keywords`
+    /// (the §3.1 satisfaction rule).
+    pub fn matches(&self, query_keywords: &[KeywordId]) -> bool {
+        query_keywords.iter().all(|kw| self.keywords.contains(kw))
+    }
+
+    /// Human-readable rendering, e.g. `"beso42 lurim17 tona8.mp3"`.
+    pub fn display(&self) -> String {
+        let words: Vec<String> = self.keywords.iter().map(|k| k.canonical()).collect();
+        format!("{}.mp3", words.join(" "))
+    }
+}
+
+/// Configuration of catalog generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Number of files (paper: 3000).
+    pub files: usize,
+    /// Number of keywords in the pool (paper: 9000).
+    pub keywords: usize,
+    /// Keywords per filename (paper: 3).
+    pub keywords_per_file: usize,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            files: crate::PAPER_FILE_POOL,
+            keywords: crate::PAPER_KEYWORD_POOL,
+            keywords_per_file: crate::PAPER_KEYWORDS_PER_FILE,
+        }
+    }
+}
+
+/// The global catalog of files, their filenames and the inverted index.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    pool: KeywordPool,
+    filenames: Vec<Filename>,
+    /// keyword → files whose filename contains it.
+    inverted: HashMap<KeywordId, Vec<FileId>>,
+}
+
+impl Catalog {
+    /// Generates a catalog according to `config`, drawing from `rng`
+    /// (typically the `StreamId::Catalog` stream).
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent (zero files, or more
+    /// keywords per file than the pool holds).
+    pub fn generate<R: Rng + ?Sized>(config: CatalogConfig, rng: &mut R) -> Self {
+        assert!(config.files > 0, "catalog must contain at least one file");
+        assert!(
+            config.keywords_per_file > 0 && config.keywords_per_file <= config.keywords,
+            "keywords per file must be in 1..=pool size"
+        );
+        let pool = KeywordPool::new(config.keywords);
+        let all_keywords: Vec<KeywordId> = pool.iter().collect();
+
+        let mut filenames = Vec::with_capacity(config.files);
+        let mut inverted: HashMap<KeywordId, Vec<FileId>> = HashMap::new();
+        for f in 0..config.files {
+            let kws: Vec<KeywordId> = all_keywords
+                .choose_multiple(rng, config.keywords_per_file)
+                .copied()
+                .collect();
+            for &kw in &kws {
+                inverted.entry(kw).or_default().push(FileId(f as u32));
+            }
+            filenames.push(Filename::new(kws));
+        }
+        Catalog {
+            pool,
+            filenames,
+            inverted,
+        }
+    }
+
+    /// Builds a catalog from explicit filenames (used by tests and examples).
+    pub fn from_filenames(pool: KeywordPool, filenames: Vec<Filename>) -> Self {
+        let mut inverted: HashMap<KeywordId, Vec<FileId>> = HashMap::new();
+        for (i, fname) in filenames.iter().enumerate() {
+            for &kw in fname.keywords() {
+                inverted.entry(kw).or_default().push(FileId(i as u32));
+            }
+        }
+        Catalog {
+            pool,
+            filenames,
+            inverted,
+        }
+    }
+
+    /// Number of files in the catalog.
+    pub fn len(&self) -> usize {
+        self.filenames.len()
+    }
+
+    /// True if the catalog holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.filenames.is_empty()
+    }
+
+    /// The keyword pool the catalog draws from.
+    pub fn keyword_pool(&self) -> &KeywordPool {
+        &self.pool
+    }
+
+    /// The filename of `file`.
+    ///
+    /// # Panics
+    /// Panics if the file id is out of range.
+    pub fn filename(&self, file: FileId) -> &Filename {
+        &self.filenames[file.index()]
+    }
+
+    /// Iterator over all file ids.
+    pub fn files(&self) -> impl Iterator<Item = FileId> {
+        (0..self.filenames.len() as u32).map(FileId)
+    }
+
+    /// Files whose filename contains `keyword`.
+    pub fn files_with_keyword(&self, keyword: KeywordId) -> &[FileId] {
+        self.inverted
+            .get(&keyword)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All files satisfying a query (containing **all** its keywords).
+    ///
+    /// This is the ground truth the metrics use; protocols must never do better
+    /// than this set.
+    pub fn matching_files(&self, query_keywords: &[KeywordId]) -> Vec<FileId> {
+        match query_keywords.first() {
+            None => Vec::new(),
+            Some(&first) => self
+                .files_with_keyword(first)
+                .iter()
+                .copied()
+                .filter(|&f| self.filename(f).matches(query_keywords))
+                .collect(),
+        }
+    }
+
+    /// True if `file` satisfies the query.
+    pub fn file_matches(&self, file: FileId, query_keywords: &[KeywordId]) -> bool {
+        self.filename(file).matches(query_keywords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_catalog() -> Catalog {
+        // f0 = {0,1,2}, f1 = {2,3,4}, f2 = {0,2,4}
+        let pool = KeywordPool::new(5);
+        Catalog::from_filenames(
+            pool,
+            vec![
+                Filename::new(vec![KeywordId(0), KeywordId(1), KeywordId(2)]),
+                Filename::new(vec![KeywordId(2), KeywordId(3), KeywordId(4)]),
+                Filename::new(vec![KeywordId(0), KeywordId(2), KeywordId(4)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn generated_catalog_matches_paper_dimensions() {
+        let catalog = Catalog::generate(CatalogConfig::default(), &mut StdRng::seed_from_u64(1));
+        assert_eq!(catalog.len(), 3000);
+        assert_eq!(catalog.keyword_pool().len(), 9000);
+        for f in catalog.files().take(50) {
+            let fname = catalog.filename(f);
+            assert_eq!(fname.len(), 3);
+            // Keywords inside one filename are distinct (choose_multiple).
+            let mut kws = fname.keywords().to_vec();
+            kws.sort_unstable();
+            kws.dedup();
+            assert_eq!(kws.len(), 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Catalog::generate(CatalogConfig::default(), &mut StdRng::seed_from_u64(5));
+        let b = Catalog::generate(CatalogConfig::default(), &mut StdRng::seed_from_u64(5));
+        for f in a.files().take(100) {
+            assert_eq!(a.filename(f), b.filename(f));
+        }
+    }
+
+    #[test]
+    fn inverted_index_is_consistent_with_filenames() {
+        let catalog = Catalog::generate(
+            CatalogConfig {
+                files: 200,
+                keywords: 300,
+                keywords_per_file: 3,
+            },
+            &mut StdRng::seed_from_u64(2),
+        );
+        for f in catalog.files() {
+            for &kw in catalog.filename(f).keywords() {
+                assert!(
+                    catalog.files_with_keyword(kw).contains(&f),
+                    "inverted index must list {f} under {kw}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matching_follows_the_all_keywords_rule() {
+        let c = tiny_catalog();
+        // Single keyword 2 appears in every file.
+        assert_eq!(c.matching_files(&[KeywordId(2)]).len(), 3);
+        // {0, 2} appears in f0 and f2.
+        let m = c.matching_files(&[KeywordId(0), KeywordId(2)]);
+        assert_eq!(m, vec![FileId(0), FileId(2)]);
+        // {1, 3} appears in no single file.
+        assert!(c.matching_files(&[KeywordId(1), KeywordId(3)]).is_empty());
+        // Empty queries match nothing (they are never generated).
+        assert!(c.matching_files(&[]).is_empty());
+    }
+
+    #[test]
+    fn file_matches_agrees_with_matching_files() {
+        let c = tiny_catalog();
+        let q = [KeywordId(0), KeywordId(2)];
+        for f in c.files() {
+            assert_eq!(c.file_matches(f, &q), c.matching_files(&q).contains(&f));
+        }
+    }
+
+    #[test]
+    fn filename_display_is_readable() {
+        let f = Filename::new(vec![KeywordId(1), KeywordId(2)]);
+        let s = f.display();
+        assert!(s.ends_with(".mp3"));
+        assert!(s.contains(' '));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one keyword")]
+    fn empty_filename_is_rejected() {
+        let _ = Filename::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "keywords per file")]
+    fn too_many_keywords_per_file_is_rejected() {
+        let _ = Catalog::generate(
+            CatalogConfig {
+                files: 10,
+                keywords: 2,
+                keywords_per_file: 3,
+            },
+            &mut StdRng::seed_from_u64(0),
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Initial placement of shared files on peers.
+//!
+//! §5.1: *"each peer initially shares 3 files, randomly chosen from a pool of
+//! 3000"*. The placement is the system's starting replica distribution; natural
+//! replication (requestors keeping downloaded files) then grows it during the
+//! run, which is exactly the effect Locaware exploits.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::FileId;
+
+/// Configuration of the initial placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementConfig {
+    /// Number of peers.
+    pub peers: usize,
+    /// Number of files each peer initially shares (paper: 3).
+    pub files_per_peer: usize,
+    /// Size of the file pool to draw from (paper: 3000).
+    pub file_pool: usize,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            peers: 1000,
+            files_per_peer: crate::PAPER_FILES_PER_PEER,
+            file_pool: crate::PAPER_FILE_POOL,
+        }
+    }
+}
+
+/// The initial assignment of files to peers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InitialPlacement {
+    /// `shared[p]` = the files peer `p` initially shares (sorted, distinct).
+    shared: Vec<Vec<FileId>>,
+}
+
+impl InitialPlacement {
+    /// Generates a placement according to `config`, drawing from `rng`
+    /// (typically the `StreamId::FilePlacement` stream).
+    ///
+    /// # Panics
+    /// Panics if a peer is asked to share more files than the pool contains.
+    pub fn generate<R: Rng + ?Sized>(config: PlacementConfig, rng: &mut R) -> Self {
+        assert!(
+            config.files_per_peer <= config.file_pool,
+            "cannot share more distinct files than the pool contains"
+        );
+        let all_files: Vec<FileId> = (0..config.file_pool as u32).map(FileId).collect();
+        let shared = (0..config.peers)
+            .map(|_| {
+                let mut files: Vec<FileId> = all_files
+                    .choose_multiple(rng, config.files_per_peer)
+                    .copied()
+                    .collect();
+                files.sort_unstable();
+                files
+            })
+            .collect();
+        InitialPlacement { shared }
+    }
+
+    /// Builds a placement from explicit per-peer file lists (tests, examples).
+    pub fn from_lists(shared: Vec<Vec<FileId>>) -> Self {
+        InitialPlacement {
+            shared: shared
+                .into_iter()
+                .map(|mut files| {
+                    files.sort_unstable();
+                    files.dedup();
+                    files
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of peers covered by the placement.
+    pub fn peers(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Files initially shared by peer `p`.
+    pub fn files_of(&self, peer: usize) -> &[FileId] {
+        &self.shared[peer]
+    }
+
+    /// Iterator over `(peer index, shared files)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[FileId])> {
+        self.shared.iter().enumerate().map(|(i, v)| (i, v.as_slice()))
+    }
+
+    /// Number of initial replicas of `file` across all peers.
+    pub fn replica_count(&self, file: FileId) -> usize {
+        self.shared
+            .iter()
+            .filter(|files| files.binary_search(&file).is_ok())
+            .count()
+    }
+
+    /// Total number of (peer, file) share relationships.
+    pub fn total_shared(&self) -> usize {
+        self.shared.iter().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_defaults_give_three_distinct_files_per_peer() {
+        let p = InitialPlacement::generate(PlacementConfig::default(), &mut StdRng::seed_from_u64(1));
+        assert_eq!(p.peers(), 1000);
+        assert_eq!(p.total_shared(), 3000);
+        for (peer, files) in p.iter() {
+            assert_eq!(files.len(), 3, "peer {peer} should share 3 files");
+            let mut dedup = files.to_vec();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "peer {peer} files must be distinct");
+            for f in files {
+                assert!(f.index() < 3000);
+            }
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let a = InitialPlacement::generate(PlacementConfig::default(), &mut StdRng::seed_from_u64(3));
+        let b = InitialPlacement::generate(PlacementConfig::default(), &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = InitialPlacement::generate(PlacementConfig::default(), &mut StdRng::seed_from_u64(1));
+        let b = InitialPlacement::generate(PlacementConfig::default(), &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn replica_counts_add_up() {
+        let cfg = PlacementConfig {
+            peers: 200,
+            files_per_peer: 3,
+            file_pool: 50,
+        };
+        let p = InitialPlacement::generate(cfg, &mut StdRng::seed_from_u64(4));
+        let total: usize = (0..50).map(|f| p.replica_count(FileId(f))).sum();
+        assert_eq!(total, p.total_shared());
+        // With 600 shares over 50 files, every file is very likely replicated.
+        let unreplicated = (0..50).filter(|&f| p.replica_count(FileId(f)) == 0).count();
+        assert!(unreplicated <= 2);
+    }
+
+    #[test]
+    fn from_lists_normalises_input() {
+        let p = InitialPlacement::from_lists(vec![vec![FileId(3), FileId(1), FileId(3)]]);
+        assert_eq!(p.files_of(0), &[FileId(1), FileId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more distinct files")]
+    fn oversized_share_request_is_rejected() {
+        let cfg = PlacementConfig {
+            peers: 2,
+            files_per_peer: 10,
+            file_pool: 5,
+        };
+        let _ = InitialPlacement::generate(cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

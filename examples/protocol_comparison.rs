@@ -1,0 +1,67 @@
+//! Protocol comparison: the paper's four approaches side by side on one
+//! substrate — a miniature of Figures 2–4.
+//!
+//! ```text
+//! cargo run --example protocol_comparison --release
+//! ```
+//!
+//! Runs Flooding, Dicas, Dicas-Keys and Locaware over the identical substrate
+//! and query schedule at three query counts, and prints the three metric
+//! tables plus the headline comparisons the paper quotes in §5.2.
+
+use locaware_suite::prelude::*;
+
+fn main() {
+    let mut config = SimulationConfig::small(300);
+    config.seed = 7;
+    let simulation = Simulation::build(config);
+
+    let query_counts = [300usize, 600, 900];
+    let protocols = locaware::ProtocolKind::PAPER_SET;
+
+    let mut fig2 = Figure::new("Download distance vs queries", "avg download distance (ms)");
+    let mut fig3 = Figure::new("Search traffic vs queries", "messages per query");
+    let mut fig4 = Figure::new("Success rate vs queries", "success rate");
+
+    for &queries in &query_counts {
+        for protocol in protocols {
+            let report = simulation.run(protocol, queries);
+            let x = queries as u64;
+            fig2.push(
+                protocol.label(),
+                SeriesPoint { queries: x, value: report.avg_download_distance_ms() },
+            );
+            fig3.push(
+                protocol.label(),
+                SeriesPoint { queries: x, value: report.avg_messages_per_query() },
+            );
+            fig4.push(
+                protocol.label(),
+                SeriesPoint { queries: x, value: report.success_rate() },
+            );
+        }
+    }
+
+    println!("{}", fig2.to_table());
+    println!("{}", fig3.to_table());
+    println!("{}", fig4.to_table());
+
+    // Headline comparisons at the largest query count.
+    let x = *query_counts.last().unwrap() as u64;
+    let locaware_traffic = fig3.value_at("locaware", x).unwrap();
+    let flooding_traffic = fig3.value_at("flooding", x).unwrap();
+    let locaware_success = fig4.value_at("locaware", x).unwrap();
+    let dicas_success = fig4.value_at("dicas", x).unwrap();
+    let dicas_keys_success = fig4.value_at("dicas-keys", x).unwrap();
+
+    println!("At {x} queries:");
+    println!(
+        "  - Locaware cuts search traffic by {:.1}% vs flooding (paper: ~98%).",
+        100.0 * (1.0 - locaware_traffic / flooding_traffic)
+    );
+    println!(
+        "  - Locaware's success rate is {:+.1}% vs Dicas (paper: +23%) and {:+.1}% vs Dicas-Keys (paper: +33%).",
+        100.0 * (locaware_success / dicas_success - 1.0),
+        100.0 * (locaware_success / dicas_keys_success - 1.0)
+    );
+}

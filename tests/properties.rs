@@ -1,0 +1,232 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+//!
+//! These complement the unit tests in each crate by exploring randomised
+//! inputs: Bloom filters never produce false negatives and deltas round-trip,
+//! locIds encode/decode bijectively, the Zipf sampler is a true distribution,
+//! the response index never exceeds its capacities under arbitrary operation
+//! sequences, overlay generation always yields connected graphs, and the
+//! simulated-time arithmetic is well behaved.
+
+use proptest::prelude::*;
+
+use locaware::{ResponseIndex, SelectionPolicy};
+use locaware_bloom::{BloomDelta, BloomFilter, BloomParams};
+use locaware_net::{LandmarkSet, LocId, NodeId, PhysicalTopology};
+use locaware_net::brite::{BriteConfig, BriteGenerator, PlacementModel};
+use locaware_overlay::{GeneratorConfig, GraphModel, PeerId, ProviderEntry};
+use locaware_sim::{Duration, SimTime};
+use locaware_workload::{FileId, KeywordId, ZipfDistribution};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // ----------------------------------------------------------------- Bloom
+
+    /// Anything inserted into a Bloom filter must be found again (no false
+    /// negatives), for arbitrary keyword sets and filter shapes.
+    #[test]
+    fn bloom_filters_never_false_negative(
+        keywords in proptest::collection::vec("[a-z]{1,12}", 1..80),
+        bits in 64usize..4096,
+        hashes in 1usize..8,
+    ) {
+        let mut filter = BloomFilter::new(BloomParams::new(bits, hashes));
+        for kw in &keywords {
+            filter.insert(kw);
+        }
+        for kw in &keywords {
+            prop_assert!(filter.contains(kw), "inserted keyword {kw} not found");
+        }
+        prop_assert!(filter.contains_all(keywords.iter().map(|s| s.as_str())));
+    }
+
+    /// A delta computed between two filter snapshots exactly reconstructs the
+    /// newer snapshot, and applying it twice is the identity.
+    #[test]
+    fn bloom_delta_round_trips(
+        base in proptest::collection::vec("[a-z]{1,10}", 0..40),
+        added in proptest::collection::vec("[a-z]{1,10}", 0..20),
+    ) {
+        let mut old = BloomFilter::paper_default();
+        for kw in &base {
+            old.insert(kw);
+        }
+        let mut new = old.clone();
+        for kw in &added {
+            new.insert(kw);
+        }
+        let delta = BloomDelta::between(&old, &new);
+        prop_assert!(delta.len() <= added.len() * 5, "at most k bits flip per insertion");
+
+        let mut reconstructed = old.clone();
+        delta.apply(&mut reconstructed);
+        prop_assert_eq!(&reconstructed, &new);
+        delta.apply(&mut reconstructed);
+        prop_assert_eq!(&reconstructed, &old);
+    }
+
+    // ----------------------------------------------------------------- locId
+
+    /// Lehmer encoding of landmark orderings is a bijection onto [0, k!).
+    #[test]
+    fn locid_encoding_is_bijective(perm in (2usize..=6).prop_flat_map(|k| Just((0..k).collect::<Vec<usize>>()).prop_shuffle())) {
+        let k = perm.len();
+        let id = LocId::from_ordering(&perm);
+        prop_assert!(id.value() < LocId::cardinality(k));
+        prop_assert_eq!(id.to_ordering(k), perm);
+    }
+
+    // ------------------------------------------------------------------ Zipf
+
+    /// The Zipf sampler only returns valid ranks, its pmf sums to one and is
+    /// non-increasing in rank.
+    #[test]
+    fn zipf_is_a_well_formed_distribution(
+        n in 1usize..2000,
+        exponent in 0.0f64..2.5,
+        seed in any::<u64>(),
+    ) {
+        let zipf = ZipfDistribution::new(n, exponent);
+        let total: f64 = (0..n).map(|r| zipf.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "pmf sums to {total}");
+        for r in 1..n.min(50) {
+            prop_assert!(zipf.pmf(r) <= zipf.pmf(r - 1) + 1e-12, "pmf must be non-increasing");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+
+    // -------------------------------------------------------- response index
+
+    /// Under arbitrary insertion sequences the response index never exceeds
+    /// its filename capacity nor its per-file provider capacity, and every
+    /// reported eviction refers to a file that is no longer cached.
+    #[test]
+    fn response_index_respects_capacities(
+        capacity in 1usize..12,
+        max_providers in 1usize..6,
+        ops in proptest::collection::vec((0u32..30, 0u32..40, 0u32..24), 1..200),
+    ) {
+        let mut index = ResponseIndex::new(capacity, max_providers);
+        for (file, provider, loc) in ops {
+            let keywords = [KeywordId(file * 3), KeywordId(file * 3 + 1)];
+            let evictions = index.insert(
+                FileId(file),
+                &keywords,
+                [(PeerId(provider), LocId(loc))],
+            );
+            prop_assert!(index.len() <= capacity, "capacity exceeded");
+            for entry in index.entries() {
+                prop_assert!(entry.provider_count() <= max_providers, "provider cap exceeded");
+            }
+            for eviction in evictions {
+                prop_assert!(!index.contains(eviction.file), "evicted file still present");
+            }
+            prop_assert!(index.contains(FileId(file)), "just-inserted file must be cached");
+        }
+    }
+
+    // ----------------------------------------------------------- overlay gen
+
+    /// Random overlay generation always yields a connected graph with roughly
+    /// the requested average degree, for any seed and population size.
+    #[test]
+    fn generated_overlays_are_connected(
+        peers in 2usize..300,
+        seed in any::<u64>(),
+    ) {
+        let config = GeneratorConfig {
+            peers,
+            average_degree: 3.0f64.min(peers as f64 - 1.0),
+            model: GraphModel::Random,
+        };
+        let graph = config.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(graph.len(), peers);
+        prop_assert!(graph.is_connected(), "overlay must be connected");
+    }
+
+    // ------------------------------------------------------------- selection
+
+    /// Provider selection always returns one of the offered providers, and the
+    /// locality-aware policy returns a same-locId provider whenever one exists.
+    #[test]
+    fn provider_selection_picks_from_the_offer(
+        offered_ids in proptest::collection::vec(1u32..50, 1..8),
+        locs in proptest::collection::vec(0u32..24, 8),
+        requestor_loc in 0u32..24,
+        seed in any::<u64>(),
+    ) {
+        let topology = BriteGenerator::new(BriteConfig {
+            nodes: 50,
+            placement: PlacementModel::Uniform,
+            ..BriteConfig::default()
+        })
+        .generate(&mut StdRng::seed_from_u64(1));
+
+        let offered: Vec<ProviderEntry> = offered_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| ProviderEntry {
+                provider: PeerId(id),
+                loc_id: LocId(locs[i % locs.len()]),
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for policy in [SelectionPolicy::Random, SelectionPolicy::LocalityThenRtt] {
+            let selected = locaware::select_provider(
+                policy,
+                &topology,
+                NodeId(0),
+                LocId(requestor_loc),
+                &offered,
+                &mut rng,
+            )
+            .expect("non-empty offer must select something");
+            prop_assert!(offered.iter().any(|p| p.provider == selected.provider));
+            if policy == SelectionPolicy::LocalityThenRtt
+                && offered.iter().any(|p| p.loc_id == LocId(requestor_loc))
+            {
+                prop_assert!(selected.locality_match, "must prefer the same-locality provider");
+                prop_assert_eq!(selected.loc_id, LocId(requestor_loc));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- sim time
+
+    /// Simulated-time arithmetic is consistent: ordering matches microsecond
+    /// values and addition/subtraction round-trip.
+    #[test]
+    fn sim_time_arithmetic_is_consistent(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let ta = SimTime::from_micros(a);
+        let tb = SimTime::from_micros(b);
+        prop_assert_eq!(ta < tb, a < b);
+        let d = Duration::from_micros(b);
+        prop_assert_eq!((ta + d) - ta, d);
+        prop_assert_eq!(ta.duration_since(ta + d), Duration::ZERO);
+    }
+
+    // ------------------------------------------------------------ landmarks
+
+    /// Landmark RTT orderings always produce valid locIds, and identical
+    /// positions produce identical locIds.
+    #[test]
+    fn landmark_binning_is_deterministic(seed in any::<u64>(), nodes in 2usize..100) {
+        let topology: PhysicalTopology = BriteGenerator::new(BriteConfig {
+            nodes,
+            placement: PlacementModel::Clustered { clusters: 6, sigma: 0.02 },
+            ..BriteConfig::default()
+        })
+        .generate(&mut StdRng::seed_from_u64(seed));
+        let landmarks = LandmarkSet::spread(4);
+        let a = landmarks.assign_all(&topology);
+        let b = landmarks.assign_all(&topology);
+        prop_assert_eq!(&a, &b);
+        for loc in a {
+            prop_assert!(loc.value() < 24);
+        }
+    }
+}
