@@ -17,7 +17,7 @@
 //!
 //! Repetitions use distinct derived seeds and the reported value is the mean
 //! across repetitions. Independent grid points run on worker threads
-//! (crossbeam scoped threads); each point is itself single-threaded and fully
+//! (std scoped threads); each point is itself single-threaded and fully
 //! deterministic.
 
 #![warn(missing_docs)]
@@ -151,9 +151,9 @@ impl Sweep {
         let next: Mutex<usize> = Mutex::new(0);
         let threads = self.threads.clamp(1, items.len().max(1));
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let index = {
                         let mut guard = next.lock();
                         let i = *guard;
@@ -183,8 +183,7 @@ impl Sweep {
                     }
                 });
             }
-        })
-        .expect("sweep worker thread panicked");
+        });
 
         SweepOutcome::from_points(results.into_inner())
     }

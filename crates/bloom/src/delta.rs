@@ -191,7 +191,7 @@ mod tests {
     fn from_positions_sorts_and_dedups() {
         let d = BloomDelta::from_positions(vec![9, 3, 9, 1], 100);
         assert_eq!(d.positions(), &[1, 3, 9]);
-        assert_eq!(d.encoded_bytes(), (3 * 7 + 7) / 8);
+        assert_eq!(d.encoded_bytes(), (3u64 * 7).div_ceil(8));
     }
 
     #[test]

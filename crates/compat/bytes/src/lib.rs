@@ -1,0 +1,112 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! [`BytesMut`] is a thin wrapper over `Vec<u8>`; [`BufMut`] provides the
+//! big-endian `put_*` writers the overlay's wire-size estimator uses. The
+//! zero-copy machinery of the real crate is deliberately absent — the
+//! reproduction only measures encoded lengths.
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer (wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Consumes the buffer, returning the underlying bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+/// Big-endian byte-writing interface.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends `count` copies of `byte`.
+    fn put_bytes(&mut self, byte: u8, count: usize);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, byte: u8, count: usize) {
+        self.inner.resize(self.inner.len() + count, byte);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{BufMut, BytesMut};
+
+    #[test]
+    fn writers_append_big_endian() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u8(0x01);
+        buf.put_u16(0x0203);
+        buf.put_u32(0x0405_0607);
+        buf.put_bytes(0xff, 2);
+        assert_eq!(&buf[..], &[1, 2, 3, 4, 5, 6, 7, 0xff, 0xff]);
+        assert_eq!(buf.len(), 9);
+    }
+}

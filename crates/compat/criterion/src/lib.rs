@@ -1,0 +1,212 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the subset of the criterion 0.5 API the workspace's eight benches
+//! use — [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkId`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — measuring mean wall-clock time per iteration
+//! with a short warm-up. No statistics, plots or HTML reports: the point is
+//! that `cargo bench` runs and prints comparable numbers offline, and that
+//! `cargo bench --no-run` type-checks the bench suite in CI.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of the parameter display value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_nanos: f64,
+    iters_done: u64,
+    sample_size: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running a short warm-up followed by the measured
+    /// iterations. The routine's output is passed through [`black_box`] so the
+    /// optimiser cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3.min(self.sample_size) {
+            black_box(routine());
+        }
+        let target = Duration::from_millis(50);
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.sample_size || start.elapsed() >= target {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.mean_nanos = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters_done = iters;
+    }
+}
+
+fn run_one(name: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { mean_nanos: 0.0, iters_done: 0, sample_size };
+    f(&mut bencher);
+    let (value, unit) = humanise(bencher.mean_nanos);
+    println!(
+        "{name:<60} time: {value:>10.3} {unit}/iter ({} iters)",
+        bencher.iters_done
+    );
+}
+
+fn humanise(nanos: f64) -> (f64, &'static str) {
+    if nanos >= 1e9 {
+        (nanos / 1e9, "s ")
+    } else if nanos >= 1e6 {
+        (nanos / 1e6, "ms")
+    } else if nanos >= 1e3 {
+        (nanos / 1e3, "µs")
+    } else {
+        (nanos, "ns")
+    }
+}
+
+/// Top-level benchmark registry (one per bench target).
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs a named benchmark that borrows a prepared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Closes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+///
+/// `cargo bench`/`cargo test` pass harness flags (`--bench`, `--test`, filter
+/// strings); like real criterion we run everything when benching and do
+/// nothing under `--test` mode beyond confirming the binary starts.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

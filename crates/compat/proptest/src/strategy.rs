@@ -1,0 +1,314 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically maps an RNG state to a value. Ranges,
+//! simple regex character-class patterns, tuples of strategies, [`Just`] and
+//! the [`any`] function are supported, plus the `prop_flat_map` /
+//! `prop_shuffle` combinators the workspace's property suite uses.
+
+use crate::test_runner::TestRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A recipe for generating values of one type from an RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps each generated value through `f` into a new strategy, then draws
+    /// from that strategy (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Maps each generated value through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Randomly permutes the generated collection.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+/// Collections that [`Strategy::prop_shuffle`] can permute.
+pub trait Shuffleable {
+    /// Shuffles the collection in place.
+    fn shuffle_in_place(&mut self, rng: &mut TestRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle_in_place(&mut self, rng: &mut TestRng) {
+        self.as_mut_slice().shuffle(rng);
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Debug, Clone)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S> Strategy for Shuffle<S>
+where
+    S: Strategy,
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let mut value = self.inner.generate(rng);
+        value.shuffle_in_place(rng);
+        value
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+/// The canonical strategy for `T` over its whole domain.
+#[derive(Debug, Clone, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0.0, S1.1);
+    (S0.0, S1.1, S2.2);
+    (S0.0, S1.1, S2.2, S3.3);
+}
+
+/// String strategies written as simplified regex patterns.
+///
+/// Supports what the workspace's properties use: a single character class
+/// with a bounded repetition, `"[a-z]{1,12}"` (also `{n}` exact counts).
+/// Anything unparsable panics so a typo fails loudly rather than silently
+/// generating the wrong distribution.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo_ch, hi_ch, min_len, max_len) =
+            parse_class_pattern(self).unwrap_or_else(|| {
+                panic!("unsupported string pattern {self:?}; expected \"[x-y]{{m,n}}\"")
+            });
+        let len = if min_len == max_len {
+            min_len
+        } else {
+            rng.gen_range(min_len..=max_len)
+        };
+        (0..len)
+            .map(|_| rng.gen_range(lo_ch as u32..=hi_ch as u32))
+            .map(|c| char::from_u32(c).expect("class endpoints are ASCII"))
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pattern: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+    if dash != '-' || chars.next().is_some() || !lo.is_ascii() || !hi.is_ascii() || lo > hi {
+        return None;
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min_len, max_len) = match counts.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = counts.parse().ok()?;
+            (n, n)
+        }
+    };
+    (min_len <= max_len).then_some((lo, hi, min_len, max_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn string_patterns_respect_class_and_length() {
+        let mut rng = case_rng("string_patterns", 0);
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn flat_map_and_shuffle_compose() {
+        let strat = (2usize..=6)
+            .prop_flat_map(|k| Just((0..k).collect::<Vec<usize>>()).prop_shuffle());
+        let mut rng = case_rng("flat_map_and_shuffle", 1);
+        for _ in 0..100 {
+            let mut perm = strat.generate(&mut rng);
+            let k = perm.len();
+            assert!((2..=6).contains(&k));
+            perm.sort_unstable();
+            assert_eq!(perm, (0..k).collect::<Vec<usize>>());
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic_per_test_and_case() {
+        use rand::RngCore;
+        assert_eq!(case_rng("t", 3).next_u64(), case_rng("t", 3).next_u64());
+        assert_ne!(case_rng("t", 3).next_u64(), case_rng("t", 4).next_u64());
+        assert_ne!(case_rng("a", 0).next_u64(), case_rng("b", 0).next_u64());
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = case_rng("vec_sizes", 0);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u32..10, 1..5).generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            let exact = crate::collection::vec(0u32..10, 8usize).generate(&mut rng);
+            assert_eq!(exact.len(), 8);
+        }
+    }
+}

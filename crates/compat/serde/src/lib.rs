@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Only the derive macros are re-exported; see `crates/compat/serde_derive`
+//! for why they expand to nothing in this offline workspace.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its message and report
+//! types so a future wire format can be added without touching every struct,
+//! but nothing in the reproduction actually serialises through serde yet (the
+//! CSV/report writers are hand-rolled). With no crates.io access the derives
+//! therefore expand to nothing; swapping the real serde back in requires only
+//! deleting `crates/compat/serde*` and pointing the manifests at the registry.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -181,7 +181,7 @@ mod tests {
             locality_match: success && local,
             providers_offered: if success { 3 } else { 0 },
             hops_to_hit: success.then_some(hops),
-            answered_from_cache: success && index % 2 == 0,
+            answered_from_cache: success && index.is_multiple_of(2),
         }
     }
 

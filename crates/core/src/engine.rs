@@ -84,6 +84,13 @@ pub(crate) struct ProtocolEngine<'a> {
     selection_rng: StdRng,
     churn_rng: StdRng,
     tracking: HashMap<QueryId, QueryTracking>,
+    /// (origin, target) → issue time of the most recent query. While that
+    /// query can still be in flight the peer will not issue a duplicate for
+    /// the same target, so two concurrent queries can never be satisfied by
+    /// one download — part of the one-replica-per-satisfied-query accounting
+    /// in the reports (the other part is the `has_file` response guard).
+    /// After the in-flight window a failed search may be retried.
+    issued_targets: HashMap<(PeerId, FileId), SimTime>,
     next_query_id: u64,
     message_counters: CounterSet<String>,
     routing_decisions: CounterSet<String>,
@@ -192,6 +199,7 @@ impl<'a> ProtocolEngine<'a> {
             selection_rng: rng_factory.stream(StreamId::ProtocolTieBreak),
             churn_rng: rng_factory.stream(StreamId::Churn),
             tracking: HashMap::new(),
+            issued_targets: HashMap::new(),
             next_query_id: 0,
             message_counters: CounterSet::new(),
             routing_decisions: CounterSet::new(),
@@ -218,7 +226,7 @@ impl<'a> ProtocolEngine<'a> {
             let mut t = SimTime::ZERO + period;
             while t <= horizon {
                 sim.schedule(t, Event::BloomSync);
-                t = t + period;
+                t += period;
             }
         }
 
@@ -243,20 +251,58 @@ impl<'a> ProtocolEngine<'a> {
         }
     }
 
+    /// Upper bound on how long a query can still be travelling: the search
+    /// fans out for at most `ttl` hops, the response retraces the reverse
+    /// path, and every hop costs at most `max_latency_ms`.
+    fn query_in_flight_window(&self) -> Duration {
+        Duration::from_millis_f64(2.0 * self.config.ttl as f64 * self.config.max_latency_ms)
+    }
+
     fn handle_issue(&mut self, ctx: &mut EngineContext<'_, Event>, index: usize) {
         let origin = PeerId(self.arrivals[index].peer as u32);
         if !self.peers[origin.index()].online {
             return;
         }
-        // Peers query for files they do not already hold; re-draw a few times
-        // if the Zipf draw lands on a file the requestor stores.
+        // Peers query for files they do not already hold and are not already
+        // querying (a duplicate of an in-flight query could be satisfied
+        // without creating a second replica, which would break the replica
+        // accounting). An earlier query for the same target stops excluding it
+        // once it can no longer be in flight — a failed search may be retried,
+        // keeping the effective workload Zipf-shaped. Re-draw a few times; if
+        // the Zipf draws keep colliding, deterministically fall back to the
+        // most popular file the requestor can still legitimately search for.
+        let now = ctx.now();
+        let in_flight_window = self.query_in_flight_window();
+        let excluded = |engine: &Self, target: FileId| {
+            engine.peers[origin.index()].has_file(target)
+                || engine
+                    .issued_targets
+                    .get(&(origin, target))
+                    .is_some_and(|&at| now.duration_since(at) < in_flight_window)
+        };
         let mut query = self.query_generator.generate(self.catalog, &mut self.workload_rng);
         for _ in 0..16 {
-            if !self.peers[origin.index()].has_file(query.target) {
+            if !excluded(self, query.target) {
                 break;
             }
             query = self.query_generator.generate(self.catalog, &mut self.workload_rng);
         }
+        if excluded(self, query.target) {
+            let Some(target) = (0..self.catalog.len())
+                .map(|rank| self.query_generator.file_at_rank(rank))
+                .find(|&t| !excluded(self, t))
+            else {
+                // The peer holds or is already querying every file in the
+                // catalog (tiny catalogs, long horizons): there is nothing it
+                // can meaningfully search for, so the arrival is skipped just
+                // like an offline peer's.
+                return;
+            };
+            query = self
+                .query_generator
+                .generate_for_target(self.catalog, target, &mut self.workload_rng);
+        }
+        self.issued_targets.insert((origin, query.target), now);
 
         let query_id = QueryId(self.next_query_id);
         self.next_query_id += 1;
@@ -410,7 +456,7 @@ impl<'a> ProtocolEngine<'a> {
                     origin,
                     origin_loc: qctx.origin_loc,
                     keywords: keywords.iter().map(|k| k.0).collect(),
-                    target_filename: target_filename,
+                    target_filename,
                     ttl: new_ttl,
                 };
                 for target in targets {
@@ -485,6 +531,13 @@ impl<'a> ProtocolEngine<'a> {
             return;
         };
         if tracking.satisfied {
+            return;
+        }
+        // A response can offer a file the requestor already stores (a cached
+        // index matches on keywords, not on the requestor's Zipf target).
+        // Nothing would be downloaded, so it cannot satisfy the query — this
+        // keeps the one-new-replica-per-satisfied-query accounting exact.
+        if self.peers[tracking.origin.index()].has_file(file) {
             return;
         }
         // Only online providers can actually serve the download (matters only

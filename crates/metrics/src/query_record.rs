@@ -223,7 +223,7 @@ mod tests {
             locality_match: dist.map(|d| d < 100.0).unwrap_or(false),
             providers_offered: if success { 2 } else { 0 },
             hops_to_hit: if success { Some(3) } else { None },
-            answered_from_cache: success && index % 2 == 0,
+            answered_from_cache: success && index.is_multiple_of(2),
         }
     }
 

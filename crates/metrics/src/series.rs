@@ -147,10 +147,7 @@ impl Figure {
             out.push_str(&x.to_string());
             for l in &labels {
                 out.push(',');
-                match self.value_at(l, x) {
-                    Some(v) => out.push_str(&format!("{v:.6}")),
-                    None => {}
-                }
+                if let Some(v) = self.value_at(l, x) { out.push_str(&format!("{v:.6}")) }
             }
             out.push('\n');
         }

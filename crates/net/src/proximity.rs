@@ -49,7 +49,7 @@ impl<'a> ProximityProbe<'a> {
         for &c in candidates {
             let rtt = self.topology.rtt(from, c);
             let key = (rtt, c);
-            if best.map_or(true, |b| key < b) {
+            if best.is_none_or(|b| key < b) {
                 best = Some(key);
             }
         }

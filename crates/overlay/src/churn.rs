@@ -122,7 +122,7 @@ impl ChurnModel {
                     self.config.mean_offline_secs
                 };
                 let dwell = Duration::from_secs_f64(exponential(rng, mean));
-                now = now + dwell;
+                now += dwell;
                 if now > horizon {
                     break;
                 }

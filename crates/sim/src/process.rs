@@ -51,7 +51,7 @@ impl PeriodicProcess {
     /// the time of the firing that was consumed.
     pub fn advance(&mut self) -> SimTime {
         let fired_at = self.next_fire;
-        self.next_fire = self.next_fire + self.period;
+        self.next_fire += self.period;
         self.fired += 1;
         fired_at
     }

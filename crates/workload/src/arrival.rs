@@ -76,7 +76,7 @@ impl ArrivalProcess {
         let mut now = SimTime::ZERO;
         let mut out = Vec::with_capacity(count);
         for _ in 0..count {
-            now = now + Duration::from_secs_f64(exponential(rng, 1.0 / rate));
+            now += Duration::from_secs_f64(exponential(rng, 1.0 / rate));
             out.push(Arrival {
                 at: now,
                 peer: rng.gen_range(0..self.config.peers),
@@ -91,7 +91,7 @@ impl ArrivalProcess {
         let mut now = SimTime::ZERO;
         let mut out = Vec::new();
         loop {
-            now = now + Duration::from_secs_f64(exponential(rng, 1.0 / rate));
+            now += Duration::from_secs_f64(exponential(rng, 1.0 / rate));
             if now > horizon {
                 break;
             }

@@ -101,7 +101,22 @@ impl QueryGenerator {
     /// Generates one query against `catalog`.
     pub fn generate<R: Rng + ?Sized>(&self, catalog: &Catalog, rng: &mut R) -> Query {
         let rank = self.zipf.sample(rng);
-        let target = self.rank_to_file[rank];
+        self.generate_for_target(catalog, self.rank_to_file[rank], rng)
+    }
+
+    /// Generates a query for a caller-chosen target file (keyword selection
+    /// still randomised).
+    ///
+    /// The simulation engine uses this as the deterministic fallback when the
+    /// Zipf draw keeps landing on files the requestor already stores: peers
+    /// only search for files they lack, which is what keeps the
+    /// one-download-one-replica accounting exact.
+    pub fn generate_for_target<R: Rng + ?Sized>(
+        &self,
+        catalog: &Catalog,
+        target: FileId,
+        rng: &mut R,
+    ) -> Query {
         let filename = catalog.filename(target);
         let max = self.config.max_keywords.min(filename.len());
         let min = self.config.min_keywords.min(max);

@@ -1,0 +1,334 @@
+//! The reproduction's comparability contract, as tests.
+//!
+//! The paper's Figures 2–4 compare protocols on *identical substrates*: the
+//! same underlay, overlay, catalog, placement and workload, with only the
+//! protocol swapped. That comparison is only meaningful if (a) a substrate is
+//! a pure function of its configuration (same seed ⇒ bit-for-bit identical
+//! runs) and (b) running one protocol leaves the substrate untouched for the
+//! next. These tests pin both properties down to the byte level, plus the
+//! RNG stream-isolation contract they rest on and the configuration
+//! validation that guards the substrate builder's inputs.
+
+use locaware::{ProtocolKind, Simulation, SimulationConfig, SimulationReport};
+use locaware_sim::{RngFactory, StreamId};
+use rand::{Rng, RngCore};
+
+/// All six evaluated protocols: the paper's four plus the two ablations.
+const ALL_PROTOCOLS: [ProtocolKind; 6] = [
+    ProtocolKind::Flooding,
+    ProtocolKind::Dicas,
+    ProtocolKind::DicasKeys,
+    ProtocolKind::Locaware,
+    ProtocolKind::LocawareNoLocality,
+    ProtocolKind::LocawareNoBloom,
+];
+
+fn substrate(peers: usize, seed: u64) -> Simulation {
+    let mut config = SimulationConfig::small(peers);
+    config.seed = seed;
+    Simulation::build(config)
+}
+
+/// Canonical byte encoding of a report: every field, with floats encoded as
+/// their IEEE-754 bit patterns, so equality is exact bit-for-bit equality and
+/// a mismatch cannot hide behind display rounding.
+fn report_bytes(report: &SimulationReport) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(report.protocol.label().as_bytes());
+    bytes.extend_from_slice(&report.queries_issued.to_le_bytes());
+    for record in report.metrics.records() {
+        bytes.extend_from_slice(&record.index.to_le_bytes());
+        bytes.extend_from_slice(&record.requestor.to_le_bytes());
+        bytes.push(record.is_success() as u8);
+        bytes.extend_from_slice(&record.messages.to_le_bytes());
+        match record.download_distance_ms {
+            Some(d) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&d.to_bits().to_le_bytes());
+            }
+            None => bytes.push(0),
+        }
+        bytes.push(record.locality_match as u8);
+        bytes.extend_from_slice(&(record.providers_offered as u64).to_le_bytes());
+        match record.hops_to_hit {
+            Some(h) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&h.to_le_bytes());
+            }
+            None => bytes.push(0),
+        }
+        bytes.push(record.answered_from_cache as u8);
+    }
+    for counters in [&report.message_counters, &report.routing_decisions] {
+        for (key, count) in counters.iter() {
+            bytes.extend_from_slice(key.as_bytes());
+            bytes.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    bytes.extend_from_slice(&report.background_messages.to_le_bytes());
+    bytes.extend_from_slice(&(report.total_file_replicas as u64).to_le_bytes());
+    bytes.extend_from_slice(&(report.total_cached_index_entries as u64).to_le_bytes());
+    bytes.extend_from_slice(&report.simulated_end_time_secs.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&report.dispatched_events.to_le_bytes());
+    bytes
+}
+
+// ------------------------------------------------------- seed determinism
+
+#[test]
+fn same_seed_produces_byte_identical_reports_for_every_protocol() {
+    for protocol in ALL_PROTOCOLS {
+        let a = substrate(60, 42).run(protocol, 40);
+        let b = substrate(60, 42).run(protocol, 40);
+        assert_eq!(
+            report_bytes(&a),
+            report_bytes(&b),
+            "{protocol}: two builds from the same seed must agree bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn same_seed_builds_identical_substrates() {
+    let a = substrate(80, 7);
+    let b = substrate(80, 7);
+    assert_eq!(a.loc_ids(), b.loc_ids(), "locId assignment must be seed-determined");
+    assert_eq!(
+        a.group_ids(),
+        b.group_ids(),
+        "group assignment must be seed-determined"
+    );
+    assert_eq!(
+        a.initial_shares(),
+        b.initial_shares(),
+        "file placement must be seed-determined"
+    );
+    assert_eq!(
+        a.arrivals(30),
+        b.arrivals(30),
+        "the arrival process must be seed-determined"
+    );
+}
+
+#[test]
+fn different_seeds_produce_different_reports() {
+    let a = substrate(60, 1).run(ProtocolKind::Locaware, 40);
+    let b = substrate(60, 2).run(ProtocolKind::Locaware, 40);
+    assert_ne!(
+        report_bytes(&a),
+        report_bytes(&b),
+        "distinct seeds collapsing to one run would hide seed-plumbing bugs"
+    );
+}
+
+// -------------------------------------------------- substrate comparability
+
+#[test]
+fn all_six_protocols_run_over_the_same_substrate() {
+    let simulation = substrate(80, 5);
+    let loc_ids_before = simulation.loc_ids().to_vec();
+    let shares_before = simulation.initial_shares().to_vec();
+
+    let reports: Vec<SimulationReport> = ALL_PROTOCOLS
+        .iter()
+        .map(|&p| simulation.run(p, 50))
+        .collect();
+
+    // Running a protocol must not mutate the shared substrate — otherwise
+    // later protocols would be compared on a different system.
+    assert_eq!(simulation.loc_ids(), &loc_ids_before[..]);
+    assert_eq!(simulation.initial_shares(), &shares_before[..]);
+
+    // The workload side of the substrate is shared too: every protocol sees
+    // the same queries from the same requestors in the same order.
+    let requestors: Vec<Vec<u32>> = reports
+        .iter()
+        .map(|r| r.metrics.records().iter().map(|rec| rec.requestor).collect())
+        .collect();
+    for (report, reqs) in reports.iter().zip(&requestors) {
+        assert_eq!(
+            report.queries_issued, 50,
+            "{}: every protocol answers the full workload",
+            report.protocol
+        );
+        assert_eq!(
+            reqs, &requestors[0],
+            "{}: all protocols must serve the identical requestor sequence",
+            report.protocol
+        );
+    }
+}
+
+#[test]
+fn rerunning_one_protocol_on_one_substrate_is_pure() {
+    let simulation = substrate(60, 9);
+    let first = simulation.run(ProtocolKind::DicasKeys, 30);
+    let second = simulation.run(ProtocolKind::DicasKeys, 30);
+    assert_eq!(
+        report_bytes(&first),
+        report_bytes(&second),
+        "run() must be a pure function of (substrate, protocol, query count)"
+    );
+}
+
+#[test]
+fn tiny_catalog_exhaustion_keeps_replica_accounting_exact() {
+    // SimulationConfig::small(10) has a 30-file pool; 400 queries over 10
+    // peers drive each peer towards holding or having queried most of the
+    // catalog. Peers with nothing left to search for skip their arrivals
+    // rather than issuing unsatisfiable queries, and the replica accounting
+    // must stay exact throughout.
+    let mut config = SimulationConfig::small(10);
+    config.seed = 13;
+    let simulation = Simulation::build(config);
+    let initial_replicas = simulation.config().peers * simulation.config().files_per_peer;
+    for protocol in [ProtocolKind::Flooding, ProtocolKind::Locaware] {
+        let report = simulation.run(protocol, 400);
+        assert!(report.queries_issued <= 400);
+        assert_eq!(report.metrics.len() as u64, report.queries_issued);
+        let satisfied = report
+            .metrics
+            .records()
+            .iter()
+            .filter(|r| r.is_success())
+            .count();
+        assert_eq!(
+            report.total_file_replicas - initial_replicas,
+            satisfied,
+            "{protocol}: every satisfied query downloads exactly one new replica"
+        );
+    }
+}
+
+// ------------------------------------------------------ RNG stream contract
+
+#[test]
+fn rng_streams_replay_identically() {
+    let factory = RngFactory::new(0xfeed);
+    for stream in [
+        StreamId::PhysicalTopology,
+        StreamId::OverlayGraph,
+        StreamId::QueryWorkload,
+        StreamId::Custom(17),
+    ] {
+        let a: Vec<u64> = (0..32).map(|_| factory.stream(stream).next_u64()).collect();
+        let mut rng = factory.stream(stream);
+        let b: Vec<u64> = (0..32).map(|_| rng.gen::<u64>()).collect();
+        assert_eq!(a[0], b[0], "{stream:?}: stream restart must replay");
+        let mut rng2 = factory.stream(stream);
+        let c: Vec<u64> = (0..32).map(|_| rng2.gen::<u64>()).collect();
+        assert_eq!(b, c, "{stream:?}: same stream id must give the same sequence");
+    }
+}
+
+#[test]
+fn rng_streams_are_pairwise_independent() {
+    let factory = RngFactory::new(1234);
+    let streams = [
+        StreamId::PhysicalTopology,
+        StreamId::Landmarks,
+        StreamId::OverlayGraph,
+        StreamId::GroupAssignment,
+        StreamId::Catalog,
+        StreamId::FilePlacement,
+        StreamId::QueryWorkload,
+        StreamId::Arrivals,
+        StreamId::ProtocolTieBreak,
+        StreamId::Churn,
+        StreamId::Custom(0),
+        StreamId::Custom(1),
+    ];
+    let sequences: Vec<Vec<u64>> = streams
+        .iter()
+        .map(|&s| {
+            let mut rng = factory.stream(s);
+            (0..16).map(|_| rng.gen::<u64>()).collect()
+        })
+        .collect();
+    for i in 0..sequences.len() {
+        for j in i + 1..sequences.len() {
+            assert_ne!(
+                sequences[i], sequences[j],
+                "streams {:?} and {:?} must not collide",
+                streams[i], streams[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn adding_a_consumer_does_not_perturb_other_streams() {
+    // The whole point of per-component streams: drawing extra values from one
+    // stream must not shift any other stream (unlike a single shared RNG).
+    let factory = RngFactory::new(77);
+    let baseline: Vec<u64> = {
+        let mut rng = factory.stream(StreamId::Arrivals);
+        (0..16).map(|_| rng.gen::<u64>()).collect()
+    };
+    let mut greedy = factory.stream(StreamId::QueryWorkload);
+    for _ in 0..1000 {
+        greedy.next_u64();
+    }
+    let after: Vec<u64> = {
+        let mut rng = factory.stream(StreamId::Arrivals);
+        (0..16).map(|_| rng.gen::<u64>()).collect()
+    };
+    assert_eq!(baseline, after);
+}
+
+// ----------------------------------------------------- config validation
+
+#[test]
+fn small_configs_validate_across_the_supported_range() {
+    for peers in [10, 40, 60, 100, 200, 500, 1000] {
+        let config = SimulationConfig::small(peers);
+        assert!(
+            config.validate().is_ok(),
+            "SimulationConfig::small({peers}) must be internally consistent: {:?}",
+            config.validate()
+        );
+        assert!(config.file_pool >= 30, "file pool floor must hold");
+        assert!(config.keyword_pool >= 60, "keyword pool floor must hold");
+        assert!(
+            config.files_per_peer <= config.file_pool,
+            "placement must be satisfiable"
+        );
+        assert!(
+            config.max_query_keywords <= config.keywords_per_file,
+            "queries must be drawable from filenames"
+        );
+    }
+}
+
+#[test]
+fn invalid_configurations_are_rejected_with_reasons() {
+    let base = SimulationConfig::small(60);
+
+    let mut c = base.clone();
+    c.peers = 0;
+    assert!(c.validate().unwrap_err().contains("peers"));
+
+    let mut c = base.clone();
+    c.ttl = 0;
+    assert!(c.validate().unwrap_err().contains("ttl"));
+
+    let mut c = base.clone();
+    c.landmarks = 9;
+    assert!(c.validate().unwrap_err().contains("landmarks"));
+
+    let mut c = base.clone();
+    c.average_degree = base.peers as f64;
+    assert!(c.validate().unwrap_err().contains("degree"));
+
+    let mut c = base.clone();
+    c.files_per_peer = c.file_pool + 1;
+    assert!(c.validate().unwrap_err().contains("file pool"));
+
+    let mut c = base.clone();
+    c.min_query_keywords = c.max_query_keywords + 1;
+    assert!(c.validate().unwrap_err().contains("keyword"));
+
+    let mut c = base;
+    c.bloom_bits = 0;
+    assert!(c.validate().unwrap_err().contains("Bloom"));
+}
