@@ -8,7 +8,7 @@
 //! the Figure 4 gain.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use locaware::{ProtocolKind, Simulation, SimulationConfig};
+use locaware::{ProtocolKind, Scenario, Simulation};
 
 const QUERIES: usize = 400;
 
@@ -20,9 +20,7 @@ const VARIANTS: [ProtocolKind; 4] = [
 ];
 
 fn substrate() -> Simulation {
-    let mut config = SimulationConfig::small(200);
-    config.seed = 6;
-    Simulation::build(config)
+    Scenario::small(200).with_seed(6).substrate()
 }
 
 fn bench_ablation(c: &mut Criterion) {

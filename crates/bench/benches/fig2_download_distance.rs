@@ -7,14 +7,12 @@
 //! series is produced by `cargo run -p locaware-bench --bin fig2 --release`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use locaware::{ProtocolKind, Simulation, SimulationConfig};
+use locaware::{ProtocolKind, Scenario, Simulation};
 
 const QUERIES: usize = 300;
 
 fn substrate() -> Simulation {
-    let mut config = SimulationConfig::small(200);
-    config.seed = 2;
-    Simulation::build(config)
+    Scenario::small(200).with_seed(2).substrate()
 }
 
 fn bench_download_distance(c: &mut Criterion) {

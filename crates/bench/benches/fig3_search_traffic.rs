@@ -6,14 +6,12 @@
 //! is produced by `cargo run -p locaware-bench --bin fig3 --release`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use locaware::{ProtocolKind, Simulation, SimulationConfig};
+use locaware::{ProtocolKind, Scenario, Simulation};
 
 const QUERIES: usize = 300;
 
 fn substrate() -> Simulation {
-    let mut config = SimulationConfig::small(200);
-    config.seed = 3;
-    Simulation::build(config)
+    Scenario::small(200).with_seed(3).substrate()
 }
 
 fn bench_search_traffic(c: &mut Criterion) {

@@ -6,14 +6,12 @@
 //! series is produced by `cargo run -p locaware-bench --bin fig4 --release`.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use locaware::{ProtocolKind, Simulation, SimulationConfig};
+use locaware::{ProtocolKind, Scenario, Simulation};
 
 const QUERIES: usize = 400;
 
 fn substrate() -> Simulation {
-    let mut config = SimulationConfig::small(200);
-    config.seed = 4;
-    Simulation::build(config)
+    Scenario::small(200).with_seed(4).substrate()
 }
 
 fn bench_success_rate(c: &mut Criterion) {

@@ -7,7 +7,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use locaware::protocol::{build_protocol, PeerView, QueryContext};
 use locaware::{
-    GroupScheme, LocId, PeerId, PeerState, ProtocolKind, QueryId, Simulation, SimulationConfig,
+    GroupScheme, LocId, PeerId, PeerState, ProtocolKind, QueryId, Scenario, Simulation,
 };
 use locaware_bloom::BloomParams;
 use locaware_workload::KeywordId;
@@ -19,9 +19,9 @@ struct RoutingFixture {
 }
 
 fn fixture() -> RoutingFixture {
-    let mut config = SimulationConfig::small(300);
-    config.seed = 5;
-    let simulation = Simulation::build(config.clone());
+    let scenario = Scenario::small(300).with_seed(5);
+    let config = scenario.config().clone();
+    let simulation = scenario.substrate();
     let scheme = GroupScheme::new(config.group_count);
     let bloom_params = BloomParams::new(config.bloom_bits, config.bloom_hashes);
 

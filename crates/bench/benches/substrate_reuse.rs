@@ -1,0 +1,98 @@
+//! Quantifies the experiment runner's substrate-sharing win.
+//!
+//! The historical sweep rebuilt the full substrate (underlay, locIds,
+//! overlay, catalog, placement, groups) for every protocol at every grid
+//! point; the [`Runner`] builds it once per (scenario, repetition) and shares
+//! it immutably. This benchmark measures both strategies on the identical
+//! four-protocol grid point, so the delta is exactly the redundant build work
+//! the runner eliminates, and `substrate_build` isolates the cost of one
+//! build for reference.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use locaware::{ExperimentPlan, ProtocolKind, Runner, Scenario};
+
+// A build-heavy grid point: substrate cost grows ~quadratically with the
+// peer count (all-pairs latencies feed provider selection) while run cost
+// scales with the query count, so 400 peers × 60 queries keeps the benchmark
+// fast yet makes the redundant-build share clearly visible — the same ratio
+// regime as a paper-scale sweep point.
+const PEERS: usize = 400;
+const QUERIES: usize = 60;
+
+fn scenario() -> Scenario {
+    Scenario::small(PEERS).with_seed(8)
+}
+
+fn bench_substrate_reuse(c: &mut Criterion) {
+    // Sanity: the two strategies must produce identical measurements, or the
+    // comparison below is between different experiments.
+    let shared = scenario().substrate();
+    for protocol in ProtocolKind::PAPER_SET {
+        let rebuilt = scenario().substrate().run(protocol, QUERIES);
+        let reused = shared.run(protocol, QUERIES);
+        assert_eq!(
+            rebuilt.success_rate(),
+            reused.success_rate(),
+            "{protocol}: sharing a substrate must not change the physics"
+        );
+    }
+
+    let mut group = c.benchmark_group("substrate_reuse");
+    group.sample_size(10);
+
+    // One substrate build, no protocol run: the fixed cost at stake.
+    group.bench_function("substrate_build", |b| {
+        b.iter(|| black_box(scenario().substrate().overlay().len()))
+    });
+
+    // Strategy A (historical): rebuild the substrate for every protocol.
+    group.bench_function("rebuild_per_protocol", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for protocol in ProtocolKind::PAPER_SET {
+                let simulation = scenario().substrate();
+                total += simulation.run(protocol, QUERIES).avg_messages_per_query();
+            }
+            black_box(total)
+        })
+    });
+
+    // Strategy B (runner): one build shared by all four protocols.
+    group.bench_function("shared_substrate", |b| {
+        b.iter(|| {
+            let simulation = scenario().substrate();
+            let mut total = 0.0;
+            for protocol in ProtocolKind::PAPER_SET {
+                total += simulation.run(protocol, QUERIES).avg_messages_per_query();
+            }
+            black_box(total)
+        })
+    });
+
+    // The real thing: the full Runner path, including its scheduling, still
+    // builds exactly once for a multi-protocol point.
+    group.bench_function("runner_grid_point", |b| {
+        b.iter(|| {
+            let builds = Arc::new(AtomicUsize::new(0));
+            let plan = ExperimentPlan::new()
+                .scenario(scenario())
+                .protocols(ProtocolKind::PAPER_SET)
+                .query_count(QUERIES);
+            let outcome = Runner::new()
+                .with_threads(1)
+                .with_build_counter(Arc::clone(&builds))
+                .run(&plan)
+                .expect("benchmark plan is complete");
+            assert_eq!(builds.load(Ordering::Relaxed), 1);
+            black_box(outcome.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate_reuse);
+criterion_main!(benches);

@@ -8,22 +8,27 @@
 //! cargo run -p locaware-bench --bin ablation --release              # paper scale
 //! cargo run -p locaware-bench --bin ablation --release -- --quick   # smoke run
 //! ```
+//!
+//! Both studies are [`ExperimentPlan`]s executed by the shared [`Runner`]:
+//! the mechanism ablation is five protocols over one scenario (one substrate
+//! build in total), and the capacity sweep is five scenarios — one per
+//! response-index capacity — each measured with the full protocol.
 
-use locaware::{ProtocolKind, Simulation, SimulationConfig};
+use locaware::{ExperimentPlan, ProtocolKind, Runner, Scenario};
 use locaware_metrics::Table;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (peers, queries) = if quick { (200usize, 600usize) } else { (1000, 3000) };
-    let mut config = if peers == 1000 {
-        SimulationConfig::paper_defaults()
+    let base = if peers == 1000 {
+        Scenario::paper_defaults()
     } else {
-        SimulationConfig::small(peers)
-    };
-    config.seed = 0x10ca_aa2e;
+        Scenario::small(peers)
+    }
+    .with_seed(0x10ca_aa2e)
+    .with_name("ablation");
 
     eprintln!("# ablation: {peers} peers, {queries} queries");
-    let simulation = Simulation::build(config.clone());
 
     let variants = [
         ProtocolKind::Locaware,
@@ -32,6 +37,16 @@ fn main() {
         ProtocolKind::DicasKeys,
         ProtocolKind::Dicas,
     ];
+    let plan = ExperimentPlan::new()
+        .scenario(base.clone())
+        .protocols(variants)
+        .query_count(queries);
+    let outcome = Runner::new().run(&plan).expect("ablation plan is complete");
+    assert_eq!(
+        outcome.substrates_built, 1,
+        "all five variants must share one substrate"
+    );
+
     let mut table = Table::new([
         "variant",
         "success rate",
@@ -41,7 +56,9 @@ fn main() {
         "cache hit share",
     ]);
     for kind in variants {
-        let report = simulation.run(kind, queries);
+        let report = outcome
+            .report(base.name(), kind, queries, 0)
+            .expect("every variant ran");
         table.push_row([
             kind.label().to_string(),
             format!("{:.4}", report.success_rate()),
@@ -55,18 +72,31 @@ fn main() {
     println!("{}", table.render());
 
     // Response-index capacity sweep: how small can the 50-filename cache get
-    // before the protocol degrades?
+    // before the protocol degrades? One scenario per capacity, same seed, so
+    // the only varying quantity is the cache size.
+    let capacities = [5usize, 10, 25, 50, 100];
+    let capacity_plan = ExperimentPlan::new()
+        .scenarios(capacities.iter().map(|&capacity| {
+            base.clone()
+                .with_name(format!("ri-{capacity}"))
+                .tweak_capacity(capacity)
+        }))
+        .protocol(ProtocolKind::Locaware)
+        .query_count(queries);
+    let capacity_outcome = Runner::new()
+        .run(&capacity_plan)
+        .expect("capacity plan is complete");
+
     let mut capacity_table = Table::new([
         "RI capacity (filenames)",
         "success rate",
         "download distance (ms)",
         "cache hit share",
     ]);
-    for capacity in [5usize, 10, 25, 50, 100] {
-        let mut swept = config.clone();
-        swept.response_index_capacity = capacity;
-        let simulation = Simulation::build(swept);
-        let report = simulation.run(ProtocolKind::Locaware, queries);
+    for capacity in capacities {
+        let report = capacity_outcome
+            .report(&format!("ri-{capacity}"), ProtocolKind::Locaware, queries, 0)
+            .expect("every capacity ran");
         capacity_table.push_row([
             capacity.to_string(),
             format!("{:.4}", report.success_rate()),
@@ -76,4 +106,18 @@ fn main() {
     }
     println!("# Response-index capacity sweep (Locaware)");
     println!("{}", capacity_table.render());
+}
+
+/// Local helper: clone a scenario with a different response-index capacity.
+trait TweakCapacity {
+    fn tweak_capacity(self, capacity: usize) -> Scenario;
+}
+
+impl TweakCapacity for Scenario {
+    fn tweak_capacity(self, capacity: usize) -> Scenario {
+        let name = self.name().to_string();
+        let mut config = self.config().clone();
+        config.response_index_capacity = capacity;
+        Scenario::from_config(name, config).expect("capacity tweak keeps the config valid")
+    }
 }

@@ -5,7 +5,12 @@
 //! cargo run -p locaware-bench --bin fig3 --release              # paper scale
 //! cargo run -p locaware-bench --bin fig3 --release -- --quick   # smoke run
 //! cargo run -p locaware-bench --bin fig3 --release -- --csv     # CSV output
+//! cargo run -p locaware-bench --bin fig3 --release -- --quick --scenario regional-hotspot
 //! ```
+//!
+//! Runs through the core experiment API (`ExperimentPlan` + `Runner`): one
+//! substrate per repetition, shared by all four protocol curves, so the
+//! figure's comparison is over the identical system by construction.
 
 use locaware_bench::{run_figure_binary, MetricKind};
 

@@ -5,11 +5,16 @@
 //! ```text
 //! cargo run -p locaware-bench --bin inspect --release -- locaware 1000 3000
 //! cargo run -p locaware-bench --bin inspect --release -- dicas-keys 200 500
+//! cargo run -p locaware-bench --bin inspect --release -- locaware flash-crowd 200 500
 //! ```
 //!
-//! Arguments: `<protocol> [peers] [queries] [seed]`.
+//! Arguments: `<protocol> [scenario] [peers] [queries] [seed]` — `scenario`
+//! is any [`Scenario`] preset name and defaults to the paper's setup
+//! (`paper-defaults` at 1000 peers, `small` otherwise). The run goes through
+//! the experiment layer: a one-point [`ExperimentPlan`] executed by a
+//! [`Runner`].
 
-use locaware::{ProtocolKind, Simulation, SimulationConfig};
+use locaware::{ExperimentPlan, ProtocolKind, Runner, Scenario};
 
 fn parse_protocol(name: &str) -> Option<ProtocolKind> {
     Some(match name {
@@ -23,28 +28,58 @@ fn parse_protocol(name: &str) -> Option<ProtocolKind> {
     })
 }
 
+fn usage() -> ! {
+    eprintln!("usage: inspect <protocol> [scenario] [peers] [queries] [seed]");
+    eprintln!("protocols: flooding dicas dicas-keys locaware locaware-no-locality locaware-no-bloom");
+    eprintln!("scenarios: {}", Scenario::PRESET_NAMES.join(" "));
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let Some(protocol) = args.first().and_then(|a| parse_protocol(a)) else {
-        eprintln!("usage: inspect <protocol> [peers] [queries] [seed]");
-        eprintln!("protocols: flooding dicas dicas-keys locaware locaware-no-locality locaware-no-bloom");
-        std::process::exit(2);
+        usage();
+    };
+    // Optional scenario name in second position; remaining args are numeric.
+    let scenario_name = match args.get(1) {
+        Some(a) if a.parse::<u64>().is_err() => Some(args.remove(1)),
+        _ => None,
     };
     let peers: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(1000);
     let queries: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(1000);
-    let seed: u64 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(0x10ca_aa2e);
+    let seed: Option<u64> = args.get(3).and_then(|a| a.parse().ok());
 
-    let mut config = if peers == 1000 {
-        SimulationConfig::paper_defaults()
-    } else {
-        SimulationConfig::small(peers)
+    let scenario = match scenario_name {
+        Some(name) => match Scenario::preset(&name, peers) {
+            Some(scenario) => scenario,
+            None => {
+                eprintln!("unknown scenario {name}");
+                usage();
+            }
+        },
+        None if peers == 1000 => Scenario::paper_defaults(),
+        None => Scenario::small(peers),
     };
-    config.seed = seed;
+    let scenario = match seed {
+        Some(seed) => scenario.with_seed(seed),
+        None => scenario,
+    };
 
-    eprintln!("# building substrate: {peers} peers, seed {seed}");
-    let simulation = Simulation::build(config);
+    eprintln!(
+        "# scenario {}: {} peers, seed {}",
+        scenario.name(),
+        scenario.config().peers,
+        scenario.seed()
+    );
     eprintln!("# running {} with {queries} queries", protocol.label());
-    let report = simulation.run(protocol, queries);
+    let plan = ExperimentPlan::new()
+        .scenario(scenario.clone())
+        .protocol(protocol)
+        .query_count(queries);
+    let outcome = Runner::new().run(&plan).expect("one-point plan is complete");
+    let report = outcome
+        .report(scenario.name(), protocol, queries, 0)
+        .expect("the single grid point must have run");
 
     println!("{}", report.summary_table().render());
     println!("# message counters");

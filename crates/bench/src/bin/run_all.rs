@@ -6,18 +6,22 @@
 //! ```text
 //! cargo run -p locaware-bench --bin run_all --release               # paper scale
 //! cargo run -p locaware-bench --bin run_all --release -- --quick    # smoke run
+//! cargo run -p locaware-bench --bin run_all --release -- --quick --scenario flash-crowd
 //! ```
+//!
+//! The sweep executes through the core experiment API
+//! ([`locaware::ExperimentPlan`] + [`locaware::Runner`]), so each
+//! repetition's substrate is built once and shared by every protocol and
+//! query count; `--scenario` selects any named [`locaware::Scenario`] preset.
 
-use locaware_bench::{CliOptions, MetricKind};
+use locaware_bench::{CliOptions, MetricKind, CLI_USAGE};
 
 fn main() {
     let options = match CliOptions::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(problem) => {
             eprintln!("error: {problem}");
-            eprintln!(
-                "usage: run_all [--quick] [--peers N] [--queries a,b,c] [--reps N] [--seed N] [--threads N] [--csv]"
-            );
+            eprintln!("usage: run_all {CLI_USAGE}");
             std::process::exit(2);
         }
     };

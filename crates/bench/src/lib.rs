@@ -15,20 +15,26 @@
 //! an aligned table and as CSV, and the Criterion benchmarks reuse the same
 //! harness at a reduced scale.
 //!
-//! Repetitions use distinct derived seeds and the reported value is the mean
-//! across repetitions. Independent grid points run on worker threads
-//! (std scoped threads); each point is itself single-threaded and fully
-//! deterministic.
+//! `Sweep` is a thin figure-producing front end over the core experiment API
+//! ([`locaware::experiment`]): it assembles an [`ExperimentPlan`] and hands
+//! it to a [`Runner`], which builds the substrate of each
+//! (scenario, repetition) point exactly once, shares it immutably across all
+//! protocols and query counts, and steals grid tasks from a shared queue on
+//! scoped worker threads. Repetitions use distinct derived seeds and the
+//! reported value is the mean across repetitions; each grid point is itself
+//! single-threaded and fully deterministic.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use locaware::{Figure, ProtocolKind, SeriesPoint, Simulation, SimulationConfig, SimulationReport};
+use locaware::{
+    ExperimentPlan, ExperimentPoint, Figure, ProtocolKind, Runner, Scenario, SeriesPoint,
+    SimulationConfig, SimulationReport,
+};
 use locaware_metrics::Table;
 
 /// Which metric a figure plots.
@@ -132,68 +138,44 @@ impl Sweep {
         self
     }
 
+    /// The sweep expressed as a core [`ExperimentPlan`]: one scenario wrapping
+    /// the base configuration, the sweep's protocols, query counts and
+    /// repetitions.
+    ///
+    /// # Panics
+    /// Panics if the base configuration does not validate; sweep configs come
+    /// from presets or the CLI parser, both of which produce consistent ones.
+    pub fn plan(&self) -> ExperimentPlan {
+        let scenario = Scenario::from_config("sweep", self.config.clone())
+            .expect("sweep configuration must validate");
+        ExperimentPlan::new()
+            .scenario(scenario)
+            .protocols(self.protocols.iter().copied())
+            .query_counts(self.query_counts.iter().copied())
+            .repetitions(self.repetitions)
+    }
+
     /// Runs the whole grid and collects the three figures.
+    ///
+    /// Execution is delegated to the core [`Runner`]: the substrate of each
+    /// repetition is built exactly once and shared across every protocol and
+    /// query count, so all curves of one repetition are measured over the
+    /// identical system.
+    ///
+    /// # Panics
+    /// Panics if the sweep has no protocols, no query counts or zero
+    /// repetitions (an empty grid is a programming error in the caller).
     pub fn run(&self) -> SweepOutcome {
-        assert!(!self.protocols.is_empty(), "sweep needs at least one protocol");
-        assert!(!self.query_counts.is_empty(), "sweep needs at least one query count");
-        assert!(self.repetitions >= 1, "sweep needs at least one repetition");
-
-        // Work items: (repetition, query count). All protocols for one item run
-        // against the same substrate object so they stay strictly comparable.
-        let mut items: Vec<(usize, usize)> = Vec::new();
-        for rep in 0..self.repetitions {
-            for &queries in &self.query_counts {
-                items.push((rep, queries));
-            }
-        }
-
-        let results: Mutex<Vec<PointResult>> = Mutex::new(Vec::new());
-        let next: Mutex<usize> = Mutex::new(0);
-        let threads = self.threads.clamp(1, items.len().max(1));
-
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let index = {
-                        let mut guard = next.lock();
-                        let i = *guard;
-                        *guard += 1;
-                        i
-                    };
-                    if index >= items.len() {
-                        break;
-                    }
-                    let (rep, queries) = items[index];
-                    let mut config = self.config.clone();
-                    // Each repetition gets an independent derived seed.
-                    config.seed = self.config.seed.wrapping_add(0x9E37_79B9 * rep as u64);
-                    let simulation = Simulation::build(config);
-                    for &protocol in &self.protocols {
-                        let report = simulation.run(protocol, queries);
-                        results.lock().push(PointResult {
-                            protocol,
-                            queries,
-                            repetition: rep,
-                            download_distance_ms: report.avg_download_distance_ms(),
-                            messages_per_query: report.avg_messages_per_query(),
-                            success_rate: report.success_rate(),
-                            locality_match_rate: report.locality_match_rate(),
-                            cache_hit_share: report.cache_hit_share(),
-                        });
-                    }
-                });
-            }
-        });
-
-        SweepOutcome::from_points(results.into_inner())
+        let outcome = Runner::new()
+            .with_threads(self.threads)
+            .run(&self.plan())
+            .expect("sweep grid must list protocols, query counts and repetitions");
+        SweepOutcome::from_points(outcome.points.iter().map(PointResult::from_point).collect())
     }
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(1, 16)
+    Runner::default_thread_count()
 }
 
 /// One (protocol, query count, repetition) measurement.
@@ -222,6 +204,22 @@ pub struct PointResult {
 pub struct SweepOutcome {
     /// Raw per-point measurements (every repetition).
     pub points: Vec<PointResult>,
+}
+
+impl PointResult {
+    /// Extracts the figure metrics from one experiment grid point.
+    fn from_point(point: &ExperimentPoint) -> Self {
+        PointResult {
+            protocol: point.protocol,
+            queries: point.queries,
+            repetition: point.repetition,
+            download_distance_ms: point.report.avg_download_distance_ms(),
+            messages_per_query: point.report.avg_messages_per_query(),
+            success_rate: point.report.success_rate(),
+            locality_match_rate: point.report.locality_match_rate(),
+            cache_hit_share: point.report.cache_hit_share(),
+        }
+    }
 }
 
 impl SweepOutcome {
@@ -404,8 +402,10 @@ impl PaperClaims {
 
 /// Parses the common command-line options of the experiment binaries.
 ///
-/// Supported flags: `--quick` (scaled-down run), `--peers N`, `--queries a,b,c`,
-/// `--reps N`, `--seed N`, `--threads N`, `--csv` (print CSV instead of a table).
+/// Supported flags: `--quick` (scaled-down run), `--scenario NAME` (a named
+/// preset: `paper-defaults`, `small`, `flash-crowd`, `churn-storm`,
+/// `regional-hotspot`), `--peers N`, `--queries a,b,c`, `--reps N`,
+/// `--seed N`, `--threads N`, `--csv` (print CSV instead of a table).
 #[derive(Debug, Clone)]
 pub struct CliOptions {
     /// The sweep to run.
@@ -413,6 +413,10 @@ pub struct CliOptions {
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
 }
+
+/// The usage line shared by the experiment binaries.
+pub const CLI_USAGE: &str = "[--quick] [--scenario NAME] [--peers N] [--queries a,b,c] \
+                             [--reps N] [--seed N] [--threads N] [--csv]";
 
 impl CliOptions {
     /// Parses `std::env::args`-style arguments (excluding the program name).
@@ -422,46 +426,77 @@ impl CliOptions {
         S: AsRef<str>,
     {
         let args: Vec<String> = args.into_iter().map(|s| s.as_ref().to_string()).collect();
-        let mut sweep = if args.iter().any(|a| a == "--quick") {
-            Sweep::quick()
-        } else {
-            Sweep::paper_scale()
-        };
+        let mut quick = false;
         let mut csv = false;
+        let mut scenario: Option<String> = None;
+        let mut peers: Option<usize> = None;
+        let mut queries: Option<Vec<usize>> = None;
+        let mut reps: Option<usize> = None;
+        let mut seed: Option<u64> = None;
+        let mut threads: Option<usize> = None;
+
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
-                "--quick" => {}
+                "--quick" => quick = true,
                 "--csv" => csv = true,
+                "--scenario" => {
+                    scenario = Some(next_value(&args, &mut i)?);
+                }
                 "--peers" => {
                     let value = next_value(&args, &mut i)?;
-                    let peers: usize = value.parse().map_err(|_| format!("bad --peers {value}"))?;
-                    sweep.config = SimulationConfig {
-                        seed: sweep.config.seed,
-                        ..SimulationConfig::small(peers)
-                    };
+                    peers = Some(value.parse().map_err(|_| format!("bad --peers {value}"))?);
                 }
                 "--queries" => {
                     let value = next_value(&args, &mut i)?;
                     let counts: Result<Vec<usize>, _> =
                         value.split(',').map(|s| s.trim().parse::<usize>()).collect();
-                    sweep.query_counts = counts.map_err(|_| format!("bad --queries {value}"))?;
+                    queries = Some(counts.map_err(|_| format!("bad --queries {value}"))?);
                 }
                 "--reps" => {
                     let value = next_value(&args, &mut i)?;
-                    sweep.repetitions = value.parse().map_err(|_| format!("bad --reps {value}"))?;
+                    reps = Some(value.parse().map_err(|_| format!("bad --reps {value}"))?);
                 }
                 "--seed" => {
                     let value = next_value(&args, &mut i)?;
-                    sweep.config.seed = value.parse().map_err(|_| format!("bad --seed {value}"))?;
+                    seed = Some(value.parse().map_err(|_| format!("bad --seed {value}"))?);
                 }
                 "--threads" => {
                     let value = next_value(&args, &mut i)?;
-                    sweep.threads = value.parse().map_err(|_| format!("bad --threads {value}"))?;
+                    threads = Some(value.parse().map_err(|_| format!("bad --threads {value}"))?);
                 }
                 other => return Err(format!("unknown option {other}")),
             }
             i += 1;
+        }
+
+        let mut sweep = if quick { Sweep::quick() } else { Sweep::paper_scale() };
+        if let Some(name) = scenario {
+            let scale = peers.unwrap_or(sweep.config.peers);
+            let preset = Scenario::preset(&name, scale).ok_or_else(|| {
+                format!(
+                    "unknown scenario {name}; presets: {}",
+                    Scenario::PRESET_NAMES.join(", ")
+                )
+            })?;
+            sweep.config = preset.config().clone();
+        } else if let Some(peers) = peers {
+            sweep.config = SimulationConfig {
+                seed: sweep.config.seed,
+                ..SimulationConfig::small(peers)
+            };
+        }
+        if let Some(counts) = queries {
+            sweep.query_counts = counts;
+        }
+        if let Some(reps) = reps {
+            sweep.repetitions = reps;
+        }
+        if let Some(seed) = seed {
+            sweep.config.seed = seed;
+        }
+        if let Some(threads) = threads {
+            sweep.threads = threads;
         }
         if sweep.query_counts.is_empty() || sweep.repetitions == 0 {
             return Err("sweep must have at least one query count and one repetition".into());
@@ -482,9 +517,7 @@ pub fn run_figure_binary(metric: MetricKind, args: impl IntoIterator<Item = Stri
     let options = match CliOptions::parse(args) {
         Ok(o) => o,
         Err(problem) => {
-            return format!(
-                "error: {problem}\nusage: [--quick] [--peers N] [--queries a,b,c] [--reps N] [--seed N] [--threads N] [--csv]\n"
-            );
+            return format!("error: {problem}\nusage: {CLI_USAGE}\n");
         }
     };
     let outcome = options.sweep.run();
@@ -567,6 +600,32 @@ mod tests {
         assert!(CliOptions::parse(["--bogus"]).is_err());
         assert!(CliOptions::parse(["--queries"]).is_err());
         assert!(CliOptions::parse(["--queries", "abc"]).is_err());
+    }
+
+    #[test]
+    fn cli_scenario_presets_apply_regardless_of_flag_order() {
+        let options =
+            CliOptions::parse(["--quick", "--peers", "80", "--scenario", "flash-crowd"]).unwrap();
+        let expected = Scenario::flash_crowd(80);
+        assert_eq!(&options.sweep.config, expected.config());
+
+        // --seed still overrides the preset's own seed.
+        let seeded =
+            CliOptions::parse(["--quick", "--scenario", "churn-storm", "--seed", "7"]).unwrap();
+        assert_eq!(seeded.sweep.config.seed, 7);
+        assert!(!seeded.sweep.config.churn.is_disabled());
+
+        let err = CliOptions::parse(["--scenario", "nope"]).unwrap_err();
+        assert!(err.contains("presets"), "{err}");
+    }
+
+    #[test]
+    fn sweeps_delegate_to_the_experiment_plan() {
+        let sweep = tiny_sweep();
+        let plan = sweep.plan();
+        assert_eq!(plan.substrate_count(), 1);
+        assert_eq!(plan.point_count(), 4 * 2);
+        assert_eq!(plan.scenario_list()[0].seed(), 11);
     }
 
     #[test]

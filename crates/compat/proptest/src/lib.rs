@@ -3,7 +3,7 @@
 //! Implements the subset of the proptest API the workspace's property suite
 //! uses: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, range and
 //! tuple strategies, [`collection::vec`], simple regex-class string strategies
-//! (`"[a-z]{1,12}"`), [`Just`], [`prelude::any`], `prop_flat_map` and
+//! (`"[a-z]{1,12}"`), [`prelude::Just`], [`prelude::any`], `prop_flat_map` and
 //! `prop_shuffle`.
 //!
 //! Differences from the real crate, deliberate for an offline build:
@@ -54,7 +54,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::Rng;
 
-    /// Admissible size specifications for [`vec`]: an exact length or a range.
+    /// Admissible size specifications for [`vec()`]: an exact length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -11,6 +11,138 @@ use serde::{Deserialize, Serialize};
 use locaware_net::brite::PlacementModel;
 use locaware_overlay::{ChurnConfig, GraphModel};
 
+/// A structured description of why a [`SimulationConfig`] is inconsistent.
+///
+/// Returned by [`SimulationConfig::validate`] and
+/// [`crate::Simulation::try_build`], and surfaced by
+/// [`crate::experiment::ScenarioBuilder::build`]. Each variant carries the
+/// offending values so callers can report or repair the configuration
+/// programmatically instead of parsing an error string.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `peers == 0`.
+    ZeroPeers,
+    /// The average overlay degree is not in `(0, peers)`.
+    DegreeOutOfRange {
+        /// The configured average degree.
+        average_degree: f64,
+        /// The configured peer count.
+        peers: usize,
+    },
+    /// `ttl == 0`: queries could never leave their origin.
+    ZeroTtl,
+    /// The latency range does not satisfy `0 < min <= max`.
+    LatencyRange {
+        /// Configured minimum one-way latency in milliseconds.
+        min_ms: f64,
+        /// Configured maximum one-way latency in milliseconds.
+        max_ms: f64,
+    },
+    /// The landmark count is outside the supported `1..=8` range.
+    LandmarksOutOfRange {
+        /// The configured landmark count.
+        landmarks: usize,
+    },
+    /// The file or keyword pool is empty.
+    EmptyPools {
+        /// Configured file pool size.
+        file_pool: usize,
+        /// Configured keyword pool size.
+        keyword_pool: usize,
+    },
+    /// `keywords_per_file` is not in `1..=keyword_pool`.
+    KeywordsPerFileOutOfRange {
+        /// Configured keywords per filename.
+        keywords_per_file: usize,
+        /// Configured keyword pool size.
+        keyword_pool: usize,
+    },
+    /// Peers are asked to share more distinct files than the pool contains.
+    PlacementUnsatisfiable {
+        /// Configured files initially shared per peer.
+        files_per_peer: usize,
+        /// Configured file pool size.
+        file_pool: usize,
+    },
+    /// Query keyword bounds do not satisfy `1 <= min <= max <= keywords_per_file`.
+    QueryKeywordBounds {
+        /// Configured minimum query keywords.
+        min: usize,
+        /// Configured maximum query keywords.
+        max: usize,
+        /// Configured keywords per filename.
+        keywords_per_file: usize,
+    },
+    /// The per-peer query rate is not positive.
+    NonPositiveQueryRate {
+        /// The configured rate in queries per second per peer.
+        rate_per_peer: f64,
+    },
+    /// The caching/routing group count `M` is zero.
+    ZeroGroupCount,
+    /// A cache capacity (response index, providers per file, providers per
+    /// response) is zero.
+    ZeroCacheCapacity,
+    /// A Bloom filter parameter (bits or hash count) is zero.
+    ZeroBloomParameters,
+    /// The neighbour Bloom-filter synchronisation period is not positive.
+    NonPositiveBloomSyncPeriod {
+        /// The configured period in simulated seconds.
+        period_secs: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroPeers => write!(f, "peers must be positive"),
+            ConfigError::DegreeOutOfRange { average_degree, peers } => write!(
+                f,
+                "average degree must be in (0, peers): got {average_degree} with {peers} peers"
+            ),
+            ConfigError::ZeroTtl => write!(f, "ttl must be at least 1"),
+            ConfigError::LatencyRange { min_ms, max_ms } => write!(
+                f,
+                "latency range must satisfy 0 < min <= max: got [{min_ms}, {max_ms}] ms"
+            ),
+            ConfigError::LandmarksOutOfRange { landmarks } => {
+                write!(f, "landmarks must be in 1..=8: got {landmarks}")
+            }
+            ConfigError::EmptyPools { file_pool, keyword_pool } => write!(
+                f,
+                "file and keyword pools must be non-empty: got {file_pool} files, {keyword_pool} keywords"
+            ),
+            ConfigError::KeywordsPerFileOutOfRange { keywords_per_file, keyword_pool } => write!(
+                f,
+                "keywords per file must be in 1..=keyword_pool: got {keywords_per_file} of {keyword_pool}"
+            ),
+            ConfigError::PlacementUnsatisfiable { files_per_peer, file_pool } => write!(
+                f,
+                "files per peer cannot exceed the file pool: got {files_per_peer} of {file_pool}"
+            ),
+            ConfigError::QueryKeywordBounds { min, max, keywords_per_file } => write!(
+                f,
+                "query keyword bounds must satisfy 1 <= min <= max <= keywords_per_file: \
+                 got {min}..={max} with {keywords_per_file} keywords per file"
+            ),
+            ConfigError::NonPositiveQueryRate { rate_per_peer } => {
+                write!(f, "query rate must be positive: got {rate_per_peer}")
+            }
+            ConfigError::ZeroGroupCount => write!(f, "group count M must be positive"),
+            ConfigError::ZeroCacheCapacity => write!(f, "cache capacities must be positive"),
+            ConfigError::ZeroBloomParameters => {
+                write!(f, "Bloom filter parameters must be positive")
+            }
+            ConfigError::NonPositiveBloomSyncPeriod { period_secs } => {
+                write!(f, "Bloom sync period must be positive: got {period_secs}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Which protocol a run evaluates (the four curves of Figures 2–4, plus
 /// ablation variants of Locaware used by the ablation benchmarks).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -197,56 +329,79 @@ impl SimulationConfig {
         }
     }
 
-    /// Validates internal consistency; returns a human-readable error for the
-    /// first violated constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validates internal consistency; returns a structured [`ConfigError`]
+    /// for the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.peers == 0 {
-            return Err("peers must be positive".into());
+            return Err(ConfigError::ZeroPeers);
         }
         if self.average_degree <= 0.0 || self.average_degree as usize >= self.peers {
-            return Err("average degree must be in (0, peers)".into());
+            return Err(ConfigError::DegreeOutOfRange {
+                average_degree: self.average_degree,
+                peers: self.peers,
+            });
         }
         if self.ttl == 0 {
-            return Err("ttl must be at least 1".into());
+            return Err(ConfigError::ZeroTtl);
         }
         if self.min_latency_ms <= 0.0 || self.max_latency_ms < self.min_latency_ms {
-            return Err("latency range must satisfy 0 < min <= max".into());
+            return Err(ConfigError::LatencyRange {
+                min_ms: self.min_latency_ms,
+                max_ms: self.max_latency_ms,
+            });
         }
         if self.landmarks == 0 || self.landmarks > 8 {
-            return Err("landmarks must be in 1..=8".into());
+            return Err(ConfigError::LandmarksOutOfRange { landmarks: self.landmarks });
         }
         if self.file_pool == 0 || self.keyword_pool == 0 {
-            return Err("file and keyword pools must be non-empty".into());
+            return Err(ConfigError::EmptyPools {
+                file_pool: self.file_pool,
+                keyword_pool: self.keyword_pool,
+            });
         }
         if self.keywords_per_file == 0 || self.keywords_per_file > self.keyword_pool {
-            return Err("keywords per file must be in 1..=keyword_pool".into());
+            return Err(ConfigError::KeywordsPerFileOutOfRange {
+                keywords_per_file: self.keywords_per_file,
+                keyword_pool: self.keyword_pool,
+            });
         }
         if self.files_per_peer > self.file_pool {
-            return Err("files per peer cannot exceed the file pool".into());
+            return Err(ConfigError::PlacementUnsatisfiable {
+                files_per_peer: self.files_per_peer,
+                file_pool: self.file_pool,
+            });
         }
         if self.min_query_keywords == 0
             || self.min_query_keywords > self.max_query_keywords
             || self.max_query_keywords > self.keywords_per_file
         {
-            return Err("query keyword bounds must satisfy 1 <= min <= max <= keywords_per_file".into());
+            return Err(ConfigError::QueryKeywordBounds {
+                min: self.min_query_keywords,
+                max: self.max_query_keywords,
+                keywords_per_file: self.keywords_per_file,
+            });
         }
         if self.query_rate_per_peer <= 0.0 {
-            return Err("query rate must be positive".into());
+            return Err(ConfigError::NonPositiveQueryRate {
+                rate_per_peer: self.query_rate_per_peer,
+            });
         }
         if self.group_count == 0 {
-            return Err("group count M must be positive".into());
+            return Err(ConfigError::ZeroGroupCount);
         }
         if self.response_index_capacity == 0
             || self.max_providers_per_file == 0
             || self.max_providers_per_response == 0
         {
-            return Err("cache capacities must be positive".into());
+            return Err(ConfigError::ZeroCacheCapacity);
         }
         if self.bloom_bits == 0 || self.bloom_hashes == 0 {
-            return Err("Bloom filter parameters must be positive".into());
+            return Err(ConfigError::ZeroBloomParameters);
         }
         if self.bloom_sync_period_secs <= 0.0 {
-            return Err("Bloom sync period must be positive".into());
+            return Err(ConfigError::NonPositiveBloomSyncPeriod {
+                period_secs: self.bloom_sync_period_secs,
+            });
         }
         Ok(())
     }
@@ -294,27 +449,41 @@ mod tests {
     fn validation_catches_inconsistencies() {
         let mut c = SimulationConfig::paper_defaults();
         c.peers = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroPeers));
 
         let mut c = SimulationConfig::paper_defaults();
         c.ttl = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroTtl));
 
         let mut c = SimulationConfig::paper_defaults();
         c.max_latency_ms = 1.0;
-        assert!(c.validate().is_err());
+        assert!(matches!(c.validate(), Err(ConfigError::LatencyRange { .. })));
 
         let mut c = SimulationConfig::paper_defaults();
         c.min_query_keywords = 5;
-        assert!(c.validate().is_err());
+        assert!(matches!(c.validate(), Err(ConfigError::QueryKeywordBounds { .. })));
 
         let mut c = SimulationConfig::paper_defaults();
         c.group_count = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::ZeroGroupCount));
 
         let mut c = SimulationConfig::paper_defaults();
         c.landmarks = 9;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::LandmarksOutOfRange { landmarks: 9 }));
+    }
+
+    #[test]
+    fn config_errors_display_their_constraint_and_values() {
+        let mut c = SimulationConfig::paper_defaults();
+        c.average_degree = 2000.0;
+        let err = c.validate().unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("degree"), "{message}");
+        assert!(message.contains("2000"), "{message}");
+
+        // ConfigError is a real std error, usable with `?` and `Box<dyn Error>`.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("peers"));
     }
 
     #[test]

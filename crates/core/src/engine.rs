@@ -1,6 +1,6 @@
 //! The protocol simulation engine.
 //!
-//! [`ProtocolEngine`] wires the substrate crates together and executes one run:
+//! `ProtocolEngine` wires the substrate crates together and executes one run:
 //! queries arrive according to the workload's Poisson process, travel over the
 //! overlay according to the protocol's routing policy with per-link latencies
 //! from the physical topology, responses travel back along reverse paths and

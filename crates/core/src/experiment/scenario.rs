@@ -1,0 +1,456 @@
+//! Named, validated simulation scenarios.
+//!
+//! A [`Scenario`] is a [`SimulationConfig`] that has already passed
+//! validation, plus a stable name used to label experiment output. Scenarios
+//! are the only inputs the [`Runner`](crate::experiment::Runner) accepts, so
+//! every substrate an experiment builds is known-consistent *by type*: the
+//! fallible step is [`ScenarioBuilder::build`], which returns a
+//! [`ConfigError`] instead of panicking deep inside substrate construction.
+//!
+//! Beyond the paper's own setup ([`Scenario::paper_defaults`]) and its scaled
+//! miniature ([`Scenario::small`]), three extension regimes stress the cases
+//! the search-and-replication literature flags for unstructured overlays:
+//! [`Scenario::flash_crowd`], [`Scenario::churn_storm`] and
+//! [`Scenario::regional_hotspot`]. Each is seeded, documented and
+//! deterministic: the same preset always describes the same system.
+
+use locaware_net::brite::PlacementModel;
+use locaware_overlay::ChurnConfig;
+use locaware_workload::PAPER_QUERY_RATE_PER_PEER;
+
+use crate::config::{ConfigError, SimulationConfig};
+use crate::simulation::Simulation;
+
+/// How far above the paper's steady per-peer query rate the
+/// [`Scenario::flash_crowd`] regime bursts.
+pub const FLASH_CROWD_RATE_MULTIPLIER: f64 = 25.0;
+
+/// A named, validated simulation configuration.
+///
+/// Construction always goes through validation — via the presets, via
+/// [`Scenario::from_config`] or via [`ScenarioBuilder::build`] — so holding a
+/// `Scenario` is proof the configuration is internally consistent and
+/// [`Scenario::substrate`] cannot fail. (Deliberately not deserializable:
+/// decoding a scenario from bytes would bypass that validation; deserialize a
+/// [`SimulationConfig`] and go through [`Scenario::from_config`] instead.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    config: SimulationConfig,
+}
+
+impl Scenario {
+    /// The names of the built-in presets, in the order they are documented:
+    /// `paper-defaults`, `small`, `flash-crowd`, `churn-storm`,
+    /// `regional-hotspot`.
+    pub const PRESET_NAMES: [&'static str; 5] = [
+        "paper-defaults",
+        "small",
+        "flash-crowd",
+        "churn-storm",
+        "regional-hotspot",
+    ];
+
+    /// Starts a builder named `name`, seeded from the paper's §5.1 defaults.
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            config: SimulationConfig::paper_defaults(),
+        }
+    }
+
+    /// Wraps an explicit configuration, validating it first.
+    pub fn from_config(
+        name: impl Into<String>,
+        config: SimulationConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Scenario { name: name.into(), config })
+    }
+
+    /// The paper's §5.1 setup: 1000 peers, static overlay, Zipf(1) workload.
+    pub fn paper_defaults() -> Self {
+        Scenario {
+            name: "paper-defaults".into(),
+            config: SimulationConfig::paper_defaults(),
+        }
+    }
+
+    /// The paper's setup scaled down to `peers` peers with every ratio kept;
+    /// what tests and examples run so they finish in milliseconds.
+    ///
+    /// # Panics
+    /// Panics unless `peers` exceeds the paper's average overlay degree of 3
+    /// ([`SimulationConfig::small`] keeps that degree, and the population must
+    /// be larger than the degree for the overlay to be wireable). Use
+    /// [`Scenario::builder`] for fallible construction.
+    pub fn small(peers: usize) -> Self {
+        let config = SimulationConfig::small(peers);
+        Scenario::from_config("small", config).expect("SimulationConfig::small must validate")
+    }
+
+    /// Flash crowd: a hot keyword set absorbs most queries while arrivals
+    /// burst far above the paper's steady rate.
+    ///
+    /// The Zipf exponent is sharpened to 1.5 so the head of the popularity
+    /// distribution behaves like a sudden hit (the paper's own motivation:
+    /// "most queries request a few popular files"), and the per-peer query
+    /// rate is [`FLASH_CROWD_RATE_MULTIPLIER`]× the paper's 0.00083 q/s,
+    /// compressing the same query volume into a burst window. Locaware's
+    /// natural-replication tracking is exactly what this regime stresses:
+    /// every satisfied download adds a replica the index can point later
+    /// requestors at.
+    pub fn flash_crowd(peers: usize) -> Self {
+        let mut config = SimulationConfig::small(peers);
+        config.seed = 0xF1A5_11C0;
+        config.zipf_exponent = 1.5;
+        config.query_rate_per_peer = PAPER_QUERY_RATE_PER_PEER * FLASH_CROWD_RATE_MULTIPLIER;
+        Scenario::from_config("flash-crowd", config)
+            .expect("flash-crowd preset must validate")
+    }
+
+    /// Churn storm: an aggressively dynamic population.
+    ///
+    /// Three quarters of the peers cycle through 5-minute sessions with
+    /// 5-minute offline gaps — far harsher than measured Gnutella medians —
+    /// so cached index entries go stale while queries are still in flight.
+    /// This is the regime §4.1.2 worries about when it argues cached objects
+    /// "should be kept for a small amount of time".
+    pub fn churn_storm(peers: usize) -> Self {
+        let mut config = SimulationConfig::small(peers);
+        config.seed = 0xC4A2_2222;
+        config.churn = ChurnConfig {
+            mean_session_secs: 300.0,
+            mean_offline_secs: 300.0,
+            churning_fraction: 0.75,
+        };
+        Scenario::from_config("churn-storm", config)
+            .expect("churn-storm preset must validate")
+    }
+
+    /// Regional hotspot: physical placement collapsed into a few tight
+    /// regions so one locality dominates the population.
+    ///
+    /// Instead of the default 24 clusters, peers are packed into 3 very tight
+    /// clusters (σ = 0.015), so landmark binning yields only a handful of
+    /// distinct locIds and most peers share a locality. This is the best case
+    /// for Locaware's location-aware provider selection — and the stress case
+    /// for the locId cardinality assumptions of the routing tables.
+    pub fn regional_hotspot(peers: usize) -> Self {
+        let mut config = SimulationConfig::small(peers);
+        config.seed = 0x4E61_0750;
+        config.placement = PlacementModel::Clustered {
+            clusters: 3,
+            sigma: 0.015,
+        };
+        Scenario::from_config("regional-hotspot", config)
+            .expect("regional-hotspot preset must validate")
+    }
+
+    /// Looks a preset up by its [`Scenario::PRESET_NAMES`] name, scaled to
+    /// `peers` peers (`paper-defaults` ignores `peers`: it is the published
+    /// 1000-peer setup by definition).
+    pub fn preset(name: &str, peers: usize) -> Option<Self> {
+        Some(match name {
+            "paper-defaults" => Scenario::paper_defaults(),
+            "small" => Scenario::small(peers),
+            "flash-crowd" => Scenario::flash_crowd(peers),
+            "churn-storm" => Scenario::churn_storm(peers),
+            "regional-hotspot" => Scenario::regional_hotspot(peers),
+            _ => return None,
+        })
+    }
+
+    /// The scenario's name, used to label experiment output.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The master seed of this scenario.
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    /// Returns the scenario with a different master seed (seeds never affect
+    /// validity, so this cannot fail).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Returns the scenario renamed to `name`.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Builds the substrate. Infallible: the configuration was validated when
+    /// the scenario was constructed.
+    pub fn substrate(&self) -> Simulation {
+        Simulation::from_scenario(self)
+    }
+}
+
+/// Fallible builder for [`Scenario`]s.
+///
+/// Starts from the paper's defaults (or an explicit base configuration via
+/// [`ScenarioBuilder::from_config`]), lets callers override individual knobs
+/// with typed setters, and validates everything at once in
+/// [`ScenarioBuilder::build`]:
+///
+/// ```
+/// use locaware::experiment::Scenario;
+///
+/// let scenario = Scenario::builder("demo")
+///     .peers(60)
+///     .seed(7)
+///     .ttl(5)
+///     .build()
+///     .expect("consistent configuration");
+/// assert_eq!(scenario.config().ttl, 5);
+///
+/// // Inconsistencies come back as typed errors instead of panics:
+/// let err = Scenario::builder("broken").peers(60).ttl(0).build().unwrap_err();
+/// assert_eq!(err, locaware::ConfigError::ZeroTtl);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    config: SimulationConfig,
+}
+
+impl ScenarioBuilder {
+    /// Starts from an explicit base configuration instead of the paper
+    /// defaults (validation still only happens in [`ScenarioBuilder::build`]).
+    pub fn from_config(name: impl Into<String>, config: SimulationConfig) -> Self {
+        ScenarioBuilder { name: name.into(), config }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the peer count, rescaling pool sizes the way
+    /// [`SimulationConfig::small`] does so the workload ratios survive.
+    ///
+    /// **Overwrites** `file_pool` and `keyword_pool` with the rescaled
+    /// values: call [`ScenarioBuilder::file_pool`] /
+    /// [`ScenarioBuilder::keyword_pool`] *after* this setter to pin explicit
+    /// pool sizes, or use [`ScenarioBuilder::peers_exact`] to leave every
+    /// other knob untouched.
+    pub fn peers(mut self, peers: usize) -> Self {
+        let seed = self.config.seed;
+        let rescaled = SimulationConfig::small(peers);
+        self.config.peers = rescaled.peers;
+        self.config.file_pool = rescaled.file_pool;
+        self.config.keyword_pool = rescaled.keyword_pool;
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the peer count without touching any other knob.
+    pub fn peers_exact(mut self, peers: usize) -> Self {
+        self.config.peers = peers;
+        self
+    }
+
+    /// Sets the average overlay degree.
+    pub fn average_degree(mut self, degree: f64) -> Self {
+        self.config.average_degree = degree;
+        self
+    }
+
+    /// Sets the query TTL.
+    pub fn ttl(mut self, ttl: u32) -> Self {
+        self.config.ttl = ttl;
+        self
+    }
+
+    /// Sets the one-way latency range in milliseconds.
+    pub fn latency_range_ms(mut self, min_ms: f64, max_ms: f64) -> Self {
+        self.config.min_latency_ms = min_ms;
+        self.config.max_latency_ms = max_ms;
+        self
+    }
+
+    /// Sets the physical placement model.
+    pub fn placement(mut self, placement: PlacementModel) -> Self {
+        self.config.placement = placement;
+        self
+    }
+
+    /// Sets the landmark count.
+    pub fn landmarks(mut self, landmarks: usize) -> Self {
+        self.config.landmarks = landmarks;
+        self
+    }
+
+    /// Sets the file pool size.
+    pub fn file_pool(mut self, files: usize) -> Self {
+        self.config.file_pool = files;
+        self
+    }
+
+    /// Sets the keyword pool size.
+    pub fn keyword_pool(mut self, keywords: usize) -> Self {
+        self.config.keyword_pool = keywords;
+        self
+    }
+
+    /// Sets how many files each peer initially shares.
+    pub fn files_per_peer(mut self, files: usize) -> Self {
+        self.config.files_per_peer = files;
+        self
+    }
+
+    /// Sets the Zipf exponent of query popularity.
+    pub fn zipf_exponent(mut self, exponent: f64) -> Self {
+        self.config.zipf_exponent = exponent;
+        self
+    }
+
+    /// Sets the per-peer query rate in queries per second.
+    pub fn query_rate_per_peer(mut self, rate: f64) -> Self {
+        self.config.query_rate_per_peer = rate;
+        self
+    }
+
+    /// Sets the caching/routing group count `M`.
+    pub fn group_count(mut self, m: u32) -> Self {
+        self.config.group_count = m;
+        self
+    }
+
+    /// Sets the response-index capacity in distinct filenames.
+    pub fn response_index_capacity(mut self, filenames: usize) -> Self {
+        self.config.response_index_capacity = filenames;
+        self
+    }
+
+    /// Sets the Bloom filter shape (bits, hash probes).
+    pub fn bloom(mut self, bits: usize, hashes: usize) -> Self {
+        self.config.bloom_bits = bits;
+        self.config.bloom_hashes = hashes;
+        self
+    }
+
+    /// Sets the churn model.
+    pub fn churn(mut self, churn: ChurnConfig) -> Self {
+        self.config.churn = churn;
+        self
+    }
+
+    /// Applies an arbitrary edit to the underlying configuration — the escape
+    /// hatch for knobs without a dedicated setter.
+    pub fn tweak(mut self, edit: impl FnOnce(&mut SimulationConfig)) -> Self {
+        edit(&mut self.config);
+        self
+    }
+
+    /// Validates the assembled configuration and returns the scenario, or the
+    /// first violated constraint as a [`ConfigError`].
+    pub fn build(self) -> Result<Scenario, ConfigError> {
+        Scenario::from_config(self.name, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_validated_scenarios() {
+        let scenario = Scenario::builder("unit")
+            .peers(80)
+            .seed(3)
+            .zipf_exponent(1.2)
+            .build()
+            .unwrap();
+        assert_eq!(scenario.name(), "unit");
+        assert_eq!(scenario.config().peers, 80);
+        assert_eq!(scenario.seed(), 3);
+        assert!((scenario.config().zipf_exponent - 1.2).abs() < 1e-12);
+        assert!(scenario.config().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_surfaces_typed_errors() {
+        assert_eq!(
+            Scenario::builder("bad").peers(60).ttl(0).build().unwrap_err(),
+            ConfigError::ZeroTtl
+        );
+        assert!(matches!(
+            Scenario::builder("bad").peers(60).landmarks(12).build().unwrap_err(),
+            ConfigError::LandmarksOutOfRange { landmarks: 12 }
+        ));
+        assert!(matches!(
+            Scenario::builder("bad")
+                .peers(60)
+                .latency_range_ms(50.0, 10.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::LatencyRange { .. }
+        ));
+    }
+
+    #[test]
+    fn every_preset_validates_and_has_a_distinct_seed() {
+        let presets = [
+            Scenario::paper_defaults(),
+            Scenario::small(60),
+            Scenario::flash_crowd(60),
+            Scenario::churn_storm(60),
+            Scenario::regional_hotspot(60),
+        ];
+        // `small` intentionally keeps the paper seed (it is the paper's setup
+        // scaled down); the three new regimes each carry their own seed.
+        let mut regime_seeds: Vec<u64> = presets[1..].iter().map(|s| s.seed()).collect();
+        regime_seeds.sort_unstable();
+        regime_seeds.dedup();
+        assert_eq!(regime_seeds.len(), 4, "regime seeds must be distinct");
+        for (scenario, expected_name) in presets.iter().zip(Scenario::PRESET_NAMES) {
+            assert_eq!(scenario.name(), expected_name);
+            assert!(scenario.config().validate().is_ok(), "{expected_name} must validate");
+        }
+    }
+
+    #[test]
+    fn preset_lookup_matches_the_name_table() {
+        for name in Scenario::PRESET_NAMES {
+            let scenario = Scenario::preset(name, 50).unwrap();
+            assert_eq!(scenario.name(), name);
+        }
+        assert!(Scenario::preset("no-such-preset", 50).is_none());
+    }
+
+    #[test]
+    fn preset_regimes_differ_from_the_paper_setup() {
+        let small = Scenario::small(100);
+        let flash = Scenario::flash_crowd(100);
+        let storm = Scenario::churn_storm(100);
+        let hotspot = Scenario::regional_hotspot(100);
+
+        assert!(flash.config().zipf_exponent > small.config().zipf_exponent);
+        assert!(flash.config().query_rate_per_peer > small.config().query_rate_per_peer * 10.0);
+        assert!(small.config().churn.is_disabled());
+        assert!(!storm.config().churn.is_disabled());
+        assert!(matches!(
+            hotspot.config().placement,
+            PlacementModel::Clustered { clusters: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn with_seed_and_with_name_override_without_revalidation() {
+        let scenario = Scenario::small(40).with_seed(99).with_name("renamed");
+        assert_eq!(scenario.seed(), 99);
+        assert_eq!(scenario.name(), "renamed");
+    }
+}

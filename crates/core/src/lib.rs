@@ -17,6 +17,8 @@
 //! ## Crate layout
 //!
 //! * [`config`] — every parameter of the paper's §5.1 setup, with defaults,
+//! * [`experiment`] — the public experiment API: validated [`Scenario`]s,
+//!   [`ExperimentPlan`] grids and the substrate-sharing parallel [`Runner`],
 //! * [`group`] — group ids and the `hash(·) mod M` caching/routing rule,
 //! * [`index`] — the location-aware response index (`RI`),
 //! * [`peer`] — per-peer state (storage, index, Bloom filters, neighbours),
@@ -31,17 +33,34 @@
 //! ## Quick start
 //!
 //! ```
-//! use locaware::{ProtocolKind, Simulation, SimulationConfig};
+//! use locaware::experiment::Scenario;
+//! use locaware::ProtocolKind;
 //!
-//! // A scaled-down substrate so the doctest runs in milliseconds; use
-//! // `SimulationConfig::paper_defaults()` for the 1000-peer setup.
-//! let mut config = SimulationConfig::small(60);
-//! config.seed = 42;
-//! let simulation = Simulation::build(config);
+//! // A scaled-down scenario so the doctest runs in milliseconds; use
+//! // `Scenario::paper_defaults()` for the 1000-peer setup. Scenario
+//! // construction validates the configuration, so `substrate()` cannot fail.
+//! let scenario = Scenario::small(60).with_seed(42);
+//! let simulation = scenario.substrate();
 //!
 //! let report = simulation.run(ProtocolKind::Locaware, 50);
 //! assert_eq!(report.queries_issued, 50);
 //! println!("{}", report.summary_table().render());
+//! ```
+//!
+//! To compare protocols — or scenarios, seeds and query counts — declare an
+//! [`ExperimentPlan`] and hand it to a [`Runner`], which builds each substrate
+//! exactly once and fans the grid out over worker threads:
+//!
+//! ```
+//! use locaware::experiment::{ExperimentPlan, Runner, Scenario};
+//! use locaware::ProtocolKind;
+//!
+//! let plan = ExperimentPlan::new()
+//!     .scenario(Scenario::small(60).with_seed(42))
+//!     .protocols(ProtocolKind::PAPER_SET)
+//!     .query_count(50);
+//! let outcome = Runner::new().run(&plan).expect("plan lists every dimension");
+//! assert_eq!(outcome.substrates_built, 1); // four protocols, one substrate
 //! ```
 
 #![warn(missing_docs)]
@@ -50,6 +69,7 @@
 pub mod analysis;
 pub mod config;
 pub mod engine;
+pub mod experiment;
 pub mod group;
 pub mod index;
 pub mod peer;
@@ -59,7 +79,11 @@ pub mod results;
 pub mod simulation;
 
 pub use analysis::{RunAnalysis, WarmupPoint};
-pub use config::{ProtocolKind, SimulationConfig};
+pub use config::{ConfigError, ProtocolKind, SimulationConfig};
+pub use experiment::{
+    ExperimentOutcome, ExperimentPlan, ExperimentPoint, PlanError, Runner, Scenario,
+    ScenarioBuilder,
+};
 pub use group::{GroupId, GroupScheme};
 pub use index::{IndexEntry, ProviderRecord, ResponseIndex};
 pub use peer::{NeighborInfo, PeerState};

@@ -133,7 +133,7 @@ impl PeerState {
     /// through the response index.
     ///
     /// Locaware uses this for the keywords of the peer's *own shared files*:
-    /// §5.2 credits Locaware with "avoid[ing] missing results held by
+    /// §5.2 credits Locaware with "avoid\[ing\] missing results held by
     /// neighbors", which requires neighbours' filters to cover locally stored
     /// files as well as cached indexes. Shared files are never evicted, so no
     /// matching removal is needed.

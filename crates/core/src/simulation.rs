@@ -16,8 +16,9 @@ use locaware_workload::{
     PlacementConfig,
 };
 
-use crate::config::{ProtocolKind, SimulationConfig};
+use crate::config::{ConfigError, ProtocolKind, SimulationConfig};
 use crate::engine::ProtocolEngine;
+use crate::experiment::Scenario;
 use crate::group::{GroupId, GroupScheme};
 use crate::results::SimulationReport;
 
@@ -36,15 +37,40 @@ pub struct Simulation {
 }
 
 impl Simulation {
+    /// Builds the substrate described by `config`, validating it first.
+    ///
+    /// This is the fallible entry point underneath the experiment layer:
+    /// [`Scenario::substrate`] calls it with an already-validated
+    /// configuration, and [`crate::experiment::Runner`] calls it exactly once
+    /// per grid substrate.
+    pub fn try_build(config: SimulationConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        Ok(Self::build_validated(config))
+    }
+
     /// Builds the substrate described by `config`.
     ///
     /// # Panics
-    /// Panics if the configuration does not validate; call
-    /// [`SimulationConfig::validate`] first to handle errors gracefully.
+    /// Panics if the configuration does not validate.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Simulation::try_build` (or `Scenario::builder(..).build()?.substrate()`) \
+                and handle the `ConfigError` instead of panicking"
+    )]
     pub fn build(config: SimulationConfig) -> Self {
-        if let Err(problem) = config.validate() {
-            panic!("invalid simulation configuration: {problem}");
+        match Self::try_build(config) {
+            Ok(simulation) => simulation,
+            Err(problem) => panic!("invalid simulation configuration: {problem}"),
         }
+    }
+
+    /// Builds the substrate of `scenario` (already validated by construction).
+    pub fn from_scenario(scenario: &Scenario) -> Self {
+        Self::build_validated(scenario.config().clone())
+    }
+
+    /// The actual builder; `config` must already have passed validation.
+    fn build_validated(config: SimulationConfig) -> Self {
         let rng_factory = RngFactory::new(config.seed);
 
         let topology = BriteGenerator::new(BriteConfig {
@@ -207,7 +233,7 @@ mod tests {
     fn small_sim() -> Simulation {
         let mut config = SimulationConfig::small(60);
         config.seed = 7;
-        Simulation::build(config)
+        Simulation::try_build(config).expect("small config validates")
     }
 
     #[test]
@@ -277,10 +303,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid simulation configuration")]
-    fn invalid_configs_are_rejected_at_build() {
+    fn invalid_configs_are_rejected_by_try_build() {
         let mut config = SimulationConfig::small(10);
         config.ttl = 0;
+        assert_eq!(Simulation::try_build(config).unwrap_err(), ConfigError::ZeroTtl);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation configuration")]
+    fn the_deprecated_build_shim_still_panics_on_invalid_configs() {
+        let mut config = SimulationConfig::small(10);
+        config.ttl = 0;
+        #[allow(deprecated)]
         let _ = Simulation::build(config);
+    }
+
+    #[test]
+    fn scenario_and_try_build_produce_the_same_substrate() {
+        let scenario = Scenario::small(60).with_seed(7);
+        let from_scenario = Simulation::from_scenario(&scenario);
+        let direct = small_sim();
+        assert_eq!(from_scenario.loc_ids(), direct.loc_ids());
+        assert_eq!(from_scenario.initial_shares(), direct.initial_shares());
+        assert_eq!(from_scenario.group_ids(), direct.group_ids());
     }
 }

@@ -1,6 +1,6 @@
 //! Location identifiers (`locId`).
 //!
-//! §4.1.1 of the paper: *"An ordering of the [landmark] set by increasing RTT
+//! §4.1.1 of the paper: *"An ordering of the \[landmark\] set by increasing RTT
 //! reflects the physical location of peer n. Thus, physically close peers are
 //! likely to produce the same ordering. We thereby associate to each possible
 //! ordering a location Id noted locId."*

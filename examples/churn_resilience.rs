@@ -7,37 +7,47 @@
 //! The paper's evaluation runs on a static overlay, but §4.1.2 explicitly
 //! worries about dynamics: "Given the high dynamicity of peers, studies in
 //! Gnutella showed that cached objects should be kept for a small amount of
-//! time to avoid sending stale responses". This example turns on the
-//! session-based churn model (an extension shipped with the reproduction),
-//! compares Locaware and Dicas under increasing churn intensity, and shows why
-//! Locaware's multiple-providers-per-index design degrades more gracefully
-//! than a single-provider cache: when the cached provider of a Dicas entry has
-//! left, the response is stale and the download fails, whereas a Locaware
-//! response still lists other (possibly online) replicas.
+//! time to avoid sending stale responses". This example compares Locaware and
+//! Dicas across three scenarios of increasing churn intensity — a static
+//! overlay, a mild session-churn regime built with `ScenarioBuilder`, and the
+//! `Scenario::churn_storm` preset — all in a single `ExperimentPlan`, and
+//! shows why Locaware's multiple-providers-per-index design degrades more
+//! gracefully than a single-provider cache: when the cached provider of a
+//! Dicas entry has left, the response is stale and the download fails,
+//! whereas a Locaware response still lists other (possibly online) replicas.
 
 use locaware_suite::prelude::*;
 
 fn main() {
+    let peers = 300usize;
     let queries = 800usize;
-    let scenarios: [(&str, ChurnConfig); 3] = [
-        ("no churn", ChurnConfig::disabled()),
-        (
-            "mild churn",
-            ChurnConfig {
-                mean_session_secs: 1800.0,
-                mean_offline_secs: 600.0,
-                churning_fraction: 0.3,
-            },
-        ),
-        (
-            "heavy churn",
-            ChurnConfig {
-                mean_session_secs: 600.0,
-                mean_offline_secs: 600.0,
-                churning_fraction: 0.6,
-            },
-        ),
-    ];
+
+    let static_overlay = Scenario::small(peers).with_seed(31).with_name("no-churn");
+    let mild = Scenario::builder("mild-churn")
+        .peers(peers)
+        .seed(31)
+        .churn(ChurnConfig {
+            mean_session_secs: 1800.0,
+            mean_offline_secs: 600.0,
+            churning_fraction: 0.3,
+        })
+        .build()
+        .expect("mild churn scenario validates");
+    // The preset keeps its own seed: churn-storm is a named regime, and its
+    // numbers should be reproducible independently of this example.
+    let storm = Scenario::churn_storm(peers);
+
+    let scenarios = [static_overlay, mild, storm];
+    let plan = ExperimentPlan::new()
+        .scenarios(scenarios.iter().cloned())
+        .protocols([ProtocolKind::Locaware, ProtocolKind::Dicas])
+        .query_count(queries);
+    let outcome = Runner::new().run(&plan).expect("plan lists every dimension");
+    assert_eq!(
+        outcome.substrates_built,
+        scenarios.len(),
+        "one substrate per scenario, shared by both protocols"
+    );
 
     let mut table = Table::new([
         "scenario",
@@ -47,17 +57,15 @@ fn main() {
         "dicas distance (ms)",
     ]);
 
-    for (name, churn) in scenarios {
-        let mut config = SimulationConfig::small(300);
-        config.seed = 31;
-        config.churn = churn;
-        let simulation = Simulation::build(config);
-
-        let locaware = simulation.run(ProtocolKind::Locaware, queries);
-        let dicas = simulation.run(ProtocolKind::Dicas, queries);
-
+    for scenario in &scenarios {
+        let locaware = outcome
+            .report(scenario.name(), ProtocolKind::Locaware, queries, 0)
+            .expect("locaware ran");
+        let dicas = outcome
+            .report(scenario.name(), ProtocolKind::Dicas, queries, 0)
+            .expect("dicas ran");
         table.push_row([
-            name.to_string(),
+            scenario.name().to_string(),
             format!("{:.1}%", locaware.success_rate() * 100.0),
             format!("{:.1}%", dicas.success_rate() * 100.0),
             format!("{:.1}", locaware.avg_download_distance_ms()),
@@ -65,7 +73,7 @@ fn main() {
         ]);
     }
 
-    println!("Effect of churn on index caching ({queries} queries, 300 peers)\n");
+    println!("Effect of churn on index caching ({queries} queries, {peers} peers)\n");
     println!("{}", table.render());
     println!(
         "Locaware keeps several provider entries per cached filename, so a response assembled \

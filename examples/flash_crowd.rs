@@ -11,29 +11,39 @@
 //! response indexes record those new replicas *with their locIds* so later
 //! requestors are pointed at a copy in their own locality.
 //!
-//! The example sharpens the Zipf skew (α = 1.4, so the head of the
-//! distribution behaves like a flash crowd), runs Locaware and Flooding over
-//! the same substrate, and prints how the download distance and the provider
-//! pool evolve quarter by quarter.
+//! The `Scenario::flash_crowd` preset captures the regime: the Zipf head
+//! behaves like a sudden hit (α = 1.5) and arrivals burst at 25× the paper's
+//! steady rate. Locaware and Flooding run over the same substrate via one
+//! `ExperimentPlan`, and the tables below show how the download distance and
+//! the provider pool evolve quarter by quarter as replication kicks in.
 
+use locaware_suite::locaware_workload::PAPER_QUERY_RATE_PER_PEER;
 use locaware_suite::prelude::*;
 
 fn main() {
-    let mut config = SimulationConfig::small(300);
-    config.seed = 99;
-    config.zipf_exponent = 1.4; // flash-crowd skew: the head files dominate
-    let simulation = Simulation::build(config);
-
+    let scenario = Scenario::flash_crowd(300);
     let queries = 1200usize;
     println!(
-        "Flash-crowd workload: Zipf exponent {}, {} queries over {} peers\n",
-        simulation.config().zipf_exponent,
+        "Flash-crowd workload ('{}'): Zipf exponent {}, {}x the paper's arrival rate, \
+         {} queries over {} peers\n",
+        scenario.name(),
+        scenario.config().zipf_exponent,
+        (scenario.config().query_rate_per_peer / PAPER_QUERY_RATE_PER_PEER).round(),
         queries,
-        simulation.config().peers
+        scenario.config().peers
     );
 
-    let locaware = simulation.run(ProtocolKind::Locaware, queries);
-    let flooding = simulation.run(ProtocolKind::Flooding, queries);
+    let plan = ExperimentPlan::new()
+        .scenario(scenario.clone())
+        .protocols([ProtocolKind::Locaware, ProtocolKind::Flooding])
+        .query_count(queries);
+    let outcome = Runner::new().run(&plan).expect("plan lists every dimension");
+    let locaware = outcome
+        .report(scenario.name(), ProtocolKind::Locaware, queries, 0)
+        .expect("locaware ran");
+    let flooding = outcome
+        .report(scenario.name(), ProtocolKind::Flooding, queries, 0)
+        .expect("flooding ran");
 
     let mut table = Table::new([
         "quarter",
@@ -56,12 +66,13 @@ fn main() {
     }
     println!("{}", table.render());
 
+    let initial_replicas = scenario.config().peers * scenario.config().files_per_peer;
     println!(
         "Natural replication: the system started with {} file copies and ended the Locaware \
          run with {} ({} downloads served).",
-        simulation.config().peers * simulation.config().files_per_peer,
+        initial_replicas,
         locaware.total_file_replicas,
-        locaware.total_file_replicas - simulation.config().peers * simulation.config().files_per_peer
+        locaware.total_file_replicas - initial_replicas
     );
     println!(
         "Locaware's average download distance over the whole run: {:.1} ms vs {:.1} ms for flooding \

@@ -5,41 +5,48 @@
 //! cargo run --example protocol_comparison --release
 //! ```
 //!
-//! Runs Flooding, Dicas, Dicas-Keys and Locaware over the identical substrate
-//! and query schedule at three query counts, and prints the three metric
-//! tables plus the headline comparisons the paper quotes in §5.2.
+//! Declares the whole grid — one scenario, four protocols, three query
+//! counts — as an `ExperimentPlan` and lets the `Runner` schedule it: the
+//! substrate is built once and shared by all twelve runs, so every curve is
+//! measured over the identical system. Prints the three metric tables plus
+//! the headline comparisons the paper quotes in §5.2.
 
 use locaware_suite::prelude::*;
 
 fn main() {
-    let mut config = SimulationConfig::small(300);
-    config.seed = 7;
-    let simulation = Simulation::build(config);
-
+    let scenario = Scenario::small(300).with_seed(7).with_name("comparison");
     let query_counts = [300usize, 600, 900];
-    let protocols = locaware::ProtocolKind::PAPER_SET;
+    let protocols = ProtocolKind::PAPER_SET;
+
+    let plan = ExperimentPlan::new()
+        .scenario(scenario.clone())
+        .protocols(protocols)
+        .query_counts(query_counts);
+    let outcome = Runner::new().run(&plan).expect("grid lists every dimension");
+    assert_eq!(
+        outcome.substrates_built, 1,
+        "all {} runs share one substrate",
+        outcome.len()
+    );
 
     let mut fig2 = Figure::new("Download distance vs queries", "avg download distance (ms)");
     let mut fig3 = Figure::new("Search traffic vs queries", "messages per query");
     let mut fig4 = Figure::new("Success rate vs queries", "success rate");
 
-    for &queries in &query_counts {
-        for protocol in protocols {
-            let report = simulation.run(protocol, queries);
-            let x = queries as u64;
-            fig2.push(
-                protocol.label(),
-                SeriesPoint { queries: x, value: report.avg_download_distance_ms() },
-            );
-            fig3.push(
-                protocol.label(),
-                SeriesPoint { queries: x, value: report.avg_messages_per_query() },
-            );
-            fig4.push(
-                protocol.label(),
-                SeriesPoint { queries: x, value: report.success_rate() },
-            );
-        }
+    for point in &outcome.points {
+        let x = point.queries as u64;
+        fig2.push(
+            point.protocol.label(),
+            SeriesPoint { queries: x, value: point.report.avg_download_distance_ms() },
+        );
+        fig3.push(
+            point.protocol.label(),
+            SeriesPoint { queries: x, value: point.report.avg_messages_per_query() },
+        );
+        fig4.push(
+            point.protocol.label(),
+            SeriesPoint { queries: x, value: point.report.success_rate() },
+        );
     }
 
     println!("{}", fig2.to_table());

@@ -1,55 +1,95 @@
-//! Quickstart: build a Locaware simulation, run it, and read the results.
+//! Quickstart: describe a scenario, run an experiment, read the results.
 //!
 //! ```text
 //! cargo run --example quickstart --release
 //! ```
 //!
-//! This walks through the library's three steps:
-//!  1. describe the system with a [`SimulationConfig`] (the defaults are the
-//!     paper's §5.1 setup; here we scale it down so the example runs in a
-//!     couple of seconds),
-//!  2. build the substrate (underlay, overlay, catalog, placement) with
-//!     [`Simulation::build`],
-//!  3. run a protocol and inspect the [`SimulationReport`].
+//! This walks through the library's experiment API in three steps:
+//!
+//!  1. **Scenario** — describe the system with a [`Scenario`]. The named
+//!     presets ([`Scenario::paper_defaults`], [`Scenario::small`],
+//!     [`Scenario::flash_crowd`], [`Scenario::churn_storm`],
+//!     [`Scenario::regional_hotspot`]) are validated, seeded configurations;
+//!     custom ones go through the fallible [`ScenarioBuilder`], which returns
+//!     a typed [`ConfigError`] instead of panicking on inconsistent inputs.
+//!  2. **Plan** — declare what to measure with an [`ExperimentPlan`]:
+//!     scenarios × protocols × query counts × repetitions.
+//!  3. **Run** — hand the plan to a [`Runner`]. It builds the substrate of
+//!     each (scenario, repetition) point exactly once, shares it immutably
+//!     across every protocol and query count (that identical-substrate rule
+//!     is what makes the paper's Figures 2–4 comparable), and fans the grid
+//!     out over worker threads. Each [`SimulationReport`] in the outcome
+//!     carries the per-query records behind the figures.
+//!
+//! The scale here is ~200 peers so the example finishes in a couple of
+//! seconds; swap in `Scenario::paper_defaults()` for the 1000-peer setup.
 
 use locaware_suite::prelude::*;
 
 fn main() {
-    // 1. Configuration: 300 peers, everything else scaled from the paper.
-    let mut config = SimulationConfig::small(300);
-    config.seed = 2024;
+    // 1. Scenario: the paper's setup scaled to 200 peers, with an explicit
+    //    seed so reruns are bit-for-bit identical. Builder errors are real
+    //    errors — an invalid knob would surface here, not as a panic later.
+    let scenario = match Scenario::builder("quickstart").peers(200).seed(2024).build() {
+        Ok(scenario) => scenario,
+        Err(problem) => {
+            eprintln!("invalid scenario: {problem}");
+            std::process::exit(1);
+        }
+    };
+    let config = scenario.config();
     println!(
-        "Simulating {} peers, {} files, {} keywords, TTL {}, {} landmarks\n",
-        config.peers, config.file_pool, config.keyword_pool, config.ttl, config.landmarks
+        "Scenario '{}': {} peers, {} files, {} keywords, TTL {}, {} landmarks\n",
+        scenario.name(),
+        config.peers,
+        config.file_pool,
+        config.keyword_pool,
+        config.ttl,
+        config.landmarks
     );
 
-    // 2. Build the substrate once. Every protocol run over it sees exactly the
-    //    same peers, files, localities and query schedule.
-    let simulation = Simulation::build(config);
+    // The substrate is inspectable on its own: peers, overlay wiring,
+    // localities. Every protocol run over this scenario sees exactly this
+    // system.
+    let substrate = scenario.substrate();
     println!(
         "Overlay: {} peers, average degree {:.2}, connected: {}",
-        simulation.overlay().len(),
-        simulation.overlay().average_degree(),
-        simulation.overlay().is_connected()
+        substrate.overlay().len(),
+        substrate.overlay().average_degree(),
+        substrate.overlay().is_connected()
     );
     let distinct_localities = {
-        let mut locs: Vec<_> = simulation.loc_ids().to_vec();
+        let mut locs: Vec<_> = substrate.loc_ids().to_vec();
         locs.sort_unstable();
         locs.dedup();
         locs.len()
     };
     println!(
         "Localities: {} landmarks partition the peers into {} distinct locIds\n",
-        simulation.landmarks().len(),
+        substrate.landmarks().len(),
         distinct_localities
     );
 
-    // 3. Run Locaware for 1000 queries and print the report.
-    let report = simulation.run(ProtocolKind::Locaware, 1000);
-    println!("{}", report.summary_table().render());
+    // 2. Plan: Locaware vs the flooding baseline, 800 queries each.
+    let queries = 800usize;
+    let plan = ExperimentPlan::new()
+        .scenario(scenario.clone())
+        .protocols([ProtocolKind::Locaware, ProtocolKind::Flooding])
+        .query_count(queries);
 
-    // The same substrate can answer "what would flooding have done?" directly.
-    let flooding = simulation.run(ProtocolKind::Flooding, 1000);
+    // 3. Run. The runner builds the substrate once and runs both protocols
+    //    over it; the outcome records how many builds actually happened.
+    let outcome = Runner::new().run(&plan).expect("the plan lists every dimension");
+    assert_eq!(outcome.substrates_built, 1, "both protocols share one substrate");
+
+    let report = outcome
+        .report(scenario.name(), ProtocolKind::Locaware, queries, 0)
+        .expect("locaware ran");
+    let flooding = outcome
+        .report(scenario.name(), ProtocolKind::Flooding, queries, 0)
+        .expect("flooding ran");
+
+    println!("{}", report.summary_table().render());
     println!(
         "Locaware used {:.1} messages/query where flooding used {:.1} ({:.1}% less traffic).",
         report.avg_messages_per_query(),

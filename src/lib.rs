@@ -7,15 +7,14 @@
 //!
 //! The actual library code lives in the member crates:
 //!
-//! * [`locaware`](::locaware) — the paper's contribution (protocols, response
-//!   index, simulation runner),
-//! * [`locaware_sim`](::locaware_sim) — the discrete-event engine,
-//! * [`locaware_net`](::locaware_net) — the physical underlay and locIds,
-//! * [`locaware_overlay`](::locaware_overlay) — the unstructured overlay,
-//! * [`locaware_bloom`](::locaware_bloom) — Bloom filters and deltas,
-//! * [`locaware_workload`](::locaware_workload) — catalog, Zipf queries,
-//!   placement and arrivals,
-//! * [`locaware_metrics`](::locaware_metrics) — records, figures and tables.
+//! * [`locaware`] — the paper's contribution (protocols, response index,
+//!   the experiment API and the simulation runner),
+//! * [`locaware_sim`] — the discrete-event engine,
+//! * [`locaware_net`] — the physical underlay and locIds,
+//! * [`locaware_overlay`] — the unstructured overlay,
+//! * [`locaware_bloom`] — Bloom filters and deltas,
+//! * [`locaware_workload`] — catalog, Zipf queries, placement and arrivals,
+//! * [`locaware_metrics`] — records, figures and tables.
 
 #![warn(missing_docs)]
 
@@ -29,7 +28,10 @@ pub use locaware_workload;
 
 /// The most commonly used types, re-exported for examples and tests.
 pub mod prelude {
-    pub use locaware::{ProtocolKind, Simulation, SimulationConfig, SimulationReport};
+    pub use locaware::{
+        ConfigError, ExperimentOutcome, ExperimentPlan, ExperimentPoint, PlanError, ProtocolKind,
+        Runner, Scenario, ScenarioBuilder, Simulation, SimulationConfig, SimulationReport,
+    };
     pub use locaware_metrics::{Figure, SeriesPoint, Table};
     pub use locaware_overlay::ChurnConfig;
 }
@@ -40,9 +42,21 @@ mod tests {
 
     #[test]
     fn prelude_exposes_a_runnable_simulation() {
-        let mut config = SimulationConfig::small(40);
-        config.seed = 1;
-        let report = Simulation::build(config).run(ProtocolKind::Flooding, 10);
+        let report = Scenario::small(40)
+            .with_seed(1)
+            .substrate()
+            .run(ProtocolKind::Flooding, 10);
         assert_eq!(report.queries_issued, 10);
+    }
+
+    #[test]
+    fn prelude_exposes_the_experiment_api() {
+        let plan = ExperimentPlan::new()
+            .scenario(Scenario::small(40).with_seed(1))
+            .protocol(ProtocolKind::Flooding)
+            .query_count(10);
+        let outcome = Runner::new().with_threads(2).run(&plan).expect("valid plan");
+        assert_eq!(outcome.substrates_built, 1);
+        assert_eq!(outcome.len(), 1);
     }
 }

@@ -7,14 +7,17 @@
 //! and that Locaware's multi-provider indexes degrade more gracefully than a
 //! single-provider cache.
 
-use locaware::{ProtocolKind, Simulation, SimulationConfig};
+use locaware::{ProtocolKind, Scenario, Simulation};
 use locaware_overlay::ChurnConfig;
 
-fn churny_config(peers: usize, seed: u64, churn: ChurnConfig) -> SimulationConfig {
-    let mut config = SimulationConfig::small(peers);
-    config.seed = seed;
-    config.churn = churn;
-    config
+fn churny_sim(peers: usize, seed: u64, churn: ChurnConfig) -> Simulation {
+    Scenario::builder("churny")
+        .peers(peers)
+        .seed(seed)
+        .churn(churn)
+        .build()
+        .expect("churn never invalidates a small config")
+        .substrate()
 }
 
 #[test]
@@ -24,7 +27,7 @@ fn runs_complete_under_heavy_churn() {
         mean_offline_secs: 300.0,
         churning_fraction: 0.5,
     };
-    let simulation = Simulation::build(churny_config(100, 11, churn));
+    let simulation = churny_sim(100, 11, churn);
     for protocol in ProtocolKind::PAPER_SET {
         let report = simulation.run(protocol, 80);
         assert_eq!(report.metrics.len(), report.queries_issued as usize);
@@ -41,8 +44,8 @@ fn runs_complete_under_heavy_churn() {
 #[test]
 fn churn_reduces_success_compared_to_a_static_overlay() {
     let seed = 12;
-    let static_sim = Simulation::build(churny_config(150, seed, ChurnConfig::disabled()));
-    let churny_sim = Simulation::build(churny_config(
+    let static_sim = churny_sim(150, seed, ChurnConfig::disabled());
+    let churny = churny_sim(
         150,
         seed,
         ChurnConfig {
@@ -50,10 +53,10 @@ fn churn_reduces_success_compared_to_a_static_overlay() {
             mean_offline_secs: 800.0,
             churning_fraction: 0.6,
         },
-    ));
+    );
     let queries = 150;
     let static_report = static_sim.run(ProtocolKind::Locaware, queries);
-    let churny_report = churny_sim.run(ProtocolKind::Locaware, queries);
+    let churny_report = churny.run(ProtocolKind::Locaware, queries);
     assert!(
         churny_report.success_rate() <= static_report.success_rate(),
         "churn must not improve success ({:.3} churny vs {:.3} static)",
@@ -69,7 +72,7 @@ fn churn_schedule_is_generated_and_deterministic() {
         mean_offline_secs: 200.0,
         churning_fraction: 0.8,
     };
-    let simulation = Simulation::build(churny_config(80, 13, churn));
+    let simulation = churny_sim(80, 13, churn);
     let arrivals = simulation.arrivals(200);
     let a = simulation.churn_schedule(&arrivals);
     let b = simulation.churn_schedule(&arrivals);

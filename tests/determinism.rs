@@ -9,7 +9,13 @@
 //! RNG stream-isolation contract they rest on and the configuration
 //! validation that guards the substrate builder's inputs.
 
-use locaware::{ProtocolKind, Simulation, SimulationConfig, SimulationReport};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use locaware::{
+    ConfigError, ExperimentPlan, ProtocolKind, Runner, Scenario, Simulation, SimulationConfig,
+    SimulationReport,
+};
 use locaware_sim::{RngFactory, StreamId};
 use rand::{Rng, RngCore};
 
@@ -24,9 +30,7 @@ const ALL_PROTOCOLS: [ProtocolKind; 6] = [
 ];
 
 fn substrate(peers: usize, seed: u64) -> Simulation {
-    let mut config = SimulationConfig::small(peers);
-    config.seed = seed;
-    Simulation::build(config)
+    Scenario::small(peers).with_seed(seed).substrate()
 }
 
 /// Canonical byte encoding of a report: every field, with floats encoded as
@@ -178,9 +182,7 @@ fn tiny_catalog_exhaustion_keeps_replica_accounting_exact() {
     // catalog. Peers with nothing left to search for skip their arrivals
     // rather than issuing unsatisfiable queries, and the replica accounting
     // must stay exact throughout.
-    let mut config = SimulationConfig::small(10);
-    config.seed = 13;
-    let simulation = Simulation::build(config);
+    let simulation = Scenario::small(10).with_seed(13).substrate();
     let initial_replicas = simulation.config().peers * simulation.config().files_per_peer;
     for protocol in [ProtocolKind::Flooding, ProtocolKind::Locaware] {
         let report = simulation.run(protocol, 400);
@@ -301,34 +303,151 @@ fn small_configs_validate_across_the_supported_range() {
 }
 
 #[test]
-fn invalid_configurations_are_rejected_with_reasons() {
+fn invalid_configurations_are_rejected_with_typed_errors() {
     let base = SimulationConfig::small(60);
 
     let mut c = base.clone();
     c.peers = 0;
-    assert!(c.validate().unwrap_err().contains("peers"));
+    assert_eq!(c.validate(), Err(ConfigError::ZeroPeers));
 
     let mut c = base.clone();
     c.ttl = 0;
-    assert!(c.validate().unwrap_err().contains("ttl"));
+    assert_eq!(c.validate(), Err(ConfigError::ZeroTtl));
 
     let mut c = base.clone();
     c.landmarks = 9;
-    assert!(c.validate().unwrap_err().contains("landmarks"));
+    assert_eq!(c.validate(), Err(ConfigError::LandmarksOutOfRange { landmarks: 9 }));
 
     let mut c = base.clone();
     c.average_degree = base.peers as f64;
-    assert!(c.validate().unwrap_err().contains("degree"));
+    assert!(matches!(c.validate(), Err(ConfigError::DegreeOutOfRange { .. })));
 
     let mut c = base.clone();
     c.files_per_peer = c.file_pool + 1;
-    assert!(c.validate().unwrap_err().contains("file pool"));
+    assert!(matches!(c.validate(), Err(ConfigError::PlacementUnsatisfiable { .. })));
 
     let mut c = base.clone();
     c.min_query_keywords = c.max_query_keywords + 1;
-    assert!(c.validate().unwrap_err().contains("keyword"));
+    assert!(matches!(c.validate(), Err(ConfigError::QueryKeywordBounds { .. })));
 
     let mut c = base;
     c.bloom_bits = 0;
-    assert!(c.validate().unwrap_err().contains("Bloom"));
+    assert_eq!(c.validate(), Err(ConfigError::ZeroBloomParameters));
+
+    // The same errors flow through the fallible builder, carry human-readable
+    // messages, and box as std errors.
+    let err = Scenario::builder("broken").peers(60).ttl(0).build().unwrap_err();
+    assert_eq!(err, ConfigError::ZeroTtl);
+    let err: Box<dyn std::error::Error> = Box::new(err);
+    assert!(err.to_string().contains("ttl"));
+}
+
+// --------------------------------------------------- named scenario presets
+
+/// The scaled-down presets (everything except the 1000-peer paper setup),
+/// instantiated small enough to run end to end in a test.
+fn small_presets() -> Vec<Scenario> {
+    vec![
+        Scenario::small(60),
+        Scenario::flash_crowd(60),
+        Scenario::churn_storm(60),
+        Scenario::regional_hotspot(60),
+    ]
+}
+
+#[test]
+fn every_named_preset_builds_and_validates() {
+    assert!(Scenario::paper_defaults().config().validate().is_ok());
+    for scenario in small_presets() {
+        assert!(
+            scenario.config().validate().is_ok(),
+            "{}: preset must validate",
+            scenario.name()
+        );
+        let substrate = scenario.substrate();
+        assert_eq!(substrate.topology().len(), 60);
+        assert_eq!(substrate.overlay().len(), 60);
+        assert!(substrate.overlay().is_connected(), "{}: overlay must connect", scenario.name());
+    }
+}
+
+#[test]
+fn every_named_preset_is_seed_deterministic() {
+    for scenario in small_presets() {
+        let a = scenario.substrate().run(ProtocolKind::Locaware, 40);
+        let b = scenario.substrate().run(ProtocolKind::Locaware, 40);
+        assert_eq!(
+            report_bytes(&a),
+            report_bytes(&b),
+            "{}: same preset, same seed must agree bit-for-bit",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn preset_regimes_produce_distinct_workloads() {
+    // The three new regimes must actually differ from the plain scaled-down
+    // setup — otherwise they are presets in name only. Compare them to
+    // `small` under the *same seed* so the only difference is the regime.
+    let seed = 17;
+    let base = Scenario::small(60).with_seed(seed);
+    let base_report = base.substrate().run(ProtocolKind::Locaware, 40);
+    for scenario in [
+        Scenario::flash_crowd(60).with_seed(seed),
+        Scenario::churn_storm(60).with_seed(seed),
+        Scenario::regional_hotspot(60).with_seed(seed),
+    ] {
+        let report = scenario.substrate().run(ProtocolKind::Locaware, 40);
+        assert_ne!(
+            report_bytes(&base_report),
+            report_bytes(&report),
+            "{}: regime must change the measured system",
+            scenario.name()
+        );
+    }
+}
+
+// ------------------------------------------------- experiment runner contract
+
+#[test]
+fn a_multi_protocol_grid_point_builds_its_substrate_exactly_once() {
+    let builds = Arc::new(AtomicUsize::new(0));
+    let plan = ExperimentPlan::new()
+        .scenario(Scenario::small(60).with_seed(3))
+        .protocols(ALL_PROTOCOLS)
+        .query_counts([20, 40]);
+    let outcome = Runner::new()
+        .with_threads(4)
+        .with_build_counter(Arc::clone(&builds))
+        .run(&plan)
+        .expect("plan lists every dimension");
+    assert_eq!(outcome.len(), 6 * 2, "every (protocol, query count) must run");
+    assert_eq!(
+        builds.load(Ordering::Relaxed),
+        1,
+        "six protocols at two query counts must share one substrate build"
+    );
+    assert_eq!(outcome.substrates_built, 1);
+}
+
+#[test]
+fn runner_reports_match_direct_runs_bit_for_bit() {
+    let scenario = Scenario::small(60).with_seed(42);
+    let plan = ExperimentPlan::new()
+        .scenario(scenario.clone())
+        .protocols(ALL_PROTOCOLS)
+        .query_count(40);
+    let outcome = Runner::new().run(&plan).expect("plan lists every dimension");
+    for protocol in ALL_PROTOCOLS {
+        let direct = scenario.substrate().run(protocol, 40);
+        let shared = outcome
+            .report(scenario.name(), protocol, 40, 0)
+            .expect("every protocol ran");
+        assert_eq!(
+            report_bytes(&direct),
+            report_bytes(shared),
+            "{protocol}: sharing the substrate must not change the run"
+        );
+    }
 }

@@ -9,9 +9,7 @@ use locaware_suite::prelude::*;
 use locaware::ProtocolKind;
 
 fn substrate(peers: usize, seed: u64) -> Simulation {
-    let mut config = SimulationConfig::small(peers);
-    config.seed = seed;
-    Simulation::build(config)
+    Scenario::small(peers).with_seed(seed).substrate()
 }
 
 #[test]

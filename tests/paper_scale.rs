@@ -1,0 +1,67 @@
+//! Paper-scale smoke tier: the 1000-peer §5.1 setup, end to end.
+//!
+//! Everything else in the suite runs at ≤200 peers so the harness stays fast;
+//! nothing there would catch a regression that only appears at the published
+//! scale (event-queue growth, Bloom saturation, provider-selection cost over
+//! the full all-pairs latency matrix). These tests run the real
+//! `paper-defaults` scenario and are `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release --test paper_scale -- --ignored
+//! ```
+
+use locaware::{ExperimentPlan, ProtocolKind, Runner, Scenario};
+
+#[test]
+#[ignore = "paper scale (1000 peers); run with: cargo test --release --test paper_scale -- --ignored"]
+fn paper_defaults_run_locaware_end_to_end() {
+    let scenario = Scenario::paper_defaults();
+    assert_eq!(scenario.config().peers, 1000);
+
+    let queries = 1000usize;
+    let report = scenario.substrate().run(ProtocolKind::Locaware, queries);
+
+    assert_eq!(report.queries_issued as usize, queries);
+    assert_eq!(report.metrics.len(), queries);
+    assert!(report.dispatched_events > 0);
+    assert!(
+        report.success_rate() > 0.0 && report.success_rate() <= 1.0,
+        "paper-scale Locaware must satisfy some queries (got {:.4})",
+        report.success_rate()
+    );
+    for record in report.metrics.records() {
+        if let Some(distance) = record.download_distance_ms {
+            assert!(
+                distance >= 0.0 && distance <= scenario.config().max_latency_ms,
+                "download distance {distance}ms out of the configured latency bounds"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "paper scale (1000 peers); run with: cargo test --release --test paper_scale -- --ignored"]
+fn paper_defaults_grid_point_shares_one_substrate_across_protocols() {
+    let queries = 500usize;
+    let plan = ExperimentPlan::new()
+        .scenario(Scenario::paper_defaults())
+        .protocols(ProtocolKind::PAPER_SET)
+        .query_count(queries);
+    let outcome = Runner::new().run(&plan).expect("plan lists every dimension");
+
+    assert_eq!(outcome.substrates_built, 1, "one 1000-peer build for all four curves");
+    assert_eq!(outcome.len(), ProtocolKind::PAPER_SET.len());
+
+    let flooding = outcome
+        .report("paper-defaults", ProtocolKind::Flooding, queries, 0)
+        .expect("flooding ran");
+    let locaware = outcome
+        .report("paper-defaults", ProtocolKind::Locaware, queries, 0)
+        .expect("locaware ran");
+    assert!(
+        flooding.avg_messages_per_query() > locaware.avg_messages_per_query(),
+        "the paper's Figure 3 ordering must hold at full scale ({:.1} vs {:.1})",
+        flooding.avg_messages_per_query(),
+        locaware.avg_messages_per_query()
+    );
+}

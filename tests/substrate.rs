@@ -2,13 +2,11 @@
 //! simulation (underlay, localities, overlay, catalog, placement, groups) must
 //! be mutually consistent and must honour the paper's §5.1 parameters.
 
-use locaware::{GroupScheme, ProtocolKind, Simulation, SimulationConfig};
+use locaware::{GroupScheme, ProtocolKind, Scenario, Simulation, SimulationConfig};
 use locaware_net::LocId;
 
 fn paper_small(seed: u64) -> Simulation {
-    let mut config = SimulationConfig::small(200);
-    config.seed = seed;
-    Simulation::build(config)
+    Scenario::small(200).with_seed(seed).substrate()
 }
 
 #[test]
