@@ -1,0 +1,195 @@
+//! Before/after microbenchmarks of the PR 3 hot-path optimizations.
+//!
+//! Every pair measures the *old* code shape against the *new* one inside a
+//! single binary, so the comparison shares a compiler, machine and load:
+//!
+//! * `bloom_routing/*` — the §4.2 neighbour-scan: re-hashing every query
+//!   keyword per neighbour ([`BloomFilter::contains_all`] over canonical
+//!   strings, the pre-PR3 routing path) vs probing with interned hashes
+//!   ([`BloomFilter::contains_all_hashes`]).
+//! * `response_index/*` — the optimized [`ResponseIndex`] (recency set +
+//!   keyword postings) vs the pre-PR3 reference implementation preserved as
+//!   [`locaware::index::naive::NaiveResponseIndex`], at the paper's
+//!   50-filename capacity and at a 400-filename "scaled" capacity.
+//! * `engine/*` — one end-to-end protocol run over a 300-peer substrate, the
+//!   number the whole pass is in service of.
+//!
+//! `BENCH_pr3.json` at the repo root records one measured trajectory point of
+//! these numbers (see README § Performance for methodology).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use locaware::index::naive::NaiveResponseIndex;
+use locaware::{FileId, KeywordId, LocId, PeerId, ProtocolKind, ResponseIndex, Scenario};
+use locaware_bloom::{BloomFilter, ElementHashes};
+
+// ---------------------------------------------------------------- bloom routing
+
+/// Paper shape: 50 neighbour-held filters, each summarising 50 filenames × 3
+/// keywords, probed with a 3-keyword query (the per-hop §4.2 scan of a
+/// 50-neighbour hub).
+fn neighbour_filters() -> Vec<BloomFilter> {
+    (0..50)
+        .map(|n| {
+            let mut f = BloomFilter::paper_default();
+            for i in 0..150 {
+                f.insert(&KeywordId(n * 1000 + i).canonical());
+            }
+            f
+        })
+        .collect()
+}
+
+fn bench_bloom_routing(c: &mut Criterion) {
+    let filters = neighbour_filters();
+    let query: Vec<KeywordId> = (0..3).map(|i| KeywordId(1000 + i)).collect();
+    let hashes: Vec<ElementHashes> = query
+        .iter()
+        .map(|kw| ElementHashes::of_str(&kw.canonical()))
+        .collect();
+
+    let mut group = c.benchmark_group("bloom_routing");
+    // Before: the pre-PR3 path hashed each keyword's canonical spelling for
+    // every neighbour filter probed.
+    group.bench_function("scan_50_neighbours/rehash_per_neighbour", |b| {
+        b.iter(|| {
+            let canonical: Vec<String> = query.iter().map(|k| k.canonical()).collect();
+            filters
+                .iter()
+                .filter(|f| canonical.iter().all(|kw| f.contains(kw)))
+                .count()
+        })
+    });
+    // After: keywords are hashed once (interned at the catalog) and each
+    // neighbour costs only the k word probes.
+    group.bench_function("scan_50_neighbours/prehashed", |b| {
+        b.iter(|| {
+            filters
+                .iter()
+                .filter(|f| f.contains_all_hashes(&hashes))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+// --------------------------------------------------------------- response index
+
+trait IndexUnderTest {
+    fn insert_(
+        &mut self,
+        file: FileId,
+        keywords: &[KeywordId],
+        provider: (PeerId, LocId),
+    ) -> usize;
+    fn lookup_(&self, query: &[KeywordId]) -> usize;
+}
+
+impl IndexUnderTest for ResponseIndex {
+    fn insert_(&mut self, file: FileId, keywords: &[KeywordId], provider: (PeerId, LocId)) -> usize {
+        self.insert(file, keywords, [provider]).len()
+    }
+    fn lookup_(&self, query: &[KeywordId]) -> usize {
+        self.lookup_by_keywords(query).len()
+    }
+}
+
+impl IndexUnderTest for NaiveResponseIndex {
+    fn insert_(&mut self, file: FileId, keywords: &[KeywordId], provider: (PeerId, LocId)) -> usize {
+        self.insert(file, keywords, [provider]).len()
+    }
+    fn lookup_(&self, query: &[KeywordId]) -> usize {
+        self.lookup_by_keywords(query).len()
+    }
+}
+
+/// Fills an index to capacity with 3-keyword filenames and 5 providers each.
+fn fill<I: IndexUnderTest>(index: &mut I, capacity: u32) {
+    for f in 0..capacity {
+        let keywords: Vec<KeywordId> = (0..3).map(|k| KeywordId(f * 3 + k)).collect();
+        for p in 0..5u32 {
+            index.insert_(FileId(f), &keywords, (PeerId(10_000 + p), LocId(p % 24)));
+        }
+    }
+}
+
+fn bench_response_index(c: &mut Criterion) {
+    for capacity in [50u32, 400] {
+        let mut group = c.benchmark_group(format!("response_index/capacity_{capacity}"));
+
+        let mut optimized = ResponseIndex::new(capacity as usize, 5);
+        fill(&mut optimized, capacity);
+        let mut naive = NaiveResponseIndex::new(capacity as usize, 5);
+        fill(&mut naive, capacity);
+
+        let hit = [KeywordId(30), KeywordId(31)];
+        let miss = [KeywordId(30), KeywordId(3 * capacity + 999)];
+
+        group.bench_with_input(BenchmarkId::new("lookup_hit", "naive"), &naive, |b, idx| {
+            b.iter(|| black_box(idx.lookup_(&hit)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lookup_hit", "optimized"),
+            &optimized,
+            |b, idx| b.iter(|| black_box(idx.lookup_(&hit))),
+        );
+        group.bench_with_input(BenchmarkId::new("lookup_miss", "naive"), &naive, |b, idx| {
+            b.iter(|| black_box(idx.lookup_(&miss)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lookup_miss", "optimized"),
+            &optimized,
+            |b, idx| b.iter(|| black_box(idx.lookup_(&miss))),
+        );
+
+        // Eviction-victim selection in isolation: the O(n) min-scan the
+        // recency set replaces.
+        group.bench_with_input(
+            BenchmarkId::new("evict_victim", "naive"),
+            &naive,
+            |b, idx| b.iter(|| black_box(idx.eviction_candidate())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("evict_victim", "optimized"),
+            &optimized,
+            |b, idx| b.iter(|| black_box(idx.eviction_candidate())),
+        );
+
+        // Insert-at-capacity: every insert evicts the least-recent filename.
+        let mut next = 1_000_000u32;
+        group.bench_function(BenchmarkId::new("insert_evict", "naive"), |b| {
+            b.iter(|| {
+                let keywords = [KeywordId(next), KeywordId(next + 1), KeywordId(next + 2)];
+                let evicted = naive.insert_(FileId(next), &keywords, (PeerId(7), LocId(0)));
+                next += 1;
+                black_box(evicted)
+            })
+        });
+        let mut next = 2_000_000u32;
+        group.bench_function(BenchmarkId::new("insert_evict", "optimized"), |b| {
+            b.iter(|| {
+                let keywords = [KeywordId(next), KeywordId(next + 1), KeywordId(next + 2)];
+                let evicted = optimized.insert_(FileId(next), &keywords, (PeerId(7), LocId(0)));
+                next += 1;
+                black_box(evicted)
+            })
+        });
+        group.finish();
+    }
+}
+
+// ----------------------------------------------------------------- engine tick
+
+fn bench_engine(c: &mut Criterion) {
+    let substrate = Scenario::small(300).with_seed(42).substrate();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for kind in [ProtocolKind::Locaware, ProtocolKind::Flooding] {
+        group.bench_function(BenchmarkId::new("run_500_queries_300_peers", kind.label()), |b| {
+            b.iter(|| black_box(substrate.run(kind, 500).dispatched_events))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bloom_routing, bench_response_index, bench_engine);
+criterion_main!(benches);

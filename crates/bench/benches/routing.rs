@@ -5,7 +5,7 @@
 //! the per-message cost a deployed peer would pay.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use locaware::protocol::{build_protocol, PeerView, QueryContext};
+use locaware::protocol::{build_protocol, PeerView, QueryBuffer};
 use locaware::{
     GroupScheme, LocId, PeerId, PeerState, ProtocolKind, QueryId, Scenario, Simulation,
 };
@@ -35,6 +35,7 @@ fn fixture() -> RoutingFixture {
                 bloom_params,
                 config.response_index_capacity,
                 config.max_providers_per_file,
+                simulation.catalog().keyword_hashes().clone(),
             );
             for &file in &simulation.initial_shares()[i] {
                 state.share_file(file);
@@ -61,18 +62,17 @@ fn fixture() -> RoutingFixture {
 fn bench_forward_decision(c: &mut Criterion) {
     let fx = fixture();
     let config = fx.simulation.config().clone();
-    let query = QueryContext {
-        query: QueryId(1),
-        origin: PeerId(10),
-        origin_loc: fx.simulation.loc_ids()[10],
-        keywords: fx
-            .simulation
+    let query = QueryBuffer::new(
+        QueryId(1),
+        PeerId(10),
+        fx.simulation.loc_ids()[10],
+        fx.simulation
             .catalog()
             .filename(locaware::FileId(0))
             .keywords()
             .to_vec(),
-        target_filename: Some(locaware::FileId(0)),
-    };
+        Some(locaware::FileId(0)),
+    );
 
     let mut group = c.benchmark_group("routing/forward_decision");
     for kind in [
@@ -90,7 +90,7 @@ fn bench_forward_decision(c: &mut Criterion) {
                     scheme: &fx.scheme,
                     catalog: fx.simulation.catalog(),
                 };
-                black_box(protocol.forward_targets(&view, &query, Some(PeerId(1))))
+                black_box(protocol.forward_targets(&view, &query.context(), Some(PeerId(1))))
             })
         });
     }
@@ -106,13 +106,13 @@ fn bench_local_match(c: &mut Criterion) {
         .filename(locaware::FileId(0))
         .keywords()
         .to_vec();
-    let query = QueryContext {
-        query: QueryId(2),
-        origin: PeerId(10),
-        origin_loc: fx.simulation.loc_ids()[10],
+    let query = QueryBuffer::new(
+        QueryId(2),
+        PeerId(10),
+        fx.simulation.loc_ids()[10],
         keywords,
-        target_filename: None,
-    };
+        None,
+    );
     let protocol = build_protocol(ProtocolKind::Locaware, &config);
     c.bench_function("routing/local_match_locaware", |b| {
         b.iter(|| {
@@ -122,7 +122,7 @@ fn bench_local_match(c: &mut Criterion) {
                 scheme: &fx.scheme,
                 catalog: fx.simulation.catalog(),
             };
-            black_box(protocol.local_match(&view, &query))
+            black_box(protocol.local_match(&view, &query.context()))
         })
     });
 }

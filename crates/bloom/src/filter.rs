@@ -142,6 +142,18 @@ impl BloomFilter {
         elements.into_iter().all(|e| self.contains(e))
     }
 
+    /// [`BloomFilter::contains_all`] over pre-hashed elements.
+    ///
+    /// The routing hot path tests every query keyword against the filter of
+    /// every neighbour at every hop; hashing a keyword costs far more than the
+    /// `k` word probes, so callers that test the same keywords against many
+    /// filters should hash once (e.g. via an interned [`ElementHashes`] table)
+    /// and use this fast path. Semantically identical to hashing each element
+    /// on the fly: `contains_all(es) == contains_all_hashes(es.map(hash))`.
+    pub fn contains_all_hashes(&self, hashes: &[ElementHashes]) -> bool {
+        hashes.iter().all(|h| self.contains_hashes(h))
+    }
+
     /// Sets bit `pos`; returns whether the bit changed.
     pub fn set_bit(&mut self, pos: usize) -> bool {
         assert!(pos < self.params.bits, "bit index out of range");
@@ -290,6 +302,23 @@ mod tests {
         assert!(f.contains_all(["madonna", "prayer"]));
         assert!(!f.contains_all(["madonna", "zzz-not-there-zzz"]));
         assert!(f.contains_all::<[&str; 0]>([]), "vacuous truth on empty query");
+    }
+
+    #[test]
+    fn contains_all_hashes_agrees_with_the_string_path() {
+        let mut f = BloomFilter::paper_default();
+        for i in 0..150 {
+            f.insert(&format!("kw{i}"));
+        }
+        for query in [vec!["kw0"], vec!["kw1", "kw2"], vec!["kw3", "nope"], vec![]] {
+            let hashes: Vec<ElementHashes> =
+                query.iter().map(|e| ElementHashes::of_str(e)).collect();
+            assert_eq!(
+                f.contains_all(query.iter().copied()),
+                f.contains_all_hashes(&hashes),
+                "query {query:?} must agree between the string and pre-hashed paths"
+            );
+        }
     }
 
     #[test]

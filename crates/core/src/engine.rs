@@ -9,12 +9,14 @@
 //! produces one [`QueryRecord`]; Figures 2–4 are aggregations of those records.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use locaware_bloom::ElementHashes;
 use locaware_metrics::{CounterSet, QueryOutcome, QueryRecord, RunMetrics};
-use locaware_net::{LocId, PhysicalTopology};
+use locaware_net::{LinkLatencyCache, LocId, PhysicalTopology};
 use locaware_overlay::{
     ChurnEventKind, ForwardDecision, Message, MessageKind, OverlayGraph, PeerId, ProviderEntry,
     QueryId,
@@ -22,7 +24,7 @@ use locaware_overlay::{
 use locaware_overlay::routing::decrement_ttl;
 use locaware_overlay::churn::ChurnEvent;
 use locaware_sim::{Duration, Engine as SimEngine, EngineContext, RngFactory, SimTime, StreamId};
-use locaware_workload::{Arrival, Catalog, FileId, KeywordId, QueryGenerator};
+use locaware_workload::{Arrival, Catalog, FileId, KeywordHashes, KeywordId, QueryGenerator};
 
 use crate::config::{ProtocolKind, SimulationConfig};
 use crate::group::GroupScheme;
@@ -72,8 +74,12 @@ pub(crate) struct ProtocolEngine<'a> {
     config: &'a SimulationConfig,
     protocol: Box<dyn Protocol>,
     topology: &'a PhysicalTopology,
+    /// Per-link latencies precomputed once per substrate (fallback: topology).
+    link_latencies: &'a LinkLatencyCache,
     loc_ids: &'a [LocId],
     catalog: &'a Catalog,
+    /// Interned per-keyword Bloom hashes (shared with the catalog and peers).
+    keyword_hashes: Arc<KeywordHashes>,
     scheme: GroupScheme,
     graph: OverlayGraph,
     peers: Vec<PeerState>,
@@ -84,6 +90,11 @@ pub(crate) struct ProtocolEngine<'a> {
     selection_rng: StdRng,
     churn_rng: StdRng,
     tracking: HashMap<QueryId, QueryTracking>,
+    /// Scratch buffers reused across events so the forward path does not
+    /// allocate: decoded query keywords, their hashes, and forward targets.
+    scratch_keywords: Vec<KeywordId>,
+    scratch_hashes: Vec<ElementHashes>,
+    scratch_targets: Vec<PeerId>,
     /// (origin, target) → issue time of the most recent query. While that
     /// query can still be in flight the peer will not issue a duplicate for
     /// the same target, so two concurrent queries can never be satisfied by
@@ -92,8 +103,11 @@ pub(crate) struct ProtocolEngine<'a> {
     /// After the in-flight window a failed search may be retried.
     issued_targets: HashMap<(PeerId, FileId), SimTime>,
     next_query_id: u64,
-    message_counters: CounterSet<String>,
-    routing_decisions: CounterSet<String>,
+    /// Per-kind / per-decision tallies, indexed by discriminant. Kept as flat
+    /// arrays on the hot path (a labelled `CounterSet<String>` would allocate
+    /// and tree-walk per event); exported as the labelled sets in `finalize`.
+    message_counts: [u64; MESSAGE_KINDS.len()],
+    decision_counts: [u64; FORWARD_DECISIONS.len()],
     background_messages: u64,
     queries_issued: u64,
 }
@@ -105,6 +119,7 @@ impl<'a> ProtocolEngine<'a> {
         config: &'a SimulationConfig,
         kind: ProtocolKind,
         topology: &'a PhysicalTopology,
+        link_latencies: &'a LinkLatencyCache,
         loc_ids: &'a [LocId],
         graph: &OverlayGraph,
         catalog: &'a Catalog,
@@ -118,6 +133,7 @@ impl<'a> ProtocolEngine<'a> {
         let scheme = GroupScheme::new(config.group_count);
         let bloom_params = locaware_bloom::BloomParams::new(config.bloom_bits, config.bloom_hashes);
         let max_providers = protocol.max_providers_per_file(config);
+        let keyword_hashes = catalog.keyword_hashes().clone();
 
         let mut peers: Vec<PeerState> = (0..config.peers)
             .map(|i| {
@@ -129,6 +145,7 @@ impl<'a> ProtocolEngine<'a> {
                     bloom_params,
                     config.response_index_capacity,
                     max_providers,
+                    keyword_hashes.clone(),
                 );
                 for &file in &initial_shares[i] {
                     state.share_file(file);
@@ -187,8 +204,10 @@ impl<'a> ProtocolEngine<'a> {
             config,
             protocol,
             topology,
+            link_latencies,
             loc_ids,
             catalog,
+            keyword_hashes,
             scheme,
             graph: graph.clone(),
             peers,
@@ -200,9 +219,12 @@ impl<'a> ProtocolEngine<'a> {
             churn_rng: rng_factory.stream(StreamId::Churn),
             tracking: HashMap::new(),
             issued_targets: HashMap::new(),
+            scratch_keywords: Vec::new(),
+            scratch_hashes: Vec::new(),
+            scratch_targets: Vec::new(),
             next_query_id: 0,
-            message_counters: CounterSet::new(),
-            routing_decisions: CounterSet::new(),
+            message_counts: [0; MESSAGE_KINDS.len()],
+            decision_counts: [0; FORWARD_DECISIONS.len()],
             background_messages: 0,
             queries_issued: 0,
         }
@@ -335,19 +357,22 @@ impl<'a> ProtocolEngine<'a> {
         } else {
             None
         };
-        let qctx = QueryContext {
-            query: query_id,
-            origin,
-            origin_loc,
-            keywords: query.keywords.clone(),
-            target_filename,
-        };
-
-        let (targets, decision) = {
+        self.keyword_hashes
+            .of_all_into(&query.keywords, &mut self.scratch_hashes);
+        let mut targets = std::mem::take(&mut self.scratch_targets);
+        let decision = {
+            let qctx = QueryContext {
+                query: query_id,
+                origin,
+                origin_loc,
+                keywords: &query.keywords,
+                keyword_hashes: &self.scratch_hashes,
+                target_filename,
+            };
             let view = self.view(origin);
-            self.protocol.forward_targets(&view, &qctx, None)
+            self.protocol.forward_targets_into(&view, &qctx, None, &mut targets)
         };
-        self.routing_decisions.increment(decision_label(decision).to_string());
+        self.decision_counts[decision_index(decision)] += 1;
 
         let message = Message::Query {
             query: query_id,
@@ -357,9 +382,11 @@ impl<'a> ProtocolEngine<'a> {
             target_filename: target_filename.map(|f| f.0),
             ttl: self.config.ttl,
         };
-        for target in targets {
+        for &target in &targets {
             self.send(ctx, origin, target, message.clone(), Some(query_id));
         }
+        targets.clear();
+        self.scratch_targets = targets;
     }
 
     fn handle_deliver(
@@ -385,12 +412,20 @@ impl<'a> ProtocolEngine<'a> {
                 if !is_new {
                     return;
                 }
-                let keywords: Vec<KeywordId> = keywords.into_iter().map(KeywordId).collect();
+                // Decode the wire keywords into the reusable scratch buffers;
+                // the query context borrows them, so this path allocates
+                // nothing per event.
+                self.scratch_keywords.clear();
+                self.scratch_keywords
+                    .extend(keywords.iter().map(|&k| KeywordId(k)));
+                self.keyword_hashes
+                    .of_all_into(&self.scratch_keywords, &mut self.scratch_hashes);
                 let qctx = QueryContext {
                     query,
                     origin,
-                    origin_loc: LocId(origin_loc.value()),
-                    keywords: keywords.clone(),
+                    origin_loc,
+                    keywords: &self.scratch_keywords,
+                    keyword_hashes: &self.scratch_hashes,
                     target_filename: target_filename.map(FileId),
                 };
 
@@ -411,12 +446,12 @@ impl<'a> ProtocolEngine<'a> {
                     // provider of the file (subject to its caching rule).
                     let requestor_entry = ProviderEntry {
                         provider: origin,
-                        loc_id: qctx.origin_loc,
+                        loc_id: origin_loc,
                     };
                     let response_ctx = ResponseContext {
                         file: hit.file,
                         file_keywords: self.catalog.filename(hit.file).keywords().to_vec(),
-                        query_keywords: qctx.keywords.clone(),
+                        query_keywords: self.scratch_keywords.clone(),
                         providers: Vec::new(),
                         requestor: requestor_entry,
                     };
@@ -446,22 +481,36 @@ impl<'a> ProtocolEngine<'a> {
                 let Some(new_ttl) = decrement_ttl(ttl) else {
                     return;
                 };
-                let (targets, decision) = {
+                let mut targets = std::mem::take(&mut self.scratch_targets);
+                let decision = {
+                    let qctx = QueryContext {
+                        query,
+                        origin,
+                        origin_loc,
+                        keywords: &self.scratch_keywords,
+                        keyword_hashes: &self.scratch_hashes,
+                        target_filename: target_filename.map(FileId),
+                    };
                     let view = self.view(to);
-                    self.protocol.forward_targets(&view, &qctx, Some(from))
+                    self.protocol
+                        .forward_targets_into(&view, &qctx, Some(from), &mut targets)
                 };
-                self.routing_decisions.increment(decision_label(decision).to_string());
+                self.decision_counts[decision_index(decision)] += 1;
+                // Forwarded copies share the keyword list (`Arc`), so the
+                // per-target cost is a reference-count bump, not a clone.
                 let forwarded = Message::Query {
                     query,
                     origin,
-                    origin_loc: qctx.origin_loc,
-                    keywords: keywords.iter().map(|k| k.0).collect(),
+                    origin_loc,
+                    keywords,
                     target_filename,
                     ttl: new_ttl,
                 };
-                for target in targets {
+                for &target in &targets {
                     self.send(ctx, to, target, forwarded.clone(), Some(query));
                 }
+                targets.clear();
+                self.scratch_targets = targets;
             }
             Message::QueryResponse {
                 query,
@@ -556,6 +605,7 @@ impl<'a> ProtocolEngine<'a> {
         let selection = select_provider(
             self.protocol.selection_policy(),
             self.topology,
+            self.link_latencies,
             tracking.origin,
             tracking.origin_loc,
             &online,
@@ -567,8 +617,8 @@ impl<'a> ProtocolEngine<'a> {
         tracking.satisfied = true;
         tracking.locality_match = selected.locality_match;
         tracking.download_distance_ms = Some(
-            self.topology
-                .latency(tracking.origin, selected.provider)
+            self.link_latencies
+                .latency(self.topology, tracking.origin, selected.provider)
                 .as_millis_f64(),
         );
         // Natural replication: the requestor now stores (and later serves) the file.
@@ -673,14 +723,13 @@ impl<'a> ProtocolEngine<'a> {
         message: Message,
         query: Option<QueryId>,
     ) {
-        self.message_counters
-            .increment(kind_label(message.kind()).to_string());
+        self.message_counts[kind_index(message.kind())] += 1;
         if let Some(query) = query {
             if let Some(tracking) = self.tracking.get_mut(&query) {
                 tracking.messages += 1;
             }
         }
-        let latency = self.topology.latency(from, to);
+        let latency = self.link_latencies.latency(self.topology, from, to);
         ctx.schedule_in(latency, Event::Deliver { from, to, message });
     }
 
@@ -692,10 +741,9 @@ impl<'a> ProtocolEngine<'a> {
         to: PeerId,
         message: Message,
     ) {
-        self.message_counters
-            .increment(kind_label(message.kind()).to_string());
+        self.message_counts[kind_index(message.kind())] += 1;
         self.background_messages += 1;
-        let latency = self.topology.latency(from, to);
+        let latency = self.link_latencies.latency(self.topology, from, to);
         ctx.schedule_in(latency, Event::Deliver { from, to, message });
     }
 
@@ -737,8 +785,8 @@ impl<'a> ProtocolEngine<'a> {
             protocol: self.protocol.kind(),
             queries_issued: self.queries_issued,
             metrics,
-            message_counters: self.message_counters,
-            routing_decisions: self.routing_decisions,
+            message_counters: labelled_counters(&MESSAGE_KINDS, &self.message_counts),
+            routing_decisions: labelled_counters(&FORWARD_DECISIONS, &self.decision_counts),
             background_messages: self.background_messages,
             total_file_replicas: total_replicas,
             total_cached_index_entries: total_cached,
@@ -748,24 +796,85 @@ impl<'a> ProtocolEngine<'a> {
     }
 }
 
-fn kind_label(kind: MessageKind) -> &'static str {
+/// Every message kind with its report label, in tally-array index order.
+const MESSAGE_KINDS: [(MessageKind, &str); 7] = [
+    (MessageKind::Query, "query"),
+    (MessageKind::QueryResponse, "query-response"),
+    (MessageKind::BloomFull, "bloom-full"),
+    (MessageKind::BloomDelta, "bloom-delta"),
+    (MessageKind::GroupAnnounce, "group-announce"),
+    (MessageKind::Ping, "ping"),
+    (MessageKind::Pong, "pong"),
+];
+
+/// Every forwarding decision with its report label, in tally-array index order.
+const FORWARD_DECISIONS: [(ForwardDecision, &str); 5] = [
+    (ForwardDecision::Flood, "flood"),
+    (ForwardDecision::BloomMatch, "bloom-match"),
+    (ForwardDecision::GidMatch, "gid-match"),
+    (ForwardDecision::HighDegree, "high-degree"),
+    (ForwardDecision::NotForwarded, "not-forwarded"),
+];
+
+fn kind_index(kind: MessageKind) -> usize {
     match kind {
-        MessageKind::Query => "query",
-        MessageKind::QueryResponse => "query-response",
-        MessageKind::BloomFull => "bloom-full",
-        MessageKind::BloomDelta => "bloom-delta",
-        MessageKind::GroupAnnounce => "group-announce",
-        MessageKind::Ping => "ping",
-        MessageKind::Pong => "pong",
+        MessageKind::Query => 0,
+        MessageKind::QueryResponse => 1,
+        MessageKind::BloomFull => 2,
+        MessageKind::BloomDelta => 3,
+        MessageKind::GroupAnnounce => 4,
+        MessageKind::Ping => 5,
+        MessageKind::Pong => 6,
     }
 }
 
-fn decision_label(decision: ForwardDecision) -> &'static str {
+fn decision_index(decision: ForwardDecision) -> usize {
     match decision {
-        ForwardDecision::Flood => "flood",
-        ForwardDecision::BloomMatch => "bloom-match",
-        ForwardDecision::GidMatch => "gid-match",
-        ForwardDecision::HighDegree => "high-degree",
-        ForwardDecision::NotForwarded => "not-forwarded",
+        ForwardDecision::Flood => 0,
+        ForwardDecision::BloomMatch => 1,
+        ForwardDecision::GidMatch => 2,
+        ForwardDecision::HighDegree => 3,
+        ForwardDecision::NotForwarded => 4,
+    }
+}
+
+/// Converts a tally array into the labelled counter set reports carry.
+/// Untouched labels are omitted, matching incremental `CounterSet` use.
+fn labelled_counters<T: Copy>(
+    table: &[(T, &'static str)],
+    counts: &[u64],
+) -> CounterSet<String> {
+    let mut set = CounterSet::new();
+    for ((_, label), &count) in table.iter().zip(counts) {
+        if count > 0 {
+            set.add(label.to_string(), count);
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_tables_and_index_functions_agree() {
+        for (i, &(kind, _)) in MESSAGE_KINDS.iter().enumerate() {
+            assert_eq!(kind_index(kind), i, "MESSAGE_KINDS[{i}] out of order");
+        }
+        for (i, &(decision, _)) in FORWARD_DECISIONS.iter().enumerate() {
+            assert_eq!(decision_index(decision), i, "FORWARD_DECISIONS[{i}] out of order");
+        }
+    }
+
+    #[test]
+    fn labelled_counters_omit_untouched_labels() {
+        let mut counts = [0u64; MESSAGE_KINDS.len()];
+        counts[kind_index(MessageKind::Query)] = 3;
+        counts[kind_index(MessageKind::Pong)] = 1;
+        let set = labelled_counters(&MESSAGE_KINDS, &counts);
+        assert_eq!(set.len(), 2, "zero counters must not appear in reports");
+        assert_eq!(set.get(&"query".to_string()), 3);
+        assert_eq!(set.get(&"pong".to_string()), 1);
     }
 }

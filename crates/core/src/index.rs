@@ -13,8 +13,18 @@
 //! bounded, recency-ordered provider list, with least-recently-updated filename
 //! eviction and explicit eviction reporting so the owning peer can keep its
 //! Bloom filter in sync.
+//!
+//! Two auxiliary structures keep the per-query cost flat as the index grows:
+//! a recency set ordered by `(last_touched, file)` makes eviction an ordered
+//! first-element pop instead of an O(n) min-scan, and an inverted
+//! keyword → files postings map lets [`ResponseIndex::lookup_by_keywords`]
+//! touch only the entries sharing a query keyword instead of scanning every
+//! cached filename. Both are maintained incrementally on insert/touch/evict/
+//! remove and are pure functions of the entry map, so observable behaviour is
+//! identical to the naive scans (pinned by the model-based property tests
+//! against [`naive::NaiveResponseIndex`]).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -76,7 +86,7 @@ pub struct Eviction {
 }
 
 /// The bounded, location-aware response index of one peer.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResponseIndex {
     entries: HashMap<FileId, IndexEntry>,
     /// Maximum number of distinct filenames (paper: 50).
@@ -85,7 +95,88 @@ pub struct ResponseIndex {
     max_providers: usize,
     /// Monotonic recency counter.
     clock: u64,
+    /// Entries ordered by `(last_touched, file)`: the first element is always
+    /// the next eviction victim. `last_touched` values are unique per touch
+    /// (the clock ticks on every insert), so membership is one exact key.
+    recency: BTreeSet<(u64, FileId)>,
+    /// Inverted index: keyword → cached files whose filename contains it
+    /// (each list sorted by file id, matching the entry's keyword *set*).
+    postings: HashMap<KeywordId, PostingsList>,
 }
+
+/// The file list of one postings-map keyword.
+///
+/// With a 9000-keyword pool and ~50 cached filenames of 3 keywords, almost
+/// every keyword maps to exactly one file; storing that case inline avoids a
+/// heap allocation per keyword on the insert/evict path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum PostingsList {
+    /// A single file (no heap allocation).
+    One(FileId),
+    /// Two or more files, sorted by id.
+    Many(Vec<FileId>),
+}
+
+impl PostingsList {
+    /// The files as a sorted slice.
+    fn as_slice(&self) -> &[FileId] {
+        match self {
+            PostingsList::One(file) => std::slice::from_ref(file),
+            PostingsList::Many(files) => files,
+        }
+    }
+
+    /// Adds `file`, keeping the list sorted and duplicate-free.
+    fn add(&mut self, file: FileId) {
+        match self {
+            PostingsList::One(existing) if *existing == file => {}
+            PostingsList::One(existing) => {
+                let mut files = vec![*existing, file];
+                files.sort_unstable();
+                *self = PostingsList::Many(files);
+            }
+            PostingsList::Many(files) => {
+                if let Err(pos) = files.binary_search(&file) {
+                    files.insert(pos, file);
+                }
+            }
+        }
+    }
+
+    /// Removes `file`; returns true when the list is now empty (the caller
+    /// drops the postings key).
+    fn remove(&mut self, file: FileId) -> bool {
+        match self {
+            PostingsList::One(existing) => *existing == file,
+            PostingsList::Many(files) => {
+                if let Ok(pos) = files.binary_search(&file) {
+                    files.remove(pos);
+                }
+                if files.is_empty() {
+                    return true;
+                }
+                if files.len() == 1 {
+                    let only = files[0];
+                    *self = PostingsList::One(only);
+                }
+                false
+            }
+        }
+    }
+}
+
+/// Equality is over observable contents (entries and capacities); the recency
+/// set and postings map are derived structures and the clock is internal, so
+/// two indexes that hold the same entries compare equal.
+impl PartialEq for ResponseIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+            && self.capacity == other.capacity
+            && self.max_providers == other.max_providers
+    }
+}
+
+impl Eq for ResponseIndex {}
 
 impl ResponseIndex {
     /// Creates an empty index.
@@ -100,6 +191,8 @@ impl ResponseIndex {
             capacity,
             max_providers,
             clock: 0,
+            recency: BTreeSet::new(),
+            postings: HashMap::new(),
         }
     }
 
@@ -145,15 +238,36 @@ impl ResponseIndex {
     }
 
     /// Cached files whose filename matches every keyword of `query`.
+    ///
+    /// Served from the inverted postings map: only the files sharing the
+    /// query's rarest keyword are examined, so a miss costs one (or a few)
+    /// hash lookups instead of a scan over every cached entry. Results are
+    /// in file-id order, exactly as the naive full scan would produce.
     pub fn lookup_by_keywords(&self, query: &[KeywordId]) -> Vec<FileId> {
-        let mut files: Vec<FileId> = self
-            .entries
-            .values()
-            .filter(|e| e.matches(query))
-            .map(|e| e.file)
-            .collect();
-        files.sort_unstable();
-        files
+        if query.is_empty() {
+            return Vec::new();
+        }
+        // Seed candidates from the keyword with the shortest postings list;
+        // if any query keyword has no postings, nothing can match.
+        let mut shortest: Option<&[FileId]> = None;
+        for kw in query {
+            match self.postings.get(kw) {
+                None => return Vec::new(),
+                Some(list) => {
+                    let files = list.as_slice();
+                    if shortest.is_none_or(|s| files.len() < s.len()) {
+                        shortest = Some(files);
+                    }
+                }
+            }
+        }
+        let candidates = shortest.unwrap_or(&[]);
+        // Postings lists are kept in file-id order, so the result is too.
+        candidates
+            .iter()
+            .copied()
+            .filter(|&f| self.entries[&f].matches(query))
+            .collect()
     }
 
     /// Records providers for `file`, creating the entry if needed. Returns any
@@ -173,19 +287,44 @@ impl ResponseIndex {
         let now = self.clock;
         let mut evictions = Vec::new();
 
-        if !self.entries.contains_key(&file) && self.entries.len() >= self.capacity {
-            if let Some(evicted) = self.evict_least_recent() {
-                evictions.push(evicted);
+        match self.entries.get_mut(&file) {
+            Some(entry) => {
+                // Touch: move the entry to the most-recent end of the
+                // recency order.
+                let was = self.recency.remove(&(entry.last_touched, file));
+                debug_assert!(was, "every entry has a recency key");
+                entry.last_touched = now;
+                self.recency.insert((now, file));
+            }
+            None => {
+                if self.entries.len() >= self.capacity {
+                    if let Some(evicted) = self.evict_least_recent() {
+                        evictions.push(evicted);
+                    }
+                }
+                self.entries.insert(
+                    file,
+                    IndexEntry {
+                        file,
+                        keywords: keywords.to_vec(),
+                        providers: Vec::new(),
+                        last_touched: now,
+                    },
+                );
+                self.recency.insert((now, file));
+                for &kw in keywords {
+                    match self.postings.entry(kw) {
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(PostingsList::One(file));
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut slot) => {
+                            slot.get_mut().add(file);
+                        }
+                    }
+                }
             }
         }
-
-        let entry = self.entries.entry(file).or_insert_with(|| IndexEntry {
-            file,
-            keywords: keywords.to_vec(),
-            providers: Vec::new(),
-            last_touched: now,
-        });
-        entry.last_touched = now;
+        let entry = self.entries.get_mut(&file).expect("entry was just ensured");
 
         for (peer, loc_id) in providers {
             match entry.providers.iter_mut().find(|p| p.peer == peer) {
@@ -227,31 +366,229 @@ impl ResponseIndex {
             })
             .collect();
         for file in emptied {
-            if let Some(entry) = self.entries.remove(&file) {
-                evictions.push(Eviction {
-                    file,
-                    keywords: entry.keywords,
-                });
+            if let Some(eviction) = self.remove_entry(file) {
+                evictions.push(eviction);
             }
         }
         evictions
     }
 
+    /// The filename the next capacity overflow would evict (the
+    /// least-recently-touched entry), if any is cached. O(1): the recency
+    /// set's first element, where the naive implementation min-scans.
+    pub fn eviction_candidate(&self) -> Option<FileId> {
+        self.recency.iter().next().map(|&(_, file)| file)
+    }
+
     /// Drops everything (used when a peer leaves and rejoins: its cache is lost).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.recency.clear();
+        self.postings.clear();
     }
 
     fn evict_least_recent(&mut self) -> Option<Eviction> {
-        let victim = self
-            .entries
-            .values()
-            .min_by_key(|e| (e.last_touched, e.file))
-            .map(|e| e.file)?;
-        self.entries.remove(&victim).map(|entry| Eviction {
-            file: victim,
+        // The recency set is ordered by (last_touched, file), so its first
+        // element *is* the least-recently-touched entry the naive min-scan
+        // would find.
+        let &(_, victim) = self.recency.iter().next()?;
+        self.remove_entry(victim)
+    }
+
+    /// Removes one entry and keeps the recency set and postings map in sync.
+    fn remove_entry(&mut self, file: FileId) -> Option<Eviction> {
+        let entry = self.entries.remove(&file)?;
+        let was = self.recency.remove(&(entry.last_touched, file));
+        debug_assert!(was, "every entry has a recency key");
+        for &kw in &entry.keywords {
+            if let Some(list) = self.postings.get_mut(&kw) {
+                if list.remove(file) {
+                    self.postings.remove(&kw);
+                }
+            }
+        }
+        Some(Eviction {
+            file,
             keywords: entry.keywords,
         })
+    }
+}
+
+pub mod naive {
+    //! The pre-optimization reference implementation of the response index.
+    //!
+    //! [`NaiveResponseIndex`] keeps the exact observable semantics of
+    //! [`super::ResponseIndex`] with the simplest possible data layout: one
+    //! entry map, O(n) min-scan eviction and full-scan keyword lookup. It
+    //! exists for two jobs: the model-based property tests assert that the
+    //! optimized index and this model produce identical evictions and lookup
+    //! results under arbitrary operation sequences, and `benches/hot_paths.rs`
+    //! measures the optimized structures against it.
+
+    use super::{Eviction, IndexEntry, ProviderRecord};
+    use locaware_net::LocId;
+    use locaware_overlay::PeerId;
+    use locaware_workload::{FileId, KeywordId};
+    use std::collections::HashMap;
+
+    /// The unoptimized model: same behaviour as [`super::ResponseIndex`],
+    /// naive scans everywhere.
+    #[derive(Debug, Clone)]
+    pub struct NaiveResponseIndex {
+        entries: HashMap<FileId, IndexEntry>,
+        capacity: usize,
+        max_providers: usize,
+        clock: u64,
+    }
+
+    impl NaiveResponseIndex {
+        /// Creates an empty index (same contract as [`super::ResponseIndex::new`]).
+        ///
+        /// # Panics
+        /// Panics if either capacity is zero.
+        pub fn new(capacity: usize, max_providers: usize) -> Self {
+            assert!(capacity > 0, "response index capacity must be positive");
+            assert!(max_providers > 0, "provider capacity must be positive");
+            NaiveResponseIndex {
+                entries: HashMap::with_capacity(capacity),
+                capacity,
+                max_providers,
+                clock: 0,
+            }
+        }
+
+        /// Number of cached filenames.
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// True if nothing is cached.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        /// True if `file` is cached.
+        pub fn contains(&self, file: FileId) -> bool {
+            self.entries.contains_key(&file)
+        }
+
+        /// The entry for `file`, if cached.
+        pub fn entry(&self, file: FileId) -> Option<&IndexEntry> {
+            self.entries.get(&file)
+        }
+
+        /// Full-scan keyword lookup (the model for
+        /// [`super::ResponseIndex::lookup_by_keywords`]).
+        pub fn lookup_by_keywords(&self, query: &[KeywordId]) -> Vec<FileId> {
+            let mut files: Vec<FileId> = self
+                .entries
+                .values()
+                .filter(|e| e.matches(query))
+                .map(|e| e.file)
+                .collect();
+            files.sort_unstable();
+            files
+        }
+
+        /// Insert with min-scan eviction (the model for
+        /// [`super::ResponseIndex::insert`]).
+        pub fn insert(
+            &mut self,
+            file: FileId,
+            keywords: &[KeywordId],
+            providers: impl IntoIterator<Item = (PeerId, LocId)>,
+        ) -> Vec<Eviction> {
+            self.clock += 1;
+            let now = self.clock;
+            let mut evictions = Vec::new();
+
+            if !self.entries.contains_key(&file) && self.entries.len() >= self.capacity {
+                if let Some(evicted) = self.evict_least_recent() {
+                    evictions.push(evicted);
+                }
+            }
+
+            let entry = self.entries.entry(file).or_insert_with(|| IndexEntry {
+                file,
+                keywords: keywords.to_vec(),
+                providers: Vec::new(),
+                last_touched: now,
+            });
+            entry.last_touched = now;
+
+            for (peer, loc_id) in providers {
+                match entry.providers.iter_mut().find(|p| p.peer == peer) {
+                    Some(existing) => {
+                        existing.loc_id = loc_id;
+                        existing.freshness = now;
+                    }
+                    None => entry.providers.push(ProviderRecord {
+                        peer,
+                        loc_id,
+                        freshness: now,
+                    }),
+                }
+            }
+            if entry.providers.len() > self.max_providers {
+                entry.providers.sort_by_key(|p| p.freshness);
+                let overflow = entry.providers.len() - self.max_providers;
+                entry.providers.drain(0..overflow);
+            }
+            evictions
+        }
+
+        /// Provider removal (the model for
+        /// [`super::ResponseIndex::remove_provider`]).
+        pub fn remove_provider(&mut self, peer: PeerId) -> Vec<Eviction> {
+            let mut evictions = Vec::new();
+            let emptied: Vec<FileId> = self
+                .entries
+                .iter_mut()
+                .filter_map(|(&file, entry)| {
+                    entry.providers.retain(|p| p.peer != peer);
+                    if entry.providers.is_empty() {
+                        Some(file)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            for file in emptied {
+                if let Some(entry) = self.entries.remove(&file) {
+                    evictions.push(Eviction {
+                        file,
+                        keywords: entry.keywords,
+                    });
+                }
+            }
+            evictions
+        }
+
+        /// Drops everything (the model for [`super::ResponseIndex::clear`]).
+        pub fn clear(&mut self) {
+            self.entries.clear();
+        }
+
+        /// The next eviction victim, by O(n) min-scan (the model for
+        /// [`super::ResponseIndex::eviction_candidate`]).
+        pub fn eviction_candidate(&self) -> Option<FileId> {
+            self.entries
+                .values()
+                .min_by_key(|e| (e.last_touched, e.file))
+                .map(|e| e.file)
+        }
+
+        fn evict_least_recent(&mut self) -> Option<Eviction> {
+            let victim = self
+                .entries
+                .values()
+                .min_by_key(|e| (e.last_touched, e.file))
+                .map(|e| e.file)?;
+            self.entries.remove(&victim).map(|entry| Eviction {
+                file: victim,
+                keywords: entry.keywords,
+            })
+        }
     }
 }
 

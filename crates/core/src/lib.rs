@@ -87,7 +87,9 @@ pub use experiment::{
 pub use group::{GroupId, GroupScheme};
 pub use index::{IndexEntry, ProviderRecord, ResponseIndex};
 pub use peer::{NeighborInfo, PeerState};
-pub use protocol::{build_protocol, LocalMatch, PeerView, Protocol, QueryContext, ResponseContext};
+pub use protocol::{
+    build_protocol, LocalMatch, PeerView, Protocol, QueryBuffer, QueryContext, ResponseContext,
+};
 pub use provider::{select_provider, SelectedProvider, SelectionPolicy};
 pub use results::SimulationReport;
 pub use simulation::Simulation;
@@ -95,6 +97,6 @@ pub use simulation::Simulation;
 // Re-export the substrate types that appear in this crate's public API so that
 // downstream users can depend on `locaware` alone.
 pub use locaware_metrics::{Figure, QueryOutcome, QueryRecord, RunMetrics, SeriesPoint};
-pub use locaware_net::{LocId, PhysicalTopology};
+pub use locaware_net::{LinkLatencyCache, LocId, PhysicalTopology};
 pub use locaware_overlay::{OverlayGraph, PeerId, ProviderEntry, QueryId};
 pub use locaware_workload::{Catalog, FileId, KeywordId};

@@ -7,11 +7,12 @@
 //! (duplicate suppression and reverse paths) of the underlying overlay.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
-use locaware_bloom::{BloomDelta, BloomFilter, BloomParams, CountingBloomFilter};
+use locaware_bloom::{BloomDelta, BloomFilter, BloomParams, CountingBloomFilter, ElementHashes};
 use locaware_net::LocId;
 use locaware_overlay::{PeerId, QueryRouter};
-use locaware_workload::{FileId, KeywordId};
+use locaware_workload::{FileId, KeywordHashes, KeywordId};
 
 use crate::group::GroupId;
 use crate::index::ResponseIndex;
@@ -51,10 +52,18 @@ pub struct PeerState {
     pub router: QueryRouter,
     /// True while the peer is online (churn can toggle this).
     pub online: bool,
+    /// Interned Bloom hashes per keyword, shared with the catalog so filter
+    /// maintenance never re-hashes (and never re-spells) a pool keyword.
+    keyword_hashes: Arc<KeywordHashes>,
 }
 
 impl PeerState {
     /// Creates a fresh peer with an empty cache.
+    ///
+    /// `keyword_hashes` is the interned per-keyword hash table (normally
+    /// [`locaware_workload::Catalog::keyword_hashes`], cloned cheaply via
+    /// `Arc`); pass [`KeywordHashes::empty`] to hash on the fly, which is
+    /// semantically identical but slower.
     pub fn new(
         id: PeerId,
         loc_id: LocId,
@@ -62,6 +71,7 @@ impl PeerState {
         bloom_params: BloomParams,
         index_capacity: usize,
         max_providers_per_file: usize,
+        keyword_hashes: Arc<KeywordHashes>,
     ) -> Self {
         PeerState {
             id,
@@ -75,7 +85,13 @@ impl PeerState {
             neighbors: HashMap::new(),
             router: QueryRouter::new(),
             online: true,
+            keyword_hashes,
         }
+    }
+
+    /// The interned keyword-hash table this peer hashes through.
+    pub fn keyword_hashes(&self) -> &Arc<KeywordHashes> {
+        &self.keyword_hashes
     }
 
     // --- file storage ---------------------------------------------------------
@@ -116,14 +132,14 @@ impl PeerState {
         let was_cached = self.response_index.contains(file);
         let evictions = self.response_index.insert(file, keywords, providers);
         if !was_cached {
-            for kw in keywords {
-                self.counting_bloom.insert(&kw.canonical());
+            for &kw in keywords {
+                self.counting_bloom.insert_hashes(&self.keyword_hashes.of(kw));
             }
             self.bloom_dirty = true;
         }
         for eviction in evictions {
-            for kw in &eviction.keywords {
-                self.counting_bloom.remove(&kw.canonical());
+            for &kw in &eviction.keywords {
+                self.counting_bloom.remove_hashes(&self.keyword_hashes.of(kw));
             }
             self.bloom_dirty = true;
         }
@@ -138,8 +154,8 @@ impl PeerState {
     /// files as well as cached indexes. Shared files are never evicted, so no
     /// matching removal is needed.
     pub fn advertise_keywords(&mut self, keywords: &[KeywordId]) {
-        for kw in keywords {
-            self.counting_bloom.insert(&kw.canonical());
+        for &kw in keywords {
+            self.counting_bloom.insert_hashes(&self.keyword_hashes.of(kw));
         }
         if !keywords.is_empty() {
             self.bloom_dirty = true;
@@ -150,8 +166,8 @@ impl PeerState {
     /// Bloom filter for entries that vanish entirely.
     pub fn forget_provider(&mut self, provider: PeerId) {
         for eviction in self.response_index.remove_provider(provider) {
-            for kw in &eviction.keywords {
-                self.counting_bloom.remove(&kw.canonical());
+            for &kw in &eviction.keywords {
+                self.counting_bloom.remove_hashes(&self.keyword_hashes.of(kw));
             }
             self.bloom_dirty = true;
         }
@@ -239,20 +255,34 @@ impl PeerState {
     /// Neighbours whose stored Bloom filter contains **every** canonical
     /// keyword in `keywords` (the §4.2 routing test), in id order.
     pub fn neighbors_matching_bloom(&self, keywords: &[KeywordId]) -> Vec<PeerId> {
-        if keywords.is_empty() {
-            return Vec::new();
-        }
-        let canonical: Vec<String> = keywords.iter().map(|k| k.canonical()).collect();
-        let mut matches: Vec<PeerId> = self
-            .neighbors
-            .iter()
-            .filter(|(_, info)| {
-                canonical.iter().all(|kw| info.bloom.contains(kw))
-            })
-            .map(|(&p, _)| p)
-            .collect();
-        matches.sort_unstable();
+        let hashes: Vec<ElementHashes> =
+            keywords.iter().map(|&kw| self.keyword_hashes.of(kw)).collect();
+        let mut matches = Vec::new();
+        self.neighbors_matching_bloom_into(&hashes, |_| true, &mut matches);
         matches
+    }
+
+    /// The routing hot path behind [`PeerState::neighbors_matching_bloom`]:
+    /// appends (in id order) every neighbour accepted by `keep` whose stored
+    /// filter contains all pre-hashed query keywords. An empty hash slice
+    /// matches nothing (empty queries are never routed). The caller's buffer
+    /// is appended to, not cleared, so it can be reused across events.
+    pub fn neighbors_matching_bloom_into(
+        &self,
+        query_hashes: &[ElementHashes],
+        mut keep: impl FnMut(PeerId) -> bool,
+        out: &mut Vec<PeerId>,
+    ) {
+        if query_hashes.is_empty() {
+            return;
+        }
+        let start = out.len();
+        for (&n, info) in &self.neighbors {
+            if keep(n) && info.bloom.contains_all_hashes(query_hashes) {
+                out.push(n);
+            }
+        }
+        out[start..].sort_unstable();
     }
 
     /// Neighbours whose group id satisfies `predicate`, in id order.
@@ -260,14 +290,27 @@ impl PeerState {
     where
         F: Fn(GroupId) -> bool,
     {
-        let mut matches: Vec<PeerId> = self
-            .neighbors
-            .iter()
-            .filter(|(_, info)| predicate(info.gid))
-            .map(|(&p, _)| p)
-            .collect();
-        matches.sort_unstable();
+        let mut matches = Vec::new();
+        self.neighbors_matching_gid_into(predicate, |_| true, &mut matches);
         matches
+    }
+
+    /// Allocation-free form of [`PeerState::neighbors_matching_gid`]: appends
+    /// (in id order) every neighbour accepted by `keep` whose group id
+    /// satisfies `predicate`.
+    pub fn neighbors_matching_gid_into(
+        &self,
+        predicate: impl Fn(GroupId) -> bool,
+        mut keep: impl FnMut(PeerId) -> bool,
+        out: &mut Vec<PeerId>,
+    ) {
+        let start = out.len();
+        for (&n, info) in &self.neighbors {
+            if keep(n) && predicate(info.gid) {
+                out.push(n);
+            }
+        }
+        out[start..].sort_unstable();
     }
 }
 
@@ -283,6 +326,7 @@ mod tests {
             BloomParams::default(),
             4,
             3,
+            Arc::new(KeywordHashes::empty()),
         )
     }
 

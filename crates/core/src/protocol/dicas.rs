@@ -23,7 +23,7 @@ use crate::peer::PeerState;
 use crate::provider::SelectionPolicy;
 
 use super::{
-    high_degree_fallback, storage_matches, LocalMatch, PeerView, Protocol, QueryContext,
+    first_storage_match, high_degree_fallback_into, LocalMatch, PeerView, Protocol, QueryContext,
     ResponseContext,
 };
 
@@ -51,45 +51,34 @@ impl Protocol for Dicas {
         1
     }
 
-    fn forward_targets(
+    fn forward_targets_into(
         &self,
         view: &PeerView<'_>,
-        query: &QueryContext,
+        query: &QueryContext<'_>,
         exclude: Option<PeerId>,
-    ) -> (Vec<PeerId>, ForwardDecision) {
+        out: &mut Vec<PeerId>,
+    ) -> ForwardDecision {
+        out.clear();
         // Filename search: the query names the exact file, so route towards
-        // neighbours whose Gid matches hash(f) mod M.
+        // neighbours whose Gid matches hash(f) mod M. Without a filename Dicas
+        // cannot compute the routing hash; fall back to the high-degree
+        // neighbour so the query is not dropped.
         let Some(target) = query.target_filename else {
-            // Without a filename Dicas cannot compute the routing hash; fall
-            // back to the high-degree neighbour so the query is not dropped.
-            let targets = high_degree_fallback(view, exclude);
-            let decision = if targets.is_empty() {
-                ForwardDecision::NotForwarded
-            } else {
-                ForwardDecision::HighDegree
-            };
-            return (targets, decision);
+            return high_degree_fallback_into(view, exclude, out);
         };
         let wanted = view.scheme.group_of_file(target);
-        let mut targets: Vec<PeerId> = view
-            .state
-            .neighbors_matching_gid(|gid| gid == wanted)
-            .into_iter()
-            .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
-            .collect();
-        if !targets.is_empty() {
-            return (targets, ForwardDecision::GidMatch);
+        view.state.neighbors_matching_gid_into(
+            |gid| gid == wanted,
+            |n| Some(n) != exclude && view.graph.is_active(n),
+            out,
+        );
+        if !out.is_empty() {
+            return ForwardDecision::GidMatch;
         }
-        targets = high_degree_fallback(view, exclude);
-        let decision = if targets.is_empty() {
-            ForwardDecision::NotForwarded
-        } else {
-            ForwardDecision::HighDegree
-        };
-        (targets, decision)
+        high_degree_fallback_into(view, exclude, out)
     }
 
-    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext) -> Option<LocalMatch> {
+    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext<'_>) -> Option<LocalMatch> {
         match query.target_filename {
             Some(target) => {
                 // Exact filename search: either this peer stores the file…
@@ -119,7 +108,7 @@ impl Protocol for Dicas {
                 // Keyword query reaching a Dicas peer: it can still serve a file
                 // it physically stores, but its index is keyed by filename and
                 // cannot be searched by keyword.
-                let file = storage_matches(view, &query.keywords).into_iter().next()?;
+                let file = first_storage_match(view, query.keywords)?;
                 Some(LocalMatch {
                     file,
                     providers: vec![ProviderEntry {
@@ -186,7 +175,7 @@ mod tests {
         let target = FileId(1);
         let wanted = fx.scheme.group_of_file(target);
         let query = fx.query(&[3, 4], Some(1));
-        let (targets, decision) = protocol.forward_targets(&fx.view(0), &query, None);
+        let (targets, decision) = protocol.forward_targets(&fx.view(0), &query.context(), None);
         assert_eq!(decision, ForwardDecision::GidMatch);
         for t in &targets {
             assert_eq!(fx.scheme.group_of_file(target), wanted);
@@ -206,7 +195,7 @@ mod tests {
             .find(|&f| fx.scheme.group_of_file(f).value() != 0)
             .expect("some file must hash outside group 0");
         let query = fx.query(&[0], Some(target.0));
-        let (targets, decision) = protocol.forward_targets(&fx.view(3), &query, None);
+        let (targets, decision) = protocol.forward_targets(&fx.view(3), &query.context(), None);
         assert_eq!(targets, vec![PeerId(0)]);
         assert_eq!(decision, ForwardDecision::HighDegree);
     }
@@ -218,11 +207,11 @@ mod tests {
         let query = fx.query(&[0, 1], Some(0));
 
         // Nothing known: no match.
-        assert!(protocol.local_match(&fx.view(0), &query).is_none());
+        assert!(protocol.local_match(&fx.view(0), &query.context()).is_none());
 
         // From storage.
         fx.peers[0].share_file(FileId(0));
-        let hit = protocol.local_match(&fx.view(0), &query).unwrap();
+        let hit = protocol.local_match(&fx.view(0), &query.context()).unwrap();
         assert_eq!(hit.file, FileId(0));
         assert!(!hit.from_cache);
 
@@ -232,7 +221,7 @@ mod tests {
             fx.catalog.filename(FileId(0)).keywords(),
             [(PeerId(9), LocId(5))],
         );
-        let hit = protocol.local_match(&fx.view(1), &query).unwrap();
+        let hit = protocol.local_match(&fx.view(1), &query.context()).unwrap();
         assert!(hit.from_cache);
         assert_eq!(hit.providers.len(), 1);
         assert_eq!(hit.providers[0].provider, PeerId(9));
@@ -278,10 +267,10 @@ mod tests {
             fx.catalog.filename(FileId(0)).keywords(),
             [(PeerId(9), LocId(5))],
         );
-        assert!(protocol.local_match(&fx.view(0), &query).is_none());
+        assert!(protocol.local_match(&fx.view(0), &query.context()).is_none());
         // But a stored file is.
         fx.peers[0].share_file(FileId(2)); // keywords {0,6,7} contains 0
-        let hit = protocol.local_match(&fx.view(0), &query).unwrap();
+        let hit = protocol.local_match(&fx.view(0), &query.context()).unwrap();
         assert_eq!(hit.file, FileId(2));
     }
 

@@ -22,7 +22,7 @@ use crate::peer::PeerState;
 use crate::provider::SelectionPolicy;
 
 use super::{
-    high_degree_fallback, storage_matches, LocalMatch, PeerView, Protocol, QueryContext,
+    first_storage_match, high_degree_fallback_into, LocalMatch, PeerView, Protocol, QueryContext,
     ResponseContext,
 };
 
@@ -50,34 +50,29 @@ impl Protocol for DicasKeys {
         1
     }
 
-    fn forward_targets(
+    fn forward_targets_into(
         &self,
         view: &PeerView<'_>,
-        query: &QueryContext,
+        query: &QueryContext<'_>,
         exclude: Option<PeerId>,
-    ) -> (Vec<PeerId>, ForwardDecision) {
+        out: &mut Vec<PeerId>,
+    ) -> ForwardDecision {
+        out.clear();
         let scheme = view.scheme;
-        let mut targets: Vec<PeerId> = view
-            .state
-            .neighbors_matching_gid(|gid| scheme.gid_matches_any_keyword(gid, &query.keywords))
-            .into_iter()
-            .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
-            .collect();
-        if !targets.is_empty() {
-            return (targets, ForwardDecision::GidMatch);
+        view.state.neighbors_matching_gid_into(
+            |gid| scheme.gid_matches_any_keyword(gid, query.keywords),
+            |n| Some(n) != exclude && view.graph.is_active(n),
+            out,
+        );
+        if !out.is_empty() {
+            return ForwardDecision::GidMatch;
         }
-        targets = high_degree_fallback(view, exclude);
-        let decision = if targets.is_empty() {
-            ForwardDecision::NotForwarded
-        } else {
-            ForwardDecision::HighDegree
-        };
-        (targets, decision)
+        high_degree_fallback_into(view, exclude, out)
     }
 
-    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext) -> Option<LocalMatch> {
+    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext<'_>) -> Option<LocalMatch> {
         // 1. Own storage.
-        if let Some(file) = storage_matches(view, &query.keywords).into_iter().next() {
+        if let Some(file) = first_storage_match(view, query.keywords) {
             return Some(LocalMatch {
                 file,
                 providers: vec![ProviderEntry {
@@ -91,7 +86,7 @@ impl Protocol for DicasKeys {
         let file = view
             .state
             .response_index
-            .lookup_by_keywords(&query.keywords)
+            .lookup_by_keywords(query.keywords)
             .into_iter()
             .next()?;
         let entry = view.state.response_index.entry(file)?;
@@ -162,7 +157,7 @@ mod tests {
         let fx = Fixture::new(4);
         let protocol = DicasKeys::new();
         let query = fx.query(&[0, 1], None);
-        let (targets, decision) = protocol.forward_targets(&fx.view(0), &query, None);
+        let (targets, decision) = protocol.forward_targets(&fx.view(0), &query.context(), None);
         match decision {
             ForwardDecision::GidMatch => {
                 for t in &targets {
@@ -219,7 +214,7 @@ mod tests {
         let protocol = DicasKeys::new();
         let query = fx.query(&[0, 6], None); // matches file 2 = {0,6,7}
 
-        assert!(protocol.local_match(&fx.view(1), &query).is_none());
+        assert!(protocol.local_match(&fx.view(1), &query.context()).is_none());
 
         // Cache hit by keywords.
         fx.peers[1].cache_index(
@@ -227,14 +222,14 @@ mod tests {
             fx.catalog.filename(FileId(2)).keywords(),
             [(PeerId(8), LocId(4))],
         );
-        let hit = protocol.local_match(&fx.view(1), &query).unwrap();
+        let hit = protocol.local_match(&fx.view(1), &query.context()).unwrap();
         assert_eq!(hit.file, FileId(2));
         assert!(hit.from_cache);
         assert_eq!(hit.providers[0].provider, PeerId(8));
 
         // Storage hit takes precedence.
         fx.peers[1].share_file(FileId(2));
-        let hit = protocol.local_match(&fx.view(1), &query).unwrap();
+        let hit = protocol.local_match(&fx.view(1), &query.context()).unwrap();
         assert!(!hit.from_cache);
         assert_eq!(hit.providers[0].provider, PeerId(1));
     }

@@ -13,7 +13,7 @@ use crate::peer::PeerState;
 use crate::provider::SelectionPolicy;
 
 use super::{
-    all_neighbors_except, storage_matches, LocalMatch, PeerView, Protocol, QueryContext,
+    all_neighbors_except_into, first_storage_match, LocalMatch, PeerView, Protocol, QueryContext,
     ResponseContext,
 };
 
@@ -41,23 +41,25 @@ impl Protocol for Flooding {
         1
     }
 
-    fn forward_targets(
+    fn forward_targets_into(
         &self,
         view: &PeerView<'_>,
-        _query: &QueryContext,
+        _query: &QueryContext<'_>,
         exclude: Option<PeerId>,
-    ) -> (Vec<PeerId>, ForwardDecision) {
-        let targets = all_neighbors_except(view, exclude);
-        if targets.is_empty() {
-            (targets, ForwardDecision::NotForwarded)
+        out: &mut Vec<PeerId>,
+    ) -> ForwardDecision {
+        out.clear();
+        all_neighbors_except_into(view, exclude, out);
+        if out.is_empty() {
+            ForwardDecision::NotForwarded
         } else {
-            (targets, ForwardDecision::Flood)
+            ForwardDecision::Flood
         }
     }
 
-    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext) -> Option<LocalMatch> {
+    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext<'_>) -> Option<LocalMatch> {
         // Only the peer's own storage can answer: flooding caches nothing.
-        let file = storage_matches(view, &query.keywords).into_iter().next()?;
+        let file = first_storage_match(view, query.keywords)?;
         Some(LocalMatch {
             file,
             providers: vec![ProviderEntry {
@@ -91,7 +93,7 @@ mod tests {
         let protocol = Flooding::new();
         let query = fx.query(&[0], None);
         let (targets, decision) =
-            protocol.forward_targets(&fx.view(0), &query, Some(PeerId(3)));
+            protocol.forward_targets(&fx.view(0), &query.context(), Some(PeerId(3)));
         assert_eq!(targets, vec![PeerId(1), PeerId(2), PeerId(4)]);
         assert_eq!(decision, ForwardDecision::Flood);
     }
@@ -102,7 +104,7 @@ mod tests {
         let protocol = Flooding::new();
         let query = fx.query(&[0], None);
         let (targets, decision) =
-            protocol.forward_targets(&fx.view(3), &query, Some(PeerId(0)));
+            protocol.forward_targets(&fx.view(3), &query.context(), Some(PeerId(0)));
         assert!(targets.is_empty());
         assert_eq!(decision, ForwardDecision::NotForwarded);
     }
@@ -112,10 +114,10 @@ mod tests {
         let mut fx = Fixture::new(4);
         let protocol = Flooding::new();
         let query = fx.query(&[0, 1], None);
-        assert!(protocol.local_match(&fx.view(0), &query).is_none());
+        assert!(protocol.local_match(&fx.view(0), &query.context()).is_none());
 
         fx.peers[0].share_file(FileId(0)); // keywords {0,1,2}
-        let hit = protocol.local_match(&fx.view(0), &query).unwrap();
+        let hit = protocol.local_match(&fx.view(0), &query.context()).unwrap();
         assert_eq!(hit.file, FileId(0));
         assert!(!hit.from_cache);
         assert_eq!(hit.providers.len(), 1);

@@ -29,7 +29,7 @@ use crate::peer::PeerState;
 use crate::provider::SelectionPolicy;
 
 use super::{
-    high_degree_fallback, storage_matches, LocalMatch, PeerView, Protocol, QueryContext,
+    first_storage_match, high_degree_fallback_into, LocalMatch, PeerView, Protocol, QueryContext,
     ResponseContext,
 };
 
@@ -142,49 +142,45 @@ impl Protocol for Locaware {
         self.max_providers_per_file
     }
 
-    fn forward_targets(
+    fn forward_targets_into(
         &self,
         view: &PeerView<'_>,
-        query: &QueryContext,
+        query: &QueryContext<'_>,
         exclude: Option<PeerId>,
-    ) -> (Vec<PeerId>, ForwardDecision) {
-        // 1. Neighbours whose Bloom filter matches every query keyword.
+        out: &mut Vec<PeerId>,
+    ) -> ForwardDecision {
+        out.clear();
+        // 1. Neighbours whose Bloom filter matches every query keyword. The
+        //    query's keywords are hashed once (at the catalog) and probed
+        //    against each neighbour's filter words directly.
         if self.use_bloom_routing {
-            let bloom_targets: Vec<PeerId> = view
-                .state
-                .neighbors_matching_bloom(&query.keywords)
-                .into_iter()
-                .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
-                .collect();
-            if !bloom_targets.is_empty() {
-                return (bloom_targets, ForwardDecision::BloomMatch);
+            view.state.neighbors_matching_bloom_into(
+                query.keyword_hashes,
+                |n| Some(n) != exclude && view.graph.is_active(n),
+                out,
+            );
+            if !out.is_empty() {
+                return ForwardDecision::BloomMatch;
             }
         }
         // 2. Neighbours whose Gid matches the query ("matched Gid wrt q").
         let scheme = view.scheme;
-        let gid_targets: Vec<PeerId> = view
-            .state
-            .neighbors_matching_gid(|gid| scheme.gid_matches_any_keyword(gid, &query.keywords))
-            .into_iter()
-            .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
-            .collect();
-        if !gid_targets.is_empty() {
-            return (gid_targets, ForwardDecision::GidMatch);
+        view.state.neighbors_matching_gid_into(
+            |gid| scheme.gid_matches_any_keyword(gid, query.keywords),
+            |n| Some(n) != exclude && view.graph.is_active(n),
+            out,
+        );
+        if !out.is_empty() {
+            return ForwardDecision::GidMatch;
         }
         // 3. Last resort: a highly connected neighbour.
-        let fallback = high_degree_fallback(view, exclude);
-        let decision = if fallback.is_empty() {
-            ForwardDecision::NotForwarded
-        } else {
-            ForwardDecision::HighDegree
-        };
-        (fallback, decision)
+        high_degree_fallback_into(view, exclude, out)
     }
 
-    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext) -> Option<LocalMatch> {
+    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext<'_>) -> Option<LocalMatch> {
         // 1. The peer's own storage: it is itself a provider; enrich with any
         //    additional providers it has cached for the same file.
-        if let Some(file) = storage_matches(view, &query.keywords).into_iter().next() {
+        if let Some(file) = first_storage_match(view, query.keywords) {
             let own = ProviderEntry {
                 provider: view.state.id,
                 loc_id: view.state.loc_id,
@@ -203,7 +199,7 @@ impl Protocol for Locaware {
         }
         // 2. The response index, matched by keywords. Prefer the cached file
         //    that can offer a provider in the originator's locality.
-        let candidates = view.state.response_index.lookup_by_keywords(&query.keywords);
+        let candidates = view.state.response_index.lookup_by_keywords(query.keywords);
         if candidates.is_empty() {
             return None;
         }
@@ -288,14 +284,14 @@ mod tests {
         bloom.insert(&KeywordId(1).canonical());
         fx.peers[0].set_neighbor_bloom(PeerId(3), bloom);
 
-        let (targets, decision) = protocol.forward_targets(&fx.view(0), &query, None);
+        let (targets, decision) = protocol.forward_targets(&fx.view(0), &query.context(), None);
         assert_eq!(targets, vec![PeerId(3)]);
         assert_eq!(decision, ForwardDecision::BloomMatch);
 
         // Excluding the only bloom match falls back to the Gid rule (or the
         // high-degree fallback when no gid matches).
         let (targets2, decision2) =
-            protocol.forward_targets(&fx.view(0), &query, Some(PeerId(3)));
+            protocol.forward_targets(&fx.view(0), &query.context(), Some(PeerId(3)));
         assert!(!targets2.contains(&PeerId(3)));
         assert!(matches!(
             decision2,
@@ -313,7 +309,7 @@ mod tests {
         bloom.insert(&KeywordId(1).canonical());
         fx.peers[0].set_neighbor_bloom(PeerId(3), bloom);
 
-        let (_, decision) = protocol.forward_targets(&fx.view(0), &query, None);
+        let (_, decision) = protocol.forward_targets(&fx.view(0), &query.context(), None);
         assert_ne!(decision, ForwardDecision::BloomMatch);
         assert!(!protocol.uses_bloom_sync());
     }
@@ -376,7 +372,7 @@ mod tests {
             ],
         );
         let query = fx.query(&[0, 2], None); // origin_loc = LocId(1)
-        let hit = protocol.local_match(&fx.view(2), &query).unwrap();
+        let hit = protocol.local_match(&fx.view(2), &query.context()).unwrap();
         assert!(hit.from_cache);
         assert_eq!(hit.file, file);
         assert_eq!(
@@ -399,7 +395,7 @@ mod tests {
             [(PeerId(9), LocId(1))],
         );
         let query = fx.query(&[6, 7], None);
-        let hit = protocol.local_match(&fx.view(1), &query).unwrap();
+        let hit = protocol.local_match(&fx.view(1), &query.context()).unwrap();
         assert!(!hit.from_cache);
         assert_eq!(hit.providers[0].provider, PeerId(1), "the serving peer itself first");
         assert!(hit.providers.iter().any(|p| p.provider == PeerId(9)));
@@ -418,7 +414,7 @@ mod tests {
             (0..4u32).map(|i| (PeerId(10 + i), LocId(0))),
         );
         let query = fx.query(&[8, 9], None);
-        let hit = protocol.local_match(&fx.view(2), &query).unwrap();
+        let hit = protocol.local_match(&fx.view(2), &query.context()).unwrap();
         assert_eq!(hit.providers.len(), 2);
     }
 
@@ -448,10 +444,10 @@ mod tests {
         let fx = Fixture::new(4);
         let protocol = Locaware::new(&config());
         let query = fx.query(&[0, 1], None);
-        assert!(protocol.local_match(&fx.view(0), &query).is_none());
+        assert!(protocol.local_match(&fx.view(0), &query.context()).is_none());
         // Empty keyword lists never match anything.
         let empty = fx.query(&[], None);
-        assert!(protocol.local_match(&fx.view(0), &empty).is_none());
+        assert!(protocol.local_match(&fx.view(0), &empty.context()).is_none());
         let _ = kws(&[0]);
     }
 }

@@ -24,9 +24,10 @@ pub mod dicas_keys;
 pub mod flooding;
 pub mod locaware;
 
+use locaware_bloom::ElementHashes;
 use locaware_net::LocId;
 use locaware_overlay::{ForwardDecision, OverlayGraph, PeerId, ProviderEntry, QueryId};
-use locaware_workload::{Catalog, FileId, KeywordId};
+use locaware_workload::{Catalog, FileId, KeywordHashes, KeywordId};
 
 use crate::config::{ProtocolKind, SimulationConfig};
 use crate::group::GroupScheme;
@@ -48,8 +49,16 @@ pub struct PeerView<'a> {
 }
 
 /// The protocol-relevant content of a query.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryContext {
+///
+/// Keywords come in two parallel views: the ids themselves and their
+/// pre-computed Bloom hashes (`keyword_hashes[i]` hashes `keywords[i]`), so
+/// the §4.2 routing test probes neighbour filters without re-hashing a keyword
+/// per neighbour. Both slices borrow from the caller — the engine threads its
+/// per-run scratch buffers through here, so building a context allocates
+/// nothing; tests and benches can use [`QueryBuffer`] as an owned backing
+/// store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryContext<'a> {
     /// The query id.
     pub query: QueryId,
     /// The originating peer.
@@ -57,9 +66,64 @@ pub struct QueryContext {
     /// The originator's location id.
     pub origin_loc: LocId,
     /// The query keywords.
-    pub keywords: Vec<KeywordId>,
+    pub keywords: &'a [KeywordId],
+    /// The pre-computed Bloom hashes of `keywords`, index-aligned.
+    pub keyword_hashes: &'a [ElementHashes],
     /// For filename-search protocols (Dicas): the exact file searched.
     pub target_filename: Option<FileId>,
+}
+
+/// An owned backing store for a [`QueryContext`].
+///
+/// The engine builds contexts from reusable scratch buffers; everything else
+/// (tests, benches, examples) can own the keyword storage here and borrow a
+/// context view with [`QueryBuffer::context`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryBuffer {
+    /// The query id.
+    pub query: QueryId,
+    /// The originating peer.
+    pub origin: PeerId,
+    /// The originator's location id.
+    pub origin_loc: LocId,
+    /// For filename-search protocols (Dicas): the exact file searched.
+    pub target_filename: Option<FileId>,
+    keywords: Vec<KeywordId>,
+    keyword_hashes: Vec<ElementHashes>,
+}
+
+impl QueryBuffer {
+    /// Builds a query with its keyword hashes computed up front.
+    pub fn new(
+        query: QueryId,
+        origin: PeerId,
+        origin_loc: LocId,
+        keywords: Vec<KeywordId>,
+        target_filename: Option<FileId>,
+    ) -> Self {
+        let hasher = KeywordHashes::empty();
+        let keyword_hashes = keywords.iter().map(|&kw| hasher.of(kw)).collect();
+        QueryBuffer {
+            query,
+            origin,
+            origin_loc,
+            target_filename,
+            keywords,
+            keyword_hashes,
+        }
+    }
+
+    /// The borrowed view protocols consume.
+    pub fn context(&self) -> QueryContext<'_> {
+        QueryContext {
+            query: self.query,
+            origin: self.origin,
+            origin_loc: self.origin_loc,
+            keywords: &self.keywords,
+            keyword_hashes: &self.keyword_hashes,
+            target_filename: self.target_filename,
+        }
+    }
 }
 
 /// A local hit: the answering peer found a satisfying file either in its own
@@ -113,19 +177,35 @@ pub trait Protocol: Send + Sync {
         1
     }
 
-    /// The neighbours `view.state` should forward the query to, excluding
-    /// `exclude` (the neighbour the query arrived from). The second element
-    /// records *why* those targets were chosen, for the routing-decision
-    /// statistics.
+    /// Appends the neighbours `view.state` should forward the query to into
+    /// `out` (cleared first), excluding `exclude` (the neighbour the query
+    /// arrived from). Returns *why* those targets were chosen, for the
+    /// routing-decision statistics. Taking the target buffer from the caller
+    /// keeps the per-event forward path allocation-free: the engine reuses one
+    /// buffer across every event of a run.
+    fn forward_targets_into(
+        &self,
+        view: &PeerView<'_>,
+        query: &QueryContext<'_>,
+        exclude: Option<PeerId>,
+        out: &mut Vec<PeerId>,
+    ) -> ForwardDecision;
+
+    /// Allocating convenience wrapper around
+    /// [`Protocol::forward_targets_into`] (tests, benches, one-shot callers).
     fn forward_targets(
         &self,
         view: &PeerView<'_>,
-        query: &QueryContext,
+        query: &QueryContext<'_>,
         exclude: Option<PeerId>,
-    ) -> (Vec<PeerId>, ForwardDecision);
+    ) -> (Vec<PeerId>, ForwardDecision) {
+        let mut out = Vec::new();
+        let decision = self.forward_targets_into(view, query, exclude, &mut out);
+        (out, decision)
+    }
 
     /// Attempts to answer the query at `view.state` from local knowledge.
-    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext) -> Option<LocalMatch>;
+    fn local_match(&self, view: &PeerView<'_>, query: &QueryContext<'_>) -> Option<LocalMatch>;
 
     /// Lets an intermediate peer cache a passing response according to the
     /// protocol's caching rule.
@@ -149,18 +229,20 @@ pub fn build_protocol(kind: ProtocolKind, config: &SimulationConfig) -> Box<dyn 
     }
 }
 
-/// Shared helper: every neighbour except the one the query came from, in id
-/// order (plain flooding).
-pub(crate) fn all_neighbors_except(
+/// Shared helper: appends every neighbour except the one the query came from,
+/// in id order (plain flooding).
+pub(crate) fn all_neighbors_except_into(
     view: &PeerView<'_>,
     exclude: Option<PeerId>,
-) -> Vec<PeerId> {
-    view.graph
-        .neighbors(view.state.id)
-        .iter()
-        .copied()
-        .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
-        .collect()
+    out: &mut Vec<PeerId>,
+) {
+    out.extend(
+        view.graph
+            .neighbors(view.state.id)
+            .iter()
+            .copied()
+            .filter(|&n| Some(n) != exclude && view.graph.is_active(n)),
+    );
 }
 
 /// Shared helper: the single highest-degree neighbour (excluding `exclude`),
@@ -169,19 +251,35 @@ pub(crate) fn all_neighbors_except(
 pub(crate) fn high_degree_fallback(
     view: &PeerView<'_>,
     exclude: Option<PeerId>,
-) -> Vec<PeerId> {
+) -> Option<PeerId> {
     view.graph
         .neighbors(view.state.id)
         .iter()
         .copied()
         .filter(|&n| Some(n) != exclude && view.graph.is_active(n))
         .max_by_key(|&n| (view.graph.degree(n), std::cmp::Reverse(n.0)))
-        .map(|n| vec![n])
-        .unwrap_or_default()
 }
 
-/// Shared helper: files in the peer's own storage whose filename satisfies the
-/// query keywords, in id order.
+/// Shared helper: appends the high-degree fallback to `out` and classifies the
+/// decision (the common tail of every non-flooding routing rule).
+pub(crate) fn high_degree_fallback_into(
+    view: &PeerView<'_>,
+    exclude: Option<PeerId>,
+    out: &mut Vec<PeerId>,
+) -> ForwardDecision {
+    match high_degree_fallback(view, exclude) {
+        Some(n) => {
+            out.push(n);
+            ForwardDecision::HighDegree
+        }
+        None => ForwardDecision::NotForwarded,
+    }
+}
+
+/// Files in the peer's own storage whose filename satisfies the query
+/// keywords, in id order — the exhaustive model for [`first_storage_match`],
+/// which the hot path uses instead (tests pin their agreement).
+#[cfg(test)]
 pub(crate) fn storage_matches(view: &PeerView<'_>, keywords: &[KeywordId]) -> Vec<FileId> {
     if keywords.is_empty() {
         return Vec::new();
@@ -190,6 +288,18 @@ pub(crate) fn storage_matches(view: &PeerView<'_>, keywords: &[KeywordId]) -> Ve
         .shared_files()
         .filter(|&f| view.catalog.file_matches(f, keywords))
         .collect()
+}
+
+/// Shared helper: the first (lowest-id) stored file satisfying the query —
+/// the hot-path form of [`storage_matches`], returning as soon as one stored
+/// filename matches instead of materialising the full list.
+pub(crate) fn first_storage_match(view: &PeerView<'_>, keywords: &[KeywordId]) -> Option<FileId> {
+    if keywords.is_empty() {
+        return None;
+    }
+    view.state
+        .shared_files()
+        .find(|&f| view.catalog.file_matches(f, keywords))
 }
 
 #[cfg(test)]
@@ -242,6 +352,7 @@ pub(crate) mod test_support {
                         BloomParams::default(),
                         8,
                         4,
+                        catalog.keyword_hashes().clone(),
                     );
                     for n in graph.neighbors(PeerId(i)) {
                         p.record_neighbor(*n, GroupId(n.0 % modulus), BloomParams::default());
@@ -267,14 +378,14 @@ pub(crate) mod test_support {
             }
         }
 
-        pub fn query(&self, keywords: &[u32], target: Option<u32>) -> QueryContext {
-            QueryContext {
-                query: QueryId(1),
-                origin: PeerId(4),
-                origin_loc: LocId(1),
-                keywords: keywords.iter().map(|&k| KeywordId(k)).collect(),
-                target_filename: target.map(FileId),
-            }
+        pub fn query(&self, keywords: &[u32], target: Option<u32>) -> QueryBuffer {
+            QueryBuffer::new(
+                QueryId(1),
+                PeerId(4),
+                LocId(1),
+                keywords.iter().map(|&k| KeywordId(k)).collect(),
+                target.map(FileId),
+            )
         }
     }
 }
@@ -288,9 +399,11 @@ mod tests {
     fn all_neighbors_except_filters_the_sender() {
         let fx = Fixture::new(4);
         let view = fx.view(0);
-        let all = all_neighbors_except(&view, None);
+        let mut all = Vec::new();
+        all_neighbors_except_into(&view, None, &mut all);
         assert_eq!(all, vec![PeerId(1), PeerId(2), PeerId(3), PeerId(4)]);
-        let without_2 = all_neighbors_except(&view, Some(PeerId(2)));
+        let mut without_2 = Vec::new();
+        all_neighbors_except_into(&view, Some(PeerId(2)), &mut without_2);
         assert_eq!(without_2, vec![PeerId(1), PeerId(3), PeerId(4)]);
     }
 
@@ -299,11 +412,26 @@ mod tests {
         let fx = Fixture::new(4);
         // From peer 3, the only neighbour is peer 0 (degree 4).
         let view = fx.view(3);
-        assert_eq!(high_degree_fallback(&view, None), vec![PeerId(0)]);
-        assert!(high_degree_fallback(&view, Some(PeerId(0))).is_empty());
+        assert_eq!(high_degree_fallback(&view, None), Some(PeerId(0)));
+        assert_eq!(high_degree_fallback(&view, Some(PeerId(0))), None);
         // From peer 0, neighbours 1 and 2 have degree 2 (> 1); lowest id wins the tie.
         let view0 = fx.view(0);
-        assert_eq!(high_degree_fallback(&view0, None), vec![PeerId(1)]);
+        assert_eq!(high_degree_fallback(&view0, None), Some(PeerId(1)));
+    }
+
+    #[test]
+    fn first_storage_match_agrees_with_storage_matches() {
+        let mut fx = Fixture::new(4);
+        fx.peers[0].share_file(FileId(0));
+        fx.peers[0].share_file(FileId(2));
+        let view = fx.view(0);
+        for q in [vec![KeywordId(0)], vec![KeywordId(0), KeywordId(1)], vec![KeywordId(11)], vec![]] {
+            assert_eq!(
+                first_storage_match(&view, &q),
+                storage_matches(&view, &q).first().copied(),
+                "query {q:?}"
+            );
+        }
     }
 
     #[test]

@@ -12,8 +12,9 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use locaware_net::{LocId, PhysicalTopology, ProximityProbe};
+use locaware_net::{LinkLatencyCache, LocId, PhysicalTopology};
 use locaware_overlay::{PeerId, ProviderEntry};
+use locaware_sim::Duration;
 
 /// How a requestor chooses among offered providers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,9 +40,15 @@ pub struct SelectedProvider {
 
 /// Selects a provider among `offered` for a requestor at `requestor` with
 /// location `requestor_loc`. Returns `None` if no provider was offered.
+///
+/// RTT probes are answered through `latencies` (precomputed per-link values
+/// with a transparent fallback to `topology`), so repeated selections do not
+/// recompute latencies the substrate already knows; pass
+/// [`LinkLatencyCache::empty`] to probe the topology directly.
 pub fn select_provider<R: Rng + ?Sized>(
     policy: SelectionPolicy,
     topology: &PhysicalTopology,
+    latencies: &LinkLatencyCache,
     requestor: PeerId,
     requestor_loc: LocId,
     offered: &[ProviderEntry],
@@ -76,19 +83,26 @@ pub fn select_provider<R: Rng + ?Sized>(
                 });
             }
             // 2. Fallback of §5.1: probe every offered provider and take the
-            //    smallest RTT.
-            let candidates: Vec<PeerId> = offered.iter().map(|p| p.provider).collect();
-            let probe = ProximityProbe::new(topology).probe(requestor, &candidates);
-            let best = probe.best?;
-            let entry = offered
-                .iter()
-                .find(|p| p.provider == best)
-                .expect("probe winner must come from the candidate set");
+            //    smallest RTT (ties broken by peer id, like ProximityProbe).
+            let mut best: Option<(Duration, &ProviderEntry)> = None;
+            for entry in offered {
+                let rtt = latencies.rtt(topology, requestor, entry.provider);
+                let better = match best {
+                    None => true,
+                    Some((best_rtt, best_entry)) => {
+                        (rtt, entry.provider) < (best_rtt, best_entry.provider)
+                    }
+                };
+                if better {
+                    best = Some((rtt, entry));
+                }
+            }
+            let (_, entry) = best?;
             Some(SelectedProvider {
                 provider: entry.provider,
                 loc_id: entry.loc_id,
                 locality_match: false,
-                probes: probe.probes,
+                probes: offered.len(),
             })
         }
     }
@@ -119,11 +133,13 @@ mod tests {
     #[test]
     fn empty_offer_selects_nothing() {
         let (topo, locs) = setup();
+        let cache = LinkLatencyCache::empty(topo.len());
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(
             select_provider(
                 SelectionPolicy::LocalityThenRtt,
                 &topo,
+                &cache,
                 PeerId(0),
                 locs[0],
                 &[],
@@ -136,6 +152,7 @@ mod tests {
     #[test]
     fn locality_match_is_preferred_over_everything() {
         let (topo, locs) = setup();
+        let cache = LinkLatencyCache::empty(topo.len());
         let mut rng = StdRng::seed_from_u64(2);
         let requestor = PeerId(0);
         let my_loc = locs[0];
@@ -159,6 +176,7 @@ mod tests {
         let sel = select_provider(
             SelectionPolicy::LocalityThenRtt,
             &topo,
+            &cache,
             requestor,
             my_loc,
             &offered,
@@ -173,6 +191,7 @@ mod tests {
     #[test]
     fn rtt_fallback_picks_the_closest_offered_provider() {
         let (topo, locs) = setup();
+        let cache = LinkLatencyCache::empty(topo.len());
         let mut rng = StdRng::seed_from_u64(3);
         let requestor = PeerId(0);
         // Build an offer that intentionally excludes same-locId providers.
@@ -189,6 +208,7 @@ mod tests {
         let sel = select_provider(
             SelectionPolicy::LocalityThenRtt,
             &topo,
+            &cache,
             requestor,
             my_loc,
             &offered,
@@ -209,6 +229,7 @@ mod tests {
     #[test]
     fn random_policy_covers_all_offers_and_is_probe_free() {
         let (topo, locs) = setup();
+        let cache = LinkLatencyCache::empty(topo.len());
         let mut rng = StdRng::seed_from_u64(4);
         let offered: Vec<ProviderEntry> = (1..5)
             .map(|i| ProviderEntry {
@@ -221,6 +242,7 @@ mod tests {
             let sel = select_provider(
                 SelectionPolicy::Random,
                 &topo,
+                &cache,
                 PeerId(0),
                 locs[0],
                 &offered,

@@ -7,7 +7,9 @@
 //! makes the curves of Figures 2–4 comparable: every protocol sees the same
 //! peers, the same files, the same queries at the same times.
 
-use locaware_net::{BriteConfig, BriteGenerator, LandmarkSet, LocId, PhysicalTopology};
+use locaware_net::{
+    BriteConfig, BriteGenerator, LandmarkSet, LinkLatencyCache, LocId, PhysicalTopology,
+};
 use locaware_overlay::{ChurnModel, GeneratorConfig, OverlayGraph};
 use locaware_overlay::churn::ChurnEvent;
 use locaware_sim::{RngFactory, SimTime, StreamId};
@@ -34,6 +36,10 @@ pub struct Simulation {
     catalog: Catalog,
     initial_shares: Vec<Vec<FileId>>,
     gids: Vec<GroupId>,
+    /// Latency of every overlay link, computed once here and reused by every
+    /// protocol run over this substrate (message deliveries dominate the
+    /// engine's latency lookups and travel along overlay links).
+    link_latencies: LinkLatencyCache,
 }
 
 impl Simulation {
@@ -46,22 +52,6 @@ impl Simulation {
     pub fn try_build(config: SimulationConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         Ok(Self::build_validated(config))
-    }
-
-    /// Builds the substrate described by `config`.
-    ///
-    /// # Panics
-    /// Panics if the configuration does not validate.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Simulation::try_build` (or `Scenario::builder(..).build()?.substrate()`) \
-                and handle the `ConfigError` instead of panicking"
-    )]
-    pub fn build(config: SimulationConfig) -> Self {
-        match Self::try_build(config) {
-            Ok(simulation) => simulation,
-            Err(problem) => panic!("invalid simulation configuration: {problem}"),
-        }
     }
 
     /// Builds the substrate of `scenario` (already validated by construction).
@@ -116,6 +106,8 @@ impl Simulation {
         let gids = GroupScheme::new(config.group_count)
             .assign_all(config.peers, &mut rng_factory.stream(StreamId::GroupAssignment));
 
+        let link_latencies = LinkLatencyCache::build(&topology, graph.edges());
+
         Simulation {
             config,
             rng_factory,
@@ -126,6 +118,7 @@ impl Simulation {
             catalog,
             initial_shares,
             gids,
+            link_latencies,
         }
     }
 
@@ -169,6 +162,11 @@ impl Simulation {
         &self.initial_shares
     }
 
+    /// The per-link latency cache shared by every run over this substrate.
+    pub fn link_latencies(&self) -> &LinkLatencyCache {
+        &self.link_latencies
+    }
+
     /// Generates the arrival schedule for `num_queries` queries. Every protocol
     /// run with the same substrate and query count sees the same schedule.
     pub fn arrivals(&self, num_queries: usize) -> Vec<Arrival> {
@@ -204,6 +202,7 @@ impl Simulation {
             &self.config,
             protocol,
             &self.topology,
+            &self.link_latencies,
             &self.loc_ids,
             &self.graph,
             &self.catalog,
@@ -310,12 +309,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid simulation configuration")]
-    fn the_deprecated_build_shim_still_panics_on_invalid_configs() {
-        let mut config = SimulationConfig::small(10);
-        config.ttl = 0;
-        #[allow(deprecated)]
-        let _ = Simulation::build(config);
+    fn link_latency_cache_covers_the_overlay_and_agrees_with_the_topology() {
+        let sim = small_sim();
+        assert_eq!(
+            sim.link_latencies().len(),
+            2 * sim.overlay().edge_count(),
+            "every overlay link must be cached (in both directions)"
+        );
+        for (a, b) in sim.overlay().edges().take(50) {
+            assert_eq!(
+                sim.link_latencies().latency(sim.topology(), a, b),
+                sim.topology().latency(a, b),
+                "cached latency must equal the direct computation"
+            );
+        }
     }
 
     #[test]

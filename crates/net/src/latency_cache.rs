@@ -1,0 +1,151 @@
+//! Per-link latency cache: compute each link's latency once per topology.
+//!
+//! [`PhysicalTopology::latency`] is a pure function of the two endpoints
+//! (distance, range mapping, deterministic jitter hash) — cheap, but the
+//! simulation engine evaluates it on **every message delivery**, and messages
+//! overwhelmingly travel along overlay links (queries fan out over neighbour
+//! edges; responses retrace the same edges in reverse). A simulation therefore
+//! recomputes the same few thousand link latencies millions of times.
+//!
+//! [`LinkLatencyCache`] precomputes the latency of every overlay link once per
+//! substrate and serves lookups from a per-node sorted adjacency array (a
+//! short binary search — the average overlay degree is ~4). Pairs outside the
+//! cached link set (churn-added edges, requestor→provider download distances,
+//! RTT probes to arbitrary providers) fall back to computing from the
+//! topology, so a cached lookup **always** returns exactly
+//! `topology.latency(a, b)` and substituting the cache can never change
+//! simulation results.
+
+use locaware_sim::Duration;
+
+use crate::topology::{NodeId, PhysicalTopology};
+
+/// Precomputed one-way latencies for a fixed set of (undirected) links.
+#[derive(Debug, Clone, Default)]
+pub struct LinkLatencyCache {
+    /// `links[a]` = the cached neighbours of node `a`, sorted by id, with the
+    /// precomputed one-way latency to each. Symmetric: `b ∈ links[a]` iff
+    /// `a ∈ links[b]` (with the same value, as topology latency is symmetric).
+    links: Vec<Vec<(u32, Duration)>>,
+}
+
+impl LinkLatencyCache {
+    /// An empty cache over `nodes` slots: every lookup falls back to the
+    /// topology.
+    pub fn empty(nodes: usize) -> Self {
+        LinkLatencyCache {
+            links: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Precomputes the latency of every link in `edges` on `topology`.
+    ///
+    /// `edges` may list each undirected edge once (either orientation) or
+    /// twice; duplicates are deduplicated. Endpoints must be valid topology
+    /// nodes.
+    pub fn build(
+        topology: &PhysicalTopology,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
+        let mut cache = Self::empty(topology.len());
+        for (a, b) in edges {
+            if a == b {
+                continue;
+            }
+            let latency = topology.latency(a, b);
+            cache.insert_directed(a, b, latency);
+            cache.insert_directed(b, a, latency);
+        }
+        cache
+    }
+
+    fn insert_directed(&mut self, from: NodeId, to: NodeId, latency: Duration) {
+        let row = &mut self.links[from.index()];
+        if let Err(pos) = row.binary_search_by_key(&to.0, |&(n, _)| n) {
+            row.insert(pos, (to.0, latency));
+        }
+    }
+
+    /// Number of directed link entries held (twice the undirected link count).
+    pub fn len(&self) -> usize {
+        self.links.iter().map(Vec::len).sum()
+    }
+
+    /// True if no link is cached.
+    pub fn is_empty(&self) -> bool {
+        self.links.iter().all(Vec::is_empty)
+    }
+
+    /// One-way latency between `a` and `b`: a cached-adjacency lookup for
+    /// links, `topology.latency(a, b)` for everything else. Always equal to
+    /// the direct computation.
+    pub fn latency(&self, topology: &PhysicalTopology, a: NodeId, b: NodeId) -> Duration {
+        if let Some(row) = self.links.get(a.index()) {
+            if let Ok(pos) = row.binary_search_by_key(&b.0, |&(n, _)| n) {
+                return row[pos].1;
+            }
+        }
+        topology.latency(a, b)
+    }
+
+    /// Round-trip time between `a` and `b` (twice the one-way latency).
+    pub fn rtt(&self, topology: &PhysicalTopology, a: NodeId, b: NodeId) -> Duration {
+        self.latency(topology, a, b).saturating_mul(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brite::{BriteConfig, BriteGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topology() -> PhysicalTopology {
+        BriteGenerator::new(BriteConfig {
+            nodes: 40,
+            ..BriteConfig::default()
+        })
+        .generate(&mut StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn cached_links_agree_with_the_topology() {
+        let topo = topology();
+        let edges: Vec<(NodeId, NodeId)> = (0..20u32)
+            .map(|i| (NodeId(i), NodeId((i + 7) % 40)))
+            .collect();
+        let cache = LinkLatencyCache::build(&topo, edges.iter().copied());
+        for &(a, b) in &edges {
+            assert_eq!(cache.latency(&topo, a, b), topo.latency(a, b));
+            assert_eq!(cache.latency(&topo, b, a), topo.latency(b, a), "symmetric");
+            assert_eq!(cache.rtt(&topo, a, b), topo.rtt(a, b));
+        }
+    }
+
+    #[test]
+    fn uncached_pairs_fall_back_to_the_topology() {
+        let topo = topology();
+        let cache = LinkLatencyCache::build(&topo, [(NodeId(0), NodeId(1))]);
+        assert_eq!(cache.latency(&topo, NodeId(5), NodeId(9)), topo.latency(NodeId(5), NodeId(9)));
+        let empty = LinkLatencyCache::empty(topo.len());
+        assert!(empty.is_empty());
+        assert_eq!(empty.latency(&topo, NodeId(2), NodeId(3)), topo.latency(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_are_ignored() {
+        let topo = topology();
+        let cache = LinkLatencyCache::build(
+            &topo,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(0)),
+                (NodeId(0), NodeId(1)),
+                (NodeId(4), NodeId(4)),
+            ],
+        );
+        assert_eq!(cache.len(), 2, "one undirected link = two directed entries");
+        assert_eq!(cache.latency(&topo, NodeId(4), NodeId(4)), Duration::ZERO);
+    }
+}

@@ -20,7 +20,9 @@
 //! * [`locid`] — [`LocId`]: the landmark-ordering fingerprint, encoded as a
 //!   Lehmer-coded permutation index (4 landmarks ⇒ 4! = 24 distinct ids),
 //! * [`proximity`] — RTT probing used by the §5.1 fallback rule ("measure RTT to
-//!   the available providers and choose the smallest").
+//!   the available providers and choose the smallest"),
+//! * [`latency_cache`] — [`LinkLatencyCache`]: per-link latencies computed once
+//!   per topology and reused across every message delivery of a simulation.
 //!
 //! The model is geometric rather than a router-level graph: latency is a
 //! monotone function of distance in the plane. This preserves the two
@@ -34,6 +36,7 @@
 pub mod brite;
 pub mod coordinates;
 pub mod landmark;
+pub mod latency_cache;
 pub mod locid;
 pub mod proximity;
 pub mod topology;
@@ -41,6 +44,7 @@ pub mod topology;
 pub use brite::{BriteConfig, BriteGenerator};
 pub use coordinates::Point;
 pub use landmark::{LandmarkSet, RttVector};
+pub use latency_cache::LinkLatencyCache;
 pub use locid::LocId;
 pub use proximity::{closest_by_rtt, ProximityProbe};
 pub use topology::{NodeId, PhysicalTopology};

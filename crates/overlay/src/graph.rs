@@ -93,6 +93,19 @@ impl OverlayGraph {
             .max_by_key(|&n| (self.degree(n), std::cmp::Reverse(n.0)))
     }
 
+    /// Iterator over every undirected edge, each reported once as `(a, b)`
+    /// with `a < b`, in id order.
+    pub fn edges(&self) -> impl Iterator<Item = (PeerId, PeerId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, neighbors)| {
+            let a = PeerId(i as u32);
+            neighbors
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
+        })
+    }
+
     /// True if `a` and `b` are directly connected.
     pub fn are_neighbors(&self, a: PeerId, b: PeerId) -> bool {
         self.adjacency[a.index()].binary_search(&b).is_ok()

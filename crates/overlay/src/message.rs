@@ -10,6 +10,8 @@
 //! byte-level accounting lets the bandwidth ablation quantify the footnote-1
 //! claim that incremental Bloom updates are negligible.
 
+use std::sync::Arc;
+
 use bytes::{BufMut, BytesMut};
 use locaware_bloom::{BloomDelta, BloomFilter};
 use locaware_net::LocId;
@@ -77,7 +79,12 @@ pub enum Message {
         /// their response index can pick providers near the originator, §4.1.2).
         origin_loc: LocId,
         /// The query keywords (1–3 keywords drawn from the target filename).
-        keywords: Vec<KeywordId>,
+        ///
+        /// Shared rather than owned: one query fans out to many neighbours at
+        /// every hop, and every forwarded copy carries the identical keyword
+        /// list, so cloning a query message bumps a reference count instead of
+        /// reallocating the list per copy.
+        keywords: Arc<[KeywordId]>,
         /// For filename-based protocols (Dicas), the exact file being searched;
         /// keyword-based protocols leave this empty and must match on keywords.
         target_filename: Option<FileId>,
@@ -156,7 +163,7 @@ impl Message {
                 buf.put_u32(origin.0);
                 buf.put_u32(origin_loc.value());
                 buf.put_u8(keywords.len() as u8);
-                for kw in keywords {
+                for kw in keywords.iter() {
                     buf.put_u32(*kw);
                 }
                 match target_filename {
@@ -246,7 +253,7 @@ mod tests {
             query: QueryId(42),
             origin: PeerId(7),
             origin_loc: LocId(3),
-            keywords: vec![10, 20, 30],
+            keywords: vec![10, 20, 30].into(),
             target_filename: None,
             ttl: 7,
         }
@@ -336,7 +343,7 @@ mod tests {
             query: QueryId(3),
             origin: PeerId(0),
             origin_loc: LocId(0),
-            keywords: vec![1, 2, 3],
+            keywords: vec![1, 2, 3].into(),
             target_filename: Some(77),
             ttl: 7,
         };

@@ -9,12 +9,13 @@
 //! definition of satisfaction.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::keywords::{KeywordId, KeywordPool};
+use crate::keywords::{KeywordHashes, KeywordId, KeywordPool};
 
 /// Identifies a file (and its filename) in the global pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -105,6 +106,9 @@ pub struct Catalog {
     filenames: Vec<Filename>,
     /// keyword → files whose filename contains it.
     inverted: HashMap<KeywordId, Vec<FileId>>,
+    /// Bloom hashes interned once per pool keyword (shared with peer state so
+    /// the routing and cache-maintenance hot paths never re-hash a keyword).
+    keyword_hashes: Arc<KeywordHashes>,
 }
 
 impl Catalog {
@@ -135,10 +139,12 @@ impl Catalog {
             }
             filenames.push(Filename::new(kws));
         }
+        let keyword_hashes = Arc::new(KeywordHashes::for_pool(&pool));
         Catalog {
             pool,
             filenames,
             inverted,
+            keyword_hashes,
         }
     }
 
@@ -150,10 +156,12 @@ impl Catalog {
                 inverted.entry(kw).or_default().push(FileId(i as u32));
             }
         }
+        let keyword_hashes = Arc::new(KeywordHashes::for_pool(&pool));
         Catalog {
             pool,
             filenames,
             inverted,
+            keyword_hashes,
         }
     }
 
@@ -170,6 +178,12 @@ impl Catalog {
     /// The keyword pool the catalog draws from.
     pub fn keyword_pool(&self) -> &KeywordPool {
         &self.pool
+    }
+
+    /// The interned Bloom hashes of every pool keyword, built once with the
+    /// catalog and shared (via `Arc`) with every peer of a simulation.
+    pub fn keyword_hashes(&self) -> &Arc<KeywordHashes> {
+        &self.keyword_hashes
     }
 
     /// The filename of `file`.
@@ -299,6 +313,19 @@ mod tests {
         let q = [KeywordId(0), KeywordId(2)];
         for f in c.files() {
             assert_eq!(c.file_matches(f, &q), c.matching_files(&q).contains(&f));
+        }
+    }
+
+    #[test]
+    fn interned_hashes_cover_the_pool() {
+        use locaware_bloom::ElementHashes;
+        let c = tiny_catalog();
+        assert_eq!(c.keyword_hashes().len(), c.keyword_pool().len());
+        for kw in c.keyword_pool().iter() {
+            assert_eq!(
+                c.keyword_hashes().of(kw),
+                ElementHashes::of_str(&kw.canonical())
+            );
         }
     }
 

@@ -5,6 +5,7 @@
 //! spelling so that examples print something readable and the Bloom filter is
 //! exercised with realistic variable-length strings rather than bare integers.
 
+use locaware_bloom::ElementHashes;
 use serde::{Deserialize, Serialize};
 
 /// Identifies a keyword in the global pool.
@@ -101,6 +102,62 @@ impl KeywordPool {
     }
 }
 
+/// Bloom hashes interned once per keyword of a pool.
+///
+/// Every Bloom-filter operation on a keyword starts by hashing its canonical
+/// spelling; on the routing hot path the *same* keywords are hashed over and
+/// over (once per neighbour per hop). Interning the [`ElementHashes`] of every
+/// pool keyword at substrate-build time turns each of those hashes into an
+/// array load. Keywords outside the interned pool (only constructed by tests)
+/// fall back to hashing on the fly, so lookups are total and always agree with
+/// `ElementHashes::of_str(&kw.canonical())`.
+#[derive(Debug, Clone, Default)]
+pub struct KeywordHashes {
+    hashes: Vec<ElementHashes>,
+}
+
+impl KeywordHashes {
+    /// Interns the hashes of every keyword in `pool`.
+    pub fn for_pool(pool: &KeywordPool) -> Self {
+        KeywordHashes {
+            hashes: pool
+                .iter()
+                .map(|kw| ElementHashes::of_str(&kw.canonical()))
+                .collect(),
+        }
+    }
+
+    /// An empty table: every lookup falls back to hashing on the fly.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned keywords.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True if nothing is interned (all lookups hash on the fly).
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// The Bloom hashes of `kw`: an array load for pool keywords, a fresh
+    /// hash of the canonical spelling otherwise.
+    pub fn of(&self, kw: KeywordId) -> ElementHashes {
+        match self.hashes.get(kw.index()) {
+            Some(&h) => h,
+            None => ElementHashes::of_str(&kw.canonical()),
+        }
+    }
+
+    /// Fills `out` with the hashes of `keywords` (clearing it first).
+    pub fn of_all_into(&self, keywords: &[KeywordId], out: &mut Vec<ElementHashes>) {
+        out.clear();
+        out.extend(keywords.iter().map(|&kw| self.of(kw)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +199,36 @@ mod tests {
     #[should_panic(expected = "must not be empty")]
     fn empty_pool_is_rejected() {
         let _ = KeywordPool::new(0);
+    }
+
+    #[test]
+    fn interned_hashes_match_on_the_fly_hashing() {
+        let pool = KeywordPool::new(200);
+        let interned = KeywordHashes::for_pool(&pool);
+        assert_eq!(interned.len(), 200);
+        for kw in pool.iter() {
+            assert_eq!(interned.of(kw), ElementHashes::of_str(&kw.canonical()));
+        }
+        // Out-of-pool keywords fall back to hashing on the fly.
+        let outside = KeywordId(9999);
+        assert_eq!(
+            interned.of(outside),
+            ElementHashes::of_str(&outside.canonical())
+        );
+        // The empty table is a pure fallback.
+        let empty = KeywordHashes::empty();
+        assert!(empty.is_empty());
+        assert_eq!(empty.of(KeywordId(3)), ElementHashes::of_str(&KeywordId(3).canonical()));
+    }
+
+    #[test]
+    fn of_all_into_reuses_the_buffer() {
+        let pool = KeywordPool::new(10);
+        let interned = KeywordHashes::for_pool(&pool);
+        let mut buf = vec![ElementHashes::of_str("stale")];
+        interned.of_all_into(&[KeywordId(1), KeywordId(2)], &mut buf);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[0], interned.of(KeywordId(1)));
+        assert_eq!(buf[1], interned.of(KeywordId(2)));
     }
 }

@@ -37,7 +37,7 @@ pub mod zipf;
 
 pub use arrival::{Arrival, ArrivalConfig, ArrivalProcess};
 pub use catalog::{Catalog, CatalogConfig, FileId, Filename};
-pub use keywords::{KeywordId, KeywordPool};
+pub use keywords::{KeywordHashes, KeywordId, KeywordPool};
 pub use placement::{InitialPlacement, PlacementConfig};
 pub use queries::{Query, QueryGenerator, QueryWorkloadConfig};
 pub use zipf::ZipfDistribution;

@@ -10,6 +10,7 @@
 
 use proptest::prelude::*;
 
+use locaware::index::naive::NaiveResponseIndex;
 use locaware::{ResponseIndex, SelectionPolicy};
 use locaware_bloom::{BloomDelta, BloomFilter, BloomParams};
 use locaware_net::{LandmarkSet, LocId, NodeId, PhysicalTopology};
@@ -129,6 +130,67 @@ proptest! {
         }
     }
 
+    /// Model-based equivalence: the optimized response index (recency set +
+    /// inverted keyword postings, PR 3) behaves *identically* to the naive
+    /// reference implementation under arbitrary interleavings of inserts,
+    /// provider removals and clears — same evictions in the same order, same
+    /// keyword-lookup results, same eviction candidate, same contents.
+    #[test]
+    fn optimized_response_index_matches_the_naive_model(
+        capacity in 1usize..14,
+        max_providers in 1usize..5,
+        // op, file, provider, loc: op 0..=7 inserts (biased — the common
+        // operation), 8 removes a provider, 9 clears.
+        ops in proptest::collection::vec((0u32..10, 0u32..24, 0u32..12, 0u32..24), 1..250),
+    ) {
+        let mut optimized = ResponseIndex::new(capacity, max_providers);
+        let mut model = NaiveResponseIndex::new(capacity, max_providers);
+        for (op, file, provider, loc) in ops {
+            match op {
+                8 => {
+                    let mut a = optimized.remove_provider(PeerId(provider));
+                    let mut b = model.remove_provider(PeerId(provider));
+                    // Multi-entry removal reports evictions in map order,
+                    // which is unspecified; compare as sets.
+                    a.sort_by_key(|e| e.file);
+                    b.sort_by_key(|e| e.file);
+                    prop_assert_eq!(a, b, "remove_provider evictions diverged");
+                }
+                9 => {
+                    optimized.clear();
+                    model.clear();
+                }
+                _ => {
+                    // Overlapping keyword sets across files exercise postings
+                    // lists with more than one file.
+                    let keywords = [KeywordId(file), KeywordId(file + 1), KeywordId(file / 2)];
+                    let a = optimized.insert(FileId(file), &keywords, [(PeerId(provider), LocId(loc))]);
+                    let b = model.insert(FileId(file), &keywords, [(PeerId(provider), LocId(loc))]);
+                    prop_assert_eq!(a, b, "insert evictions diverged");
+                }
+            }
+            prop_assert_eq!(optimized.len(), model.len());
+            prop_assert_eq!(optimized.eviction_candidate(), model.eviction_candidate());
+            // Every observable lookup agrees: per-file entries (keywords,
+            // providers, order) and keyword queries (results + order).
+            for probe in 0u32..26 {
+                prop_assert_eq!(optimized.entry(FileId(probe)), model.entry(FileId(probe)));
+            }
+            for kw in 0u32..26 {
+                let single = [KeywordId(kw)];
+                prop_assert_eq!(
+                    optimized.lookup_by_keywords(&single),
+                    model.lookup_by_keywords(&single)
+                );
+                let pair = [KeywordId(kw), KeywordId(kw + 1)];
+                prop_assert_eq!(
+                    optimized.lookup_by_keywords(&pair),
+                    model.lookup_by_keywords(&pair)
+                );
+            }
+        }
+    }
+
     // ----------------------------------------------------------- overlay gen
 
     /// Random overlay generation always yields a connected graph with roughly
@@ -179,6 +241,7 @@ proptest! {
             let selected = locaware::select_provider(
                 policy,
                 &topology,
+                &locaware::LinkLatencyCache::empty(topology.len()),
                 NodeId(0),
                 LocId(requestor_loc),
                 &offered,
