@@ -1,0 +1,147 @@
+//! Bench-trajectory regression gate.
+//!
+//! Compares the standardised `"trajectory"` sections of two `BENCH_prN.json`
+//! files (every entry is a wall-clock measurement of a fixed reference
+//! workload — lower is better) and exits non-zero when any shared metric
+//! regressed by more than 10%. Closes the ROADMAP item "a script that diffs
+//! consecutive BENCH files and fails on regression"; CI runs it on every PR.
+//!
+//! ```text
+//! # Diff the two most recent BENCH_pr*.json in the repository root:
+//! cargo run --release -p locaware-bench --bin bench_diff
+//! # Or name the two files explicitly (old first):
+//! cargo run --release -p locaware-bench --bin bench_diff -- BENCH_pr3.json BENCH_pr4.json
+//! ```
+//!
+//! Metrics present in only one file are reported but never fail the gate
+//! (new benchmarks appear, retired ones disappear); an empty intersection is
+//! an error, because a gate that compares nothing would pass silently.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use locaware_bench::trajectory;
+
+/// Regression tolerance: fail when `new > old * (1 + TOLERANCE)`.
+const TOLERANCE: f64 = 0.10;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old_path, new_path) = match args.as_slice() {
+        [] => match discover_latest_pair() {
+            Ok(pair) => pair,
+            Err(message) => {
+                eprintln!("bench_diff: {message}");
+                return ExitCode::from(2);
+            }
+        },
+        [old, new] => (PathBuf::from(old), PathBuf::from(new)),
+        _ => {
+            eprintln!("usage: bench_diff [OLD.json NEW.json]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let old = match load_trajectory(&old_path) {
+        Ok(table) => table,
+        Err(message) => {
+            eprintln!("bench_diff: {}: {message}", old_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let new = match load_trajectory(&new_path) {
+        Ok(table) => table,
+        Err(message) => {
+            eprintln!("bench_diff: {}: {message}", new_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "bench_diff: {} -> {} (tolerance {:.0}%)",
+        old_path.display(),
+        new_path.display(),
+        TOLERANCE * 100.0
+    );
+
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (name, &old_value) in &old {
+        let Some(&new_value) = new.get(name) else {
+            println!("  {name}: retired (was {old_value:.2})");
+            continue;
+        };
+        compared += 1;
+        let ratio = if old_value > 0.0 {
+            new_value / old_value
+        } else {
+            1.0
+        };
+        // A zero baseline carries no information to regress against (any
+        // positive measurement would be "infinitely" slower); report it
+        // without judging.
+        let verdict = if old_value <= 0.0 {
+            "ok (zero baseline)"
+        } else if new_value > old_value * (1.0 + TOLERANCE) {
+            regressions += 1;
+            "REGRESSION"
+        } else if new_value < old_value * (1.0 - TOLERANCE) {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!("  {name}: {old_value:.2} -> {new_value:.2} ({ratio:.2}x) {verdict}");
+    }
+    for (name, new_value) in &new {
+        if !old.contains_key(name) {
+            println!("  {name}: new metric ({new_value:.2})");
+        }
+    }
+
+    if compared == 0 {
+        eprintln!("bench_diff: no shared trajectory metrics — the gate would compare nothing");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        eprintln!("bench_diff: {regressions} of {compared} shared metrics regressed > 10%");
+        return ExitCode::FAILURE;
+    }
+    println!("bench_diff: {compared} shared metrics within tolerance");
+    ExitCode::SUCCESS
+}
+
+fn load_trajectory(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let document = trajectory::parse(&text)?;
+    let table = trajectory::of_bench_file(&document);
+    if table.is_empty() {
+        return Err("no numeric \"trajectory\" section".to_string());
+    }
+    Ok(table)
+}
+
+/// The two highest-numbered `BENCH_pr*.json` files in the current directory
+/// (the repository root when run through `cargo run`), oldest of the pair
+/// first.
+fn discover_latest_pair() -> Result<(PathBuf, PathBuf), String> {
+    let mut numbered: Vec<(u32, PathBuf)> = std::fs::read_dir(".")
+        .map_err(|e| e.to_string())?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            let number: u32 = name.strip_prefix("BENCH_pr")?.strip_suffix(".json")?.parse().ok()?;
+            Some((number, path))
+        })
+        .collect();
+    numbered.sort();
+    match numbered.as_slice() {
+        [] | [_] => Err(format!(
+            "need at least two BENCH_pr*.json files in {} to diff",
+            std::env::current_dir()
+                .map(|d| d.display().to_string())
+                .unwrap_or_else(|_| ".".to_string())
+        )),
+        [.., (_, old), (_, new)] => Ok((old.clone(), new.clone())),
+    }
+}

@@ -1,0 +1,155 @@
+//! Shard-scaling benchmark: wall-clock per protocol run at shard counts
+//! {1, 2, 4, 8}, with bit-identity of the reports verified along the way.
+//!
+//! This is the measurement behind `BENCH_prN.json`'s `shard_scaling` section
+//! and the README's "Sharded engine" table. Substrate construction is
+//! excluded (it is built once per shard count and shared across protocols,
+//! exactly like the experiment layer does); timings cover `Simulation::run`
+//! end to end.
+//!
+//! ```text
+//! cargo run --release -p locaware-bench --bin shard_scaling -- \
+//!     [--peers N] [--queries N] [--scenario NAME] [--repeats N]
+//! ```
+//!
+//! The default workload is `flash-crowd` (25× arrival rate): dense event
+//! regions are where intra-run parallelism matters — and where the paper's
+//! beyond-10³-peer ambitions live. Sparse workloads (the paper's 0.83 q/s
+//! default) fit in one window per query burst and gain little, which the
+//! numbers show honestly.
+
+use std::time::Instant;
+
+use locaware::{ProtocolKind, Scenario, SimulationReport};
+
+struct Options {
+    peers: usize,
+    queries: usize,
+    scenario: String,
+    repeats: usize,
+    shard_counts: Vec<usize>,
+}
+
+impl Options {
+    fn parse() -> Result<Options, String> {
+        let mut options = Options {
+            peers: 1000,
+            queries: 2000,
+            scenario: "flash-crowd".to_string(),
+            repeats: 1,
+            shard_counts: vec![1, 2, 4, 8],
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = |name: &str| {
+                args.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--peers" => options.peers = parse_number(&value("--peers")?)?,
+                "--queries" => options.queries = parse_number(&value("--queries")?)?,
+                "--repeats" => options.repeats = parse_number(&value("--repeats")?)?.max(1),
+                "--scenario" => options.scenario = value("--scenario")?,
+                "--shards" => {
+                    options.shard_counts = value("--shards")?
+                        .split(',')
+                        .map(parse_number)
+                        .collect::<Result<_, _>>()?;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(options)
+    }
+}
+
+fn parse_number(s: &str) -> Result<usize, String> {
+    s.trim().parse().map_err(|_| format!("not a number: {s}"))
+}
+
+/// The determinism fingerprint: a cheap stable digest over the fields the
+/// determinism suite compares byte-for-byte.
+fn fingerprint(report: &SimulationReport) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut mix = |value: u64| {
+        hash ^= value;
+        hash = hash.wrapping_mul(0x100000001b3);
+    };
+    mix(report.queries_issued);
+    mix(report.dispatched_events);
+    mix(report.background_messages);
+    mix(report.total_file_replicas as u64);
+    mix(report.total_cached_index_entries as u64);
+    mix(report.simulated_end_time_secs.to_bits());
+    for record in report.metrics.records() {
+        mix(record.index);
+        mix(u64::from(record.requestor));
+        mix(u64::from(record.is_success()));
+        mix(record.messages);
+        mix(record.download_distance_ms.map_or(1, f64::to_bits));
+        mix(u64::from(record.locality_match));
+        mix(record.providers_offered as u64);
+        mix(u64::from(record.hops_to_hit.unwrap_or(u32::MAX)));
+        mix(u64::from(record.answered_from_cache));
+    }
+    hash
+}
+
+fn main() {
+    let options = match Options::parse() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("shard_scaling: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let protocols = [ProtocolKind::Locaware, ProtocolKind::Flooding];
+    println!(
+        "# shard_scaling: scenario={} peers={} queries={} repeats={}",
+        options.scenario, options.peers, options.queries, options.repeats
+    );
+
+    for protocol in protocols {
+        let mut baseline_ms = None;
+        let mut baseline_print = None;
+        for &shards in &options.shard_counts {
+            let Some(scenario) = Scenario::preset(&options.scenario, options.peers) else {
+                eprintln!("shard_scaling: unknown scenario {}", options.scenario);
+                std::process::exit(2);
+            };
+            let mut config = scenario.config().clone();
+            config.shards = shards;
+            let scenario = Scenario::from_config(format!("{}-s{shards}", options.scenario), config)
+                .expect("shard count does not affect validity");
+            let substrate = scenario.substrate();
+
+            // One untimed warm-up run, then the timed repeats.
+            let report = substrate.run(protocol, options.queries);
+            let print = fingerprint(&report);
+            match baseline_print {
+                None => baseline_print = Some(print),
+                Some(expected) => assert_eq!(
+                    print, expected,
+                    "{protocol}: {shards} shards diverged from the baseline report"
+                ),
+            }
+            let started = Instant::now();
+            for _ in 0..options.repeats {
+                let repeat = substrate.run(protocol, options.queries);
+                assert_eq!(fingerprint(&repeat), print, "{protocol}: unstable repeat");
+            }
+            let ms = started.elapsed().as_secs_f64() * 1000.0 / options.repeats as f64;
+            let speedup = match baseline_ms {
+                None => {
+                    baseline_ms = Some(ms);
+                    1.0
+                }
+                Some(base) => base / ms,
+            };
+            println!(
+                "{protocol} shards={shards} wall_ms={ms:.1} speedup_vs_1={speedup:.2} events={} fingerprint={print:#018x}",
+                report.dispatched_events
+            );
+        }
+    }
+}

@@ -21,8 +21,9 @@
 //! (scenario, repetition) point exactly once, shares it immutably across all
 //! protocols and query counts, and steals grid tasks from a shared queue on
 //! scoped worker threads. Repetitions use distinct derived seeds and the
-//! reported value is the mean across repetitions; each grid point is itself
-//! single-threaded and fully deterministic.
+//! reported value is the mean across repetitions; each grid point is fully
+//! deterministic (and bit-identical for every engine shard count, so
+//! `SimulationConfig::shards` is purely a performance knob here too).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -510,6 +511,259 @@ fn next_value(args: &[String], i: &mut usize) -> Result<String, String> {
     args.get(*i)
         .cloned()
         .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+}
+
+pub mod trajectory {
+    //! Reading the committed `BENCH_prN.json` trajectory points.
+    //!
+    //! Every performance PR lands a `BENCH_prN.json` at the repository root.
+    //! Since PR 4 each file carries a standardised `"trajectory"` object —
+    //! flat `name → milliseconds/seconds` pairs for the fixed reference
+    //! workloads — so consecutive files are directly comparable. The
+    //! `bench_diff` binary diffs the last two files' trajectories and fails
+    //! CI on a >10% regression.
+    //!
+    //! The offline build has no `serde_json` (the vendored `serde` shims
+    //! expand derives to nothing), so this module includes a minimal JSON
+    //! reader: objects, arrays, strings (no escapes beyond `\"`, `\\`, `\/`,
+    //! `\n`, `\t`), numbers, booleans and null — ample for the bench files we
+    //! write ourselves.
+
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number, as `f64`.
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object, keys sorted.
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// The object entry at `key`, if this is an object holding it.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(map) => map.get(key),
+                _ => None,
+            }
+        }
+
+        /// The numeric value, if this is a number.
+        pub fn as_number(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes: Vec<char> = text.chars().collect();
+        let mut pos = 0usize;
+        let value = parse_value(&bytes, &mut pos)?;
+        skip_whitespace(&bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at offset {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The flat `"trajectory"` table of a bench file: metric name → value.
+    /// Non-numeric entries (e.g. a `"note"`) are skipped.
+    pub fn of_bench_file(document: &Value) -> BTreeMap<String, f64> {
+        let mut table = BTreeMap::new();
+        if let Some(Value::Object(entries)) = document.get("trajectory") {
+            for (name, value) in entries {
+                if let Some(number) = value.as_number() {
+                    table.insert(name.clone(), number);
+                }
+            }
+        }
+        table
+    }
+
+    fn skip_whitespace(chars: &[char], pos: &mut usize) {
+        while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(chars: &[char], pos: &mut usize) -> Result<Value, String> {
+        skip_whitespace(chars, pos);
+        match chars.get(*pos) {
+            None => Err("unexpected end of input".to_string()),
+            Some('{') => {
+                *pos += 1;
+                let mut map = BTreeMap::new();
+                skip_whitespace(chars, pos);
+                if chars.get(*pos) == Some(&'}') {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    skip_whitespace(chars, pos);
+                    let Value::String(key) = parse_value(chars, pos)? else {
+                        return Err(format!("object key must be a string at offset {pos}"));
+                    };
+                    skip_whitespace(chars, pos);
+                    if chars.get(*pos) != Some(&':') {
+                        return Err(format!("expected ':' at offset {pos}"));
+                    }
+                    *pos += 1;
+                    let value = parse_value(chars, pos)?;
+                    map.insert(key, value);
+                    skip_whitespace(chars, pos);
+                    match chars.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some('}') => {
+                            *pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                    }
+                }
+            }
+            Some('[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_whitespace(chars, pos);
+                if chars.get(*pos) == Some(&']') {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(parse_value(chars, pos)?);
+                    skip_whitespace(chars, pos);
+                    match chars.get(*pos) {
+                        Some(',') => *pos += 1,
+                        Some(']') => {
+                            *pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                    }
+                }
+            }
+            Some('"') => {
+                *pos += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(*pos) {
+                        None => return Err("unterminated string".to_string()),
+                        Some('"') => {
+                            *pos += 1;
+                            return Ok(Value::String(s));
+                        }
+                        Some('\\') => {
+                            *pos += 1;
+                            match chars.get(*pos) {
+                                Some('"') => s.push('"'),
+                                Some('\\') => s.push('\\'),
+                                Some('/') => s.push('/'),
+                                Some('n') => s.push('\n'),
+                                Some('t') => s.push('\t'),
+                                other => {
+                                    return Err(format!("unsupported escape {other:?}"));
+                                }
+                            }
+                            *pos += 1;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            *pos += 1;
+                        }
+                    }
+                }
+            }
+            Some('t') if chars[*pos..].starts_with(&['t', 'r', 'u', 'e']) => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some('f') if chars[*pos..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some('n') if chars[*pos..].starts_with(&['n', 'u', 'l', 'l']) => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while chars
+                    .get(*pos)
+                    .is_some_and(|c| c.is_ascii_digit() || "+-.eE".contains(*c))
+                {
+                    *pos += 1;
+                }
+                let literal: String = chars[start..*pos].iter().collect();
+                literal
+                    .parse::<f64>()
+                    .map(Value::Number)
+                    .map_err(|_| format!("invalid number {literal:?} at offset {start}"))
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn parses_a_bench_file_shape() {
+            let text = r#"{
+                "pr": 4,
+                "note": "hello \"world\"",
+                "trajectory": {
+                    "locaware_ms": 67.5,
+                    "flooding_ms": 340.4,
+                    "note": "not a number",
+                    "suite_s": 0.37
+                },
+                "nested": {"list": [1, -2.5, 3e2, true, null]}
+            }"#;
+            let document = parse(text).expect("valid JSON");
+            let table = of_bench_file(&document);
+            assert_eq!(table.len(), 3, "non-numeric entries are skipped");
+            assert_eq!(table["locaware_ms"], 67.5);
+            assert_eq!(table["flooding_ms"], 340.4);
+            assert_eq!(table["suite_s"], 0.37);
+            assert_eq!(
+                document.get("nested").and_then(|n| n.get("list")),
+                Some(&Value::Array(vec![
+                    Value::Number(1.0),
+                    Value::Number(-2.5),
+                    Value::Number(300.0),
+                    Value::Bool(true),
+                    Value::Null,
+                ]))
+            );
+        }
+
+        #[test]
+        fn files_without_a_trajectory_yield_an_empty_table() {
+            let document = parse(r#"{"pr": 3}"#).unwrap();
+            assert!(of_bench_file(&document).is_empty());
+        }
+
+        #[test]
+        fn malformed_documents_are_rejected() {
+            assert!(parse("{").is_err());
+            assert!(parse(r#"{"a" 1}"#).is_err());
+            assert!(parse("[1,]").is_err());
+            assert!(parse("12 34").is_err());
+            assert!(parse(r#"{"a": 00x}"#).is_err());
+        }
+    }
 }
 
 /// Runs a sweep and prints one figure (used by the `fig2`/`fig3`/`fig4` binaries).

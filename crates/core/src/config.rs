@@ -268,6 +268,18 @@ pub struct SimulationConfig {
     /// Churn model parameters.
     pub churn: ChurnConfig,
 
+    // --- execution -------------------------------------------------------------
+    /// Number of engine shards (deterministic intra-run parallelism).
+    ///
+    /// Peers are deterministically partitioned into this many shards; each
+    /// shard drains its local events in parallel over bounded time windows and
+    /// cross-shard messages are merged at window barriers in a canonical
+    /// order, so **any** shard count produces bit-identical reports for the
+    /// same seed. `0` means "auto": take the `LOCAWARE_SHARDS` environment
+    /// variable if set (read once per process), else run single-sharded.
+    /// Values are clamped to `1..=peers` at run time.
+    pub shards: usize,
+
     // --- safety ---------------------------------------------------------------
     /// Upper bound on dispatched events per run (guards against event storms).
     pub max_events: u64,
@@ -310,6 +322,7 @@ impl SimulationConfig {
             bloom_bits: 1200,
             bloom_hashes: 5,
             bloom_sync_period_secs: 60.0,
+            shards: 0,
             churn: ChurnConfig::disabled(),
             max_events: 200_000_000,
         }
@@ -327,6 +340,19 @@ impl SimulationConfig {
             keyword_pool: (file_pool * 3).max(60),
             ..Self::paper_defaults()
         }
+    }
+
+    /// The shard count a run of this configuration actually uses: the
+    /// explicit [`SimulationConfig::shards`] value if positive, otherwise the
+    /// `LOCAWARE_SHARDS` environment variable (read once per process),
+    /// otherwise 1 — always clamped to `1..=peers`.
+    pub fn effective_shards(&self) -> usize {
+        let requested = if self.shards > 0 {
+            self.shards
+        } else {
+            env_default_shards()
+        };
+        requested.clamp(1, self.peers.max(1))
     }
 
     /// Validates internal consistency; returns a structured [`ConfigError`]
@@ -407,6 +433,22 @@ impl SimulationConfig {
     }
 }
 
+/// The process-wide `LOCAWARE_SHARDS` default, read once: reading it per call
+/// would let a mid-run environment change split one experiment across two
+/// shard counts (harmless for results — every count is bit-identical — but
+/// confusing for performance analysis).
+fn env_default_shards() -> usize {
+    use std::sync::OnceLock;
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("LOCAWARE_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +526,21 @@ mod tests {
         // ConfigError is a real std error, usable with `?` and `Box<dyn Error>`.
         let boxed: Box<dyn std::error::Error> = Box::new(err);
         assert!(boxed.to_string().contains("peers"));
+    }
+
+    #[test]
+    fn effective_shards_clamps_to_the_population() {
+        let mut c = SimulationConfig::small(10);
+        c.shards = 4;
+        assert_eq!(c.effective_shards(), 4);
+        c.shards = 64;
+        assert_eq!(c.effective_shards(), 10, "more shards than peers is clamped");
+        c.peers = 2;
+        assert_eq!(c.effective_shards(), 2);
+        // shards = 0 resolves through the process default, which is >= 1.
+        c.shards = 0;
+        assert!(c.effective_shards() >= 1);
+        assert!(c.effective_shards() <= c.peers);
     }
 
     #[test]

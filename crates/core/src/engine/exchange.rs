@@ -1,0 +1,212 @@
+//! Cross-shard exchange: deterministic peer partitioning, the canonical event
+//! key encoding, and the outboxes merged at window barriers.
+//!
+//! ## Canonical event order
+//!
+//! The sharded engine's determinism contract — same seed ⇒ bit-identical
+//! reports for *every* shard count — rests on a total event order that is a
+//! pure function of each event's identity, never of which queue it sat in or
+//! when it was scheduled. The encoding into [`EventKey`]'s
+//! `(time, class, a, b)`:
+//!
+//! | event            | class | `a`                         | `b`            |
+//! |------------------|-------|-----------------------------|----------------|
+//! | query issue      | 0     | arrival index               | 0              |
+//! | Bloom sync round | 1     | round index                 | 0              |
+//! | churn transition | 2     | schedule index              | 0              |
+//! | message delivery | 3     | `(to << 32) \| from`        | sender seq     |
+//!
+//! The class ranks mirror the sequential engine's initial-scheduling order at
+//! equal times (arrivals, then maintenance, then churn, then in-flight
+//! deliveries). Deliveries tie-break by destination, then source, then a
+//! send sequence number counted at the sender — link latencies are fixed per
+//! pair, so two messages on one link arriving simultaneously were sent
+//! simultaneously and the sender's count orders them by send order.
+//!
+//! ## Partitioning
+//!
+//! Peers are partitioned by *locality*: sorted by `(locId, peer id)` and cut
+//! into contiguous, balanced chunks. The partition only affects performance,
+//! never results — but locality-aligned shards push the minimum cross-shard
+//! link latency (the window length, see
+//! [`LinkLatencyCache::min_cross_partition_latency`]) far above the global
+//! minimum link latency, which is what buys long windows and real parallelism.
+//!
+//! [`LinkLatencyCache::min_cross_partition_latency`]:
+//!   locaware_net::LinkLatencyCache::min_cross_partition_latency
+
+use locaware_net::LocId;
+use locaware_overlay::{Message, PeerId};
+use locaware_sim::{EventKey, SimTime};
+
+/// Event-class rank of query issues (pre-scheduled arrivals).
+pub(crate) const CLASS_ISSUE: u8 = 0;
+/// Event-class rank of periodic Bloom synchronisation rounds.
+pub(crate) const CLASS_BLOOM_SYNC: u8 = 1;
+/// Event-class rank of churn transitions.
+pub(crate) const CLASS_CHURN: u8 = 2;
+/// Event-class rank of message deliveries.
+pub(crate) const CLASS_DELIVER: u8 = 3;
+
+/// The canonical key of the `index`-th query arrival firing at `at`.
+pub(crate) fn issue_key(at: SimTime, index: usize) -> EventKey {
+    EventKey::new(at, CLASS_ISSUE, index as u64, 0)
+}
+
+/// The canonical key of a message delivery: `seq` is the sender-side send
+/// sequence number — monotone in the sender's event order, so it FIFO-orders
+/// deliveries that tie on `(time, to, from)` (same-link ties imply the same
+/// send instant, where send order is the sequential engine's order too).
+pub(crate) fn deliver_key(at: SimTime, to: PeerId, from: PeerId, seq: u64) -> EventKey {
+    EventKey::new(
+        at,
+        CLASS_DELIVER,
+        (u64::from(to.0) << 32) | u64::from(from.0),
+        seq,
+    )
+}
+
+/// A deterministic assignment of peers to shards.
+///
+/// `shard_of[p]` is peer `p`'s shard and `slot_of[p]` its dense index within
+/// that shard's local state vectors — every shard owns a contiguous range of
+/// the locality-sorted peer order, so per-shard state is a plain `Vec` rather
+/// than a map.
+#[derive(Debug, Clone)]
+pub(crate) struct PeerPartition {
+    /// Peer index → owning shard.
+    pub shard_of: Vec<u32>,
+    /// Peer index → slot within the owning shard.
+    pub slot_of: Vec<u32>,
+    /// Shard → number of peers it owns.
+    pub sizes: Vec<usize>,
+}
+
+impl PeerPartition {
+    /// Partitions `loc_ids.len()` peers into `shards` locality-aligned,
+    /// balanced cells: peers sorted by `(locId, id)`, cut into contiguous
+    /// chunks whose sizes differ by at most one.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero or exceeds the peer count.
+    pub fn locality(loc_ids: &[LocId], shards: usize) -> Self {
+        let peers = loc_ids.len();
+        assert!(shards >= 1, "at least one shard");
+        assert!(shards <= peers, "at most one shard per peer");
+
+        let mut order: Vec<u32> = (0..peers as u32).collect();
+        order.sort_by_key(|&p| (loc_ids[p as usize].value(), p));
+
+        let base = peers / shards;
+        let remainder = peers % shards;
+        let mut shard_of = vec![0u32; peers];
+        let mut slot_of = vec![0u32; peers];
+        let mut sizes = Vec::with_capacity(shards);
+        let mut cursor = 0usize;
+        for shard in 0..shards {
+            let size = base + usize::from(shard < remainder);
+            for slot in 0..size {
+                let peer = order[cursor + slot] as usize;
+                shard_of[peer] = shard as u32;
+                slot_of[peer] = slot as u32;
+            }
+            sizes.push(size);
+            cursor += size;
+        }
+        PeerPartition {
+            shard_of,
+            slot_of,
+            sizes,
+        }
+    }
+
+    /// The shard owning `peer`.
+    pub fn shard(&self, peer: PeerId) -> usize {
+        self.shard_of[peer.index()] as usize
+    }
+
+    /// `peer`'s slot within its owning shard.
+    pub fn slot(&self, peer: PeerId) -> usize {
+        self.slot_of[peer.index()] as usize
+    }
+}
+
+/// A message waiting at a window barrier to be merged into another shard's
+/// queue. The canonical key was fixed at send time, so the merge is a plain
+/// heap insertion — no re-ordering decisions are made at the barrier.
+#[derive(Debug, Clone)]
+pub(crate) struct Outbound {
+    /// The delivery's canonical key (at the arrival time).
+    pub key: EventKey,
+    /// Sending peer.
+    pub from: PeerId,
+    /// Receiving peer.
+    pub to: PeerId,
+    /// The message.
+    pub message: Message,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locaware_sim::Duration;
+
+    #[test]
+    fn locality_partition_is_balanced_and_contiguous() {
+        // 10 peers in 3 locality groups, interleaved by id.
+        let loc_ids: Vec<LocId> = [0u32, 1, 2, 0, 1, 2, 0, 1, 2, 0]
+            .iter()
+            .map(|&l| LocId(l))
+            .collect();
+        let partition = PeerPartition::locality(&loc_ids, 3);
+        assert_eq!(partition.sizes, vec![4, 3, 3]);
+        assert_eq!(partition.shard_of.len(), 10);
+        // Locality group 0 = peers {0,3,6,9} fills shard 0 exactly.
+        for p in [0u32, 3, 6, 9] {
+            assert_eq!(partition.shard(PeerId(p)), 0, "peer {p}");
+        }
+        // Slots are dense 0..size within each shard.
+        for shard in 0..3 {
+            let mut slots: Vec<u32> = (0..10u32)
+                .filter(|&p| partition.shard(PeerId(p)) == shard)
+                .map(|p| partition.slot_of[p as usize])
+                .collect();
+            slots.sort_unstable();
+            let expected: Vec<u32> = (0..partition.sizes[shard] as u32).collect();
+            assert_eq!(slots, expected, "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn single_shard_partition_owns_everything() {
+        let loc_ids: Vec<LocId> = (0..5).map(|i| LocId(i % 2)).collect();
+        let partition = PeerPartition::locality(&loc_ids, 1);
+        assert_eq!(partition.sizes, vec![5]);
+        for p in 0..5u32 {
+            assert_eq!(partition.shard(PeerId(p)), 0);
+        }
+        // Slots follow the locality-sorted order, not the id order.
+        let mut seen: Vec<u32> = (0..5u32).map(|p| partition.slot_of[p as usize]).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn canonical_keys_rank_classes_then_discriminators() {
+        let t = SimTime::from_millis(5);
+        let issue = issue_key(t, 7);
+        let deliver = deliver_key(t, PeerId(1), PeerId(2), 0);
+        assert!(issue < deliver, "issues precede deliveries at equal times");
+        assert!(issue_key(t, 7) < issue_key(t, 8), "arrival order breaks ties");
+        assert!(
+            deliver_key(t, PeerId(1), PeerId(2), 0) < deliver_key(t, PeerId(1), PeerId(2), 1),
+            "same link: sender FIFO order"
+        );
+        assert!(
+            deliver_key(t, PeerId(1), PeerId(9), 5) < deliver_key(t, PeerId(2), PeerId(0), 0),
+            "destination dominates source"
+        );
+        let later = t + Duration::from_micros(1);
+        assert!(deliver < issue_key(later, 0), "time dominates everything");
+    }
+}

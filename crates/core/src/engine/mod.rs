@@ -1,0 +1,932 @@
+//! The protocol simulation engine, sharded for deterministic intra-run
+//! parallelism.
+//!
+//! `ProtocolEngine` wires the substrate crates together and executes one
+//! run: queries arrive according to the workload's Poisson process, travel
+//! over the overlay according to the protocol's routing policy with per-link
+//! latencies from the physical topology, responses travel back along reverse
+//! paths and are cached according to the protocol's caching rule, and the
+//! requestor picks a provider according to the protocol's selection policy.
+//! Every query produces one [`QueryRecord`]; Figures 2–4 are aggregations of
+//! those records.
+//!
+//! ## Sharded execution
+//!
+//! Peers are deterministically partitioned into `config.effective_shards()`
+//! locality-aligned shards (`exchange::PeerPartition`). Simulated time
+//! advances in bounded windows, and every tick runs two phases:
+//!
+//! 1. **Parallel drain** — each shard drains its local events for the window
+//!    concurrently (scoped threads, one per shard). A shard only mutates its
+//!    own peers and slabs; the overlay graph and the peers-online snapshot
+//!    are frozen for the window. Messages to peers of another shard go into
+//!    per-`(src, dst)` outboxes instead of a queue.
+//! 2. **Barrier merge** — outboxes are merged into the destination queues in
+//!    the canonical `(time, class, destination, source, link-seq)` order of
+//!    `exchange`, and global transitions (periodic Bloom synchronisation,
+//!    churn) are applied serially by the coordinator at their exact canonical
+//!    position.
+//!
+//! The window length is the minimum cross-shard latency (the *lookahead*):
+//! for static runs the minimum cross-shard **overlay-link** latency served by
+//! [`LinkLatencyCache::min_cross_partition_latency`]; under churn — where
+//! rewiring can connect any pair — the configured minimum pair latency. A
+//! cross-shard message sent inside a window therefore always arrives in a
+//! *later* window than it was sent, which makes the barrier merge exact
+//! rather than approximate: every event is processed at exactly the canonical
+//! position it would occupy in a single-queue run.
+//!
+//! Because the canonical order, the per-arrival RNG streams and the merge
+//! rules are all pure functions of the configuration and seed, **any shard
+//! count produces bit-identical [`SimulationReport`]s** — `shards = 1` is
+//! simply the degenerate case with one queue, an unbounded window and no
+//! threads. `tests/determinism.rs` pins the equality over shards {1, 2, 4, 8}
+//! for all six protocols, with and without churn.
+//!
+//! The one carve-out: if a run trips the `max_events` safety valve (a bound
+//! "well-formed simulations never hit"), sharded runs stop at the next window
+//! barrier rather than mid-window, so the truncation point may differ between
+//! shard counts. Results below the budget are unaffected.
+//!
+//! [`QueryRecord`]: locaware_metrics::QueryRecord
+//! [`LinkLatencyCache::min_cross_partition_latency`]:
+//!   locaware_net::LinkLatencyCache::min_cross_partition_latency
+
+mod exchange;
+mod shard;
+mod tally;
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard, RwLock};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use locaware_bloom::BloomParams;
+use locaware_metrics::{QueryOutcome, QueryRecord, RunMetrics};
+use locaware_net::{LinkLatencyCache, LocId, PhysicalTopology};
+use locaware_overlay::churn::ChurnEvent;
+use locaware_overlay::{ChurnEventKind, Message, OverlayGraph, PeerId};
+use locaware_sim::{Duration, EventKey, RngFactory, SimTime, StreamId};
+use locaware_workload::{Arrival, Catalog, KeywordHashes, QueryGenerator};
+
+use crate::config::{ProtocolKind, SimulationConfig};
+use crate::group::GroupScheme;
+use crate::peer::PeerState;
+use crate::protocol::Protocol;
+use crate::results::SimulationReport;
+
+use exchange::{issue_key, PeerPartition, CLASS_BLOOM_SYNC, CLASS_CHURN};
+use shard::{ShardEvent, ShardState};
+use tally::{labelled_counters, Tallies, FORWARD_DECISIONS, MESSAGE_KINDS};
+
+/// Read-only context shared by every shard and the coordinator during a run.
+///
+/// The two `RwLock`s hold the only state that crosses shard boundaries: the
+/// overlay graph and the peers-online snapshot. Both are written exclusively
+/// by the coordinator at barriers (churn transitions) and read-locked by each
+/// shard for the duration of a window drain, so the event path never blocks.
+pub(crate) struct RunShared<'a> {
+    pub(crate) config: &'a SimulationConfig,
+    pub(crate) protocol: &'a dyn Protocol,
+    pub(crate) topology: &'a PhysicalTopology,
+    pub(crate) link_latencies: &'a LinkLatencyCache,
+    pub(crate) loc_ids: &'a [LocId],
+    pub(crate) catalog: &'a Catalog,
+    pub(crate) keyword_hashes: Arc<KeywordHashes>,
+    pub(crate) scheme: GroupScheme,
+    pub(crate) bloom_params: BloomParams,
+    pub(crate) arrivals: &'a [Arrival],
+    pub(crate) query_generator: &'a QueryGenerator,
+    pub(crate) rng_factory: RngFactory,
+    pub(crate) partition: &'a PeerPartition,
+    pub(crate) graph: RwLock<OverlayGraph>,
+    pub(crate) online: RwLock<Vec<bool>>,
+    /// Upper bound on how long a query can still be travelling: the search
+    /// fans out for at most `ttl` hops, the response retraces the reverse
+    /// path, and every hop costs at most `max_latency_ms`.
+    pub(crate) in_flight_window: Duration,
+    /// The window length; `None` means unbounded (single shard, or a
+    /// partition with no cross-shard links).
+    pub(crate) lookahead: Option<Duration>,
+}
+
+/// Everything needed to execute one protocol run over a prepared substrate.
+pub(crate) struct ProtocolEngine<'a> {
+    config: &'a SimulationConfig,
+    protocol: Box<dyn Protocol>,
+    topology: &'a PhysicalTopology,
+    link_latencies: &'a LinkLatencyCache,
+    loc_ids: &'a [LocId],
+    catalog: &'a Catalog,
+    keyword_hashes: Arc<KeywordHashes>,
+    scheme: GroupScheme,
+    graph: OverlayGraph,
+    peers: Vec<PeerState>,
+    arrivals: Vec<Arrival>,
+    churn_schedule: Vec<ChurnEvent>,
+    query_generator: QueryGenerator,
+    churn_rng: StdRng,
+    rng_factory: RngFactory,
+    bloom_params: BloomParams,
+}
+
+impl<'a> ProtocolEngine<'a> {
+    /// Builds an engine for one run.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        config: &'a SimulationConfig,
+        kind: ProtocolKind,
+        topology: &'a PhysicalTopology,
+        link_latencies: &'a LinkLatencyCache,
+        loc_ids: &'a [LocId],
+        graph: &OverlayGraph,
+        catalog: &'a Catalog,
+        initial_shares: &[Vec<locaware_workload::FileId>],
+        gids: &[crate::group::GroupId],
+        arrivals: Vec<Arrival>,
+        churn_schedule: Vec<ChurnEvent>,
+        rng_factory: &RngFactory,
+    ) -> Self {
+        let protocol = crate::protocol::build_protocol(kind, config);
+        let scheme = GroupScheme::new(config.group_count);
+        let bloom_params = BloomParams::new(config.bloom_bits, config.bloom_hashes);
+        let max_providers = protocol.max_providers_per_file(config);
+        let keyword_hashes = catalog.keyword_hashes().clone();
+
+        let mut peers: Vec<PeerState> = (0..config.peers)
+            .map(|i| {
+                let id = PeerId(i as u32);
+                let mut state = PeerState::new(
+                    id,
+                    loc_ids[i],
+                    gids[i],
+                    bloom_params,
+                    config.response_index_capacity,
+                    max_providers,
+                    keyword_hashes.clone(),
+                );
+                for &file in &initial_shares[i] {
+                    state.share_file(file);
+                    if protocol.uses_bloom_sync() {
+                        // §5.2: Bloom routing must not miss results held by
+                        // neighbours, so a peer's filter also covers the
+                        // filenames it stores itself (see DESIGN.md).
+                        state.advertise_keywords(catalog.filename(file).keywords());
+                    }
+                }
+                state
+            })
+            .collect();
+
+        // Neighbours exchange group ids on join (§4.2); modelled as already
+        // known at simulation start, like the paper's static setup.
+        for i in 0..config.peers {
+            let id = PeerId(i as u32);
+            for &n in graph.neighbors(id) {
+                let gid = gids[n.index()];
+                peers[i].record_neighbor(n, gid, bloom_params);
+            }
+        }
+
+        // Initial Bloom exchange between neighbours ("Neighboring peers
+        // exchange their group Ids as well as their Bloom filters", §4.2).
+        if protocol.uses_bloom_sync() {
+            let initial_blooms: Vec<_> = peers
+                .iter_mut()
+                .map(|p| {
+                    let _ = p.take_bloom_update();
+                    p.exported_bloom().clone()
+                })
+                .collect();
+            for i in 0..config.peers {
+                let id = PeerId(i as u32);
+                for &n in graph.neighbors(id) {
+                    let bloom = initial_blooms[n.index()].clone();
+                    peers[i].set_neighbor_bloom(n, bloom);
+                }
+            }
+        }
+
+        // The base workload stream seeds only the generator's one-time
+        // popularity permutation; per-query draws come from streams derived
+        // per arrival index, so they are independent of processing order.
+        let mut workload_rng = rng_factory.stream(StreamId::QueryWorkload);
+        let query_generator = QueryGenerator::new(
+            catalog,
+            locaware_workload::QueryWorkloadConfig {
+                zipf_exponent: config.zipf_exponent,
+                min_keywords: config.min_query_keywords,
+                max_keywords: config.max_query_keywords,
+            },
+            &mut workload_rng,
+        );
+
+        ProtocolEngine {
+            config,
+            protocol,
+            topology,
+            link_latencies,
+            loc_ids,
+            catalog,
+            keyword_hashes,
+            scheme,
+            graph: graph.clone(),
+            peers,
+            arrivals,
+            churn_schedule,
+            query_generator,
+            churn_rng: rng_factory.stream(StreamId::Churn),
+            rng_factory: *rng_factory,
+            bloom_params,
+        }
+    }
+
+    /// Executes the run and produces the report.
+    pub(crate) fn run(mut self) -> SimulationReport {
+        let mut shard_count = self.config.effective_shards();
+        let mut partition = PeerPartition::locality(self.loc_ids, shard_count);
+
+        // The window length (lookahead): a lower bound on the latency of any
+        // message that can cross a shard boundary. Static runs only ever send
+        // along overlay links; churn can rewire any pair, so the bound falls
+        // back to the configured minimum pair latency (rounding to integer
+        // microseconds is monotone, so the rounded configured minimum bounds
+        // every rounded pair latency). `None` means unbounded: one shard, or
+        // no cross-shard links at all.
+        let window_length = |partition: &PeerPartition, churn_free: bool| {
+            if churn_free {
+                self.link_latencies.min_cross_partition_latency(&partition.shard_of)
+            } else {
+                Some(Duration::from_millis_f64(self.config.min_latency_ms))
+            }
+        };
+        let mut lookahead = if shard_count == 1 {
+            None
+        } else {
+            window_length(&partition, self.churn_schedule.is_empty())
+        };
+        if lookahead == Some(Duration::ZERO) {
+            // A zero-length window means some cross-shard message could land
+            // in the very window that sent it (sub-microsecond latencies
+            // rounding to zero): no positive lookahead exists, so parallel
+            // windows cannot be exact. Fall back to a single shard — a pure
+            // scheduling change, results are identical by the engine's
+            // shard-count-invariance contract.
+            shard_count = 1;
+            partition = PeerPartition::locality(self.loc_ids, 1);
+            lookahead = None;
+        }
+
+        // Distribute the peers into their shards' slot-indexed vectors.
+        let arrivals_len = self.arrivals.len();
+        let mut slots: Vec<Vec<Option<PeerState>>> = partition
+            .sizes
+            .iter()
+            .map(|&size| (0..size).map(|_| None).collect())
+            .collect();
+        for (i, peer) in std::mem::take(&mut self.peers).into_iter().enumerate() {
+            slots[partition.shard_of[i] as usize][partition.slot_of[i] as usize] = Some(peer);
+        }
+        let shards: Vec<Mutex<ShardState>> = slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, peer_slots)| {
+                let peers: Vec<PeerState> = peer_slots
+                    .into_iter()
+                    .map(|p| p.expect("partition covers every peer"))
+                    .collect();
+                Mutex::new(ShardState::new(
+                    index as u32,
+                    shard_count,
+                    peers,
+                    arrivals_len,
+                ))
+            })
+            .collect();
+
+        // Schedule the arrivals into their origin shards.
+        for (index, arrival) in self.arrivals.iter().enumerate() {
+            let origin = PeerId(arrival.peer as u32);
+            shards[partition.shard(origin)]
+                .lock()
+                .expect("fresh shard lock")
+                .queue
+                .push(issue_key(arrival.at, index), ShardEvent::Issue(index as u32));
+        }
+
+        // Global transitions — Bloom sync rounds over the workload span (plus
+        // a small drain margin so late responses still see fresh filters) and
+        // the churn schedule — run serially at barriers, at their canonical
+        // position in the event order.
+        let last_arrival = self.arrivals.last().map(|a| a.at).unwrap_or(SimTime::ZERO);
+        let mut control: Vec<(EventKey, ControlAction)> = Vec::new();
+        if self.protocol.uses_bloom_sync() {
+            let period = Duration::from_secs_f64(self.config.bloom_sync_period_secs);
+            let horizon = last_arrival + Duration::from_secs(60);
+            let mut t = SimTime::ZERO + period;
+            let mut round = 0u64;
+            while t <= horizon {
+                control.push((
+                    EventKey::new(t, CLASS_BLOOM_SYNC, round, 0),
+                    ControlAction::BloomSync,
+                ));
+                round += 1;
+                t += period;
+            }
+        }
+        for (i, event) in self.churn_schedule.iter().enumerate() {
+            control.push((
+                EventKey::new(event.at, CLASS_CHURN, i as u64, 0),
+                ControlAction::Churn(i),
+            ));
+        }
+        control.sort_by_key(|&(key, _)| key);
+
+        let shared = RunShared {
+            config: self.config,
+            protocol: &*self.protocol,
+            topology: self.topology,
+            link_latencies: self.link_latencies,
+            loc_ids: self.loc_ids,
+            catalog: self.catalog,
+            keyword_hashes: self.keyword_hashes.clone(),
+            scheme: self.scheme,
+            bloom_params: self.bloom_params,
+            arrivals: &self.arrivals,
+            query_generator: &self.query_generator,
+            rng_factory: self.rng_factory,
+            partition: &partition,
+            graph: RwLock::new(std::mem::replace(&mut self.graph, OverlayGraph::new(0))),
+            online: RwLock::new(vec![true; self.config.peers]),
+            in_flight_window: Duration::from_millis_f64(
+                2.0 * self.config.ttl as f64 * self.config.max_latency_ms,
+            ),
+            lookahead,
+        };
+
+        let mut coordinator = Coordinator {
+            control,
+            next_control: 0,
+            churn_schedule: std::mem::take(&mut self.churn_schedule),
+            churn_rng: {
+                let fresh = self.rng_factory.stream(StreamId::Churn);
+                std::mem::replace(&mut self.churn_rng, fresh)
+            },
+            controls_dispatched: 0,
+            control_end_time: SimTime::ZERO,
+            max_events: self.config.max_events,
+            lookahead,
+            windows: 0,
+            engaged_windows: 0,
+            prev_dispatched: vec![0; shard_count],
+            critical_path_events: 0,
+        };
+
+        if shard_count == 1 || !worker_threads_available() {
+            // Single shard — or a single-CPU host, where worker threads can
+            // only add scheduling overhead: drain the shards on this thread.
+            // The state transitions are identical either way (the executor is
+            // a pure scheduling choice), so results do not depend on the host.
+            coordinator.drive(&shared, &shards, &mut Executor::Inline);
+        } else {
+            let barrier = Barrier::new(shard_count + 1);
+            let cmd = Mutex::new(Cmd::Run(EventKey::MAX, 0));
+            let panicked = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for index in 0..shard_count {
+                    let shared = &shared;
+                    let shards = &shards;
+                    let barrier = &barrier;
+                    let cmd = &cmd;
+                    let panicked = &panicked;
+                    scope.spawn(move || loop {
+                        barrier.wait();
+                        let command = *cmd.lock().expect("window command lock poisoned");
+                        match command {
+                            Cmd::Quit => break,
+                            Cmd::Run(bound, cap) => {
+                                if !panicked.load(Ordering::SeqCst) {
+                                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                        shards[index]
+                                            .lock()
+                                            .expect("shard lock poisoned")
+                                            .drain(shared, bound, cap);
+                                    }));
+                                    if outcome.is_err() {
+                                        panicked.store(true, Ordering::SeqCst);
+                                    }
+                                }
+                                barrier.wait();
+                            }
+                        }
+                    });
+                }
+                let mut executor = Executor::Threaded {
+                    barrier: &barrier,
+                    cmd: &cmd,
+                    panicked: &panicked,
+                    released: false,
+                };
+                // The coordinator itself runs protocol code (inline windows,
+                // barrier transitions); if it panics while the workers are
+                // parked at the barrier, the scope would join threads that
+                // are still waiting — a hang instead of a test failure. Catch
+                // the unwind, release the workers, then resume it.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    coordinator.drive(&shared, &shards, &mut executor)
+                }));
+                executor.shutdown();
+                if let Err(panic) = outcome {
+                    std::panic::resume_unwind(panic);
+                }
+            });
+        }
+
+        let shard_states: Vec<ShardState> = shards
+            .into_iter()
+            .map(|m| m.into_inner().expect("shard lock poisoned"))
+            .collect();
+        coordinator.print_stats(&shard_states, lookahead);
+        self.finalize(&partition, shard_states, coordinator)
+    }
+
+    fn finalize(
+        self,
+        partition: &PeerPartition,
+        shards: Vec<ShardState>,
+        coordinator: Coordinator,
+    ) -> SimulationReport {
+        let mut totals = Tallies::new();
+        for shard in &shards {
+            totals.merge(&shard.tallies);
+        }
+
+        // Per-query merge: origin-local tracking lives in the origin's shard;
+        // per-query message counts are summed across shards; the first local
+        // match is the canonical-key minimum across shards. Arrival index
+        // order is issue order (arrivals are time-sorted, canonical keys
+        // tie-break by index), so records renumber contiguously in it.
+        let mut metrics = RunMetrics::new();
+        let mut emitted = 0u64;
+        for index in 0..self.arrivals.len() {
+            let origin = PeerId(self.arrivals[index].peer as u32);
+            let Some(tracking) = shards[partition.shard(origin)].tracking.get(&(index as u32))
+            else {
+                continue;
+            };
+            let messages: u64 = shards.iter().map(|s| s.messages[index]).sum();
+            let hit = shards
+                .iter()
+                .filter_map(|s| s.hits[index])
+                .min_by_key(|h| h.key);
+            metrics.push(QueryRecord {
+                index: emitted,
+                requestor: tracking.origin.0,
+                outcome: if tracking.satisfied {
+                    QueryOutcome::Satisfied
+                } else {
+                    QueryOutcome::Unsatisfied
+                },
+                messages,
+                download_distance_ms: tracking.download_distance_ms,
+                locality_match: tracking.locality_match,
+                providers_offered: tracking.providers_offered,
+                hops_to_hit: hit.map(|h| h.hops),
+                answered_from_cache: hit.map(|h| h.from_cache).unwrap_or(false),
+            });
+            emitted += 1;
+        }
+
+        let total_replicas: usize = shards
+            .iter()
+            .flat_map(|s| s.peers.iter())
+            .map(|p| p.shared_file_count())
+            .sum();
+        let total_cached: usize = shards
+            .iter()
+            .flat_map(|s| s.peers.iter())
+            .map(|p| p.response_index.len())
+            .sum();
+
+        let dispatched_events =
+            coordinator.controls_dispatched + shards.iter().map(|s| s.dispatched).sum::<u64>();
+        let end_time = shards
+            .iter()
+            .map(|s| s.last_event_time)
+            .chain(std::iter::once(coordinator.control_end_time))
+            .max()
+            .unwrap_or(SimTime::ZERO);
+
+        SimulationReport {
+            protocol: self.protocol.kind(),
+            queries_issued: totals.queries_issued,
+            metrics,
+            message_counters: labelled_counters(&MESSAGE_KINDS, &totals.message_counts),
+            routing_decisions: labelled_counters(&FORWARD_DECISIONS, &totals.decision_counts),
+            background_messages: totals.background_messages,
+            total_file_replicas: total_replicas,
+            total_cached_index_entries: total_cached,
+            simulated_end_time_secs: end_time.as_secs_f64(),
+            dispatched_events,
+        }
+    }
+}
+
+/// Whether spawning per-shard worker threads can possibly pay off: requires
+/// more than one CPU, overridable for tests via `LOCAWARE_SHARD_THREADS`
+/// (`1`/`true` forces workers even on one CPU, `0`/`false` forces the inline
+/// executor). Read once per process.
+fn worker_threads_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        match std::env::var("LOCAWARE_SHARD_THREADS").ok().as_deref() {
+            Some("1") | Some("true") => return true,
+            Some("0") | Some("false") => return false,
+            _ => {}
+        }
+        std::thread::available_parallelism().is_ok_and(|n| n.get() > 1)
+    })
+}
+
+/// A global transition handled serially at a barrier.
+#[derive(Debug, Clone, Copy)]
+enum ControlAction {
+    /// One periodic Bloom synchronisation round over all peers.
+    BloomSync,
+    /// The `i`-th entry of the churn schedule.
+    Churn(usize),
+}
+
+/// A window command handed to the worker threads.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    /// Drain the local queue up to the bound, dispatching at most `cap`
+    /// events.
+    Run(EventKey, u64),
+    /// The run is over; exit the worker loop.
+    Quit,
+}
+
+/// How a window's parallel phase is executed.
+enum Executor<'e> {
+    /// Drain every shard on the current thread (the `shards = 1` fast path —
+    /// no barriers, no contention — and the reference execution).
+    Inline,
+    /// Signal the parked worker threads through the barrier. `released` is
+    /// set once the workers have been told to quit, so the release happens
+    /// exactly once no matter which path (normal shutdown or worker-panic
+    /// propagation) gets there first.
+    Threaded {
+        barrier: &'e Barrier,
+        cmd: &'e Mutex<Cmd>,
+        panicked: &'e AtomicBool,
+        released: bool,
+    },
+}
+
+impl Executor<'_> {
+    fn run_window(
+        &mut self,
+        shared: &RunShared<'_>,
+        shards: &[Mutex<ShardState>],
+        bound: EventKey,
+        cap: u64,
+    ) {
+        match self {
+            Executor::Inline => {
+                for shard in shards {
+                    shard
+                        .lock()
+                        .expect("shard lock poisoned")
+                        .drain(shared, bound, cap);
+                }
+            }
+            Executor::Threaded {
+                barrier,
+                cmd,
+                panicked,
+                released,
+            } => {
+                *cmd.lock().expect("window command lock poisoned") = Cmd::Run(bound, cap);
+                barrier.wait();
+                barrier.wait();
+                if panicked.load(Ordering::SeqCst) {
+                    // Release the workers before propagating, so the panic
+                    // surfaces as a test failure instead of a barrier hang.
+                    *cmd.lock().expect("window command lock poisoned") = Cmd::Quit;
+                    barrier.wait();
+                    *released = true;
+                    panic!("a sharded-engine worker thread panicked");
+                }
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        if let Executor::Threaded {
+            barrier,
+            cmd,
+            released,
+            ..
+        } = self
+        {
+            if !*released {
+                *cmd.lock().expect("window command lock poisoned") = Cmd::Quit;
+                barrier.wait();
+                *released = true;
+            }
+        }
+    }
+}
+
+/// The serial half of the sharded run: window planning, barrier merges and
+/// global transitions.
+struct Coordinator {
+    control: Vec<(EventKey, ControlAction)>,
+    next_control: usize,
+    churn_schedule: Vec<ChurnEvent>,
+    churn_rng: StdRng,
+    controls_dispatched: u64,
+    control_end_time: SimTime,
+    max_events: u64,
+    lookahead: Option<Duration>,
+    /// Parallelism profile of the run (see [`Coordinator::print_stats`]):
+    /// windows run, windows with 2+ active shards, per-shard dispatch counts
+    /// at the last barrier, and the critical-path event count — the wall
+    /// clock an ideal machine with one core per shard could not go below.
+    windows: u64,
+    engaged_windows: u64,
+    prev_dispatched: Vec<u64>,
+    critical_path_events: u64,
+}
+
+impl Coordinator {
+    /// The main loop: alternate parallel windows and serial control steps
+    /// until every queue is empty and the control schedule is exhausted (or
+    /// the event budget trips).
+    fn drive(
+        &mut self,
+        shared: &RunShared<'_>,
+        shards: &[Mutex<ShardState>],
+        executor: &mut Executor<'_>,
+    ) {
+        loop {
+            let mut guards = lock_all(shards);
+            let dispatched: u64 =
+                self.controls_dispatched + guards.iter().map(|g| g.dispatched).sum::<u64>();
+            let Some(remaining) = self.max_events.checked_sub(dispatched).filter(|&r| r > 0)
+            else {
+                break; // Event budget exhausted: stop at this barrier.
+            };
+
+            let next_event: Option<EventKey> =
+                guards.iter().filter_map(|g| g.queue.peek_key()).min();
+            let next_control = self.control.get(self.next_control).map(|&(key, _)| key);
+
+            match (next_event, next_control) {
+                (None, None) => break,
+                (event, Some(control)) if event.is_none_or(|e| control < e) => {
+                    self.run_control(shared, &mut guards, control);
+                }
+                (Some(event), control) => {
+                    // Window end: the lookahead past the earliest pending
+                    // event, capped by the next control transition. Jumping
+                    // the window start to the earliest event skips dead time,
+                    // so sparse stretches cost no barriers.
+                    let horizon = match self.lookahead {
+                        Some(w) => EventKey::before_time(event.time.saturating_add(w)),
+                        None => EventKey::MAX,
+                    };
+                    let bound = control.map_or(horizon, |c| c.min(horizon));
+                    // Windows whose pending events all sit in one shard gain
+                    // nothing from waking the workers: drain that shard on
+                    // this thread (identical state transitions, no barrier).
+                    // Sparse stretches of a run — where a whole query burst
+                    // fits inside one locality — cost no synchronisation.
+                    let active = guards
+                        .iter()
+                        .filter(|g| g.queue.peek_key().is_some_and(|k| k < bound))
+                        .count();
+                    if active <= 1 {
+                        for guard in guards.iter_mut() {
+                            guard.drain(shared, bound, remaining);
+                        }
+                    } else {
+                        drop(guards);
+                        executor.run_window(shared, shards, bound, remaining);
+                        guards = lock_all(shards);
+                    }
+                    merge_outboxes(&mut guards, bound);
+                    // Critical-path accounting: a window's parallel phase is
+                    // as slow as its busiest shard.
+                    self.windows += 1;
+                    self.engaged_windows += u64::from(active > 1);
+                    let mut busiest = 0u64;
+                    for (index, guard) in guards.iter().enumerate() {
+                        let delta = guard.dispatched - self.prev_dispatched[index];
+                        self.prev_dispatched[index] = guard.dispatched;
+                        busiest = busiest.max(delta);
+                    }
+                    self.critical_path_events += busiest;
+                }
+                (None, Some(_)) => {
+                    unreachable!("the guard above admits every (None, Some) pair")
+                }
+            }
+        }
+    }
+
+    /// Handles one control transition (everything strictly before its
+    /// canonical key has already drained).
+    fn run_control(
+        &mut self,
+        shared: &RunShared<'_>,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        key: EventKey,
+    ) {
+        let (_, action) = self.control[self.next_control];
+        self.next_control += 1;
+        self.controls_dispatched += 1;
+        self.critical_path_events += 1; // Controls are inherently serial.
+        self.control_end_time = key.time;
+        match action {
+            ControlAction::BloomSync => self.bloom_sync(shared, guards, key.time),
+            ControlAction::Churn(index) => {
+                let event = self.churn_schedule[index];
+                self.apply_churn(shared, guards, event);
+            }
+        }
+        // Control transitions may send (Bloom deltas); merge immediately so
+        // the next window-planning pass sees them in the destination queues.
+        merge_outboxes(guards, key);
+    }
+
+    /// When `LOCAWARE_SHARD_STATS=1`, prints the run's parallelism profile to
+    /// stderr: total vs critical-path events bound how much an ideal machine
+    /// with one core per shard could compress the run
+    /// (`ideal_speedup = total / critical_path`). Measured, deterministic
+    /// quantities — the profile is how `BENCH_prN.json` grounds multi-core
+    /// projections on single-core CI hardware.
+    fn print_stats(&self, shards: &[ShardState], lookahead: Option<Duration>) {
+        if std::env::var("LOCAWARE_SHARD_STATS").as_deref() != Ok("1") {
+            return;
+        }
+        let dispatched: u64 =
+            self.controls_dispatched + shards.iter().map(|s| s.dispatched).sum::<u64>();
+        let critical = self.critical_path_events.max(1);
+        eprintln!(
+            "shard-stats: shards={} lookahead_us={} windows={} engaged_windows={} \
+             events={} critical_path_events={} ideal_speedup={:.2}",
+            shards.len(),
+            lookahead.map_or(0, Duration::as_micros),
+            self.windows,
+            self.engaged_windows,
+            dispatched,
+            critical,
+            dispatched as f64 / critical as f64,
+        );
+    }
+
+    /// One Bloom synchronisation round: every online peer with a dirty filter
+    /// pushes the delta to its active neighbours, in peer-id order exactly
+    /// like the sequential engine's single sync event.
+    fn bloom_sync(
+        &mut self,
+        shared: &RunShared<'_>,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        now: SimTime,
+    ) {
+        let graph = shared.graph.read().expect("overlay graph lock poisoned");
+        for i in 0..shared.config.peers {
+            let from = PeerId(i as u32);
+            let shard = shared.partition.shard(from);
+            let slot = shared.partition.slot(from);
+            if !guards[shard].peers[slot].online {
+                continue;
+            }
+            let Some(delta) = guards[shard].peers[slot].take_bloom_update() else {
+                continue;
+            };
+            let neighbors: Vec<PeerId> = graph
+                .neighbors(from)
+                .iter()
+                .copied()
+                .filter(|&n| graph.is_active(n))
+                .collect();
+            for n in neighbors {
+                let message = Message::BloomDelta {
+                    delta: delta.clone(),
+                };
+                guards[shard].send_background(shared, now, from, n, message);
+            }
+        }
+    }
+
+    /// One churn transition, mutating the graph, the affected peers (possibly
+    /// across several shards) and the online snapshot — all under the write
+    /// locks the window drains read.
+    fn apply_churn(
+        &mut self,
+        shared: &RunShared<'_>,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        event: ChurnEvent,
+    ) {
+        let peer = event.peer;
+        if peer.index() >= shared.config.peers {
+            return;
+        }
+        let shard = shared.partition.shard(peer);
+        let slot = shared.partition.slot(peer);
+        let mut graph = shared.graph.write().expect("overlay graph lock poisoned");
+        let mut online = shared.online.write().expect("online snapshot lock poisoned");
+        match event.kind {
+            ChurnEventKind::Leave => {
+                if !guards[shard].peers[slot].online {
+                    return;
+                }
+                let old_neighbors = graph.depart(peer);
+                guards[shard].peers[slot].online = false;
+                online[peer.index()] = false;
+                for n in old_neighbors {
+                    let ns = shared.partition.shard(n);
+                    let nslot = shared.partition.slot(n);
+                    guards[ns].peers[nslot].forget_neighbor(peer);
+                }
+            }
+            ChurnEventKind::Join => {
+                if guards[shard].peers[slot].online {
+                    return;
+                }
+                graph.rejoin(peer);
+                guards[shard].peers[slot].online = true;
+                guards[shard].peers[slot].reset_volatile_state();
+                online[peer.index()] = true;
+                // Re-wire to `average_degree` random online peers.
+                let degree = shared.config.average_degree.round() as usize;
+                let candidates: Vec<PeerId> = graph.active_peers().filter(|&p| p != peer).collect();
+                for _ in 0..degree.max(1) {
+                    if candidates.is_empty() {
+                        break;
+                    }
+                    let pick = candidates[self.churn_rng.gen_range(0..candidates.len())];
+                    if graph.add_edge(peer, pick) {
+                        let peer_gid = guards[shard].peers[slot].gid;
+                        let ps = shared.partition.shard(pick);
+                        let pslot = shared.partition.slot(pick);
+                        let pick_gid = guards[ps].peers[pslot].gid;
+                        guards[shard].peers[slot].record_neighbor(
+                            pick,
+                            pick_gid,
+                            shared.bloom_params,
+                        );
+                        guards[ps].peers[pslot].record_neighbor(
+                            peer,
+                            peer_gid,
+                            shared.bloom_params,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn lock_all<'g>(shards: &'g [Mutex<ShardState>]) -> Vec<MutexGuard<'g, ShardState>> {
+    shards
+        .iter()
+        .map(|m| m.lock().expect("shard lock poisoned"))
+        .collect()
+}
+
+/// Moves every outboxed cross-shard delivery into its destination queue. The
+/// canonical keys were fixed at send time and are never below the window
+/// bound just drained, so this is a plain batch of heap insertions.
+fn merge_outboxes(guards: &mut [MutexGuard<'_, ShardState>], window_bound: EventKey) {
+    let mut moves: Vec<(usize, exchange::Outbound)> = Vec::new();
+    for guard in guards.iter_mut() {
+        for (destination, bucket) in guard.take_outbound() {
+            for outbound in bucket {
+                moves.push((destination, outbound));
+            }
+        }
+    }
+    for (destination, outbound) in moves {
+        debug_assert!(
+            outbound.key >= window_bound,
+            "cross-shard delivery {:?} would land inside the window bounded by {:?}",
+            outbound.key,
+            window_bound
+        );
+        guards[destination].queue.push(
+            outbound.key,
+            ShardEvent::Deliver {
+                from: outbound.from,
+                to: outbound.to,
+                message: outbound.message,
+            },
+        );
+    }
+}

@@ -1,0 +1,655 @@
+//! One shard of the sharded engine: the peers it owns, its local event queue,
+//! and the event handlers (ported from the former monolithic engine).
+//!
+//! A shard only ever mutates *its own* state while draining a window: its
+//! peers (slot-indexed vectors), its query slabs, its tallies and its
+//! outboxes. Everything else it touches is read-only shared substrate
+//! ([`RunShared`]) or the frozen-per-window graph/online views. That ownership
+//! discipline is what lets every shard drain concurrently with no locks on
+//! the event path.
+//!
+//! Per-query bookkeeping is kept in **dense slabs keyed by arrival index**
+//! (the query id *is* the arrival index): `tracking` for origin-local fields,
+//! `messages` for per-query traffic charged at any forwarding peer, and
+//! `hits` for first-answer candidates recorded at any answering peer. The
+//! latter two are written by whichever shard processes the event and merged
+//! commutatively (sum, min-by-key) in finalize.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+
+use locaware_bloom::ElementHashes;
+use locaware_net::LocId;
+use locaware_overlay::routing::decrement_ttl;
+use locaware_overlay::{Message, OverlayGraph, PeerId, ProviderEntry, QueryId};
+use locaware_sim::{EventKey, ShardQueue, SimTime, StreamId};
+use locaware_workload::{FileId, KeywordId};
+
+use crate::config::ProtocolKind;
+use crate::peer::PeerState;
+use crate::protocol::{PeerView, QueryContext, ResponseContext};
+use crate::provider::select_provider;
+
+use super::exchange::{deliver_key, Outbound};
+use super::tally::{decision_index, kind_index, Tallies};
+use super::RunShared;
+
+/// A shard-local event. Periodic maintenance (Bloom sync) and churn are
+/// global transitions handled serially at window barriers by the coordinator,
+/// so they never appear in shard queues.
+#[derive(Debug, Clone)]
+pub(super) enum ShardEvent {
+    /// The `i`-th pre-generated arrival fires: its peer issues a query.
+    Issue(u32),
+    /// A message arrives at `to`, having been sent by `from`.
+    Deliver {
+        /// Sending peer.
+        from: PeerId,
+        /// Receiving peer.
+        to: PeerId,
+        /// The message.
+        message: Message,
+    },
+}
+
+/// Origin-local per-query bookkeeping (lives in the origin peer's shard).
+#[derive(Debug)]
+pub(super) struct QueryTracking {
+    pub origin: PeerId,
+    pub origin_loc: LocId,
+    pub satisfied: bool,
+    pub download_distance_ms: Option<f64>,
+    pub locality_match: bool,
+    pub providers_offered: usize,
+    /// Provider-selection randomness, one independent stream per query so the
+    /// draw sequence is a pure function of (seed, arrival index, response
+    /// arrival order at the origin) — never of shard layout.
+    pub selection_rng: StdRng,
+}
+
+/// A local-match candidate for "first answer wins" semantics: the shard-local
+/// first hit (events drain in key order, so set-once is the shard minimum);
+/// finalize takes the key-minimum across shards.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct HitMark {
+    pub key: EventKey,
+    pub hops: u32,
+    pub from_cache: bool,
+}
+
+/// Everything one shard owns.
+pub(super) struct ShardState {
+    /// This shard's index.
+    pub shard: u32,
+    /// Owned peers, indexed by partition slot.
+    pub peers: Vec<PeerState>,
+    /// The shard-local event queue in canonical key order.
+    pub queue: ShardQueue<ShardEvent>,
+    /// Cross-shard messages awaiting the next barrier, one bucket per
+    /// destination shard (this shard's own bucket stays empty).
+    pub outboxes: Vec<Vec<Outbound>>,
+    /// Arrival index → origin-local tracking, for queries issued by this
+    /// shard's peers. A map rather than an arrivals-sized slab: each entry
+    /// exists in exactly one shard (the origin's), and `QueryTracking` is fat
+    /// (it inlines the per-query selection RNG), so slab-per-shard would cost
+    /// O(shards × arrivals) memory for (shards−1)/shards empty slots. The
+    /// `messages`/`hits` slabs below stay dense: they are genuinely written
+    /// by every shard and merged commutatively, and their entries are small.
+    pub tracking: HashMap<u32, QueryTracking>,
+    /// Arrival index → messages this shard charged to the query.
+    pub messages: Vec<u64>,
+    /// Arrival index → this shard's earliest local-match candidate.
+    pub hits: Vec<Option<HitMark>>,
+    /// Slot → (target file → last issue time), the in-flight duplicate-query
+    /// guard of the owning peer.
+    pub issued: Vec<HashMap<FileId, SimTime>>,
+    /// Slot → messages sent so far by that peer: the sender-side sequence
+    /// feeding [`deliver_key`]. Monotone in the sender's (deterministic)
+    /// event order, so it FIFO-orders any two deliveries that tie on
+    /// `(time, to, from)` — a plain vector index on the hottest path.
+    pub send_seq: Vec<u64>,
+    /// Additive statistics.
+    pub tallies: Tallies,
+    /// Events dispatched by this shard so far.
+    pub dispatched: u64,
+    /// Time of the last event this shard dispatched.
+    pub last_event_time: SimTime,
+    // Scratch buffers reused across events so the forward path does not
+    // allocate: decoded query keywords, their hashes, and forward targets.
+    scratch_keywords: Vec<KeywordId>,
+    scratch_hashes: Vec<ElementHashes>,
+    scratch_targets: Vec<PeerId>,
+}
+
+impl ShardState {
+    pub(super) fn new(shard: u32, shards: usize, peers: Vec<PeerState>, arrivals: usize) -> Self {
+        let peer_count = peers.len();
+        ShardState {
+            shard,
+            issued: peers.iter().map(|_| HashMap::new()).collect(),
+            peers,
+            queue: ShardQueue::new(),
+            outboxes: (0..shards).map(|_| Vec::new()).collect(),
+            tracking: HashMap::new(),
+            messages: vec![0; arrivals],
+            hits: vec![None; arrivals],
+            send_seq: vec![0; peer_count],
+            tallies: Tallies::new(),
+            dispatched: 0,
+            last_event_time: SimTime::ZERO,
+            scratch_keywords: Vec::new(),
+            scratch_hashes: Vec::new(),
+            scratch_targets: Vec::new(),
+        }
+    }
+
+    /// Drains every local event strictly below `bound`, dispatching at most
+    /// `cap` events (the run-wide event budget's share for this window).
+    pub(super) fn drain(&mut self, shared: &RunShared<'_>, bound: EventKey, cap: u64) {
+        if cap == 0 {
+            return;
+        }
+        let graph = shared.graph.read().expect("overlay graph lock poisoned");
+        let online = shared.online.read().expect("online snapshot lock poisoned");
+        let mut dispatched = 0u64;
+        while dispatched < cap {
+            let Some((key, event)) = self.queue.pop_before(bound) else {
+                break;
+            };
+            dispatched += 1;
+            debug_assert!(key.time >= self.last_event_time || self.dispatched == 0);
+            self.last_event_time = key.time;
+            match event {
+                ShardEvent::Issue(index) => self.handle_issue(shared, &graph, key, index as usize),
+                ShardEvent::Deliver { from, to, message } => {
+                    self.handle_deliver(shared, &graph, &online, key, from, to, message)
+                }
+            }
+        }
+        self.dispatched += dispatched;
+    }
+
+    fn view<'v>(&'v self, graph: &'v OverlayGraph, shared: &'v RunShared<'_>, slot: usize) -> PeerView<'v> {
+        PeerView {
+            state: &self.peers[slot],
+            graph,
+            scheme: &shared.scheme,
+            catalog: shared.catalog,
+        }
+    }
+
+    // --- event handlers -----------------------------------------------------
+
+    fn handle_issue(
+        &mut self,
+        shared: &RunShared<'_>,
+        graph: &OverlayGraph,
+        key: EventKey,
+        index: usize,
+    ) {
+        let origin = PeerId(shared.arrivals[index].peer as u32);
+        debug_assert_eq!(shared.partition.shard(origin), self.shard as usize);
+        let slot = shared.partition.slot(origin);
+        if !self.peers[slot].online {
+            return;
+        }
+        // Peers query for files they do not already hold and are not already
+        // querying (a duplicate of an in-flight query could be satisfied
+        // without creating a second replica, which would break the replica
+        // accounting). An earlier query for the same target stops excluding it
+        // once it can no longer be in flight — a failed search may be retried,
+        // keeping the effective workload Zipf-shaped. Re-draw a few times; if
+        // the Zipf draws keep colliding, deterministically fall back to the
+        // most popular file the requestor can still legitimately search for.
+        //
+        // All randomness here comes from a stream derived per arrival index,
+        // so the draw sequence — including the state-dependent redraw count —
+        // is independent of every other arrival and of the shard layout.
+        let now = key.time;
+        let in_flight_window = shared.in_flight_window;
+        let excluded = |state: &PeerState, issued: &HashMap<FileId, SimTime>, target: FileId| {
+            state.has_file(target)
+                || issued
+                    .get(&target)
+                    .is_some_and(|&at| now.duration_since(at) < in_flight_window)
+        };
+        let mut workload_rng = shared
+            .rng_factory
+            .indexed_stream(StreamId::QueryWorkload, index as u64);
+        let generator = shared.query_generator;
+        let mut query = generator.generate(shared.catalog, &mut workload_rng);
+        for _ in 0..16 {
+            if !excluded(&self.peers[slot], &self.issued[slot], query.target) {
+                break;
+            }
+            query = generator.generate(shared.catalog, &mut workload_rng);
+        }
+        if excluded(&self.peers[slot], &self.issued[slot], query.target) {
+            let Some(target) = (0..shared.catalog.len())
+                .map(|rank| generator.file_at_rank(rank))
+                .find(|&t| !excluded(&self.peers[slot], &self.issued[slot], t))
+            else {
+                // The peer holds or is already querying every file in the
+                // catalog (tiny catalogs, long horizons): there is nothing it
+                // can meaningfully search for, so the arrival is skipped just
+                // like an offline peer's.
+                return;
+            };
+            query = generator.generate_for_target(shared.catalog, target, &mut workload_rng);
+        }
+        self.issued[slot].insert(query.target, now);
+
+        // The query id *is* the arrival index — dense, globally unique and
+        // identical for every shard count.
+        let query_id = QueryId(index as u64);
+        self.tallies.queries_issued += 1;
+
+        let origin_loc = shared.loc_ids[origin.index()];
+        self.tracking.insert(index as u32, QueryTracking {
+            origin,
+            origin_loc,
+            satisfied: false,
+            download_distance_ms: None,
+            locality_match: false,
+            providers_offered: 0,
+            selection_rng: shared
+                .rng_factory
+                .indexed_stream(StreamId::ProtocolTieBreak, index as u64),
+        });
+
+        // The originator registers the query locally (no upstream).
+        self.peers[slot].router.on_query(query_id, None);
+
+        let target_filename = if shared.protocol.kind() == ProtocolKind::Dicas {
+            Some(query.target)
+        } else {
+            None
+        };
+        shared
+            .keyword_hashes
+            .of_all_into(&query.keywords, &mut self.scratch_hashes);
+        let mut targets = std::mem::take(&mut self.scratch_targets);
+        let decision = {
+            let qctx = QueryContext {
+                query: query_id,
+                origin,
+                origin_loc,
+                keywords: &query.keywords,
+                keyword_hashes: &self.scratch_hashes,
+                target_filename,
+            };
+            let view = self.view(graph, shared, slot);
+            shared
+                .protocol
+                .forward_targets_into(&view, &qctx, None, &mut targets)
+        };
+        self.tallies.decision_counts[decision_index(decision)] += 1;
+
+        let message = Message::Query {
+            query: query_id,
+            origin,
+            origin_loc,
+            keywords: query.keywords.iter().map(|k| k.0).collect(),
+            target_filename: target_filename.map(|f| f.0),
+            ttl: shared.config.ttl,
+        };
+        for &target in &targets {
+            self.send(shared, now, origin, target, message.clone(), Some(index));
+        }
+        targets.clear();
+        self.scratch_targets = targets;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_deliver(
+        &mut self,
+        shared: &RunShared<'_>,
+        graph: &OverlayGraph,
+        online: &[bool],
+        key: EventKey,
+        from: PeerId,
+        to: PeerId,
+        message: Message,
+    ) {
+        debug_assert_eq!(shared.partition.shard(to), self.shard as usize);
+        let slot = shared.partition.slot(to);
+        if !self.peers[slot].online {
+            return;
+        }
+        match message {
+            Message::Query {
+                query,
+                origin,
+                origin_loc,
+                keywords,
+                target_filename,
+                ttl,
+            } => {
+                let is_new = self.peers[slot].router.on_query(query, Some(from));
+                if !is_new {
+                    return;
+                }
+                // Decode the wire keywords into the reusable scratch buffers;
+                // the query context borrows them, so this path allocates
+                // nothing per event.
+                self.scratch_keywords.clear();
+                self.scratch_keywords
+                    .extend(keywords.iter().map(|&k| KeywordId(k)));
+                shared
+                    .keyword_hashes
+                    .of_all_into(&self.scratch_keywords, &mut self.scratch_hashes);
+
+                let local_match = {
+                    let qctx = QueryContext {
+                        query,
+                        origin,
+                        origin_loc,
+                        keywords: &self.scratch_keywords,
+                        keyword_hashes: &self.scratch_hashes,
+                        target_filename: target_filename.map(FileId),
+                    };
+                    let view = self.view(graph, shared, slot);
+                    shared.protocol.local_match(&view, &qctx)
+                };
+
+                if let Some(hit) = local_match {
+                    let hops = shared.config.ttl.saturating_sub(ttl) + 1;
+                    // First-processed hit wins, exactly like the sequential
+                    // engine: within this shard events drain in key order, so
+                    // set-once keeps the shard minimum; finalize merges shards
+                    // by key minimum.
+                    let index = query.0 as usize;
+                    if self.hits[index].is_none() {
+                        self.hits[index] = Some(HitMark {
+                            key,
+                            hops,
+                            from_cache: hit.from_cache,
+                        });
+                    }
+                    // §4.1.2: the answering peer records the requestor as a new
+                    // provider of the file (subject to its caching rule).
+                    let requestor_entry = ProviderEntry {
+                        provider: origin,
+                        loc_id: origin_loc,
+                    };
+                    let response_ctx = ResponseContext {
+                        file: hit.file,
+                        file_keywords: shared.catalog.filename(hit.file).keywords().to_vec(),
+                        query_keywords: self.scratch_keywords.clone(),
+                        providers: Vec::new(),
+                        requestor: requestor_entry,
+                    };
+                    shared.protocol.cache_response(
+                        &mut self.peers[slot],
+                        &shared.scheme,
+                        &response_ctx,
+                    );
+
+                    let response = Message::QueryResponse {
+                        query,
+                        file: hit.file.0,
+                        file_keywords: shared
+                            .catalog
+                            .filename(hit.file)
+                            .keywords()
+                            .iter()
+                            .map(|k| k.0)
+                            .collect(),
+                        // The response carries the query's keywords so caching
+                        // peers along the reverse path never need the origin
+                        // shard's tracking state.
+                        query_keywords: keywords,
+                        providers: hit.providers,
+                        requestor: requestor_entry,
+                    };
+                    if let Some(upstream) = self.peers[slot].router.response_next_hop(query) {
+                        self.send(shared, key.time, to, upstream, response, Some(query.0 as usize));
+                    }
+                    return;
+                }
+
+                // No local hit: keep forwarding while TTL allows.
+                let Some(new_ttl) = decrement_ttl(ttl) else {
+                    return;
+                };
+                let mut targets = std::mem::take(&mut self.scratch_targets);
+                let decision = {
+                    let qctx = QueryContext {
+                        query,
+                        origin,
+                        origin_loc,
+                        keywords: &self.scratch_keywords,
+                        keyword_hashes: &self.scratch_hashes,
+                        target_filename: target_filename.map(FileId),
+                    };
+                    let view = self.view(graph, shared, slot);
+                    shared
+                        .protocol
+                        .forward_targets_into(&view, &qctx, Some(from), &mut targets)
+                };
+                self.tallies.decision_counts[decision_index(decision)] += 1;
+                // Forwarded copies share the keyword list (`Arc`), so the
+                // per-target cost is a reference-count bump, not a clone.
+                let forwarded = Message::Query {
+                    query,
+                    origin,
+                    origin_loc,
+                    keywords,
+                    target_filename,
+                    ttl: new_ttl,
+                };
+                for &target in &targets {
+                    self.send(
+                        shared,
+                        key.time,
+                        to,
+                        target,
+                        forwarded.clone(),
+                        Some(query.0 as usize),
+                    );
+                }
+                targets.clear();
+                self.scratch_targets = targets;
+            }
+            Message::QueryResponse {
+                query,
+                file,
+                file_keywords,
+                query_keywords,
+                providers,
+                requestor,
+            } => {
+                let file = FileId(file);
+                let index = query.0 as usize;
+                // The origin is a pure function of the query id (= arrival
+                // index), so any shard can answer "am I the origin?" without
+                // reading the origin shard's tracking slab.
+                let origin = PeerId(shared.arrivals[index].peer as u32);
+
+                if origin == to {
+                    self.handle_response_at_origin(shared, online, index, file, &providers);
+                    return;
+                }
+
+                // Intermediate peer: cache per protocol rule, then relay.
+                let keywords: Vec<KeywordId> =
+                    file_keywords.iter().map(|&k| KeywordId(k)).collect();
+                let response_ctx = ResponseContext {
+                    file,
+                    file_keywords: keywords,
+                    query_keywords: query_keywords.iter().map(|&k| KeywordId(k)).collect(),
+                    providers: providers.clone(),
+                    requestor,
+                };
+                shared.protocol.cache_response(
+                    &mut self.peers[slot],
+                    &shared.scheme,
+                    &response_ctx,
+                );
+
+                if let Some(upstream) = self.peers[slot].router.response_next_hop(query) {
+                    let relay = Message::QueryResponse {
+                        query,
+                        file: file.0,
+                        file_keywords,
+                        query_keywords,
+                        providers,
+                        requestor,
+                    };
+                    self.send(shared, key.time, to, upstream, relay, Some(index));
+                }
+            }
+            Message::BloomFull { filter } => {
+                self.peers[slot].set_neighbor_bloom(from, filter);
+            }
+            Message::BloomDelta { delta } => {
+                self.peers[slot].apply_neighbor_bloom_delta(from, &delta);
+            }
+            Message::GroupAnnounce { gid } => {
+                self.peers[slot].record_neighbor(
+                    from,
+                    crate::group::GroupId(gid),
+                    shared.bloom_params,
+                );
+            }
+            Message::Ping | Message::Pong => {
+                // Keep-alives carry no protocol state.
+            }
+        }
+    }
+
+    fn handle_response_at_origin(
+        &mut self,
+        shared: &RunShared<'_>,
+        online: &[bool],
+        index: usize,
+        file: FileId,
+        providers: &[ProviderEntry],
+    ) {
+        let Some(tracking) = self.tracking.get_mut(&(index as u32)) else {
+            return;
+        };
+        if tracking.satisfied {
+            return;
+        }
+        let slot = shared.partition.slot(tracking.origin);
+        // A response can offer a file the requestor already stores (a cached
+        // index matches on keywords, not on the requestor's Zipf target).
+        // Nothing would be downloaded, so it cannot satisfy the query — this
+        // keeps the one-new-replica-per-satisfied-query accounting exact.
+        if self.peers[slot].has_file(file) {
+            return;
+        }
+        // Only online providers can actually serve the download (matters only
+        // when churn is enabled; the static setup never filters anything).
+        // The `online` snapshot is frozen per window — churn transitions only
+        // happen at barriers — so this cross-shard read is race-free.
+        let online_providers: Vec<ProviderEntry> = providers
+            .iter()
+            .copied()
+            .filter(|p| online.get(p.provider.index()).copied().unwrap_or(false))
+            .collect();
+        tracking.providers_offered = tracking.providers_offered.max(online_providers.len());
+        let selection = select_provider(
+            shared.protocol.selection_policy(),
+            shared.topology,
+            shared.link_latencies,
+            tracking.origin,
+            tracking.origin_loc,
+            &online_providers,
+            &mut tracking.selection_rng,
+        );
+        let Some(selected) = selection else {
+            return;
+        };
+        tracking.satisfied = true;
+        tracking.locality_match = selected.locality_match;
+        tracking.download_distance_ms = Some(
+            shared
+                .link_latencies
+                .latency(shared.topology, tracking.origin, selected.provider)
+                .as_millis_f64(),
+        );
+        // Natural replication: the requestor now stores (and later serves) the file.
+        self.peers[slot].share_file(file);
+        if shared.protocol.uses_bloom_sync() {
+            let keywords = shared.catalog.filename(file).keywords().to_vec();
+            self.peers[slot].advertise_keywords(&keywords);
+        }
+    }
+
+    // --- sending ------------------------------------------------------------
+
+    /// Sends a query-related message, charging it to the query's traffic count.
+    pub(super) fn send(
+        &mut self,
+        shared: &RunShared<'_>,
+        now: SimTime,
+        from: PeerId,
+        to: PeerId,
+        message: Message,
+        query: Option<usize>,
+    ) {
+        self.tallies.message_counts[kind_index(message.kind())] += 1;
+        if let Some(index) = query {
+            self.messages[index] += 1;
+        }
+        self.route(shared, now, from, to, message);
+    }
+
+    /// Sends a background (non-query) message such as a Bloom update.
+    pub(super) fn send_background(
+        &mut self,
+        shared: &RunShared<'_>,
+        now: SimTime,
+        from: PeerId,
+        to: PeerId,
+        message: Message,
+    ) {
+        self.tallies.message_counts[kind_index(message.kind())] += 1;
+        self.tallies.background_messages += 1;
+        self.route(shared, now, from, to, message);
+    }
+
+    /// Stamps the canonical key and routes the delivery: into the local queue
+    /// for same-shard destinations, into the destination's outbox bucket
+    /// otherwise. Cross-shard latencies are at least the window lookahead by
+    /// construction, so an outboxed delivery can never land inside the window
+    /// that sent it.
+    fn route(&mut self, shared: &RunShared<'_>, now: SimTime, from: PeerId, to: PeerId, message: Message) {
+        let latency = shared.link_latencies.latency(shared.topology, from, to);
+        let at = now + latency;
+        debug_assert_eq!(shared.partition.shard(from), self.shard as usize);
+        let sender_slot = shared.partition.slot(from);
+        let seq = self.send_seq[sender_slot];
+        self.send_seq[sender_slot] += 1;
+        let key = deliver_key(at, to, from, seq);
+        let destination = shared.partition.shard(to);
+        if destination == self.shard as usize {
+            self.queue.push(key, ShardEvent::Deliver { from, to, message });
+        } else {
+            debug_assert!(
+                shared.lookahead.is_none_or(|w| latency >= w),
+                "cross-shard latency {latency:?} below the window lookahead {:?}",
+                shared.lookahead
+            );
+            self.outboxes[destination].push(Outbound {
+                key,
+                from,
+                to,
+                message,
+            });
+        }
+    }
+
+    /// Takes every pending outbound bucket (coordinator-side, at a barrier).
+    pub(super) fn take_outbound(&mut self) -> Vec<(usize, Vec<Outbound>)> {
+        self.outboxes
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .map(|(destination, bucket)| (destination, std::mem::take(bucket)))
+            .collect()
+    }
+}

@@ -1,0 +1,155 @@
+//! Flat per-shard tallies and their merge into report counters.
+//!
+//! Every shard keeps its traffic and routing statistics as flat arrays indexed
+//! by discriminant (a labelled `CounterSet<String>` would allocate and
+//! tree-walk per event on the hot path). All tally fields are *commutative* —
+//! sums of per-event increments — so merging the shards in any order yields
+//! the same totals, which is one of the two pillars of the sharded engine's
+//! bit-identical-for-every-shard-count guarantee (the other is the canonical
+//! event order in [`super::exchange`]). The labelled sets reports carry are
+//! materialised once, from the merged totals, in
+//! [`ProtocolEngine::run`](super::ProtocolEngine).
+
+use locaware_metrics::CounterSet;
+use locaware_overlay::{ForwardDecision, MessageKind};
+
+/// Every message kind with its report label, in tally-array index order.
+pub(super) const MESSAGE_KINDS: [(MessageKind, &str); 7] = [
+    (MessageKind::Query, "query"),
+    (MessageKind::QueryResponse, "query-response"),
+    (MessageKind::BloomFull, "bloom-full"),
+    (MessageKind::BloomDelta, "bloom-delta"),
+    (MessageKind::GroupAnnounce, "group-announce"),
+    (MessageKind::Ping, "ping"),
+    (MessageKind::Pong, "pong"),
+];
+
+/// Every forwarding decision with its report label, in tally-array index order.
+pub(super) const FORWARD_DECISIONS: [(ForwardDecision, &str); 5] = [
+    (ForwardDecision::Flood, "flood"),
+    (ForwardDecision::BloomMatch, "bloom-match"),
+    (ForwardDecision::GidMatch, "gid-match"),
+    (ForwardDecision::HighDegree, "high-degree"),
+    (ForwardDecision::NotForwarded, "not-forwarded"),
+];
+
+pub(super) fn kind_index(kind: MessageKind) -> usize {
+    match kind {
+        MessageKind::Query => 0,
+        MessageKind::QueryResponse => 1,
+        MessageKind::BloomFull => 2,
+        MessageKind::BloomDelta => 3,
+        MessageKind::GroupAnnounce => 4,
+        MessageKind::Ping => 5,
+        MessageKind::Pong => 6,
+    }
+}
+
+pub(super) fn decision_index(decision: ForwardDecision) -> usize {
+    match decision {
+        ForwardDecision::Flood => 0,
+        ForwardDecision::BloomMatch => 1,
+        ForwardDecision::GidMatch => 2,
+        ForwardDecision::HighDegree => 3,
+        ForwardDecision::NotForwarded => 4,
+    }
+}
+
+/// One shard's additive statistics.
+#[derive(Debug, Clone)]
+pub(super) struct Tallies {
+    /// Message sends by kind discriminant.
+    pub message_counts: [u64; MESSAGE_KINDS.len()],
+    /// Routing decisions by discriminant.
+    pub decision_counts: [u64; FORWARD_DECISIONS.len()],
+    /// Messages not attributable to a query (Bloom synchronisation traffic).
+    pub background_messages: u64,
+    /// Queries issued by this shard's peers.
+    pub queries_issued: u64,
+}
+
+impl Tallies {
+    pub(super) fn new() -> Self {
+        Tallies {
+            message_counts: [0; MESSAGE_KINDS.len()],
+            decision_counts: [0; FORWARD_DECISIONS.len()],
+            background_messages: 0,
+            queries_issued: 0,
+        }
+    }
+
+    /// Adds another shard's totals into this one (commutative).
+    pub(super) fn merge(&mut self, other: &Tallies) {
+        for (mine, theirs) in self.message_counts.iter_mut().zip(&other.message_counts) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.decision_counts.iter_mut().zip(&other.decision_counts) {
+            *mine += theirs;
+        }
+        self.background_messages += other.background_messages;
+        self.queries_issued += other.queries_issued;
+    }
+}
+
+/// Converts a tally array into the labelled counter set reports carry.
+/// Untouched labels are omitted, matching incremental `CounterSet` use.
+pub(super) fn labelled_counters<T: Copy>(
+    table: &[(T, &'static str)],
+    counts: &[u64],
+) -> CounterSet<String> {
+    let mut set = CounterSet::new();
+    for ((_, label), &count) in table.iter().zip(counts) {
+        if count > 0 {
+            set.add(label.to_string(), count);
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_tables_and_index_functions_agree() {
+        for (i, &(kind, _)) in MESSAGE_KINDS.iter().enumerate() {
+            assert_eq!(kind_index(kind), i, "MESSAGE_KINDS[{i}] out of order");
+        }
+        for (i, &(decision, _)) in FORWARD_DECISIONS.iter().enumerate() {
+            assert_eq!(decision_index(decision), i, "FORWARD_DECISIONS[{i}] out of order");
+        }
+    }
+
+    #[test]
+    fn labelled_counters_omit_untouched_labels() {
+        let mut counts = [0u64; MESSAGE_KINDS.len()];
+        counts[kind_index(MessageKind::Query)] = 3;
+        counts[kind_index(MessageKind::Pong)] = 1;
+        let set = labelled_counters(&MESSAGE_KINDS, &counts);
+        assert_eq!(set.len(), 2, "zero counters must not appear in reports");
+        assert_eq!(set.get(&"query".to_string()), 3);
+        assert_eq!(set.get(&"pong".to_string()), 1);
+    }
+
+    #[test]
+    fn tally_merge_is_commutative() {
+        let mut a = Tallies::new();
+        a.message_counts[0] = 3;
+        a.decision_counts[4] = 1;
+        a.background_messages = 2;
+        a.queries_issued = 5;
+        let mut b = Tallies::new();
+        b.message_counts[0] = 4;
+        b.message_counts[6] = 1;
+        b.queries_issued = 7;
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.message_counts, ba.message_counts);
+        assert_eq!(ab.decision_counts, ba.decision_counts);
+        assert_eq!(ab.background_messages, ba.background_messages);
+        assert_eq!(ab.queries_issued, 12);
+    }
+}

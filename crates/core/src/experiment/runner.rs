@@ -139,9 +139,29 @@ impl Runner {
         self
     }
 
-    /// The worker-thread count this runner will use.
+    /// The worker-thread count this runner will use (before the per-plan
+    /// shard budget of [`Runner::planned_workers`] is applied).
     pub fn threads(&self) -> usize {
         self.threads.unwrap_or_else(Self::default_thread_count)
+    }
+
+    /// The plan-level worker count after budgeting for nested parallelism:
+    /// each run may itself fan out over `config.shards` engine threads, so a
+    /// machine-sized runner divides its cores by the plan's largest effective
+    /// shard count — `shards × workers` never oversubscribes the machine. An
+    /// explicit [`Runner::with_threads`] override is taken literally (the
+    /// caller asked for that many plan-level workers).
+    pub fn planned_workers(&self, plan: &ExperimentPlan) -> usize {
+        if let Some(threads) = self.threads {
+            return threads.max(1);
+        }
+        let max_shards = plan
+            .scenario_list()
+            .iter()
+            .map(|s| s.config().effective_shards())
+            .max()
+            .unwrap_or(1);
+        (Self::default_thread_count() / max_shards.max(1)).max(1)
     }
 
     /// Runs the whole plan and returns every measurement.
@@ -176,7 +196,7 @@ impl Runner {
 
         let next_task = AtomicUsize::new(0);
         let results: Mutex<Vec<ExperimentPoint>> = Mutex::new(Vec::with_capacity(tasks.len()));
-        let workers = self.threads().min(tasks.len()).max(1);
+        let workers = self.planned_workers(plan).min(tasks.len()).max(1);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -229,6 +249,7 @@ impl Runner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SimulationConfig;
     use crate::experiment::Scenario;
 
     fn tiny_plan() -> ExperimentPlan {
@@ -301,6 +322,43 @@ mod tests {
             standalone.avg_messages_per_query()
         );
         assert_eq!(via_runner.dispatched_events, standalone.dispatched_events);
+    }
+
+    #[test]
+    fn machine_sized_runners_budget_for_engine_shards() {
+        // A plan whose scenarios run 4-sharded engines must divide the
+        // machine-sized worker pool by 4 so shards × workers stays within
+        // the core budget; an explicit override is taken literally.
+        let sharded = ExperimentPlan::new()
+            .scenario(Scenario::small(50).with_seed(1))
+            .scenario(
+                Scenario::builder("wide")
+                    .peers(50)
+                    .shards(4)
+                    .build()
+                    .expect("valid scenario"),
+            )
+            .protocol(ProtocolKind::Flooding)
+            .query_count(10);
+        let runner = Runner::new();
+        let budgeted = runner.planned_workers(&sharded);
+        // The first scenario resolves shards through the process default
+        // (usually 1, but a `LOCAWARE_SHARDS` override may raise it), so the
+        // plan maximum is at least the explicit 4.
+        let max_shards = SimulationConfig::small(50).effective_shards().max(4);
+        let expected = (Runner::default_thread_count() / max_shards).max(1);
+        assert_eq!(budgeted, expected);
+        assert_eq!(Runner::new().with_threads(7).planned_workers(&sharded), 7);
+
+        // Unsharded plans keep the full pool (shards=0 resolves to >= 1).
+        let flat = ExperimentPlan::new()
+            .scenario(Scenario::small(50).with_seed(1))
+            .protocol(ProtocolKind::Flooding)
+            .query_count(10);
+        assert!(runner.planned_workers(&flat) >= budgeted);
+        // The budgeted runner still produces the full outcome.
+        let outcome = runner.run(&sharded).expect("valid plan");
+        assert_eq!(outcome.len(), 2);
     }
 
     #[test]

@@ -347,6 +347,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the engine shard count (deterministic intra-run parallelism;
+    /// 0 = auto via `LOCAWARE_SHARDS`). Every shard count produces
+    /// bit-identical reports for the same seed, so this is purely a
+    /// performance knob.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
     /// Applies an arbitrary edit to the underlying configuration — the escape
     /// hatch for knobs without a dedicated setter.
     pub fn tweak(mut self, edit: impl FnOnce(&mut SimulationConfig)) -> Self {

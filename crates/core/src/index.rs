@@ -14,15 +14,23 @@
 //! eviction and explicit eviction reporting so the owning peer can keep its
 //! Bloom filter in sync.
 //!
-//! Two auxiliary structures keep the per-query cost flat as the index grows:
-//! a recency set ordered by `(last_touched, file)` makes eviction an ordered
-//! first-element pop instead of an O(n) min-scan, and an inverted
-//! keyword → files postings map lets [`ResponseIndex::lookup_by_keywords`]
-//! touch only the entries sharing a query keyword instead of scanning every
-//! cached filename. Both are maintained incrementally on insert/touch/evict/
-//! remove and are pure functions of the entry map, so observable behaviour is
-//! identical to the naive scans (pinned by the model-based property tests
-//! against [`naive::NaiveResponseIndex`]).
+//! Three auxiliary structures keep the per-query and per-churn cost flat as
+//! the index grows: a recency set ordered by `(last_touched, file)` makes
+//! eviction an ordered first-element pop instead of an O(n) min-scan, an
+//! inverted keyword → files postings map lets
+//! [`ResponseIndex::lookup_by_keywords`] touch only the entries sharing a
+//! query keyword instead of scanning every cached filename, and a mirrored
+//! provider → files postings map lets [`ResponseIndex::remove_provider`] —
+//! proactive invalidation when a provider departs — touch only the entries
+//! that actually record the departed peer. (The simulation engine currently
+//! invalidates *lazily*: departed providers are filtered by the online check
+//! at selection time, and `remove_provider` is exercised by the churn-aware
+//! callers of [`crate::peer::PeerState::forget_provider`] and by the tests;
+//! the postings map is what makes wiring proactive invalidation into churn
+//! departures affordable — see the ROADMAP.) All three are maintained incrementally on
+//! insert/touch/evict/remove and are pure functions of the entry map, so
+//! observable behaviour is identical to the naive scans (pinned by the
+//! model-based property tests against [`naive::NaiveResponseIndex`]).
 
 use std::collections::{BTreeSet, HashMap};
 
@@ -102,6 +110,12 @@ pub struct ResponseIndex {
     /// Inverted index: keyword → cached files whose filename contains it
     /// (each list sorted by file id, matching the entry's keyword *set*).
     postings: HashMap<KeywordId, PostingsList>,
+    /// Inverted index: provider → cached files with a record for that
+    /// provider (each list sorted by file id). Makes
+    /// [`ResponseIndex::remove_provider`] and
+    /// [`ResponseIndex::files_of_provider`] touch only the affected entries
+    /// instead of scanning the whole cache.
+    provider_postings: HashMap<PeerId, PostingsList>,
 }
 
 /// The file list of one postings-map keyword.
@@ -193,6 +207,7 @@ impl ResponseIndex {
             clock: 0,
             recency: BTreeSet::new(),
             postings: HashMap::new(),
+            provider_postings: HashMap::new(),
         }
     }
 
@@ -326,24 +341,49 @@ impl ResponseIndex {
         }
         let entry = self.entries.get_mut(&file).expect("entry was just ensured");
 
+        let mut added: Vec<PeerId> = Vec::new();
         for (peer, loc_id) in providers {
             match entry.providers.iter_mut().find(|p| p.peer == peer) {
                 Some(existing) => {
                     existing.loc_id = loc_id;
                     existing.freshness = now;
                 }
-                None => entry.providers.push(ProviderRecord {
-                    peer,
-                    loc_id,
-                    freshness: now,
-                }),
+                None => {
+                    entry.providers.push(ProviderRecord {
+                        peer,
+                        loc_id,
+                        freshness: now,
+                    });
+                    added.push(peer);
+                }
             }
         }
         // Keep only the most recent `max_providers` entries (oldest dropped).
+        let mut dropped: Vec<PeerId> = Vec::new();
         if entry.providers.len() > self.max_providers {
             entry.providers.sort_by_key(|p| p.freshness);
             let overflow = entry.providers.len() - self.max_providers;
-            entry.providers.drain(0..overflow);
+            dropped.extend(entry.providers.drain(0..overflow).map(|p| p.peer));
+        }
+        // Provider postings follow the record membership: adds first, then
+        // drops, so a provider added and immediately aged out in the same
+        // call nets to no entry.
+        for peer in added {
+            match self.provider_postings.entry(peer) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(PostingsList::One(file));
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    slot.get_mut().add(file);
+                }
+            }
+        }
+        for peer in dropped {
+            if let Some(list) = self.provider_postings.get_mut(&peer) {
+                if list.remove(file) {
+                    self.provider_postings.remove(&peer);
+                }
+            }
         }
         evictions
     }
@@ -351,26 +391,40 @@ impl ResponseIndex {
     /// Removes every provider record pointing at `peer` (used under churn when
     /// a provider departs). Entries left with no providers are dropped and
     /// reported as evictions.
+    ///
+    /// Served from the provider → files postings map: only the entries that
+    /// actually record `peer` are touched, so invalidating a departed
+    /// provider costs O(affected entries) instead of a scan over the whole
+    /// cache (evictions come back in file-id order, a refinement of the
+    /// naive scan's unspecified map order).
     pub fn remove_provider(&mut self, peer: PeerId) -> Vec<Eviction> {
+        let Some(affected) = self.provider_postings.remove(&peer) else {
+            return Vec::new();
+        };
         let mut evictions = Vec::new();
-        let emptied: Vec<FileId> = self
-            .entries
-            .iter_mut()
-            .filter_map(|(&file, entry)| {
-                entry.providers.retain(|p| p.peer != peer);
-                if entry.providers.is_empty() {
-                    Some(file)
-                } else {
-                    None
+        for &file in affected.as_slice() {
+            let entry = self
+                .entries
+                .get_mut(&file)
+                .expect("provider postings only reference cached files");
+            entry.providers.retain(|p| p.peer != peer);
+            if entry.providers.is_empty() {
+                if let Some(eviction) = self.remove_entry(file) {
+                    evictions.push(eviction);
                 }
-            })
-            .collect();
-        for file in emptied {
-            if let Some(eviction) = self.remove_entry(file) {
-                evictions.push(eviction);
             }
         }
         evictions
+    }
+
+    /// The cached files recording `peer` as a provider, in file-id order.
+    /// O(1) map lookup into the provider postings; the naive equivalent scans
+    /// every entry.
+    pub fn files_of_provider(&self, peer: PeerId) -> &[FileId] {
+        self.provider_postings
+            .get(&peer)
+            .map(PostingsList::as_slice)
+            .unwrap_or(&[])
     }
 
     /// The filename the next capacity overflow would evict (the
@@ -385,6 +439,7 @@ impl ResponseIndex {
         self.entries.clear();
         self.recency.clear();
         self.postings.clear();
+        self.provider_postings.clear();
     }
 
     fn evict_least_recent(&mut self) -> Option<Eviction> {
@@ -395,7 +450,8 @@ impl ResponseIndex {
         self.remove_entry(victim)
     }
 
-    /// Removes one entry and keeps the recency set and postings map in sync.
+    /// Removes one entry and keeps the recency set and both postings maps in
+    /// sync.
     fn remove_entry(&mut self, file: FileId) -> Option<Eviction> {
         let entry = self.entries.remove(&file)?;
         let was = self.recency.remove(&(entry.last_touched, file));
@@ -404,6 +460,13 @@ impl ResponseIndex {
             if let Some(list) = self.postings.get_mut(&kw) {
                 if list.remove(file) {
                     self.postings.remove(&kw);
+                }
+            }
+        }
+        for record in &entry.providers {
+            if let Some(list) = self.provider_postings.get_mut(&record.peer) {
+                if list.remove(file) {
+                    self.provider_postings.remove(&record.peer);
                 }
             }
         }
@@ -569,6 +632,19 @@ pub mod naive {
             self.entries.clear();
         }
 
+        /// Full-scan provider lookup (the model for
+        /// [`super::ResponseIndex::files_of_provider`]).
+        pub fn files_of_provider(&self, peer: PeerId) -> Vec<FileId> {
+            let mut files: Vec<FileId> = self
+                .entries
+                .values()
+                .filter(|e| e.providers().iter().any(|p| p.peer == peer))
+                .map(|e| e.file)
+                .collect();
+            files.sort_unstable();
+            files
+        }
+
         /// The next eviction victim, by O(n) min-scan (the model for
         /// [`super::ResponseIndex::eviction_candidate`]).
         pub fn eviction_candidate(&self) -> Option<FileId> {
@@ -667,6 +743,32 @@ mod tests {
         assert_eq!(evictions[0].file, FileId(1));
         assert!(!ri.contains(FileId(1)));
         assert_eq!(ri.entry(FileId(2)).unwrap().provider_count(), 1);
+        assert!(ri.remove_provider(PeerId(5)).is_empty(), "already removed");
+    }
+
+    #[test]
+    fn provider_postings_track_membership_exactly() {
+        let mut ri = ResponseIndex::new(10, 2);
+        ri.insert(FileId(2), &kws(&[1]), [provider(5, 0)]);
+        ri.insert(FileId(1), &kws(&[2]), [provider(5, 0), provider(6, 0)]);
+        assert_eq!(ri.files_of_provider(PeerId(5)), &[FileId(1), FileId(2)]);
+        assert_eq!(ri.files_of_provider(PeerId(6)), &[FileId(1)]);
+        assert!(ri.files_of_provider(PeerId(99)).is_empty());
+
+        // Ageing provider 5 out of file 1 (max 2 providers, 5 is the oldest)
+        // must update its postings.
+        ri.insert(FileId(1), &kws(&[2]), [provider(7, 0)]);
+        assert_eq!(ri.files_of_provider(PeerId(5)), &[FileId(2)]);
+        assert_eq!(ri.files_of_provider(PeerId(7)), &[FileId(1)]);
+
+        // Evicting an entry removes it from every surviving provider's list.
+        let evictions = ri.remove_provider(PeerId(5));
+        assert_eq!(evictions.len(), 1, "file 2 lost its only provider");
+        assert_eq!(evictions[0].file, FileId(2));
+        assert!(ri.files_of_provider(PeerId(5)).is_empty());
+
+        ri.clear();
+        assert!(ri.files_of_provider(PeerId(6)).is_empty());
     }
 
     #[test]

@@ -92,6 +92,87 @@ impl LinkLatencyCache {
     pub fn rtt(&self, topology: &PhysicalTopology, a: NodeId, b: NodeId) -> Duration {
         self.latency(topology, a, b).saturating_mul(2)
     }
+
+    /// Iterates every cached **directed** link as `(from, to, latency)`.
+    /// Each undirected link appears twice (once per orientation).
+    pub fn links(&self) -> impl Iterator<Item = (NodeId, NodeId, Duration)> + '_ {
+        self.links.iter().enumerate().flat_map(|(from, row)| {
+            row.iter()
+                .map(move |&(to, latency)| (NodeId(from as u32), NodeId(to), latency))
+        })
+    }
+
+    /// The smallest cached latency among links whose endpoints fall in
+    /// *different* partition cells under `assignment` (node index → cell).
+    ///
+    /// This is the conservative lookahead of a sharded simulator: a message
+    /// sent over a link at time `t` cannot reach another shard before
+    /// `t + min_cross_partition_latency`, so shards may safely run `W` of
+    /// simulated time ahead of each other between merges. Returns `None` when
+    /// no cached link crosses a cell boundary (e.g. a single-cell partition),
+    /// which callers should read as "unbounded lookahead".
+    ///
+    /// Nodes outside `assignment` (shorter slice than the topology) are
+    /// treated as cell 0.
+    pub fn min_cross_partition_latency(&self, assignment: &[u32]) -> Option<Duration> {
+        let cell = |n: NodeId| assignment.get(n.index()).copied().unwrap_or(0);
+        self.links()
+            .filter(|&(a, b, _)| cell(a) != cell(b))
+            .map(|(_, _, latency)| latency)
+            .min()
+    }
+
+    /// Per-cell latency structure of the cached link set under `assignment`
+    /// (node index → cell in `0..cells`): how many links stay inside each
+    /// cell, how many leave it, and the minimum latency of each kind.
+    ///
+    /// The per-cell `cross_min` values are what a sharded engine consults to
+    /// reason about a partition's quality: the global window length is the
+    /// minimum over all cells (equal to
+    /// [`LinkLatencyCache::min_cross_partition_latency`]), and a cell with a
+    /// much smaller `cross_min` than its peers marks a bad partition boundary.
+    pub fn partition_views(&self, assignment: &[u32], cells: usize) -> Vec<PartitionView> {
+        let mut views: Vec<PartitionView> = (0..cells)
+            .map(|cell| PartitionView {
+                cell: cell as u32,
+                intra_links: 0,
+                cross_links: 0,
+                intra_min: None,
+                cross_min: None,
+            })
+            .collect();
+        let cell_of = |n: NodeId| assignment.get(n.index()).copied().unwrap_or(0);
+        for (from, to, latency) in self.links() {
+            let cell = cell_of(from) as usize;
+            let Some(view) = views.get_mut(cell) else {
+                continue;
+            };
+            if cell_of(from) == cell_of(to) {
+                view.intra_links += 1;
+                view.intra_min = Some(view.intra_min.map_or(latency, |m: Duration| m.min(latency)));
+            } else {
+                view.cross_links += 1;
+                view.cross_min = Some(view.cross_min.map_or(latency, |m: Duration| m.min(latency)));
+            }
+        }
+        views
+    }
+}
+
+/// One partition cell's view of the cached link set; see
+/// [`LinkLatencyCache::partition_views`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionView {
+    /// The cell this view describes.
+    pub cell: u32,
+    /// Directed cached links starting in this cell and staying inside it.
+    pub intra_links: usize,
+    /// Directed cached links starting in this cell and leaving it.
+    pub cross_links: usize,
+    /// Smallest intra-cell link latency, if any such link is cached.
+    pub intra_min: Option<Duration>,
+    /// Smallest latency of a link leaving this cell, if any is cached.
+    pub cross_min: Option<Duration>,
 }
 
 #[cfg(test)]
@@ -131,6 +212,50 @@ mod tests {
         let empty = LinkLatencyCache::empty(topo.len());
         assert!(empty.is_empty());
         assert_eq!(empty.latency(&topo, NodeId(2), NodeId(3)), topo.latency(NodeId(2), NodeId(3)));
+    }
+
+    #[test]
+    fn partition_views_and_cross_minimum_agree() {
+        let topo = topology();
+        // Links 0-1, 1-2 (within cell 0), 2-20, 3-21 (crossing into cell 1).
+        let edges = [
+            (NodeId(0), NodeId(1)),
+            (NodeId(1), NodeId(2)),
+            (NodeId(2), NodeId(20)),
+            (NodeId(3), NodeId(21)),
+        ];
+        let cache = LinkLatencyCache::build(&topo, edges);
+        let assignment: Vec<u32> = (0..40).map(|i| u32::from(i >= 20)).collect();
+
+        let cross_min = cache
+            .min_cross_partition_latency(&assignment)
+            .expect("two links cross the partition");
+        let expected = topo
+            .latency(NodeId(2), NodeId(20))
+            .min(topo.latency(NodeId(3), NodeId(21)));
+        assert_eq!(cross_min, expected);
+
+        let views = cache.partition_views(&assignment, 2);
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].intra_links, 4, "0-1 and 1-2, both directions");
+        assert_eq!(views[0].cross_links, 2, "2->20 and 3->21");
+        assert_eq!(views[1].cross_links, 2, "20->2 and 21->3");
+        assert_eq!(views[1].intra_links, 0);
+        assert_eq!(views[1].intra_min, None);
+        // The global window length is the minimum over all per-cell views.
+        let per_cell_min = views.iter().filter_map(|v| v.cross_min).min();
+        assert_eq!(per_cell_min, Some(cross_min));
+    }
+
+    #[test]
+    fn single_cell_partitions_have_no_cross_links() {
+        let topo = topology();
+        let cache = LinkLatencyCache::build(&topo, [(NodeId(0), NodeId(1))]);
+        let assignment = vec![0u32; 40];
+        assert_eq!(cache.min_cross_partition_latency(&assignment), None);
+        let views = cache.partition_views(&assignment, 1);
+        assert_eq!(views[0].cross_links, 0);
+        assert_eq!(views[0].intra_links, 2);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod topology;
 pub use brite::{BriteConfig, BriteGenerator};
 pub use coordinates::Point;
 pub use landmark::{LandmarkSet, RttVector};
-pub use latency_cache::LinkLatencyCache;
+pub use latency_cache::{LinkLatencyCache, PartitionView};
 pub use locid::LocId;
 pub use proximity::{closest_by_rtt, ProximityProbe};
 pub use topology::{NodeId, PhysicalTopology};

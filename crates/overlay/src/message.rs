@@ -100,6 +100,11 @@ pub enum Message {
         /// All keywords of the file's filename (needed by caching peers to
         /// update their Bloom filters).
         file_keywords: Vec<KeywordId>,
+        /// The keywords the original query was expressed with (Dicas-Keys
+        /// keys its cache on these). Carried in the response — shared via
+        /// `Arc` with the query message that triggered it — so caching peers
+        /// along the reverse path need no out-of-band per-query state.
+        query_keywords: Arc<[KeywordId]>,
         /// Provider entries: the responding provider plus, in Locaware, other
         /// known providers with their locIds.
         providers: Vec<ProviderEntry>,
@@ -179,6 +184,7 @@ impl Message {
                 query,
                 file,
                 file_keywords,
+                query_keywords,
                 providers,
                 requestor,
             } => {
@@ -187,6 +193,10 @@ impl Message {
                 buf.put_u32(*file);
                 buf.put_u8(file_keywords.len() as u8);
                 for kw in file_keywords {
+                    buf.put_u32(*kw);
+                }
+                buf.put_u8(query_keywords.len() as u8);
+                for kw in query_keywords.iter() {
                     buf.put_u32(*kw);
                 }
                 buf.put_u16(providers.len() as u16);
@@ -289,6 +299,7 @@ mod tests {
             query: QueryId(1),
             file: 5,
             file_keywords: vec![1, 2, 3],
+            query_keywords: vec![1].into(),
             providers: vec![ProviderEntry {
                 provider: PeerId(9),
                 loc_id: LocId(0),
@@ -302,6 +313,7 @@ mod tests {
             query: QueryId(1),
             file: 5,
             file_keywords: vec![1, 2, 3],
+            query_keywords: vec![1].into(),
             providers: (0..10)
                 .map(|i| ProviderEntry {
                     provider: PeerId(i),

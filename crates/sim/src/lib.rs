@@ -13,7 +13,10 @@
 //!   ([`process::PeriodicProcess`]), and
 //! * a hierarchical seed derivation scheme so that every stochastic component of
 //!   the simulation owns an independent, reproducible random stream
-//!   ([`rng::RngFactory`]).
+//!   ([`rng::RngFactory`]), and
+//! * shard-aware scheduling for deterministic intra-run parallelism: a
+//!   canonical, layout-independent event ordering and window-bounded queues
+//!   ([`shard::EventKey`], [`shard::ShardQueue`]).
 //!
 //! The engine is intentionally generic over the event payload type: the overlay,
 //! workload and protocol crates define their own event enums and reuse the same
@@ -49,6 +52,7 @@ pub mod event;
 pub mod process;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use engine::{Engine, EngineContext, RunStats, StopCondition};
@@ -56,4 +60,5 @@ pub use event::{EventId, ScheduledEvent};
 pub use process::PeriodicProcess;
 pub use queue::EventQueue;
 pub use rng::{RngFactory, StreamId};
+pub use shard::{EventKey, ShardQueue};
 pub use time::{Duration, SimTime};

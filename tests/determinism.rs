@@ -408,6 +408,73 @@ fn preset_regimes_produce_distinct_workloads() {
     }
 }
 
+// ------------------------------------------------ sharded-engine determinism
+
+/// The tentpole invariant of the sharded engine: for a fixed seed, **every**
+/// shard count produces byte-identical reports — the canonical event order,
+/// per-arrival RNG streams and barrier merges make the parallel execution
+/// semantically equal to the single-queue one. The matrix covers all six
+/// protocols over both a static scenario and a churn storm (churn exercises
+/// the serial barrier transitions and the all-pairs latency lookahead).
+#[test]
+fn shard_counts_produce_byte_identical_reports() {
+    type Preset = fn(usize) -> Scenario;
+    let scenarios: [(&str, Preset); 2] = [
+        ("small", Scenario::small as Preset),
+        ("churn-storm", Scenario::churn_storm as Preset),
+    ];
+    for (name, make) in scenarios {
+        for protocol in ALL_PROTOCOLS {
+            let baseline = {
+                let scenario = make(60).with_seed(21).tweak_shards(1);
+                scenario.substrate().run(protocol, 40)
+            };
+            // Under churn some arrivals land on offline peers and are
+            // skipped, so the issued count may fall below the request.
+            assert!(
+                baseline.queries_issued > 0 && baseline.queries_issued <= 40,
+                "{name}/{protocol}: issued {}",
+                baseline.queries_issued
+            );
+            for shards in [2usize, 4, 8] {
+                let scenario = make(60).with_seed(21).tweak_shards(shards);
+                let report = scenario.substrate().run(protocol, 40);
+                assert_eq!(
+                    report_bytes(&baseline),
+                    report_bytes(&report),
+                    "{name}/{protocol}: {shards} shards must reproduce the single-shard bytes"
+                );
+            }
+        }
+    }
+}
+
+/// Sharding helper: rebuild the scenario with an explicit shard count.
+trait TweakShards {
+    fn tweak_shards(self, shards: usize) -> Scenario;
+}
+
+impl TweakShards for Scenario {
+    fn tweak_shards(self, shards: usize) -> Scenario {
+        let name = self.name().to_string();
+        let mut config = self.config().clone();
+        config.shards = shards;
+        Scenario::from_config(name, config).expect("shard count does not affect validity")
+    }
+}
+
+/// The effective shard count is a pure performance knob even when it comes
+/// from the environment override: explicit settings beat the `LOCAWARE_SHARDS`
+/// process default, and the resolved value is always within `1..=peers`.
+#[test]
+fn explicit_shard_settings_override_the_process_default() {
+    let mut config = SimulationConfig::small(30);
+    config.shards = 3;
+    assert_eq!(config.effective_shards(), 3);
+    config.shards = 100;
+    assert_eq!(config.effective_shards(), 30);
+}
+
 // ------------------------------------------------- experiment runner contract
 
 #[test]

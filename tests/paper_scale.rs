@@ -41,6 +41,41 @@ fn paper_defaults_run_locaware_end_to_end() {
 
 #[test]
 #[ignore = "paper scale (1000 peers); run with: cargo test --release --test paper_scale -- --ignored"]
+fn sharded_engine_reproduces_single_shard_results_at_paper_scale() {
+    // The determinism matrix pins shard-count invariance at 60 peers; this
+    // smoke re-pins it at the published scale, where the locality partition,
+    // the window planner and the barrier merge all see realistic pressure
+    // (24 locIds, thousands of cross-shard links, ~10⁵ events).
+    let queries = 300usize;
+    let reports: Vec<_> = [1usize, 4]
+        .iter()
+        .map(|&shards| {
+            let mut config = Scenario::paper_defaults().config().clone();
+            config.shards = shards;
+            let scenario = locaware::Scenario::from_config(format!("paper-s{shards}"), config)
+                .expect("shard count does not affect validity");
+            scenario.substrate().run(ProtocolKind::Locaware, queries)
+        })
+        .collect();
+
+    let (single, sharded) = (&reports[0], &reports[1]);
+    assert_eq!(single.metrics.records(), sharded.metrics.records());
+    assert_eq!(single.queries_issued, sharded.queries_issued);
+    assert_eq!(single.dispatched_events, sharded.dispatched_events);
+    assert_eq!(single.background_messages, sharded.background_messages);
+    assert_eq!(single.total_file_replicas, sharded.total_file_replicas);
+    assert_eq!(
+        single.total_cached_index_entries,
+        sharded.total_cached_index_entries
+    );
+    assert_eq!(
+        single.simulated_end_time_secs.to_bits(),
+        sharded.simulated_end_time_secs.to_bits()
+    );
+}
+
+#[test]
+#[ignore = "paper scale (1000 peers); run with: cargo test --release --test paper_scale -- --ignored"]
 fn paper_defaults_grid_point_shares_one_substrate_across_protocols() {
     let queries = 500usize;
     let plan = ExperimentPlan::new()

@@ -131,17 +131,21 @@ proptest! {
     }
 
     /// Model-based equivalence: the optimized response index (recency set +
-    /// inverted keyword postings, PR 3) behaves *identically* to the naive
-    /// reference implementation under arbitrary interleavings of inserts,
-    /// provider removals and clears — same evictions in the same order, same
-    /// keyword-lookup results, same eviction candidate, same contents.
+    /// inverted keyword postings, PR 3; provider → files postings, PR 4)
+    /// behaves *identically* to the naive reference implementation under
+    /// arbitrary interleavings of single- and multi-provider inserts,
+    /// provider removals and clears — same evictions, same keyword-lookup
+    /// results, same per-provider file sets, same eviction candidate, same
+    /// contents.
     #[test]
     fn optimized_response_index_matches_the_naive_model(
         capacity in 1usize..14,
         max_providers in 1usize..5,
-        // op, file, provider, loc: op 0..=7 inserts (biased — the common
-        // operation), 8 removes a provider, 9 clears.
-        ops in proptest::collection::vec((0u32..10, 0u32..24, 0u32..12, 0u32..24), 1..250),
+        // op, file, provider, loc: ops 0..=7 insert one provider (biased —
+        // the common operation), 8 removes a provider, 9 clears, 10..=11
+        // insert three providers at once (exercising the provider-overflow
+        // drop and multi-file provider postings).
+        ops in proptest::collection::vec((0u32..12, 0u32..24, 0u32..12, 0u32..24), 1..250),
     ) {
         let mut optimized = ResponseIndex::new(capacity, max_providers);
         let mut model = NaiveResponseIndex::new(capacity, max_providers);
@@ -150,8 +154,8 @@ proptest! {
                 8 => {
                     let mut a = optimized.remove_provider(PeerId(provider));
                     let mut b = model.remove_provider(PeerId(provider));
-                    // Multi-entry removal reports evictions in map order,
-                    // which is unspecified; compare as sets.
+                    // The naive model reports multi-entry removals in map
+                    // order, which is unspecified; compare as sets.
                     a.sort_by_key(|e| e.file);
                     b.sort_by_key(|e| e.file);
                     prop_assert_eq!(a, b, "remove_provider evictions diverged");
@@ -159,6 +163,15 @@ proptest! {
                 9 => {
                     optimized.clear();
                     model.clear();
+                }
+                10 | 11 => {
+                    let keywords = [KeywordId(file), KeywordId(file + 1), KeywordId(file / 2)];
+                    let providers: Vec<(PeerId, LocId)> = (0..3)
+                        .map(|i| (PeerId((provider + i) % 12), LocId(loc)))
+                        .collect();
+                    let a = optimized.insert(FileId(file), &keywords, providers.clone());
+                    let b = model.insert(FileId(file), &keywords, providers);
+                    prop_assert_eq!(a, b, "multi-provider insert evictions diverged");
                 }
                 _ => {
                     // Overlapping keyword sets across files exercise postings
@@ -172,7 +185,8 @@ proptest! {
             prop_assert_eq!(optimized.len(), model.len());
             prop_assert_eq!(optimized.eviction_candidate(), model.eviction_candidate());
             // Every observable lookup agrees: per-file entries (keywords,
-            // providers, order) and keyword queries (results + order).
+            // providers, order), keyword queries (results + order) and the
+            // provider → files view served by the provider postings map.
             for probe in 0u32..26 {
                 prop_assert_eq!(optimized.entry(FileId(probe)), model.entry(FileId(probe)));
             }
@@ -186,6 +200,13 @@ proptest! {
                 prop_assert_eq!(
                     optimized.lookup_by_keywords(&pair),
                     model.lookup_by_keywords(&pair)
+                );
+            }
+            for peer in 0u32..12 {
+                prop_assert_eq!(
+                    optimized.files_of_provider(PeerId(peer)).to_vec(),
+                    model.files_of_provider(PeerId(peer)),
+                    "provider postings diverged for peer {}", peer
                 );
             }
         }
