@@ -12,11 +12,11 @@
 //!     [--peers N] [--queries N] [--scenario NAME] [--repeats N]
 //! ```
 //!
-//! The default workload is `flash-crowd` (25× arrival rate): dense event
-//! regions are where intra-run parallelism matters — and where the paper's
-//! beyond-10³-peer ambitions live. Sparse workloads (the paper's 0.83 q/s
-//! default) fit in one window per query burst and gain little, which the
-//! numbers show honestly.
+//! The default workload is `flash-crowd` (a 25× arrival-rate burst window):
+//! dense event regions are where intra-run parallelism matters — and where
+//! the paper's beyond-10³-peer ambitions live. Sparse workloads (the paper's
+//! 0.83 q/s default) fit in one window per query burst and gain little,
+//! which the numbers show honestly.
 
 use std::time::Instant;
 
@@ -66,32 +66,11 @@ fn parse_number(s: &str) -> Result<usize, String> {
     s.trim().parse().map_err(|_| format!("not a number: {s}"))
 }
 
-/// The determinism fingerprint: a cheap stable digest over the fields the
-/// determinism suite compares byte-for-byte.
+/// The determinism fingerprint ([`SimulationReport::fingerprint`]): a cheap
+/// stable digest over the fields the determinism suite compares
+/// byte-for-byte.
 fn fingerprint(report: &SimulationReport) -> u64 {
-    let mut hash: u64 = 0xcbf29ce484222325;
-    let mut mix = |value: u64| {
-        hash ^= value;
-        hash = hash.wrapping_mul(0x100000001b3);
-    };
-    mix(report.queries_issued);
-    mix(report.dispatched_events);
-    mix(report.background_messages);
-    mix(report.total_file_replicas as u64);
-    mix(report.total_cached_index_entries as u64);
-    mix(report.simulated_end_time_secs.to_bits());
-    for record in report.metrics.records() {
-        mix(record.index);
-        mix(u64::from(record.requestor));
-        mix(u64::from(record.is_success()));
-        mix(record.messages);
-        mix(record.download_distance_ms.map_or(1, f64::to_bits));
-        mix(u64::from(record.locality_match));
-        mix(record.providers_offered as u64);
-        mix(u64::from(record.hops_to_hit.unwrap_or(u32::MAX)));
-        mix(u64::from(record.answered_from_cache));
-    }
-    hash
+    report.fingerprint()
 }
 
 fn main() {

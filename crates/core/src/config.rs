@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use locaware_net::brite::PlacementModel;
 use locaware_overlay::{ChurnConfig, GraphModel};
+use locaware_workload::{ArrivalSchedule, ClusterWeights, ClusterWeightsError, ScheduleError};
 
 /// A structured description of why a [`SimulationConfig`] is inconsistent.
 ///
@@ -74,10 +75,23 @@ pub enum ConfigError {
         /// Configured keywords per filename.
         keywords_per_file: usize,
     },
-    /// The per-peer query rate is not positive.
+    /// The per-peer query rate is not positive and finite.
     NonPositiveQueryRate {
         /// The configured rate in queries per second per peer.
         rate_per_peer: f64,
+    },
+    /// The arrival schedule is degenerate (empty phase list, non-positive
+    /// multiplier, zero-length or negative segment, bad burst start).
+    ArrivalSchedule(ScheduleError),
+    /// The workload cluster weights are unusable for this population.
+    ClusterWeights(ClusterWeightsError),
+    /// Under weighted-cluster placement, the heaviest cluster would ask a
+    /// peer to share more distinct files than the pool contains.
+    WeightedPlacementUnsatisfiable {
+        /// The largest per-peer share count the weights produce.
+        max_files_on_a_peer: usize,
+        /// Configured file pool size.
+        file_pool: usize,
     },
     /// The caching/routing group count `M` is zero.
     ZeroGroupCount,
@@ -127,7 +141,16 @@ impl std::fmt::Display for ConfigError {
                  got {min}..={max} with {keywords_per_file} keywords per file"
             ),
             ConfigError::NonPositiveQueryRate { rate_per_peer } => {
-                write!(f, "query rate must be positive: got {rate_per_peer}")
+                write!(f, "query rate must be positive and finite: got {rate_per_peer}")
+            }
+            ConfigError::ArrivalSchedule(error) => write!(f, "arrival schedule: {error}"),
+            ConfigError::ClusterWeights(error) => write!(f, "cluster weights: {error}"),
+            ConfigError::WeightedPlacementUnsatisfiable { max_files_on_a_peer, file_pool } => {
+                write!(
+                    f,
+                    "weighted placement asks one peer for {max_files_on_a_peer} distinct files \
+                     of a {file_pool}-file pool"
+                )
             }
             ConfigError::ZeroGroupCount => write!(f, "group count M must be positive"),
             ConfigError::ZeroCacheCapacity => write!(f, "cache capacities must be positive"),
@@ -237,8 +260,18 @@ pub struct SimulationConfig {
     pub min_query_keywords: usize,
     /// Maximum query keywords (paper: 3).
     pub max_query_keywords: usize,
-    /// Per-peer query rate in queries/second (paper: 0.00083).
+    /// Base per-peer query rate in queries/second (paper: 0.00083).
     pub query_rate_per_peer: f64,
+    /// Rate profile modulating the base rate over time (default:
+    /// [`ArrivalSchedule::Steady`], the paper's homogeneous process — which
+    /// reproduces legacy runs bit-for-bit).
+    pub arrival_schedule: ArrivalSchedule,
+    /// Optional weighted-cluster concentration of the workload: the same
+    /// weights redistribute the initial share budget across contiguous
+    /// locality-sorted peer clusters *and* bias query-origin attribution, so
+    /// hotspot regimes concentrate storage and load on the same region.
+    /// `None` is the paper's uniform workload, reproduced draw-for-draw.
+    pub cluster_weights: Option<ClusterWeights>,
 
     // --- caching ---------------------------------------------------------------
     /// Group count `M` for the `hash(f) mod M` caching/routing rule. The paper
@@ -267,6 +300,13 @@ pub struct SimulationConfig {
     // --- churn (off by default; the paper's evaluation is static) ---------------
     /// Churn model parameters.
     pub churn: ChurnConfig,
+    /// When true, a churn departure proactively invalidates the departed
+    /// provider's entries in **every** online peer's response index (and the
+    /// Bloom filters tracking them), via the provider → files postings map.
+    /// Off by default: the paper (and every prior run of this reproduction)
+    /// invalidates lazily, filtering departed providers at selection time, so
+    /// existing fingerprints hold exactly.
+    pub proactive_provider_invalidation: bool,
 
     // --- execution -------------------------------------------------------------
     /// Number of engine shards (deterministic intra-run parallelism).
@@ -315,6 +355,8 @@ impl SimulationConfig {
             min_query_keywords: 1,
             max_query_keywords: 3,
             query_rate_per_peer: 0.00083,
+            arrival_schedule: ArrivalSchedule::Steady,
+            cluster_weights: None,
             group_count: 4,
             response_index_capacity: 50,
             max_providers_per_file: 5,
@@ -324,6 +366,7 @@ impl SimulationConfig {
             bloom_sync_period_secs: 60.0,
             shards: 0,
             churn: ChurnConfig::disabled(),
+            proactive_provider_invalidation: false,
             max_events: 200_000_000,
         }
     }
@@ -353,6 +396,18 @@ impl SimulationConfig {
             env_default_shards()
         };
         requested.clamp(1, self.peers.max(1))
+    }
+
+    /// The workload-layer arrival configuration this simulation runs:
+    /// population, base rate, schedule and origin weights in one place, so
+    /// the substrate builder and the validation logic cannot drift apart.
+    pub fn arrival_config(&self) -> locaware_workload::ArrivalConfig {
+        locaware_workload::ArrivalConfig {
+            peers: self.peers,
+            rate_per_peer: self.query_rate_per_peer,
+            schedule: self.arrival_schedule.clone(),
+            origin_weights: self.cluster_weights.clone(),
+        }
     }
 
     /// Validates internal consistency; returns a structured [`ConfigError`]
@@ -407,10 +462,25 @@ impl SimulationConfig {
                 keywords_per_file: self.keywords_per_file,
             });
         }
-        if self.query_rate_per_peer <= 0.0 {
+        if self.query_rate_per_peer <= 0.0 || !self.query_rate_per_peer.is_finite() {
             return Err(ConfigError::NonPositiveQueryRate {
                 rate_per_peer: self.query_rate_per_peer,
             });
+        }
+        self.arrival_schedule
+            .validate()
+            .map_err(ConfigError::ArrivalSchedule)?;
+        if let Some(weights) = &self.cluster_weights {
+            weights
+                .validate_for(self.peers)
+                .map_err(ConfigError::ClusterWeights)?;
+            let max_share = weights.max_share_count(self.peers, self.files_per_peer);
+            if max_share > self.file_pool {
+                return Err(ConfigError::WeightedPlacementUnsatisfiable {
+                    max_files_on_a_peer: max_share,
+                    file_pool: self.file_pool,
+                });
+            }
         }
         if self.group_count == 0 {
             return Err(ConfigError::ZeroGroupCount);
@@ -512,6 +582,70 @@ mod tests {
         let mut c = SimulationConfig::paper_defaults();
         c.landmarks = 9;
         assert_eq!(c.validate(), Err(ConfigError::LandmarksOutOfRange { landmarks: 9 }));
+    }
+
+    #[test]
+    fn arrival_validation_is_hoisted_into_the_typed_config_error() {
+        // A non-finite rate used to slip past validation and panic inside
+        // `ArrivalProcess::new`; now it fails fallibly up front.
+        let mut c = SimulationConfig::paper_defaults();
+        c.query_rate_per_peer = f64::NAN;
+        assert!(matches!(c.validate(), Err(ConfigError::NonPositiveQueryRate { .. })));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.arrival_schedule = ArrivalSchedule::Phases(Vec::new());
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::ArrivalSchedule(ScheduleError::EmptyPhases))
+        );
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.arrival_schedule = ArrivalSchedule::Burst {
+            multiplier: 25.0,
+            start_secs: 60.0,
+            duration_secs: 0.0,
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ArrivalSchedule(ScheduleError::InvalidDuration { .. }))
+        ));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.cluster_weights = Some(ClusterWeights::new(vec![1.0; 2000]).unwrap());
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ClusterWeights(ClusterWeightsError::MoreClustersThanPeers { .. }))
+        ));
+
+        // A 1000:1 weight skew over a small pool cannot give every
+        // hot-cluster peer enough distinct files: a 2000-copy budget lands
+        // almost entirely on 50 peers (~40 each) against a 30-file pool.
+        let mut c = SimulationConfig::small(100);
+        c.file_pool = 30;
+        c.keyword_pool = 90;
+        c.files_per_peer = 20;
+        c.cluster_weights = Some(ClusterWeights::new(vec![1000.0, 1.0]).unwrap());
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::WeightedPlacementUnsatisfiable { .. })
+        ));
+    }
+
+    #[test]
+    fn arrival_config_mirrors_the_simulation_config() {
+        let mut c = SimulationConfig::small(80);
+        c.arrival_schedule = ArrivalSchedule::Burst {
+            multiplier: 10.0,
+            start_secs: 30.0,
+            duration_secs: 60.0,
+        };
+        c.cluster_weights = Some(ClusterWeights::new(vec![3.0, 1.0]).unwrap());
+        let arrival = c.arrival_config();
+        assert_eq!(arrival.peers, 80);
+        assert_eq!(arrival.rate_per_peer, c.query_rate_per_peer);
+        assert_eq!(arrival.schedule, c.arrival_schedule);
+        assert_eq!(arrival.origin_weights, c.cluster_weights);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

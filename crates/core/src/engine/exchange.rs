@@ -66,6 +66,17 @@ pub(crate) fn deliver_key(at: SimTime, to: PeerId, from: PeerId, seq: u64) -> Ev
     )
 }
 
+/// Peer ids sorted by `(locId, id)` — the canonical locality rank order
+/// (`order[s]` = the peer of locality rank `s`). Both the shard partition
+/// below and the weighted-cluster workload mapping in
+/// [`crate::simulation::Simulation`] cut contiguous chunks of this order, so
+/// "a locality region" means the same peers to the engine and the workload.
+pub(crate) fn locality_rank_order(loc_ids: &[LocId]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..loc_ids.len() as u32).collect();
+    order.sort_by_key(|&p| (loc_ids[p as usize].value(), p));
+    order
+}
+
 /// A deterministic assignment of peers to shards.
 ///
 /// `shard_of[p]` is peer `p`'s shard and `slot_of[p]` its dense index within
@@ -94,8 +105,7 @@ impl PeerPartition {
         assert!(shards >= 1, "at least one shard");
         assert!(shards <= peers, "at most one shard per peer");
 
-        let mut order: Vec<u32> = (0..peers as u32).collect();
-        order.sort_by_key(|&p| (loc_ids[p as usize].value(), p));
+        let order = locality_rank_order(loc_ids);
 
         let base = peers / shards;
         let remainder = peers % shards;

@@ -77,6 +77,8 @@ use crate::peer::PeerState;
 use crate::protocol::Protocol;
 use crate::results::SimulationReport;
 
+pub(crate) use exchange::locality_rank_order;
+
 use exchange::{issue_key, PeerPartition, CLASS_BLOOM_SYNC, CLASS_CHURN};
 use shard::{ShardEvent, ShardState};
 use tally::{labelled_counters, Tallies, FORWARD_DECISIONS, MESSAGE_KINDS};
@@ -854,6 +856,28 @@ impl Coordinator {
                     let ns = shared.partition.shard(n);
                     let nslot = shared.partition.slot(n);
                     guards[ns].peers[nslot].forget_neighbor(peer);
+                }
+                if shared.config.proactive_provider_invalidation {
+                    // CUP-style proactive invalidation, modelled as an
+                    // oracle: every online peer drops its index entries for
+                    // the departed provider (O(affected) each, via the
+                    // provider → files postings map) and updates its Bloom
+                    // filter for entries that vanish. Runs serially at the
+                    // churn barrier, in peer-id order, so it is part of the
+                    // canonical event order and deterministic for any shard
+                    // count. Off by default: the lazy selection-time filter
+                    // is the paper's (and the seed's) behaviour.
+                    for other in 0..shared.config.peers {
+                        if other == peer.index() {
+                            continue;
+                        }
+                        let other_id = PeerId(other as u32);
+                        let os = shared.partition.shard(other_id);
+                        let oslot = shared.partition.slot(other_id);
+                        if guards[os].peers[oslot].online {
+                            guards[os].peers[oslot].forget_provider(peer);
+                        }
+                    }
                 }
             }
             ChurnEventKind::Join => {

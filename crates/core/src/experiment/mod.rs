@@ -43,7 +43,10 @@ mod scenario;
 
 pub use plan::{ExperimentPlan, PlanError};
 pub use runner::{ExperimentOutcome, ExperimentPoint, Runner};
-pub use scenario::{Scenario, ScenarioBuilder, FLASH_CROWD_RATE_MULTIPLIER};
+pub use scenario::{
+    Scenario, ScenarioBuilder, FLASH_CROWD_BURST_DURATION_SECS, FLASH_CROWD_BURST_START_SECS,
+    FLASH_CROWD_RATE_MULTIPLIER, REGIONAL_HOTSPOT_WEIGHTS,
+};
 
 // The error type of scenario construction lives next to the validation rules
 // in `config`; re-export it here so `experiment::*` is self-contained.

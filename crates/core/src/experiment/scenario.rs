@@ -16,14 +16,28 @@
 
 use locaware_net::brite::PlacementModel;
 use locaware_overlay::ChurnConfig;
-use locaware_workload::PAPER_QUERY_RATE_PER_PEER;
+use locaware_workload::{ArrivalSchedule, ClusterWeights};
 
 use crate::config::{ConfigError, SimulationConfig};
 use crate::simulation::Simulation;
 
 /// How far above the paper's steady per-peer query rate the
-/// [`Scenario::flash_crowd`] regime bursts.
+/// [`Scenario::flash_crowd`] regime bursts while its burst window is open.
 pub const FLASH_CROWD_RATE_MULTIPLIER: f64 = 25.0;
+
+/// When the [`Scenario::flash_crowd`] burst opens, in simulated seconds: a
+/// steady lead-in long enough for caches to hold a pre-crowd population.
+pub const FLASH_CROWD_BURST_START_SECS: f64 = 600.0;
+
+/// How long the [`Scenario::flash_crowd`] burst window stays open. At the
+/// paper's base rate this window absorbs the overwhelming majority of any
+/// count-bounded run that outlasts the lead-in.
+pub const FLASH_CROWD_BURST_DURATION_SECS: f64 = 3600.0;
+
+/// The per-cluster origin/storage weights of [`Scenario::regional_hotspot`]:
+/// the first (locality-sorted) third of the population carries 6× the mass of
+/// each other third — 75% of initial replicas and query origins.
+pub const REGIONAL_HOTSPOT_WEIGHTS: [f64; 3] = [6.0, 1.0, 1.0];
 
 /// A named, validated simulation configuration.
 ///
@@ -90,13 +104,18 @@ impl Scenario {
     }
 
     /// Flash crowd: a hot keyword set absorbs most queries while arrivals
-    /// burst far above the paper's steady rate.
+    /// burst far above the paper's steady rate — as a real
+    /// [`ArrivalSchedule::Burst`], not a constant-rate approximation.
     ///
     /// The Zipf exponent is sharpened to 1.5 so the head of the popularity
     /// distribution behaves like a sudden hit (the paper's own motivation:
-    /// "most queries request a few popular files"), and the per-peer query
-    /// rate is [`FLASH_CROWD_RATE_MULTIPLIER`]× the paper's 0.00083 q/s,
-    /// compressing the same query volume into a burst window. Locaware's
+    /// "most queries request a few popular files"). The base rate stays at
+    /// the paper's 0.00083 q/s/peer; after a
+    /// [`FLASH_CROWD_BURST_START_SECS`]-second steady lead-in the rate
+    /// multiplies by [`FLASH_CROWD_RATE_MULTIPLIER`] for
+    /// [`FLASH_CROWD_BURST_DURATION_SECS`] seconds, compressing the bulk of
+    /// the query volume into the window — the onset/offset structure the
+    /// PR-2 constant-multiplier approximation could not express. Locaware's
     /// natural-replication tracking is exactly what this regime stresses:
     /// every satisfied download adds a replica the index can point later
     /// requestors at.
@@ -104,7 +123,11 @@ impl Scenario {
         let mut config = SimulationConfig::small(peers);
         config.seed = 0xF1A5_11C0;
         config.zipf_exponent = 1.5;
-        config.query_rate_per_peer = PAPER_QUERY_RATE_PER_PEER * FLASH_CROWD_RATE_MULTIPLIER;
+        config.arrival_schedule = ArrivalSchedule::Burst {
+            multiplier: FLASH_CROWD_RATE_MULTIPLIER,
+            start_secs: FLASH_CROWD_BURST_START_SECS,
+            duration_secs: FLASH_CROWD_BURST_DURATION_SECS,
+        };
         Scenario::from_config("flash-crowd", config)
             .expect("flash-crowd preset must validate")
     }
@@ -115,7 +138,10 @@ impl Scenario {
     /// 5-minute offline gaps — far harsher than measured Gnutella medians —
     /// so cached index entries go stale while queries are still in flight.
     /// This is the regime §4.1.2 worries about when it argues cached objects
-    /// "should be kept for a small amount of time".
+    /// "should be kept for a small amount of time". Pair it with
+    /// [`SimulationConfig::proactive_provider_invalidation`] (via
+    /// [`ScenarioBuilder::proactive_provider_invalidation`]) to study
+    /// CUP-style eager invalidation against the paper's lazy filtering.
     pub fn churn_storm(peers: usize) -> Self {
         let mut config = SimulationConfig::small(peers);
         config.seed = 0xC4A2_2222;
@@ -129,13 +155,18 @@ impl Scenario {
     }
 
     /// Regional hotspot: physical placement collapsed into a few tight
-    /// regions so one locality dominates the population.
+    /// regions, with one region carrying most of the storage *and* most of
+    /// the query load via weighted-cluster placement.
     ///
     /// Instead of the default 24 clusters, peers are packed into 3 very tight
     /// clusters (σ = 0.015), so landmark binning yields only a handful of
-    /// distinct locIds and most peers share a locality. This is the best case
-    /// for Locaware's location-aware provider selection — and the stress case
-    /// for the locId cardinality assumptions of the routing tables.
+    /// distinct locIds and most peers share a locality. On top of that,
+    /// [`REGIONAL_HOTSPOT_WEIGHTS`] concentrates 75% of the initial file
+    /// copies and 75% of the query origins on the first locality-sorted third
+    /// of the population — the hotspot is a physical region, not an id range.
+    /// This is the best case for Locaware's location-aware provider selection
+    /// — and the stress case for the locId cardinality assumptions of the
+    /// routing tables.
     pub fn regional_hotspot(peers: usize) -> Self {
         let mut config = SimulationConfig::small(peers);
         config.seed = 0x4E61_0750;
@@ -143,6 +174,10 @@ impl Scenario {
             clusters: 3,
             sigma: 0.015,
         };
+        config.cluster_weights = Some(
+            ClusterWeights::new(REGIONAL_HOTSPOT_WEIGHTS.to_vec())
+                .expect("hotspot weights are positive and finite"),
+        );
         Scenario::from_config("regional-hotspot", config)
             .expect("regional-hotspot preset must validate")
     }
@@ -316,9 +351,32 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Sets the per-peer query rate in queries per second.
+    /// Sets the base per-peer query rate in queries per second.
     pub fn query_rate_per_peer(mut self, rate: f64) -> Self {
         self.config.query_rate_per_peer = rate;
+        self
+    }
+
+    /// Sets the arrival-rate profile over time (steady, ramp, burst or
+    /// composed phases); degenerate profiles surface as
+    /// [`ConfigError::ArrivalSchedule`] from [`ScenarioBuilder::build`].
+    pub fn arrival_schedule(mut self, schedule: ArrivalSchedule) -> Self {
+        self.config.arrival_schedule = schedule;
+        self
+    }
+
+    /// Sets the weighted-cluster workload concentration (storage and query
+    /// origins); `None` restores the paper's uniform workload.
+    pub fn cluster_weights(mut self, weights: Option<ClusterWeights>) -> Self {
+        self.config.cluster_weights = weights;
+        self
+    }
+
+    /// Enables or disables proactive invalidation of departed providers'
+    /// cached index entries at churn departures (default: off, the paper's
+    /// lazy behaviour).
+    pub fn proactive_provider_invalidation(mut self, enabled: bool) -> Self {
+        self.config.proactive_provider_invalidation = enabled;
         self
     }
 
@@ -447,13 +505,61 @@ mod tests {
         let hotspot = Scenario::regional_hotspot(100);
 
         assert!(flash.config().zipf_exponent > small.config().zipf_exponent);
-        assert!(flash.config().query_rate_per_peer > small.config().query_rate_per_peer * 10.0);
+        // The flash crowd is a real burst primitive at the paper's base rate,
+        // not a constant-rate multiplier.
+        assert_eq!(
+            flash.config().query_rate_per_peer,
+            small.config().query_rate_per_peer
+        );
+        assert!(matches!(
+            flash.config().arrival_schedule,
+            ArrivalSchedule::Burst { multiplier, .. } if multiplier == FLASH_CROWD_RATE_MULTIPLIER
+        ));
+        assert!(small.config().arrival_schedule.is_steady());
         assert!(small.config().churn.is_disabled());
         assert!(!storm.config().churn.is_disabled());
+        assert!(storm.config().arrival_schedule.is_steady());
+        assert!(
+            !storm.config().proactive_provider_invalidation,
+            "lazy invalidation stays the churn-storm default"
+        );
         assert!(matches!(
             hotspot.config().placement,
             PlacementModel::Clustered { clusters: 3, .. }
         ));
+        // The hotspot concentrates both storage and query origins.
+        let weights = hotspot.config().cluster_weights.as_ref().expect("weighted clusters");
+        assert_eq!(weights.weights(), &REGIONAL_HOTSPOT_WEIGHTS);
+        assert!(small.config().cluster_weights.is_none());
+    }
+
+    #[test]
+    fn builder_exposes_the_workload_primitives() {
+        let scenario = Scenario::builder("ramped")
+            .peers(60)
+            .arrival_schedule(ArrivalSchedule::Ramp {
+                from: 1.0,
+                to: 4.0,
+                duration_secs: 900.0,
+            })
+            .cluster_weights(Some(ClusterWeights::new(vec![2.0, 1.0]).unwrap()))
+            .proactive_provider_invalidation(true)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            scenario.config().arrival_schedule,
+            ArrivalSchedule::Ramp { .. }
+        ));
+        assert!(scenario.config().cluster_weights.is_some());
+        assert!(scenario.config().proactive_provider_invalidation);
+
+        // Degenerate schedules fail fallibly through build(), never by panic.
+        let err = Scenario::builder("bad")
+            .peers(60)
+            .arrival_schedule(ArrivalSchedule::Phases(Vec::new()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::ArrivalSchedule(_)));
     }
 
     #[test]

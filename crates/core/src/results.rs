@@ -33,6 +33,38 @@ pub struct SimulationReport {
 }
 
 impl SimulationReport {
+    /// A cheap, stable FNV-1a digest over the run's observable outcome: the
+    /// headline totals plus every per-query record field. Two runs with equal
+    /// fingerprints went through the same observable history; bench binaries
+    /// (`shard_scaling`, `workload_regimes`) and the churn tests use it to
+    /// assert bit-identity of repeats and shard counts without hauling whole
+    /// reports around.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        let mut mix = |value: u64| {
+            hash ^= value;
+            hash = hash.wrapping_mul(0x100000001b3);
+        };
+        mix(self.queries_issued);
+        mix(self.dispatched_events);
+        mix(self.background_messages);
+        mix(self.total_file_replicas as u64);
+        mix(self.total_cached_index_entries as u64);
+        mix(self.simulated_end_time_secs.to_bits());
+        for record in self.metrics.records() {
+            mix(record.index);
+            mix(u64::from(record.requestor));
+            mix(u64::from(record.is_success()));
+            mix(record.messages);
+            mix(record.download_distance_ms.map_or(1, f64::to_bits));
+            mix(u64::from(record.locality_match));
+            mix(record.providers_offered as u64);
+            mix(u64::from(record.hops_to_hit.unwrap_or(u32::MAX)));
+            mix(u64::from(record.answered_from_cache));
+        }
+        hash
+    }
+
     /// Figure 4 metric: fraction of satisfied queries.
     pub fn success_rate(&self) -> f64 {
         self.metrics.success_rate()

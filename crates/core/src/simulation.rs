@@ -12,10 +12,9 @@ use locaware_net::{
 };
 use locaware_overlay::{ChurnModel, GeneratorConfig, OverlayGraph};
 use locaware_overlay::churn::ChurnEvent;
-use locaware_sim::{RngFactory, SimTime, StreamId};
+use locaware_sim::{Duration, RngFactory, SimTime, StreamId};
 use locaware_workload::{
-    Arrival, ArrivalConfig, ArrivalProcess, Catalog, CatalogConfig, FileId, InitialPlacement,
-    PlacementConfig,
+    Arrival, ArrivalProcess, Catalog, CatalogConfig, FileId, InitialPlacement, PlacementConfig,
 };
 
 use crate::config::{ConfigError, ProtocolKind, SimulationConfig};
@@ -40,6 +39,12 @@ pub struct Simulation {
     /// protocol run over this substrate (message deliveries dominate the
     /// engine's latency lookups and travel along overlay links).
     link_latencies: LinkLatencyCache,
+    /// Only under weighted-cluster workloads: `origin_order[slot]` maps a
+    /// workload cluster slot onto the peer with locality rank `slot` (the
+    /// engine's own [`crate::engine::locality_rank_order`], so "the hot
+    /// cluster" is a physically co-located region aligned with the shard
+    /// partition, not an arbitrary id range).
+    origin_order: Option<Vec<u32>>,
 }
 
 impl Simulation {
@@ -96,12 +101,30 @@ impl Simulation {
                 peers: config.peers,
                 files_per_peer: config.files_per_peer,
                 file_pool: config.file_pool,
+                cluster_weights: config.cluster_weights.clone(),
             },
             &mut rng_factory.stream(StreamId::FilePlacement),
         );
-        let initial_shares: Vec<Vec<FileId>> = (0..config.peers)
-            .map(|p| placement.files_of(p).to_vec())
-            .collect();
+        let origin_order = config
+            .cluster_weights
+            .as_ref()
+            .map(|_| crate::engine::locality_rank_order(&loc_ids));
+        let initial_shares: Vec<Vec<FileId>> = match &origin_order {
+            // Uniform workload: slot s *is* peer s, exactly the legacy path.
+            None => (0..config.peers)
+                .map(|p| placement.files_of(p).to_vec())
+                .collect(),
+            // Weighted clusters: slot s (a contiguous-cluster position) lands
+            // on the peer with locality rank s, so weighted mass concentrates
+            // in physical regions.
+            Some(order) => {
+                let mut shares = vec![Vec::new(); config.peers];
+                for (slot, &peer) in order.iter().enumerate() {
+                    shares[peer as usize] = placement.files_of(slot).to_vec();
+                }
+                shares
+            }
+        };
 
         let gids = GroupScheme::new(config.group_count)
             .assign_all(config.peers, &mut rng_factory.stream(StreamId::GroupAssignment));
@@ -119,6 +142,7 @@ impl Simulation {
             initial_shares,
             gids,
             link_latencies,
+            origin_order,
         }
     }
 
@@ -169,24 +193,45 @@ impl Simulation {
 
     /// Generates the arrival schedule for `num_queries` queries. Every protocol
     /// run with the same substrate and query count sees the same schedule.
+    /// Arrivals come from the `StreamId::Arrivals` stream, thinned/time-scaled
+    /// by [`SimulationConfig::arrival_schedule`] ([`ArrivalSchedule::Steady`]
+    /// reproduces legacy runs bit-for-bit); under weighted clusters, each
+    /// sampled cluster slot is mapped onto the peer of that locality rank.
+    ///
+    /// [`ArrivalSchedule::Steady`]: locaware_workload::ArrivalSchedule::Steady
     pub fn arrivals(&self, num_queries: usize) -> Vec<Arrival> {
-        ArrivalProcess::new(ArrivalConfig {
-            peers: self.config.peers,
-            rate_per_peer: self.config.query_rate_per_peer,
-        })
-        .generate_count(num_queries, &mut self.rng_factory.stream(StreamId::Arrivals))
+        let process = ArrivalProcess::new(self.config.arrival_config())
+            .expect("arrival configuration was validated by try_build");
+        let mut arrivals =
+            process.generate_count(num_queries, &mut self.rng_factory.stream(StreamId::Arrivals));
+        if let Some(order) = &self.origin_order {
+            for arrival in &mut arrivals {
+                arrival.peer = order[arrival.peer] as usize;
+            }
+        }
+        arrivals
     }
 
-    /// Generates the churn schedule over the span of `arrivals` (empty when
-    /// churn is disabled, which is the paper's setup).
+    /// Generates the churn schedule over the run's span (empty when churn is
+    /// disabled, which is the paper's setup).
+    ///
+    /// The horizon covers both the last *arrival* and the arrival schedule's
+    /// intrinsic span: under a burst (or any schedule with a quiet tail) the
+    /// final query can land long before the schedule ends, and churn must
+    /// keep churning through the trailing quiet phases. With no arrivals and
+    /// a steady schedule the horizon stays `SimTime::ZERO` (no churn).
     pub fn churn_schedule(&self, arrivals: &[Arrival]) -> Vec<ChurnEvent> {
         if self.config.churn.is_disabled() {
             return Vec::new();
         }
-        let horizon = arrivals
-            .last()
-            .map(|a| a.at)
+        let last_arrival = arrivals.last().map(|a| a.at).unwrap_or(SimTime::ZERO);
+        let schedule_span = self
+            .config
+            .arrival_schedule
+            .span_secs()
+            .map(|secs| SimTime::ZERO + Duration::from_secs_f64(secs))
             .unwrap_or(SimTime::ZERO);
+        let horizon = last_arrival.max(schedule_span);
         ChurnModel::new(self.config.churn).schedule(
             self.config.peers,
             horizon,

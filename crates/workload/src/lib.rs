@@ -20,10 +20,13 @@
 //!   the inverted index used as ground truth for "which files satisfy query q",
 //! * [`zipf`] — a Zipf(α) sampler over file popularity ranks (implemented
 //!   in-crate; `rand_distr` is outside the allowed dependency set),
-//! * [`placement`] — the initial assignment of shared files to peers,
+//! * [`placement`] — the initial assignment of shared files to peers, with
+//!   optional weighted-cluster concentration ([`ClusterWeights`]),
 //! * [`queries`] — query generation: Zipf-chosen target file, 1–3 of its
 //!   keywords,
-//! * [`arrival`] — the Poisson arrival process at 0.00083 queries/s/peer.
+//! * [`arrival`] — the Poisson arrival process at 0.00083 queries/s/peer,
+//!   modulated by a validated piecewise [`ArrivalSchedule`] (steady, ramp,
+//!   burst, or composed phases) for non-homogeneous regimes.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -35,10 +38,10 @@ pub mod placement;
 pub mod queries;
 pub mod zipf;
 
-pub use arrival::{Arrival, ArrivalConfig, ArrivalProcess};
+pub use arrival::{Arrival, ArrivalConfig, ArrivalProcess, ArrivalSchedule, RatePhase, ScheduleError};
 pub use catalog::{Catalog, CatalogConfig, FileId, Filename};
 pub use keywords::{KeywordHashes, KeywordId, KeywordPool};
-pub use placement::{InitialPlacement, PlacementConfig};
+pub use placement::{ClusterWeights, ClusterWeightsError, InitialPlacement, PlacementConfig};
 pub use queries::{Query, QueryGenerator, QueryWorkloadConfig};
 pub use zipf::ZipfDistribution;
 

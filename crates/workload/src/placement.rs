@@ -4,6 +4,21 @@
 //! 3000"*. The placement is the system's starting replica distribution; natural
 //! replication (requestors keeping downloaded files) then grows it during the
 //! run, which is exactly the effect Locaware exploits.
+//!
+//! ## Weighted clusters
+//!
+//! [`ClusterWeights`] partitions the peer index space into contiguous
+//! clusters and attaches a positive weight to each. With
+//! [`PlacementConfig::cluster_weights`] set, the *total* share budget
+//! (`peers × files_per_peer`) is redistributed across clusters proportionally
+//! to weight (largest-remainder apportionment, then an even split inside each
+//! cluster), so a hot cluster holds correspondingly more initial replicas.
+//! The same weights drive query-origin attribution in
+//! [`ArrivalConfig::origin_weights`](crate::arrival::ArrivalConfig), which is
+//! what lets hotspot regimes concentrate storage *and* load on the same peers
+//! (the simulation layer maps cluster slots onto locality-sorted peer ids, so
+//! "the hot cluster" is a physically co-located region). `None` reproduces
+//! the paper's uniform placement draw-for-draw.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -11,15 +26,237 @@ use serde::{Deserialize, Serialize};
 
 use crate::catalog::FileId;
 
+/// Why a [`ClusterWeights`] is (or does not fit a population) invalid.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterWeightsError {
+    /// No clusters at all.
+    Empty,
+    /// A weight is not positive and finite.
+    InvalidWeight {
+        /// Index of the offending cluster.
+        index: usize,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// More clusters than peers: some cluster would own no peers.
+    MoreClustersThanPeers {
+        /// Number of clusters.
+        clusters: usize,
+        /// Number of peers.
+        peers: usize,
+    },
+    /// The cached weight total does not match the weights (only possible for
+    /// values that bypassed [`ClusterWeights::new`], e.g. a future
+    /// deserialization path).
+    InconsistentTotal {
+        /// The cached total.
+        cached: f64,
+        /// The total recomputed from the weights.
+        computed: f64,
+    },
+}
+
+impl std::fmt::Display for ClusterWeightsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterWeightsError::Empty => write!(f, "cluster weights must not be empty"),
+            ClusterWeightsError::InvalidWeight { index, weight } => write!(
+                f,
+                "cluster weights must be positive and finite: cluster {index} has {weight}"
+            ),
+            ClusterWeightsError::MoreClustersThanPeers { clusters, peers } => write!(
+                f,
+                "more clusters than peers: {clusters} clusters over {peers} peers"
+            ),
+            ClusterWeightsError::InconsistentTotal { cached, computed } => write!(
+                f,
+                "cached weight total {cached} does not match the weights (sum {computed})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterWeightsError {}
+
+/// Positive per-cluster weights over a contiguous partition of the peer
+/// index space.
+///
+/// Cluster `c` of `k` over a population of `n` peers owns the index range
+/// `[c·n/k, (c+1)·n/k)` (integer division), so every cluster is non-empty
+/// whenever `k ≤ n`. Weights are relative: `[8, 1, 1]` gives the first
+/// cluster 80% of whatever mass is being apportioned (initial file copies,
+/// query origins).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterWeights {
+    weights: Vec<f64>,
+    /// Sum of `weights`, fixed at construction so per-arrival cluster
+    /// sampling never re-adds the whole vector.
+    total: f64,
+}
+
+/// The shape invariant shared by [`ClusterWeights::new`] and
+/// [`ClusterWeights::validate_for`]: at least one cluster, every weight
+/// positive and finite.
+fn check_weights(weights: &[f64]) -> Result<(), ClusterWeightsError> {
+    if weights.is_empty() {
+        return Err(ClusterWeightsError::Empty);
+    }
+    for (index, &weight) in weights.iter().enumerate() {
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(ClusterWeightsError::InvalidWeight { index, weight });
+        }
+    }
+    Ok(())
+}
+
+impl ClusterWeights {
+    /// Validates and wraps per-cluster weights: at least one cluster, every
+    /// weight positive and finite.
+    pub fn new(weights: Vec<f64>) -> Result<Self, ClusterWeightsError> {
+        check_weights(&weights)?;
+        let total = weights.iter().sum();
+        Ok(ClusterWeights { weights, total })
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The raw weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Checks that the partition fits a population of `peers` — and re-runs
+    /// the construction invariants, so a value that bypassed
+    /// [`ClusterWeights::new`] (a hypothetical deserialization path; the
+    /// `Deserialize` derive is a no-op under the offline shims today) cannot
+    /// smuggle a degenerate shape past the configuration layer's validation.
+    pub fn validate_for(&self, peers: usize) -> Result<(), ClusterWeightsError> {
+        check_weights(&self.weights)?;
+        let computed: f64 = self.weights.iter().sum();
+        if self.total.to_bits() != computed.to_bits() {
+            return Err(ClusterWeightsError::InconsistentTotal {
+                cached: self.total,
+                computed,
+            });
+        }
+        if self.weights.len() > peers {
+            return Err(ClusterWeightsError::MoreClustersThanPeers {
+                clusters: self.weights.len(),
+                peers,
+            });
+        }
+        Ok(())
+    }
+
+    /// The contiguous peer index range owned by `cluster` in a population of
+    /// `peers`.
+    pub fn peer_range(&self, cluster: usize, peers: usize) -> std::ops::Range<usize> {
+        let k = self.weights.len();
+        (cluster * peers / k)..((cluster + 1) * peers / k)
+    }
+
+    /// The cluster owning peer index `peer` in a population of `peers`.
+    pub fn cluster_of(&self, peer: usize, peers: usize) -> usize {
+        let k = self.weights.len();
+        // Approximate inverse of `peer_range`: floor(peer·k/n) can be one
+        // below the true cluster (never above it, for k <= n); correct by
+        // range membership.
+        let candidate = (peer * k) / peers.max(1);
+        (candidate..=(candidate + 1).min(k - 1))
+            .find(|&c| self.peer_range(c, peers).contains(&peer))
+            .unwrap_or(k - 1)
+    }
+
+    /// Draws a cluster index proportionally to weight (one uniform draw;
+    /// the subtractive scan keeps the draw → cluster mapping bit-stable
+    /// against the precomputed total).
+    pub fn sample_cluster<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let mut target = rng.gen::<f64>() * self.total;
+        for (index, &weight) in self.weights.iter().enumerate() {
+            if target < weight {
+                return index;
+            }
+            target -= weight;
+        }
+        self.weights.len() - 1
+    }
+
+    /// Apportions `total` indivisible units across the clusters
+    /// proportionally to weight, by the largest-remainder method (exact sum,
+    /// deterministic, ties broken by cluster index).
+    pub fn apportion(&self, total: usize) -> Vec<usize> {
+        let weight_sum = self.total;
+        let quotas: Vec<f64> = self
+            .weights
+            .iter()
+            .map(|w| total as f64 * w / weight_sum)
+            .collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let assigned: usize = counts.iter().sum();
+        // Hand the leftover units to the largest fractional remainders.
+        let mut order: Vec<usize> = (0..self.weights.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = quotas[a] - quotas[a].floor();
+            let rb = quotas[b] - quotas[b].floor();
+            rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+        });
+        for &cluster in order.iter().take(total - assigned) {
+            counts[cluster] += 1;
+        }
+        counts
+    }
+
+    /// Per-peer share counts for a population of `peers` with a total budget
+    /// of `peers × files_per_peer` file copies: the budget is apportioned
+    /// across clusters by weight, then split as evenly as possible inside
+    /// each cluster (the first peers of a cluster absorb the remainder).
+    pub fn share_counts(&self, peers: usize, files_per_peer: usize) -> Vec<usize> {
+        let per_cluster = self.apportion(peers * files_per_peer);
+        let mut counts = vec![0usize; peers];
+        for (cluster, &quota) in per_cluster.iter().enumerate() {
+            let range = self.peer_range(cluster, peers);
+            let n = range.len();
+            if n == 0 {
+                continue;
+            }
+            let base = quota / n;
+            let extra = quota % n;
+            for (offset, peer) in range.enumerate() {
+                counts[peer] = base + usize::from(offset < extra);
+            }
+        }
+        counts
+    }
+
+    /// The largest per-peer share count [`ClusterWeights::share_counts`]
+    /// would produce — what the configuration layer checks against the file
+    /// pool (no peer can share more distinct files than exist).
+    pub fn max_share_count(&self, peers: usize, files_per_peer: usize) -> usize {
+        self.share_counts(peers, files_per_peer)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
 /// Configuration of the initial placement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacementConfig {
     /// Number of peers.
     pub peers: usize,
-    /// Number of files each peer initially shares (paper: 3).
+    /// Number of files each peer initially shares (paper: 3); under
+    /// [`PlacementConfig::cluster_weights`] this is the population *average*,
+    /// redistributed by weight.
     pub files_per_peer: usize,
     /// Size of the file pool to draw from (paper: 3000).
     pub file_pool: usize,
+    /// Optional weighted-cluster redistribution of the share budget; `None`
+    /// reproduces the paper's uniform placement exactly.
+    pub cluster_weights: Option<ClusterWeights>,
 }
 
 impl Default for PlacementConfig {
@@ -28,6 +265,7 @@ impl Default for PlacementConfig {
             peers: 1000,
             files_per_peer: crate::PAPER_FILES_PER_PEER,
             file_pool: crate::PAPER_FILE_POOL,
+            cluster_weights: None,
         }
     }
 }
@@ -44,17 +282,29 @@ impl InitialPlacement {
     /// (typically the `StreamId::FilePlacement` stream).
     ///
     /// # Panics
-    /// Panics if a peer is asked to share more files than the pool contains.
+    /// Panics if a peer is asked to share more files than the pool contains
+    /// (for weighted clusters: if the heaviest cluster's per-peer allotment
+    /// exceeds the pool). The simulation configuration layer validates both
+    /// bounds fallibly before substrates are built.
     pub fn generate<R: Rng + ?Sized>(config: PlacementConfig, rng: &mut R) -> Self {
+        let counts: Option<Vec<usize>> = config
+            .cluster_weights
+            .as_ref()
+            .map(|w| w.share_counts(config.peers, config.files_per_peer));
+        let max_count = counts
+            .as_ref()
+            .map(|c| c.iter().copied().max().unwrap_or(0))
+            .unwrap_or(config.files_per_peer);
         assert!(
-            config.files_per_peer <= config.file_pool,
+            max_count <= config.file_pool,
             "cannot share more distinct files than the pool contains"
         );
         let all_files: Vec<FileId> = (0..config.file_pool as u32).map(FileId).collect();
         let shared = (0..config.peers)
-            .map(|_| {
+            .map(|peer| {
+                let count = counts.as_ref().map_or(config.files_per_peer, |c| c[peer]);
                 let mut files: Vec<FileId> = all_files
-                    .choose_multiple(rng, config.files_per_peer)
+                    .choose_multiple(rng, count)
                     .copied()
                     .collect();
                 files.sort_unstable();
@@ -149,6 +399,7 @@ mod tests {
             peers: 200,
             files_per_peer: 3,
             file_pool: 50,
+            cluster_weights: None,
         };
         let p = InitialPlacement::generate(cfg, &mut StdRng::seed_from_u64(4));
         let total: usize = (0..50).map(|f| p.replica_count(FileId(f))).sum();
@@ -171,7 +422,114 @@ mod tests {
             peers: 2,
             files_per_peer: 10,
             file_pool: 5,
+            cluster_weights: None,
         };
         let _ = InitialPlacement::generate(cfg, &mut StdRng::seed_from_u64(0));
+    }
+
+    // ------------------------------------------------------- cluster weights
+
+    #[test]
+    fn cluster_weights_validate_shape_and_population() {
+        assert_eq!(ClusterWeights::new(vec![]).unwrap_err(), ClusterWeightsError::Empty);
+        assert!(matches!(
+            ClusterWeights::new(vec![1.0, 0.0]).unwrap_err(),
+            ClusterWeightsError::InvalidWeight { index: 1, .. }
+        ));
+        assert!(matches!(
+            ClusterWeights::new(vec![f64::NAN]).unwrap_err(),
+            ClusterWeightsError::InvalidWeight { index: 0, .. }
+        ));
+        let w = ClusterWeights::new(vec![3.0, 1.0]).unwrap();
+        assert!(w.validate_for(2).is_ok());
+        assert_eq!(
+            w.validate_for(1).unwrap_err(),
+            ClusterWeightsError::MoreClustersThanPeers { clusters: 2, peers: 1 }
+        );
+    }
+
+    #[test]
+    fn peer_ranges_partition_the_population() {
+        let w = ClusterWeights::new(vec![1.0, 1.0, 1.0]).unwrap();
+        for peers in [3usize, 7, 30, 100] {
+            let mut covered = 0usize;
+            for c in 0..w.clusters() {
+                let range = w.peer_range(c, peers);
+                assert_eq!(range.start, covered, "ranges must be contiguous");
+                assert!(!range.is_empty(), "k <= n keeps every cluster non-empty");
+                for peer in range.clone() {
+                    assert_eq!(w.cluster_of(peer, peers), c, "peer {peer} of {peers}");
+                }
+                covered = range.end;
+            }
+            assert_eq!(covered, peers, "ranges must cover every peer");
+        }
+    }
+
+    #[test]
+    fn apportionment_is_exact_and_proportional() {
+        let w = ClusterWeights::new(vec![8.0, 1.0, 1.0]).unwrap();
+        let counts = w.apportion(1000);
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        assert_eq!(counts, vec![800, 100, 100]);
+        // Remainders distribute deterministically.
+        let odd = w.apportion(7);
+        assert_eq!(odd.iter().sum::<usize>(), 7);
+        assert!(odd[0] >= 5, "the heavy cluster takes the bulk: {odd:?}");
+    }
+
+    #[test]
+    fn weighted_share_counts_conserve_the_budget() {
+        let w = ClusterWeights::new(vec![6.0, 1.0, 1.0]).unwrap();
+        let counts = w.share_counts(90, 3);
+        assert_eq!(counts.len(), 90);
+        assert_eq!(counts.iter().sum::<usize>(), 270, "total budget conserved");
+        let hot: usize = counts[..30].iter().sum();
+        assert!(
+            (195..=210).contains(&hot),
+            "hot cluster holds ~75% of the copies, got {hot}"
+        );
+        // Within a cluster the split is even to within one file.
+        for cluster in 0..3 {
+            let range = w.peer_range(cluster, 90);
+            let slice = &counts[range];
+            let min = slice.iter().min().unwrap();
+            let max = slice.iter().max().unwrap();
+            assert!(max - min <= 1, "cluster {cluster}: uneven split {slice:?}");
+        }
+        assert_eq!(w.max_share_count(90, 3), *counts.iter().max().unwrap());
+    }
+
+    #[test]
+    fn weighted_placement_concentrates_replicas() {
+        let weights = ClusterWeights::new(vec![6.0, 1.0, 1.0]).unwrap();
+        let cfg = PlacementConfig {
+            peers: 90,
+            files_per_peer: 3,
+            file_pool: 300,
+            cluster_weights: Some(weights),
+        };
+        let p = InitialPlacement::generate(cfg, &mut StdRng::seed_from_u64(5));
+        assert_eq!(p.total_shared(), 270, "weighting conserves the total budget");
+        let hot: usize = (0..30).map(|peer| p.files_of(peer).len()).sum();
+        assert!(hot >= 195, "hot cluster must hold most copies, got {hot}");
+        for (peer, files) in p.iter() {
+            let mut dedup = files.to_vec();
+            dedup.dedup();
+            assert_eq!(dedup.len(), files.len(), "peer {peer} files must be distinct");
+        }
+    }
+
+    #[test]
+    fn cluster_sampling_tracks_the_weights() {
+        let w = ClusterWeights::new(vec![8.0, 1.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[w.sample_cluster(&mut rng)] += 1;
+        }
+        let share = counts[0] as f64 / 10_000.0;
+        assert!((0.77..0.83).contains(&share), "cluster 0 share {share}");
+        assert!(counts[1] > 0 && counts[2] > 0);
     }
 }

@@ -11,24 +11,33 @@
 //! response indexes record those new replicas *with their locIds* so later
 //! requestors are pointed at a copy in their own locality.
 //!
-//! The `Scenario::flash_crowd` preset captures the regime: the Zipf head
-//! behaves like a sudden hit (α = 1.5) and arrivals burst at 25× the paper's
-//! steady rate. Locaware and Flooding run over the same substrate via one
-//! `ExperimentPlan`, and the tables below show how the download distance and
-//! the provider pool evolve quarter by quarter as replication kicks in.
+//! The `Scenario::flash_crowd` preset captures the regime with a first-class
+//! burst schedule: the Zipf head behaves like a sudden hit (α = 1.5) and,
+//! after a steady lead-in at the paper's base rate, arrivals burst at 25×
+//! inside a bounded window. Locaware and Flooding run over the same substrate
+//! via one `ExperimentPlan`, and the tables below show how the download
+//! distance and the provider pool evolve quarter by quarter as replication
+//! kicks in.
 
-use locaware_suite::locaware_workload::PAPER_QUERY_RATE_PER_PEER;
+use locaware_suite::locaware_workload::ArrivalSchedule;
 use locaware_suite::prelude::*;
 
 fn main() {
     let scenario = Scenario::flash_crowd(300);
     let queries = 1200usize;
+    let ArrivalSchedule::Burst {
+        multiplier,
+        start_secs,
+        duration_secs,
+    } = scenario.config().arrival_schedule
+    else {
+        unreachable!("the flash-crowd preset carries a burst schedule");
+    };
     println!(
-        "Flash-crowd workload ('{}'): Zipf exponent {}, {}x the paper's arrival rate, \
-         {} queries over {} peers\n",
+        "Flash-crowd workload ('{}'): Zipf exponent {}, {multiplier}x arrival burst \
+         from t={start_secs}s for {duration_secs}s, {} queries over {} peers\n",
         scenario.name(),
         scenario.config().zipf_exponent,
-        (scenario.config().query_rate_per_peer / PAPER_QUERY_RATE_PER_PEER).round(),
         queries,
         scenario.config().peers
     );

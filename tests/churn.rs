@@ -3,12 +3,16 @@
 //!
 //! The paper's evaluation is static; churn is the reproduction's extension
 //! exercising the staleness concerns §4.1.2 raises. These tests check that the
-//! engine stays consistent under churn (no panics, metrics still well formed)
-//! and that Locaware's multi-provider indexes degrade more gracefully than a
-//! single-provider cache.
+//! engine stays consistent under churn (no panics, metrics still well formed),
+//! that Locaware's multi-provider indexes degrade more gracefully than a
+//! single-provider cache, that the churn horizon covers the arrival
+//! schedule's full span, and that proactive provider invalidation (the
+//! CUP-style alternative to the paper's lazy filtering) is a deterministic,
+//! default-off switch.
 
 use locaware::{ProtocolKind, Scenario, Simulation};
 use locaware_overlay::ChurnConfig;
+use locaware_workload::{ArrivalSchedule, RatePhase};
 
 fn churny_sim(peers: usize, seed: u64, churn: ChurnConfig) -> Simulation {
     Scenario::builder("churny")
@@ -82,5 +86,103 @@ fn churn_schedule_is_generated_and_deterministic() {
     for event in &a {
         assert!(event.at <= horizon);
         assert!(event.peer.index() < 80);
+    }
+}
+
+/// The churn horizon must cover the arrival schedule's *span*, not just the
+/// last arrival: a front-loaded schedule with a long quiet tail keeps
+/// churning through the tail. (For steady schedules the horizon is the last
+/// arrival, exactly as before — pinned by the legacy fingerprints.)
+#[test]
+fn churn_horizon_covers_trailing_quiet_schedule_phases() {
+    let churn = ChurnConfig {
+        mean_session_secs: 200.0,
+        mean_offline_secs: 200.0,
+        churning_fraction: 0.8,
+    };
+    // Phase 1 packs ~200× the base rate into 300 s; phase 2 is near-silent
+    // for an hour. A count-bounded run's arrivals all land in phase 1.
+    let simulation = Scenario::builder("quiet-tail")
+        .peers(60)
+        .seed(21)
+        .churn(churn)
+        .arrival_schedule(ArrivalSchedule::Phases(vec![
+            RatePhase { multiplier: 200.0, duration_secs: 300.0 },
+            RatePhase { multiplier: 1e-9, duration_secs: 3600.0 },
+        ]))
+        .build()
+        .expect("schedule validates")
+        .substrate();
+    let arrivals = simulation.arrivals(100);
+    let last_arrival = arrivals.last().unwrap().at;
+    assert!(
+        last_arrival.as_secs_f64() < 310.0,
+        "the whole workload must land in the hot phase, last at {}s",
+        last_arrival.as_secs_f64()
+    );
+    let events = simulation.churn_schedule(&arrivals);
+    let last_event = events.last().unwrap().at;
+    assert!(
+        last_event > last_arrival,
+        "churn must keep churning through the quiet tail ({}s vs {}s)",
+        last_event.as_secs_f64(),
+        last_arrival.as_secs_f64()
+    );
+    let span_secs = 300.0 + 3600.0;
+    assert!(
+        last_event.as_secs_f64() <= span_secs,
+        "churn must still respect the schedule span"
+    );
+    // With a horizon >10× the mean session, churn transitions vastly
+    // outnumber what the 300 s arrival window alone would generate.
+    let within_arrivals = events.iter().filter(|e| e.at <= last_arrival).count();
+    assert!(
+        events.len() > within_arrivals * 4,
+        "most transitions happen after the last arrival ({} of {})",
+        within_arrivals,
+        events.len()
+    );
+}
+
+/// The proactive provider-invalidation flag (resolving the PR 4 follow-up):
+/// off by default and byte-identical to the historical lazy behaviour; on, it
+/// deterministically changes the cached-entry/Bloom state under churn-storm —
+/// for any shard count.
+#[test]
+fn proactive_invalidation_is_a_deterministic_default_off_switch() {
+    let storm = Scenario::churn_storm(60);
+    assert!(
+        !storm.config().proactive_provider_invalidation,
+        "the flag must default to off"
+    );
+
+    let with_flag = |enabled: bool, shards: usize| {
+        let mut config = storm.config().clone();
+        config.proactive_provider_invalidation = enabled;
+        config.shards = shards;
+        Scenario::from_config("churn-storm-proactive", config)
+            .expect("the flag does not affect validity")
+            .substrate()
+            .run(ProtocolKind::Locaware, 40)
+    };
+
+    // `SimulationReport::fingerprint` is the determinism digest over every
+    // observable per-query and aggregate field.
+    let lazy = with_flag(false, 1).fingerprint();
+    let eager = with_flag(true, 1).fingerprint();
+    assert_eq!(lazy, with_flag(false, 1).fingerprint(), "off is deterministic");
+    assert_eq!(eager, with_flag(true, 1).fingerprint(), "on is deterministic");
+    assert_ne!(
+        lazy, eager,
+        "eager invalidation must change observable cache/Bloom state"
+    );
+    // Eager invalidation runs serially at the churn barrier in canonical
+    // order, so the sharded-engine invariance must hold with the flag on.
+    for shards in [2usize, 4, 8] {
+        assert_eq!(
+            with_flag(true, shards).fingerprint(),
+            eager,
+            "{shards} shards must reproduce the single-shard eager run"
+        );
     }
 }

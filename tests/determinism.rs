@@ -385,6 +385,76 @@ fn every_named_preset_is_seed_deterministic() {
     }
 }
 
+/// The rebuilt flash-crowd preset must *demonstrably* use the burst
+/// primitive: a count-bounded run's arrivals concentrate inside the burst
+/// window instead of spreading at a scaled constant rate.
+#[test]
+fn flash_crowd_arrivals_concentrate_inside_the_burst_window() {
+    use locaware::experiment::{FLASH_CROWD_BURST_DURATION_SECS, FLASH_CROWD_BURST_START_SECS};
+
+    let scenario = Scenario::flash_crowd(100);
+    assert!(
+        !scenario.config().arrival_schedule.is_steady(),
+        "flash-crowd must carry a non-steady schedule"
+    );
+    let substrate = scenario.substrate();
+    let arrivals = substrate.arrivals(400);
+    assert!(arrivals.windows(2).all(|w| w[0].at <= w[1].at), "time-sorted");
+    let burst_end = FLASH_CROWD_BURST_START_SECS + FLASH_CROWD_BURST_DURATION_SECS;
+    let inside = arrivals
+        .iter()
+        .filter(|a| {
+            let t = a.at.as_secs_f64();
+            t >= FLASH_CROWD_BURST_START_SECS && t < burst_end
+        })
+        .count();
+    // 100 peers × 0.00083 q/s barely produce ~50 queries during the 600 s
+    // lead-in; at 25× the burst absorbs everything else.
+    assert!(
+        inside * 10 >= arrivals.len() * 8,
+        "only {inside} of {} arrivals fell inside the burst window",
+        arrivals.len()
+    );
+}
+
+/// The rebuilt regional-hotspot preset must *demonstrably* use weighted
+/// clusters: the hot (locality-sorted) third of the population issues ~75%
+/// of the queries and holds ~75% of the initial replicas.
+#[test]
+fn regional_hotspot_concentrates_storage_and_origins() {
+    let scenario = Scenario::regional_hotspot(90);
+    let substrate = scenario.substrate();
+
+    // The hot cluster is the first third of the *locality-sorted* order.
+    let mut by_locality: Vec<usize> = (0..90).collect();
+    by_locality.sort_by_key(|&p| (substrate.loc_ids()[p], p));
+    let hot: std::collections::HashSet<usize> = by_locality[..30].iter().copied().collect();
+
+    let hot_replicas: usize = hot
+        .iter()
+        .map(|&p| substrate.initial_shares()[p].len())
+        .sum();
+    let total_replicas: usize = substrate.initial_shares().iter().map(Vec::len).sum();
+    assert_eq!(total_replicas, 270, "the share budget is conserved");
+    assert!(
+        hot_replicas * 100 >= total_replicas * 70,
+        "hot region must hold ~75% of initial replicas, got {hot_replicas}/{total_replicas}"
+    );
+
+    let arrivals = substrate.arrivals(2000);
+    let hot_origins = arrivals.iter().filter(|a| hot.contains(&a.peer)).count();
+    let share = hot_origins as f64 / arrivals.len() as f64;
+    assert!(
+        (0.68..0.82).contains(&share),
+        "hot region must issue ~75% of queries, got {share:.3}"
+    );
+
+    // And none of this applies to the uniform preset.
+    let uniform = Scenario::small(90).substrate();
+    let uniform_hot: usize = hot.iter().map(|&p| uniform.initial_shares()[p].len()).sum();
+    assert_eq!(uniform_hot, 90, "uniform placement shares 3 files per peer");
+}
+
 #[test]
 fn preset_regimes_produce_distinct_workloads() {
     // The three new regimes must actually differ from the plain scaled-down
@@ -408,20 +478,67 @@ fn preset_regimes_produce_distinct_workloads() {
     }
 }
 
+// --------------------------------------------------- legacy fingerprint pins
+
+/// FNV-1a over the canonical report bytes: a compact pin for "this exact
+/// run", stable across refactors that do not change observable behaviour.
+fn report_fingerprint(report: &SimulationReport) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in report_bytes(report).iter() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Golden fingerprints captured from the PR 4 tree (commit ffbf08c), pinning
+/// that the constant-rate (`Steady`) scenarios still produce **byte-identical
+/// reports** after the workload layer gained non-homogeneous schedules and
+/// weighted clusters: an omitted schedule must replay the legacy arrival
+/// generator draw-for-draw, and the churn-horizon fix must be a no-op for
+/// steady schedules. (The churn-storm rows also pin that the proactive
+/// provider-invalidation flag defaults to off = the historical behaviour.)
+#[test]
+fn legacy_steady_scenarios_reproduce_pr4_fingerprints() {
+    let cases: [(Scenario, ProtocolKind, usize, u64); 6] = [
+        (Scenario::small(60), ProtocolKind::Locaware, 40, 0x64d8ed7b4cb9906c),
+        (Scenario::small(60), ProtocolKind::Flooding, 40, 0x4596baa7a033f77c),
+        (Scenario::small(60), ProtocolKind::Dicas, 40, 0xbe6c9b1199a298bb),
+        (Scenario::small(120), ProtocolKind::Locaware, 80, 0x58c0ac364821c4f9),
+        (Scenario::churn_storm(60), ProtocolKind::Locaware, 40, 0x0b4211c3d34f3a78),
+        (Scenario::churn_storm(60), ProtocolKind::Flooding, 40, 0x80b47dab0a053107),
+    ];
+    for (scenario, protocol, queries, expected) in cases {
+        let report = scenario.substrate().run(protocol, queries);
+        assert_eq!(
+            report_fingerprint(&report),
+            expected,
+            "{}/{protocol}/{queries}q: legacy fingerprint must not move",
+            scenario.name()
+        );
+    }
+}
+
 // ------------------------------------------------ sharded-engine determinism
 
 /// The tentpole invariant of the sharded engine: for a fixed seed, **every**
 /// shard count produces byte-identical reports — the canonical event order,
 /// per-arrival RNG streams and barrier merges make the parallel execution
 /// semantically equal to the single-queue one. The matrix covers all six
-/// protocols over both a static scenario and a churn storm (churn exercises
-/// the serial barrier transitions and the all-pairs latency lookahead).
+/// protocols over a static scenario, a churn storm (churn exercises the
+/// serial barrier transitions and the all-pairs latency lookahead) and the
+/// two rebuilt non-homogeneous regimes: flash-crowd (burst schedule — dense
+/// event windows) and regional-hotspot (weighted-cluster workload — skewed
+/// per-shard load). Arrivals stay pre-generated and time-sorted, so the
+/// engine's invariance must be untouched by the new workload primitives.
 #[test]
 fn shard_counts_produce_byte_identical_reports() {
     type Preset = fn(usize) -> Scenario;
-    let scenarios: [(&str, Preset); 2] = [
+    let scenarios: [(&str, Preset); 4] = [
         ("small", Scenario::small as Preset),
         ("churn-storm", Scenario::churn_storm as Preset),
+        ("flash-crowd", Scenario::flash_crowd as Preset),
+        ("regional-hotspot", Scenario::regional_hotspot as Preset),
     ];
     for (name, make) in scenarios {
         for protocol in ALL_PROTOCOLS {

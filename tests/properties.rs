@@ -17,9 +17,32 @@ use locaware_net::{LandmarkSet, LocId, NodeId, PhysicalTopology};
 use locaware_net::brite::{BriteConfig, BriteGenerator, PlacementModel};
 use locaware_overlay::{GeneratorConfig, GraphModel, PeerId, ProviderEntry};
 use locaware_sim::{Duration, SimTime};
-use locaware_workload::{FileId, KeywordId, ZipfDistribution};
+use locaware_workload::{
+    Arrival, ArrivalConfig, ArrivalProcess, ArrivalSchedule, FileId, KeywordId, RatePhase,
+    ZipfDistribution,
+};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// The pre-PR-5 arrival generator, reproduced verbatim: one exponential draw
+/// with mean `1/rate` (including the `f64::MIN_POSITIVE` clamp), one
+/// `gen_range` origin draw per arrival, times accumulated via
+/// `Duration::from_secs_f64`. The `Steady` schedule must match it bit for bit.
+fn legacy_arrivals(peers: usize, rate_per_peer: f64, count: usize, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rate = peers as f64 * rate_per_peer;
+    let mut now = SimTime::ZERO;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        now += Duration::from_secs_f64(-(1.0 / rate) * u.ln());
+        out.push(Arrival {
+            at: now,
+            peer: rng.gen_range(0..peers),
+        });
+    }
+    out
+}
 
 proptest! {
     // ----------------------------------------------------------------- Bloom
@@ -209,6 +232,109 @@ proptest! {
                     "provider postings diverged for peer {}", peer
                 );
             }
+        }
+    }
+
+    // ----------------------------------------------------- arrival schedules
+
+    /// Every schedule shape produces exactly the requested number of
+    /// arrivals, in non-decreasing time order, attributed to in-range peers,
+    /// and deterministically per seed.
+    #[test]
+    fn arrival_schedules_generate_sorted_deterministic_arrivals(
+        kind in 0u32..4,
+        m1 in 0.2f64..8.0,
+        m2 in 0.2f64..8.0,
+        d1 in 20.0f64..600.0,
+        d2 in 20.0f64..600.0,
+        start in 0.0f64..300.0,
+        peers in 5usize..200,
+        count in 1usize..250,
+        seed in any::<u64>(),
+    ) {
+        let schedule = match kind {
+            0 => ArrivalSchedule::Steady,
+            1 => ArrivalSchedule::Ramp { from: m1, to: m2, duration_secs: d1 },
+            2 => ArrivalSchedule::Burst { multiplier: m1, start_secs: start, duration_secs: d1 },
+            _ => ArrivalSchedule::Phases(vec![
+                RatePhase { multiplier: m1, duration_secs: d1 },
+                RatePhase { multiplier: m2, duration_secs: d2 },
+            ]),
+        };
+        prop_assert!(schedule.validate().is_ok(), "generated schedules are well formed");
+        let process = ArrivalProcess::new(ArrivalConfig {
+            peers,
+            rate_per_peer: 0.01,
+            schedule,
+            origin_weights: None,
+        })
+        .expect("valid configuration");
+        let a = process.generate_count(count, &mut StdRng::seed_from_u64(seed));
+        let b = process.generate_count(count, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b, "same seed must replay identically");
+        prop_assert_eq!(a.len(), count);
+        for w in a.windows(2) {
+            prop_assert!(w[0].at <= w[1].at, "arrival times must be non-decreasing");
+        }
+        for arrival in &a {
+            prop_assert!(arrival.peer < peers);
+        }
+    }
+
+    /// `Steady` (the omitted-schedule default) is *bit-for-bit* the legacy
+    /// constant-rate generator: same RNG draws, same floating-point
+    /// operations, same microsecond timestamps — the property that keeps
+    /// every historical fingerprint valid.
+    #[test]
+    fn steady_schedule_matches_the_legacy_generator_bit_for_bit(
+        peers in 1usize..500,
+        rate in 0.0001f64..5.0,
+        count in 0usize..250,
+        seed in any::<u64>(),
+    ) {
+        let process = ArrivalProcess::new(ArrivalConfig {
+            peers,
+            rate_per_peer: rate,
+            schedule: ArrivalSchedule::Steady,
+            origin_weights: None,
+        })
+        .expect("valid configuration");
+        let modern = process.generate_count(count, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(modern, legacy_arrivals(peers, rate, count, seed));
+    }
+
+    /// Horizon-bounded generation lands the statistically right number of
+    /// arrivals in every phase of a two-phase schedule (the time-scaled
+    /// inversion really modulates intensity, not just timestamps).
+    #[test]
+    fn phase_arrival_counts_track_the_scheduled_intensity(
+        m1 in 0.2f64..8.0,
+        m2 in 0.2f64..8.0,
+        seed in any::<u64>(),
+    ) {
+        let duration = 2000.0;
+        let process = ArrivalProcess::new(ArrivalConfig {
+            peers: 100,
+            rate_per_peer: 0.01, // base 1 q/s
+            schedule: ArrivalSchedule::Phases(vec![
+                RatePhase { multiplier: m1, duration_secs: duration },
+                RatePhase { multiplier: m2, duration_secs: duration },
+            ]),
+            origin_weights: None,
+        })
+        .expect("valid configuration");
+        let horizon = SimTime::from_secs(2 * duration as u64);
+        let arrivals = process.generate_until(horizon, &mut StdRng::seed_from_u64(seed));
+        let first = arrivals.iter().filter(|a| a.at.as_secs_f64() < duration).count();
+        let second = arrivals.len() - first;
+        for (phase, got, multiplier) in [(1, first, m1), (2, second, m2)] {
+            let expected = multiplier * duration;
+            let tolerance = 5.0 * expected.sqrt() + 10.0;
+            prop_assert!(
+                (got as f64 - expected).abs() < tolerance,
+                "phase {}: got {} arrivals, expected {:.0}±{:.0}",
+                phase, got, expected, tolerance
+            );
         }
     }
 
