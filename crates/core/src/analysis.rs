@@ -182,6 +182,7 @@ mod tests {
             providers_offered: if success { 3 } else { 0 },
             hops_to_hit: success.then_some(hops),
             answered_from_cache: success && index.is_multiple_of(2),
+            completion_time_ms: Some(distance * 2.0),
         }
     }
 

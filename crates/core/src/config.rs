@@ -105,6 +105,16 @@ pub enum ConfigError {
         /// The configured period in simulated seconds.
         period_secs: f64,
     },
+    /// The worst-case query lifetime — `ttl` query hops out plus `ttl`
+    /// response hops back, each up to `max_latency_ms` — does not fit the
+    /// microsecond simulation clock. Engine time arithmetic saturates
+    /// silently on such spans, so the configuration is rejected up front.
+    QueryLifetimeOverflow {
+        /// The configured query time-to-live in hops.
+        ttl: u32,
+        /// Configured maximum one-way latency in milliseconds.
+        max_latency_ms: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -157,6 +167,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroBloomParameters => {
                 write!(f, "Bloom filter parameters must be positive")
             }
+            ConfigError::QueryLifetimeOverflow { ttl, max_latency_ms } => write!(
+                f,
+                "worst-case query lifetime 2 x {ttl} hops x {max_latency_ms} ms \
+                 overflows the microsecond simulation clock"
+            ),
             ConfigError::NonPositiveBloomSyncPeriod { period_secs } => {
                 write!(f, "Bloom sync period must be positive: got {period_secs}s")
             }
@@ -431,6 +446,13 @@ impl SimulationConfig {
                 max_ms: self.max_latency_ms,
             });
         }
+        let worst_case_lifetime_ms = 2.0 * self.ttl as f64 * self.max_latency_ms;
+        if locaware_sim::Duration::try_from_millis_f64(worst_case_lifetime_ms).is_none() {
+            return Err(ConfigError::QueryLifetimeOverflow {
+                ttl: self.ttl,
+                max_latency_ms: self.max_latency_ms,
+            });
+        }
         if self.landmarks == 0 || self.landmarks > 8 {
             return Err(ConfigError::LandmarksOutOfRange { landmarks: self.landmarks });
         }
@@ -582,6 +604,29 @@ mod tests {
         let mut c = SimulationConfig::paper_defaults();
         c.landmarks = 9;
         assert_eq!(c.validate(), Err(ConfigError::LandmarksOutOfRange { landmarks: 9 }));
+    }
+
+    #[test]
+    fn unrepresentable_query_lifetimes_are_rejected_up_front() {
+        // 2 * ttl * max_latency_ms used to be converted with the saturating
+        // `Duration::from_millis_f64`, so absurd products silently clamped to
+        // the end of simulated time instead of failing validation.
+        let mut c = SimulationConfig::paper_defaults();
+        c.ttl = u32::MAX;
+        c.max_latency_ms = f64::MAX / 2.0;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::QueryLifetimeOverflow {
+                ttl: u32::MAX,
+                max_latency_ms: f64::MAX / 2.0,
+            })
+        );
+
+        // A large-but-representable product still validates.
+        let mut c = SimulationConfig::paper_defaults();
+        c.ttl = 1_000;
+        c.max_latency_ms = 1.0e9;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | Bloom sync round | 1     | round index                 | 0              |
 //! | churn transition | 2     | schedule index              | 0              |
 //! | message delivery | 3     | `(to << 32) \| from`        | sender seq     |
+//! | query completion | 4     | arrival index               | 0              |
 //!
 //! The class ranks mirror the sequential engine's initial-scheduling order at
 //! equal times (arrivals, then maintenance, then churn, then in-flight
@@ -22,6 +23,17 @@
 //! send sequence number counted at the sender — link latencies are fixed per
 //! pair, so two messages on one link arriving simultaneously were sent
 //! simultaneously and the sender's count orders them by send order.
+//!
+//! A **query completion** is the synthesized event marking the consumption of
+//! a query's last in-flight message (see the lifecycle tracking in
+//! [`super::shard`]): its canonical position is the consuming delivery's
+//! time with class 4, so at equal times it orders *after* every delivery —
+//! a query whose final message is consumed at `t` is still "in flight" to
+//! any class-0 issue at `t`, exactly as in a single-queue run. No physical
+//! event is queued for it: because no other event class can order between a
+//! class-3 terminal delivery and its class-4 completion at the same time,
+//! applying the completion as a direct state transition when it is detected
+//! is observationally identical to dispatching it from the queue.
 //!
 //! ## Partitioning
 //!
@@ -47,10 +59,20 @@ pub(crate) const CLASS_BLOOM_SYNC: u8 = 1;
 pub(crate) const CLASS_CHURN: u8 = 2;
 /// Event-class rank of message deliveries.
 pub(crate) const CLASS_DELIVER: u8 = 3;
+/// Event-class rank of synthesized query completions (after deliveries at
+/// equal times — a query completing at `t` is still in flight to an issue
+/// or delivery at `t`).
+pub(crate) const CLASS_COMPLETE: u8 = 4;
 
 /// The canonical key of the `index`-th query arrival firing at `at`.
 pub(crate) fn issue_key(at: SimTime, index: usize) -> EventKey {
     EventKey::new(at, CLASS_ISSUE, index as u64, 0)
+}
+
+/// The canonical key of query `index`'s completion, synthesized at the time
+/// of the delivery that consumed its last in-flight message.
+pub(crate) fn completion_key(at: SimTime, index: usize) -> EventKey {
+    EventKey::new(at, CLASS_COMPLETE, index as u64, 0)
 }
 
 /// The canonical key of a message delivery: `seq` is the sender-side send
@@ -218,5 +240,19 @@ mod tests {
         );
         let later = t + Duration::from_micros(1);
         assert!(deliver < issue_key(later, 0), "time dominates everything");
+    }
+
+    #[test]
+    fn completions_order_after_every_delivery_at_equal_times() {
+        let t = SimTime::from_millis(5);
+        let complete = completion_key(t, 3);
+        assert!(
+            deliver_key(t, PeerId(u32::MAX), PeerId(u32::MAX), u64::MAX) < complete,
+            "a completion at t follows even the last delivery at t"
+        );
+        assert!(issue_key(t, 9) < complete, "issues at t still see it in flight");
+        let later = t + Duration::from_micros(1);
+        assert!(complete < issue_key(later, 0), "time dominates class");
+        assert!(completion_key(t, 3) < completion_key(t, 4), "arrival order ties");
     }
 }

@@ -27,14 +27,36 @@
 //!    churn) are applied serially by the coordinator at their exact canonical
 //!    position.
 //!
-//! The window length is the minimum cross-shard latency (the *lookahead*):
-//! for static runs the minimum cross-shard **overlay-link** latency served by
-//! [`LinkLatencyCache::min_cross_partition_latency`]; under churn — where
-//! rewiring can connect any pair — the configured minimum pair latency. A
-//! cross-shard message sent inside a window therefore always arrives in a
-//! *later* window than it was sent, which makes the barrier merge exact
-//! rather than approximate: every event is processed at exactly the canonical
-//! position it would occupy in a single-queue run.
+//! Window lengths are **per-destination channel lookaheads** in the classic
+//! CMB (Chandy–Misra–Bryant) conservative style: shard `i` may advance to
+//! `frontier + Wᵢ`, where `Wᵢ` is the minimum latency over its *incoming*
+//! cross-shard overlay-link channels
+//! ([`LinkLatencyCache::incoming_channel_mins`]); under churn — where
+//! rewiring can connect any pair — every `Wᵢ` falls back to the configured
+//! minimum pair latency. A cross-shard message sent inside a window
+//! therefore always arrives past the destination's bound — in a *later*
+//! window than it was sent — which makes the barrier merge exact rather
+//! than approximate: every event is processed at exactly the canonical
+//! position it would occupy in a single-queue run. A shard behind a
+//! high-latency boundary advances further per barrier than the old global
+//! `min`-over-all-channels window allowed, cutting the barrier count.
+//!
+//! ## Query lifecycle
+//!
+//! Queries have an explicit lifecycle (tracked in `shard`): outstanding-message
+//! counts per arrival, folded across shards at each barrier, synthesize a
+//! canonical class-4 **completion event** when the last in-flight message is
+//! consumed. Duplicate suppression keys on actual completion, which adds one
+//! cross-shard read the lookahead alone cannot protect: whether a peer's
+//! earlier query is still in flight at a *pending* issue's position may be
+//! decided by deliveries another shard has not folded yet. The coordinator
+//! therefore **caps** a shard's window at the first pending issue whose
+//! peer has an open (or completed-but-not-yet-pruned) query — or an earlier
+//! pending same-peer issue — deferring that issue until the global frontier
+//! reaches it, at which point the folded lifecycle state is exact at its
+//! position. The issue at the global frontier itself is never capped, so
+//! every window still makes progress. Caps are pure scheduling: they only
+//! delay when an issue runs, never what it observes.
 //!
 //! Because the canonical order, the per-arrival RNG streams and the merge
 //! rules are all pure functions of the configuration and seed, **any shard
@@ -49,8 +71,8 @@
 //! shard counts. Results below the budget are unaffected.
 //!
 //! [`QueryRecord`]: locaware_metrics::QueryRecord
-//! [`LinkLatencyCache::min_cross_partition_latency`]:
-//!   locaware_net::LinkLatencyCache::min_cross_partition_latency
+//! [`LinkLatencyCache::incoming_channel_mins`]:
+//!   locaware_net::LinkLatencyCache::incoming_channel_mins
 
 mod exchange;
 mod shard;
@@ -79,7 +101,7 @@ use crate::results::SimulationReport;
 
 pub(crate) use exchange::locality_rank_order;
 
-use exchange::{issue_key, PeerPartition, CLASS_BLOOM_SYNC, CLASS_CHURN};
+use exchange::{completion_key, issue_key, PeerPartition, CLASS_BLOOM_SYNC, CLASS_CHURN};
 use shard::{ShardEvent, ShardState};
 use tally::{labelled_counters, Tallies, FORWARD_DECISIONS, MESSAGE_KINDS};
 
@@ -105,13 +127,13 @@ pub(crate) struct RunShared<'a> {
     pub(crate) partition: &'a PeerPartition,
     pub(crate) graph: RwLock<OverlayGraph>,
     pub(crate) online: RwLock<Vec<bool>>,
-    /// Upper bound on how long a query can still be travelling: the search
-    /// fans out for at most `ttl` hops, the response retraces the reverse
-    /// path, and every hop costs at most `max_latency_ms`.
-    pub(crate) in_flight_window: Duration,
-    /// The window length; `None` means unbounded (single shard, or a
-    /// partition with no cross-shard links).
-    pub(crate) lookahead: Option<Duration>,
+    /// Per-destination-shard channel lookahead: `channel_lookahead[i]` is the
+    /// minimum latency over shard `i`'s incoming cross-shard channels — no
+    /// message another shard sends at or after a window's start can land in
+    /// shard `i` before `start + channel_lookahead[i]`. `None` means shard
+    /// `i` has no incoming cross-shard channel at all (unbounded horizon);
+    /// a single-shard run is `vec![None]`.
+    pub(crate) channel_lookahead: Vec<Option<Duration>>,
 }
 
 /// Everything needed to execute one protocol run over a prepared substrate.
@@ -250,35 +272,38 @@ impl<'a> ProtocolEngine<'a> {
         let mut shard_count = self.config.effective_shards();
         let mut partition = PeerPartition::locality(self.loc_ids, shard_count);
 
-        // The window length (lookahead): a lower bound on the latency of any
-        // message that can cross a shard boundary. Static runs only ever send
-        // along overlay links; churn can rewire any pair, so the bound falls
-        // back to the configured minimum pair latency (rounding to integer
-        // microseconds is monotone, so the rounded configured minimum bounds
-        // every rounded pair latency). `None` means unbounded: one shard, or
-        // no cross-shard links at all.
-        let window_length = |partition: &PeerPartition, churn_free: bool| {
-            if churn_free {
-                self.link_latencies.min_cross_partition_latency(&partition.shard_of)
+        // Per-destination channel lookaheads: shard `i`'s window may extend
+        // `W_i` past the global frontier, where `W_i` lower-bounds the latency
+        // of any message that can cross INTO shard `i`. Static runs only ever
+        // send along overlay links, so `W_i` is the minimum incoming
+        // cross-shard link latency; churn can rewire any pair, so every shard
+        // falls back to the configured minimum pair latency (rounding to
+        // integer microseconds is monotone, so the rounded configured minimum
+        // bounds every rounded pair latency). `None` means shard `i` has no
+        // incoming cross-shard channel (unbounded horizon).
+        let channel_lookahead = |partition: &PeerPartition, churn_free: bool, shards: usize| {
+            if shards == 1 {
+                vec![None]
+            } else if churn_free {
+                self.link_latencies
+                    .incoming_channel_mins(&partition.shard_of, shards)
             } else {
-                Some(Duration::from_millis_f64(self.config.min_latency_ms))
+                vec![Some(Duration::from_millis_f64(self.config.min_latency_ms)); shards]
             }
         };
-        let mut lookahead = if shard_count == 1 {
-            None
-        } else {
-            window_length(&partition, self.churn_schedule.is_empty())
-        };
-        if lookahead == Some(Duration::ZERO) {
-            // A zero-length window means some cross-shard message could land
-            // in the very window that sent it (sub-microsecond latencies
-            // rounding to zero): no positive lookahead exists, so parallel
-            // windows cannot be exact. Fall back to a single shard — a pure
-            // scheduling change, results are identical by the engine's
-            // shard-count-invariance contract.
+        let mut lookahead =
+            channel_lookahead(&partition, self.churn_schedule.is_empty(), shard_count);
+        if shard_count > 1 && lookahead.contains(&Some(Duration::ZERO)) {
+            // A zero lookahead means some cross-shard message could land in
+            // the very window that sent it (sub-microsecond latencies rounding
+            // to zero) — and a shard whose bound never exceeds the frontier
+            // could not even admit its own frontier event. No positive
+            // lookahead exists, so parallel windows cannot be exact. Fall back
+            // to a single shard — a pure scheduling change, results are
+            // identical by the engine's shard-count-invariance contract.
             shard_count = 1;
             partition = PeerPartition::locality(self.loc_ids, 1);
-            lookahead = None;
+            lookahead = vec![None];
         }
 
         // Distribute the peers into their shards' slot-indexed vectors.
@@ -362,10 +387,7 @@ impl<'a> ProtocolEngine<'a> {
             partition: &partition,
             graph: RwLock::new(std::mem::replace(&mut self.graph, OverlayGraph::new(0))),
             online: RwLock::new(vec![true; self.config.peers]),
-            in_flight_window: Duration::from_millis_f64(
-                2.0 * self.config.ttl as f64 * self.config.max_latency_ms,
-            ),
-            lookahead,
+            channel_lookahead: lookahead,
         };
 
         let mut coordinator = Coordinator {
@@ -379,9 +401,20 @@ impl<'a> ProtocolEngine<'a> {
             controls_dispatched: 0,
             control_end_time: SimTime::ZERO,
             max_events: self.config.max_events,
-            lookahead,
+            query_outstanding: vec![0; arrivals_len],
+            query_last: vec![None; arrivals_len],
+            query_phase: vec![QueryPhase::Idle; arrivals_len],
+            arrival_done: vec![false; arrivals_len],
+            arrival_cursor: 0,
+            inflight_by_peer: vec![0; self.config.peers],
+            peer_seen: vec![0; self.config.peers],
+            cap_epoch: 0,
+            pending_prunes: Vec::new(),
+            fold_touched: Vec::new(),
+            bounds: vec![EventKey::MAX; shard_count],
             windows: 0,
             engaged_windows: 0,
+            capped_windows: 0,
             prev_dispatched: vec![0; shard_count],
             critical_path_events: 0,
         };
@@ -394,7 +427,7 @@ impl<'a> ProtocolEngine<'a> {
             coordinator.drive(&shared, &shards, &mut Executor::Inline);
         } else {
             let barrier = Barrier::new(shard_count + 1);
-            let cmd = Mutex::new(Cmd::Run(EventKey::MAX, 0));
+            let cmd = Mutex::new(Cmd::Run(0));
             let panicked = AtomicBool::new(false);
             std::thread::scope(|scope| {
                 for index in 0..shard_count {
@@ -408,13 +441,15 @@ impl<'a> ProtocolEngine<'a> {
                         let command = *cmd.lock().expect("window command lock poisoned");
                         match command {
                             Cmd::Quit => break,
-                            Cmd::Run(bound, cap) => {
+                            Cmd::Run(cap) => {
                                 if !panicked.load(Ordering::SeqCst) {
                                     let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                        // The per-shard window bound was set
+                                        // by the coordinator at plan time.
                                         shards[index]
                                             .lock()
                                             .expect("shard lock poisoned")
-                                            .drain(shared, bound, cap);
+                                            .drain(shared, cap);
                                     }));
                                     if outcome.is_err() {
                                         panicked.store(true, Ordering::SeqCst);
@@ -450,7 +485,7 @@ impl<'a> ProtocolEngine<'a> {
             .into_iter()
             .map(|m| m.into_inner().expect("shard lock poisoned"))
             .collect();
-        coordinator.print_stats(&shard_states, lookahead);
+        coordinator.print_stats(&shard_states, &shared.channel_lookahead);
         self.finalize(&partition, shard_states, coordinator)
     }
 
@@ -497,6 +532,9 @@ impl<'a> ProtocolEngine<'a> {
                 providers_offered: tracking.providers_offered,
                 hops_to_hit: hit.map(|h| h.hops),
                 answered_from_cache: hit.map(|h| h.from_cache).unwrap_or(false),
+                completion_time_ms: tracking
+                    .completed_at
+                    .map(|t| t.duration_since(self.arrivals[index].at).as_millis_f64()),
             });
             emitted += 1;
         }
@@ -565,9 +603,9 @@ enum ControlAction {
 /// A window command handed to the worker threads.
 #[derive(Debug, Clone, Copy)]
 enum Cmd {
-    /// Drain the local queue up to the bound, dispatching at most `cap`
-    /// events.
-    Run(EventKey, u64),
+    /// Drain the local queue up to the shard's planned `window_bound`,
+    /// dispatching at most `cap` events.
+    Run(u64),
     /// The run is over; exit the worker loop.
     Quit,
 }
@@ -590,20 +628,14 @@ enum Executor<'e> {
 }
 
 impl Executor<'_> {
-    fn run_window(
-        &mut self,
-        shared: &RunShared<'_>,
-        shards: &[Mutex<ShardState>],
-        bound: EventKey,
-        cap: u64,
-    ) {
+    fn run_window(&mut self, shared: &RunShared<'_>, shards: &[Mutex<ShardState>], cap: u64) {
         match self {
             Executor::Inline => {
                 for shard in shards {
                     shard
                         .lock()
                         .expect("shard lock poisoned")
-                        .drain(shared, bound, cap);
+                        .drain(shared, cap);
                 }
             }
             Executor::Threaded {
@@ -612,7 +644,7 @@ impl Executor<'_> {
                 panicked,
                 released,
             } => {
-                *cmd.lock().expect("window command lock poisoned") = Cmd::Run(bound, cap);
+                *cmd.lock().expect("window command lock poisoned") = Cmd::Run(cap);
                 barrier.wait();
                 barrier.wait();
                 if panicked.load(Ordering::SeqCst) {
@@ -644,8 +676,24 @@ impl Executor<'_> {
     }
 }
 
-/// The serial half of the sharded run: window planning, barrier merges and
-/// global transitions.
+/// Where a query is in its lifecycle, as the coordinator's barrier folds see
+/// it. Transitions: `Idle → Open` when the folded outstanding count first
+/// goes positive; `Open → PendingPrune` when it returns to zero for a query
+/// that escaped its origin shard (completion detected, duplicate-map prune
+/// deferred until the global frontier passes the completion's canonical key);
+/// `Open → Closed` directly for never-escaped queries (the origin shard
+/// already completed them inline, at the exact canonical position);
+/// `PendingPrune → Closed` when the deferred prune is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryPhase {
+    Idle,
+    Open,
+    PendingPrune,
+    Closed,
+}
+
+/// The serial half of the sharded run: window planning, lifecycle folds,
+/// barrier merges and global transitions.
 struct Coordinator {
     control: Vec<(EventKey, ControlAction)>,
     next_control: usize,
@@ -654,13 +702,42 @@ struct Coordinator {
     controls_dispatched: u64,
     control_end_time: SimTime,
     max_events: u64,
-    lookahead: Option<Duration>,
+    /// Query lifecycle fold state, all arrival-indexed: the globally folded
+    /// outstanding-message count, the maximum consumption key folded so far,
+    /// and the lifecycle phase.
+    query_outstanding: Vec<i64>,
+    query_last: Vec<Option<EventKey>>,
+    query_phase: Vec<QueryPhase>,
+    /// Arrival index → its issue event was dispatched by some shard; used to
+    /// skip settled arrivals when scanning for window caps.
+    arrival_done: Vec<bool>,
+    /// First arrival index not yet known settled (all below are done).
+    arrival_cursor: usize,
+    /// Peer index → number of its queries that are open or pending a prune.
+    /// A pending issue by such a peer must not run ahead of the global
+    /// frontier: its duplicate-suppression read is not yet exact.
+    inflight_by_peer: Vec<u32>,
+    /// Epoch-stamped "peer has an earlier pending issue in this cap scan"
+    /// marker (`peer_seen[p] == cap_epoch`); avoids clearing per window.
+    peer_seen: Vec<u32>,
+    cap_epoch: u32,
+    /// Completions of escaped queries whose duplicate-map prune waits for the
+    /// global frontier to pass the completion's canonical (class 4) key:
+    /// until then a lagging shard may still hold a same-peer issue that must
+    /// observe the query as in flight.
+    pending_prunes: Vec<(EventKey, u32)>,
+    /// Scratch: arrival indexes touched by the current fold.
+    fold_touched: Vec<u32>,
+    /// Scratch: per-shard window bounds planned for the current window.
+    bounds: Vec<EventKey>,
     /// Parallelism profile of the run (see [`Coordinator::print_stats`]):
-    /// windows run, windows with 2+ active shards, per-shard dispatch counts
-    /// at the last barrier, and the critical-path event count — the wall
-    /// clock an ideal machine with one core per shard could not go below.
+    /// windows run, windows with 2+ active shards, windows shortened by a
+    /// lifecycle cap, per-shard dispatch counts at the last barrier, and the
+    /// critical-path event count — the wall clock an ideal machine with one
+    /// core per shard could not go below.
     windows: u64,
     engaged_windows: u64,
+    capped_windows: u64,
     prev_dispatched: Vec<u64>,
     critical_path_events: u64,
 }
@@ -677,6 +754,9 @@ impl Coordinator {
     ) {
         loop {
             let mut guards = lock_all(shards);
+            if guards.len() > 1 {
+                self.fold_lifecycle(shared, &mut guards);
+            }
             let dispatched: u64 =
                 self.controls_dispatched + guards.iter().map(|g| g.dispatched).sum::<u64>();
             let Some(remaining) = self.max_events.checked_sub(dispatched).filter(|&r| r > 0)
@@ -687,6 +767,13 @@ impl Coordinator {
             let next_event: Option<EventKey> =
                 guards.iter().filter_map(|g| g.queue.peek_key()).min();
             let next_control = self.control.get(self.next_control).map(|&(key, _)| key);
+            if guards.len() > 1 {
+                // Every event strictly below the global frontier has been
+                // processed (outboxes are merged), so deferred duplicate-map
+                // prunes whose completion key the frontier has passed are now
+                // safe: no pending issue can still order before them.
+                self.apply_ready_prunes(shared, &mut guards, next_event.unwrap_or(EventKey::MAX));
+            }
 
             match (next_event, next_control) {
                 (None, None) => break,
@@ -694,15 +781,24 @@ impl Coordinator {
                     self.run_control(shared, &mut guards, control);
                 }
                 (Some(event), control) => {
-                    // Window end: the lookahead past the earliest pending
-                    // event, capped by the next control transition. Jumping
-                    // the window start to the earliest event skips dead time,
-                    // so sparse stretches cost no barriers.
-                    let horizon = match self.lookahead {
-                        Some(w) => EventKey::before_time(event.time.saturating_add(w)),
-                        None => EventKey::MAX,
-                    };
-                    let bound = control.map_or(horizon, |c| c.min(horizon));
+                    // Per-shard window ends: each shard's incoming-channel
+                    // lookahead past the earliest pending event, capped by the
+                    // next control transition and by any lifecycle cap (a
+                    // pending issue whose duplicate-suppression read is not
+                    // yet exact). Jumping the window start to the earliest
+                    // event skips dead time, so sparse stretches cost no
+                    // barriers.
+                    for (index, bound) in self.bounds.iter_mut().enumerate() {
+                        let horizon = match shared.channel_lookahead[index] {
+                            Some(w) => EventKey::before_time(event.time.saturating_add(w)),
+                            None => EventKey::MAX,
+                        };
+                        *bound = control.map_or(horizon, |c| c.min(horizon));
+                    }
+                    let capped = guards.len() > 1 && self.cap_bounds(shared, event);
+                    for (guard, &bound) in guards.iter_mut().zip(&self.bounds) {
+                        guard.window_bound = bound;
+                    }
                     // Windows whose pending events all sit in one shard gain
                     // nothing from waking the workers: drain that shard on
                     // this thread (identical state transitions, no barrier).
@@ -710,22 +806,23 @@ impl Coordinator {
                     // fits inside one locality — cost no synchronisation.
                     let active = guards
                         .iter()
-                        .filter(|g| g.queue.peek_key().is_some_and(|k| k < bound))
+                        .filter(|g| g.queue.peek_key().is_some_and(|k| k < g.window_bound))
                         .count();
                     if active <= 1 {
                         for guard in guards.iter_mut() {
-                            guard.drain(shared, bound, remaining);
+                            guard.drain(shared, remaining);
                         }
                     } else {
                         drop(guards);
-                        executor.run_window(shared, shards, bound, remaining);
+                        executor.run_window(shared, shards, remaining);
                         guards = lock_all(shards);
                     }
-                    merge_outboxes(&mut guards, bound);
+                    merge_outboxes(&mut guards);
                     // Critical-path accounting: a window's parallel phase is
                     // as slow as its busiest shard.
                     self.windows += 1;
                     self.engaged_windows += u64::from(active > 1);
+                    self.capped_windows += u64::from(capped);
                     let mut busiest = 0u64;
                     for (index, guard) in guards.iter().enumerate() {
                         let delta = guard.dispatched - self.prev_dispatched[index];
@@ -739,6 +836,166 @@ impl Coordinator {
                 }
             }
         }
+    }
+
+    /// Folds every shard's [`tally::LifecycleFlux`] into the global lifecycle
+    /// slabs and detects completions: a query whose folded outstanding count
+    /// returns to zero has had its last in-flight message consumed (any
+    /// not-yet-folded consumption would require a not-yet-folded send, and
+    /// sends fold no later than the barrier after the window that made them —
+    /// so a zero here is a true global zero). Never-escaped queries were
+    /// already completed inline by their origin shard at the exact canonical
+    /// position; escaped ones are handed to [`Coordinator::apply_ready_prunes`]
+    /// so the duplicate-map prune waits until the frontier passes the
+    /// completion key.
+    fn fold_lifecycle(
+        &mut self,
+        shared: &RunShared<'_>,
+        guards: &mut [MutexGuard<'_, ShardState>],
+    ) {
+        let mut touched = std::mem::take(&mut self.fold_touched);
+        for guard in guards.iter_mut() {
+            for index in guard.processed_arrivals.drain(..) {
+                self.arrival_done[index as usize] = true;
+            }
+            let flux = guard.flux.as_mut().expect("multi-shard runs carry flux");
+            let outstanding = &mut self.query_outstanding;
+            let last = &mut self.query_last;
+            flux.drain(|index, delta, consumed, _escaped| {
+                let i = index as usize;
+                outstanding[i] += delta;
+                if let Some(key) = consumed {
+                    let slot = &mut last[i];
+                    *slot = Some(slot.map_or(key, |k| k.max(key)));
+                }
+                touched.push(index);
+            });
+        }
+        for &index in &touched {
+            let i = index as usize;
+            debug_assert!(
+                self.query_outstanding[i] >= 0,
+                "query {i}: a consumption folded before its send"
+            );
+            // Duplicate touches are harmless: every transition below is
+            // guarded by the current phase.
+            match self.query_phase[i] {
+                QueryPhase::Idle if self.query_outstanding[i] > 0 => {
+                    self.query_phase[i] = QueryPhase::Open;
+                    self.inflight_by_peer[shared.arrivals[i].peer] += 1;
+                }
+                QueryPhase::Idle => {
+                    // Issued and fully consumed between two barriers: that is
+                    // only possible inside one shard (a cross-shard hop lands
+                    // at least one window later), so the origin completed it
+                    // inline, exactly. Nothing to fold.
+                    self.query_phase[i] = QueryPhase::Closed;
+                }
+                QueryPhase::Open if self.query_outstanding[i] == 0 => {
+                    let last = self.query_last[i]
+                        .expect("an opened query closes via at least one consumption");
+                    let origin = PeerId(shared.arrivals[i].peer as u32);
+                    let origin_shard = shared.partition.shard(origin);
+                    if guards[origin_shard].escaped[i] {
+                        // Completion detected, but a shard lagging behind the
+                        // one that consumed the last message may still hold a
+                        // same-peer issue ordering before it: keep the query
+                        // counted in-flight and defer the duplicate-map prune
+                        // until the frontier passes the completion key.
+                        self.query_phase[i] = QueryPhase::PendingPrune;
+                        self.pending_prunes
+                            .push((completion_key(last.time, i), index));
+                    } else {
+                        // Never escaped: the origin shard completed it inline
+                        // at the exact canonical position.
+                        self.query_phase[i] = QueryPhase::Closed;
+                        self.inflight_by_peer[shared.arrivals[i].peer] -= 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        touched.clear();
+        self.fold_touched = touched;
+    }
+
+    /// Applies every deferred duplicate-map prune whose canonical completion
+    /// key the global frontier has passed: all events below `frontier` are
+    /// processed, so no issue can still observe the query as in flight.
+    fn apply_ready_prunes(
+        &mut self,
+        shared: &RunShared<'_>,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        frontier: EventKey,
+    ) {
+        let mut i = 0;
+        while i < self.pending_prunes.len() {
+            let (key, index) = self.pending_prunes[i];
+            if key < frontier {
+                self.pending_prunes.swap_remove(i);
+                let idx = index as usize;
+                let origin = PeerId(shared.arrivals[idx].peer as u32);
+                guards[shared.partition.shard(origin)].complete_locally(shared, idx, key.time);
+                self.query_phase[idx] = QueryPhase::Closed;
+                self.inflight_by_peer[origin.index()] -= 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Shortens shard bounds so no issue runs before its duplicate-suppression
+    /// read is exact, scanning pending arrivals in canonical order. An issue
+    /// needs deferring when its peer has an open (or pending-prune) query —
+    /// whose completion another shard may process at a smaller canonical key
+    /// than the issue's — or an earlier same-peer pending issue (whose query's
+    /// fate is equally unsettled). The arrival at the global frontier `start`
+    /// is exempt: everything below it is processed and folded, so the
+    /// lifecycle state is exact at its position — which also guarantees every
+    /// window admits at least its frontier event. Returns whether any bound
+    /// was shortened. Caps only delay issues, never change what they observe,
+    /// so they cannot affect results.
+    fn cap_bounds(&mut self, shared: &RunShared<'_>, start: EventKey) -> bool {
+        while self.arrival_cursor < self.arrival_done.len()
+            && self.arrival_done[self.arrival_cursor]
+        {
+            self.arrival_cursor += 1;
+        }
+        self.cap_epoch = self.cap_epoch.wrapping_add(1);
+        let epoch = self.cap_epoch;
+        let mut capped = false;
+        // Arrivals are time-sorted and canonical keys tie-break by index, so
+        // array order is canonical order. Once `max_bound` (the furthest any
+        // shard may still reach) is behind an arrival, no later arrival can
+        // run this window either.
+        let mut max_bound = self.bounds.iter().copied().max().unwrap_or(EventKey::MAX);
+        for idx in self.arrival_cursor..self.arrival_done.len() {
+            if self.arrival_done[idx] {
+                continue;
+            }
+            let arrival = &shared.arrivals[idx];
+            let key = issue_key(arrival.at, idx);
+            if key >= max_bound {
+                break;
+            }
+            let shard = shared.partition.shard_of[arrival.peer] as usize;
+            if key >= self.bounds[shard] {
+                // Not runnable this window (natural horizon or an earlier
+                // cap already excludes it) — and neither is any later
+                // same-peer arrival, so it needs no marking either.
+                continue;
+            }
+            if key > start
+                && (self.inflight_by_peer[arrival.peer] > 0 || self.peer_seen[arrival.peer] == epoch)
+            {
+                self.bounds[shard] = key;
+                capped = true;
+                max_bound = self.bounds.iter().copied().max().unwrap_or(EventKey::MAX);
+            } else {
+                self.peer_seen[arrival.peer] = epoch;
+            }
+        }
+        capped
     }
 
     /// Handles one control transition (everything strictly before its
@@ -763,7 +1020,11 @@ impl Coordinator {
         }
         // Control transitions may send (Bloom deltas); merge immediately so
         // the next window-planning pass sees them in the destination queues.
-        merge_outboxes(guards, key);
+        // Every shard has drained past `key`, so it is the merge floor.
+        for guard in guards.iter_mut() {
+            guard.window_bound = key;
+        }
+        merge_outboxes(guards);
     }
 
     /// When `LOCAWARE_SHARD_STATS=1`, prints the run's parallelism profile to
@@ -772,20 +1033,26 @@ impl Coordinator {
     /// (`ideal_speedup = total / critical_path`). Measured, deterministic
     /// quantities — the profile is how `BENCH_prN.json` grounds multi-core
     /// projections on single-core CI hardware.
-    fn print_stats(&self, shards: &[ShardState], lookahead: Option<Duration>) {
+    fn print_stats(&self, shards: &[ShardState], lookahead: &[Option<Duration>]) {
         if std::env::var("LOCAWARE_SHARD_STATS").as_deref() != Ok("1") {
             return;
         }
         let dispatched: u64 =
             self.controls_dispatched + shards.iter().map(|s| s.dispatched).sum::<u64>();
         let critical = self.critical_path_events.max(1);
+        let lookahead_list = lookahead
+            .iter()
+            .map(|w| w.map_or(0, Duration::as_micros).to_string())
+            .collect::<Vec<_>>()
+            .join(",");
         eprintln!(
             "shard-stats: shards={} lookahead_us={} windows={} engaged_windows={} \
-             events={} critical_path_events={} ideal_speedup={:.2}",
+             capped_windows={} events={} critical_path_events={} ideal_speedup={:.2}",
             shards.len(),
-            lookahead.map_or(0, Duration::as_micros),
+            lookahead_list,
             self.windows,
             self.engaged_windows,
+            self.capped_windows,
             dispatched,
             critical,
             dispatched as f64 / critical as f64,
@@ -926,9 +1193,10 @@ fn lock_all<'g>(shards: &'g [Mutex<ShardState>]) -> Vec<MutexGuard<'g, ShardStat
 }
 
 /// Moves every outboxed cross-shard delivery into its destination queue. The
-/// canonical keys were fixed at send time and are never below the window
-/// bound just drained, so this is a plain batch of heap insertions.
-fn merge_outboxes(guards: &mut [MutexGuard<'_, ShardState>], window_bound: EventKey) {
+/// canonical keys were fixed at send time and are never below the
+/// *destination's* window bound just drained (the incoming-channel lookahead
+/// guarantee), so this is a plain batch of heap insertions.
+fn merge_outboxes(guards: &mut [MutexGuard<'_, ShardState>]) {
     let mut moves: Vec<(usize, exchange::Outbound)> = Vec::new();
     for guard in guards.iter_mut() {
         for (destination, bucket) in guard.take_outbound() {
@@ -939,10 +1207,10 @@ fn merge_outboxes(guards: &mut [MutexGuard<'_, ShardState>], window_bound: Event
     }
     for (destination, outbound) in moves {
         debug_assert!(
-            outbound.key >= window_bound,
-            "cross-shard delivery {:?} would land inside the window bounded by {:?}",
+            outbound.key >= guards[destination].window_bound,
+            "cross-shard delivery {:?} would land inside the destination window bounded by {:?}",
             outbound.key,
-            window_bound
+            guards[destination].window_bound
         );
         guards[destination].queue.push(
             outbound.key,

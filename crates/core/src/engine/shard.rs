@@ -14,6 +14,24 @@
 //! `hits` for first-answer candidates recorded at any answering peer. The
 //! latter two are written by whichever shard processes the event and merged
 //! commutatively (sum, min-by-key) in finalize.
+//!
+//! ## Query lifecycle
+//!
+//! Every query-charged send increments the query's outstanding-message count
+//! and every consumed delivery decrements it (consumed means *dispatched* —
+//! TTL-dropped, duplicate-suppressed and offline-receiver deliveries all
+//! consume their message). The count hitting zero is the query's
+//! **completion**, a canonical class-4 event at the consuming delivery's
+//! time (see [`super::exchange`]): `completed_at` is recorded and the
+//! query's entry is pruned from the `issued` duplicate-suppression map, so a
+//! later re-query for the same file is legal the moment the original search
+//! actually died — not after the old `2·ttl·max_latency` worst-case bound.
+//! A query whose traffic never leaves its origin shard completes *inline*
+//! (the `outstanding`/`escaped` slabs below): all its events drain here in
+//! key order, so the local count is exact. Once a message escapes through an
+//! outbox the shard stops concluding anything locally and the coordinator
+//! detects completion by folding the per-shard [`LifecycleFlux`] at
+//! barriers.
 
 use std::collections::HashMap;
 
@@ -32,7 +50,7 @@ use crate::protocol::{PeerView, QueryContext, ResponseContext};
 use crate::provider::select_provider;
 
 use super::exchange::{deliver_key, Outbound};
-use super::tally::{decision_index, kind_index, Tallies};
+use super::tally::{decision_index, kind_index, LifecycleFlux, Tallies};
 use super::RunShared;
 
 /// A shard-local event. Periodic maintenance (Bloom sync) and churn are
@@ -58,10 +76,17 @@ pub(super) enum ShardEvent {
 pub(super) struct QueryTracking {
     pub origin: PeerId,
     pub origin_loc: LocId,
+    /// The Zipf target the query searches for; keys the `issued` entry that
+    /// the completion prunes.
+    pub target: FileId,
     pub satisfied: bool,
     pub download_distance_ms: Option<f64>,
     pub locality_match: bool,
     pub providers_offered: usize,
+    /// When the query's last in-flight message was consumed — the time of its
+    /// canonical class-4 completion event. `None` only if the run was
+    /// truncated by the event budget while messages were still travelling.
+    pub completed_at: Option<SimTime>,
     /// Provider-selection randomness, one independent stream per query so the
     /// draw sequence is a pure function of (seed, arrival index, response
     /// arrival order at the origin) — never of shard layout.
@@ -101,9 +126,32 @@ pub(super) struct ShardState {
     pub messages: Vec<u64>,
     /// Arrival index → this shard's earliest local-match candidate.
     pub hits: Vec<Option<HitMark>>,
-    /// Slot → (target file → last issue time), the in-flight duplicate-query
-    /// guard of the owning peer.
-    pub issued: Vec<HashMap<FileId, SimTime>>,
+    /// Slot → (target file → arrival index), the in-flight duplicate-query
+    /// guard of the owning peer. An entry exists exactly while that query is
+    /// genuinely in flight: the completion transition removes it, so the map
+    /// stays bounded by the peer's concurrent-query count over any horizon.
+    pub issued: Vec<HashMap<FileId, u32>>,
+    /// Arrival index → this shard's net outstanding-message count for the
+    /// query (sends − consumptions it processed). Exact — and equal to the
+    /// global count — while the query has never escaped its origin shard;
+    /// can dip below zero in non-origin shards, which consume messages they
+    /// never sent.
+    pub outstanding: Vec<i64>,
+    /// Arrival index → true once this shard outboxed one of the query's
+    /// messages. In the origin shard this disables inline completion.
+    pub escaped: Vec<bool>,
+    /// Per-query lifecycle deltas folded by the coordinator at barriers.
+    /// `None` in single-shard runs, where inline completion is always exact
+    /// and the hot path skips flux recording entirely.
+    pub flux: Option<LifecycleFlux>,
+    /// Arrival indexes whose Issue event this shard dispatched since the
+    /// last barrier (including skipped arrivals). Multi-shard only; the
+    /// coordinator drains it to advance its pending-arrival scan.
+    pub processed_arrivals: Vec<u32>,
+    /// The upper bound of the window this shard is currently draining, set by
+    /// the coordinator while holding every shard lock at the barrier. With
+    /// per-channel lookahead each shard gets its own bound.
+    pub window_bound: EventKey,
     /// Slot → messages sent so far by that peer: the sender-side sequence
     /// feeding [`deliver_key`]. Monotone in the sender's (deterministic)
     /// event order, so it FIFO-orders any two deliveries that tie on
@@ -134,6 +182,11 @@ impl ShardState {
             tracking: HashMap::new(),
             messages: vec![0; arrivals],
             hits: vec![None; arrivals],
+            outstanding: vec![0; arrivals],
+            escaped: vec![false; arrivals],
+            flux: (shards > 1).then(|| LifecycleFlux::new(arrivals)),
+            processed_arrivals: Vec::new(),
+            window_bound: EventKey::MAX,
             send_seq: vec![0; peer_count],
             tallies: Tallies::new(),
             dispatched: 0,
@@ -144,12 +197,14 @@ impl ShardState {
         }
     }
 
-    /// Drains every local event strictly below `bound`, dispatching at most
-    /// `cap` events (the run-wide event budget's share for this window).
-    pub(super) fn drain(&mut self, shared: &RunShared<'_>, bound: EventKey, cap: u64) {
+    /// Drains every local event strictly below `self.window_bound` (set by
+    /// the coordinator at the barrier), dispatching at most `cap` events
+    /// (the run-wide event budget's share for this window).
+    pub(super) fn drain(&mut self, shared: &RunShared<'_>, cap: u64) {
         if cap == 0 {
             return;
         }
+        let bound = self.window_bound;
         let graph = shared.graph.read().expect("overlay graph lock poisoned");
         let online = shared.online.read().expect("online snapshot lock poisoned");
         let mut dispatched = 0u64;
@@ -190,6 +245,11 @@ impl ShardState {
     ) {
         let origin = PeerId(shared.arrivals[index].peer as u32);
         debug_assert_eq!(shared.partition.shard(origin), self.shard as usize);
+        // Every dispatched Issue — skipped or not — retires its arrival from
+        // the coordinator's pending scan.
+        if self.flux.is_some() {
+            self.processed_arrivals.push(index as u32);
+        }
         let slot = shared.partition.slot(origin);
         if !self.peers[slot].online {
             return;
@@ -197,22 +257,19 @@ impl ShardState {
         // Peers query for files they do not already hold and are not already
         // querying (a duplicate of an in-flight query could be satisfied
         // without creating a second replica, which would break the replica
-        // accounting). An earlier query for the same target stops excluding it
-        // once it can no longer be in flight — a failed search may be retried,
-        // keeping the effective workload Zipf-shaped. Re-draw a few times; if
-        // the Zipf draws keep colliding, deterministically fall back to the
-        // most popular file the requestor can still legitimately search for.
+        // accounting). "In flight" is exact: an entry lives in `issued` from
+        // issue until the query's completion event prunes it, so a failed
+        // search may be retried the moment it actually dies — keeping the
+        // effective workload Zipf-shaped. Re-draw a few times; if the Zipf
+        // draws keep colliding, deterministically fall back to the most
+        // popular file the requestor can still legitimately search for.
         //
         // All randomness here comes from a stream derived per arrival index,
         // so the draw sequence — including the state-dependent redraw count —
         // is independent of every other arrival and of the shard layout.
         let now = key.time;
-        let in_flight_window = shared.in_flight_window;
-        let excluded = |state: &PeerState, issued: &HashMap<FileId, SimTime>, target: FileId| {
-            state.has_file(target)
-                || issued
-                    .get(&target)
-                    .is_some_and(|&at| now.duration_since(at) < in_flight_window)
+        let excluded = |state: &PeerState, issued: &HashMap<FileId, u32>, target: FileId| {
+            state.has_file(target) || issued.contains_key(&target)
         };
         let mut workload_rng = shared
             .rng_factory
@@ -238,7 +295,7 @@ impl ShardState {
             };
             query = generator.generate_for_target(shared.catalog, target, &mut workload_rng);
         }
-        self.issued[slot].insert(query.target, now);
+        self.issued[slot].insert(query.target, index as u32);
 
         // The query id *is* the arrival index — dense, globally unique and
         // identical for every shard count.
@@ -249,10 +306,12 @@ impl ShardState {
         self.tracking.insert(index as u32, QueryTracking {
             origin,
             origin_loc,
+            target: query.target,
             satisfied: false,
             download_distance_ms: None,
             locality_match: false,
             providers_offered: 0,
+            completed_at: None,
             selection_rng: shared
                 .rng_factory
                 .indexed_stream(StreamId::ProtocolTieBreak, index as u64),
@@ -299,6 +358,13 @@ impl ShardState {
         }
         targets.clear();
         self.scratch_targets = targets;
+
+        // A query with no forward targets is born complete: its completion
+        // event coincides with the issue (class 4 at `now`, which every
+        // later event already orders after).
+        if self.outstanding[index] == 0 && !self.escaped[index] {
+            self.complete_locally(shared, index, now);
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -313,6 +379,50 @@ impl ShardState {
         message: Message,
     ) {
         debug_assert_eq!(shared.partition.shard(to), self.shard as usize);
+        // Lifecycle accounting brackets the handler: a query-charged delivery
+        // is *consumed* by being dispatched, whatever then happens to it —
+        // offline receiver, duplicate suppression, TTL exhaustion all end
+        // this message's flight. The zero check must wait until the handler
+        // has run, though: consumption and the sends it triggers (forwarded
+        // copies, a response) are one atomic event, so a count that touches
+        // zero mid-event is not a completion — only the post-event count is.
+        let consumed = match &message {
+            Message::Query { query, .. } | Message::QueryResponse { query, .. } => {
+                let index = query.0 as usize;
+                self.outstanding[index] -= 1;
+                if let Some(flux) = &mut self.flux {
+                    flux.consume(index, key);
+                }
+                Some(index)
+            }
+            _ => None,
+        };
+        self.process_delivery(shared, graph, online, key, from, to, message);
+        if let Some(index) = consumed {
+            if self.outstanding[index] == 0 && !self.escaped[index] {
+                // This delivery was the query's last in-flight message and
+                // spawned nothing: its time is the completion time. Exact
+                // only in the origin shard of a never-escaped query (the
+                // local count then equals the global count);
+                // `complete_locally` is a no-op elsewhere.
+                self.complete_locally(shared, index, key.time);
+            }
+        }
+    }
+
+    /// The protocol-visible half of a delivery, after lifecycle consumption
+    /// and before the completion check in [`ShardState::handle_deliver`].
+    #[allow(clippy::too_many_arguments)]
+    fn process_delivery(
+        &mut self,
+        shared: &RunShared<'_>,
+        graph: &OverlayGraph,
+        online: &[bool],
+        key: EventKey,
+        from: PeerId,
+        to: PeerId,
+        message: Message,
+    ) {
         let slot = shared.partition.slot(to);
         if !self.peers[slot].online {
             return;
@@ -579,9 +689,35 @@ impl ShardState {
         }
     }
 
+    /// Applies query `index`'s completion at simulated time `now` — but only
+    /// if this shard holds its tracking (i.e. is its origin shard): records
+    /// `completed_at` and prunes the origin's `issued` entry, making the
+    /// target searchable again. Safe to call on any zero-crossing of the
+    /// local outstanding count; non-origin shards fall through. Also the
+    /// entry point for the coordinator's fold-detected completions of
+    /// escaped queries (applied at the canonical completion time recovered
+    /// from the folded flux).
+    pub(super) fn complete_locally(&mut self, shared: &RunShared<'_>, index: usize, now: SimTime) {
+        let Some(tracking) = self.tracking.get_mut(&(index as u32)) else {
+            return;
+        };
+        if tracking.completed_at.is_some() {
+            return;
+        }
+        tracking.completed_at = Some(now);
+        let slot = shared.partition.slot(tracking.origin);
+        let target = tracking.target;
+        // Remove only if the entry is still this query's: the value check
+        // keeps a later re-query's fresher entry intact.
+        if self.issued[slot].get(&target) == Some(&(index as u32)) {
+            self.issued[slot].remove(&target);
+        }
+    }
+
     // --- sending ------------------------------------------------------------
 
-    /// Sends a query-related message, charging it to the query's traffic count.
+    /// Sends a query-related message, charging it to the query's traffic
+    /// count and to its outstanding-message lifecycle count.
     pub(super) fn send(
         &mut self,
         shared: &RunShared<'_>,
@@ -594,8 +730,20 @@ impl ShardState {
         self.tallies.message_counts[kind_index(message.kind())] += 1;
         if let Some(index) = query {
             self.messages[index] += 1;
+            self.outstanding[index] += 1;
+            if let Some(flux) = &mut self.flux {
+                flux.charge(index);
+            }
         }
-        self.route(shared, now, from, to, message);
+        let crossed = self.route(shared, now, from, to, message);
+        if crossed {
+            if let Some(index) = query {
+                self.escaped[index] = true;
+                if let Some(flux) = &mut self.flux {
+                    flux.mark_escaped(index);
+                }
+            }
+        }
     }
 
     /// Sends a background (non-query) message such as a Bloom update.
@@ -614,10 +762,10 @@ impl ShardState {
 
     /// Stamps the canonical key and routes the delivery: into the local queue
     /// for same-shard destinations, into the destination's outbox bucket
-    /// otherwise. Cross-shard latencies are at least the window lookahead by
-    /// construction, so an outboxed delivery can never land inside the window
-    /// that sent it.
-    fn route(&mut self, shared: &RunShared<'_>, now: SimTime, from: PeerId, to: PeerId, message: Message) {
+    /// otherwise (returning `true` for the latter). Cross-shard latencies are
+    /// at least the destination's channel lookahead by construction, so an
+    /// outboxed delivery can never land inside the window that sent it.
+    fn route(&mut self, shared: &RunShared<'_>, now: SimTime, from: PeerId, to: PeerId, message: Message) -> bool {
         let latency = shared.link_latencies.latency(shared.topology, from, to);
         let at = now + latency;
         debug_assert_eq!(shared.partition.shard(from), self.shard as usize);
@@ -628,11 +776,13 @@ impl ShardState {
         let destination = shared.partition.shard(to);
         if destination == self.shard as usize {
             self.queue.push(key, ShardEvent::Deliver { from, to, message });
+            false
         } else {
             debug_assert!(
-                shared.lookahead.is_none_or(|w| latency >= w),
-                "cross-shard latency {latency:?} below the window lookahead {:?}",
-                shared.lookahead
+                shared.channel_lookahead[destination].is_none_or(|w| latency >= w),
+                "cross-shard latency {latency:?} below destination shard {destination}'s \
+                 channel lookahead {:?}",
+                shared.channel_lookahead[destination]
             );
             self.outboxes[destination].push(Outbound {
                 key,
@@ -640,6 +790,7 @@ impl ShardState {
                 to,
                 message,
             });
+            true
         }
     }
 

@@ -61,6 +61,7 @@ impl SimulationReport {
             mix(record.providers_offered as u64);
             mix(u64::from(record.hops_to_hit.unwrap_or(u32::MAX)));
             mix(u64::from(record.answered_from_cache));
+            mix(record.completion_time_ms.map_or(1, f64::to_bits));
         }
         hash
     }
@@ -149,6 +150,7 @@ mod tests {
             providers_offered: 3,
             hops_to_hit: Some(2),
             answered_from_cache: true,
+            completion_time_ms: Some(310.0),
         });
         metrics.push(QueryRecord {
             index: 1,
@@ -160,6 +162,7 @@ mod tests {
             providers_offered: 0,
             hops_to_hit: None,
             answered_from_cache: false,
+            completion_time_ms: Some(480.0),
         });
         SimulationReport {
             protocol: ProtocolKind::Locaware,

@@ -43,6 +43,11 @@ pub struct QueryRecord {
     /// True if the first hit came from a response index (cache) rather than a
     /// peer's own file store.
     pub answered_from_cache: bool,
+    /// Milliseconds from issue until the query's *last* in-flight message was
+    /// consumed — the exact end of its lifecycle, not an upper bound. `None`
+    /// only when the run was truncated (event budget) before the query
+    /// finished travelling.
+    pub completion_time_ms: Option<f64>,
 }
 
 impl QueryRecord {
@@ -148,6 +153,18 @@ impl RunMetrics {
         satisfied.iter().filter(|r| r.answered_from_cache).count() as f64 / satisfied.len() as f64
     }
 
+    /// Average query completion time in milliseconds — issue to the
+    /// consumption of the query's last in-flight message — over queries whose
+    /// lifecycle finished within the run.
+    pub fn avg_completion_time_ms(&self) -> f64 {
+        let times: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.completion_time_ms)
+            .collect();
+        crate::aggregate::mean(&times)
+    }
+
     /// Average number of providers offered per satisfied query.
     pub fn avg_providers_offered(&self) -> f64 {
         let offered: Vec<f64> = self
@@ -224,6 +241,7 @@ mod tests {
             providers_offered: if success { 2 } else { 0 },
             hops_to_hit: if success { Some(3) } else { None },
             answered_from_cache: success && index.is_multiple_of(2),
+            completion_time_ms: Some(40.0 + index as f64),
         }
     }
 
@@ -238,6 +256,15 @@ mod tests {
         assert!((m.success_rate() - 0.75).abs() < 1e-12);
         assert!((m.avg_messages_per_query() - 12.5).abs() < 1e-12);
         assert!((m.avg_download_distance_ms() - 150.0).abs() < 1e-12);
+        assert!((m.avg_completion_time_ms() - 41.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_time_skips_truncated_queries() {
+        let mut truncated = record(1, false, 2, None);
+        truncated.completion_time_ms = None;
+        let m = RunMetrics::from_records(vec![record(0, true, 5, Some(50.0)), truncated]);
+        assert!((m.avg_completion_time_ms() - 40.0).abs() < 1e-12);
     }
 
     #[test]

@@ -157,6 +157,48 @@ impl LinkLatencyCache {
         }
         views
     }
+
+    /// Per-(src, dst)-cell channel minima of the cached link set under
+    /// `assignment` (node index → cell in `0..cells`): `matrix[src][dst]` is
+    /// the smallest latency of any cached link from a node in `src` to a node
+    /// in `dst`, or `None` when no such link exists. Diagonal entries carry
+    /// the intra-cell minima.
+    ///
+    /// This is the CMB-style per-channel lookahead table of a conservative
+    /// parallel simulator: a message from shard `j` to shard `i` sent at time
+    /// `t` cannot arrive before `t + matrix[j][i]`, so shard `i` may safely
+    /// advance to `min over incoming j of (frontier + matrix[j][i])` — a
+    /// per-destination bound that is never tighter, and usually much looser,
+    /// than the global [`LinkLatencyCache::min_cross_partition_latency`].
+    pub fn channel_mins(&self, assignment: &[u32], cells: usize) -> Vec<Vec<Option<Duration>>> {
+        let mut matrix = vec![vec![None; cells]; cells];
+        let cell_of = |n: NodeId| assignment.get(n.index()).copied().unwrap_or(0);
+        for (from, to, latency) in self.links() {
+            let (src, dst) = (cell_of(from) as usize, cell_of(to) as usize);
+            if src >= cells || dst >= cells {
+                continue;
+            }
+            let entry = &mut matrix[src][dst];
+            *entry = Some(entry.map_or(latency, |m: Duration| m.min(latency)));
+        }
+        matrix
+    }
+
+    /// Per-destination-cell lookahead: for each cell, the minimum of
+    /// [`LinkLatencyCache::channel_mins`] over its *incoming* cross-cell
+    /// channels. `None` means no cached link enters the cell from outside —
+    /// unbounded lookahead for that cell.
+    pub fn incoming_channel_mins(&self, assignment: &[u32], cells: usize) -> Vec<Option<Duration>> {
+        let matrix = self.channel_mins(assignment, cells);
+        (0..cells)
+            .map(|dst| {
+                (0..cells)
+                    .filter(|&src| src != dst)
+                    .filter_map(|src| matrix[src][dst])
+                    .min()
+            })
+            .collect()
+    }
 }
 
 /// One partition cell's view of the cached link set; see
@@ -245,6 +287,63 @@ mod tests {
         // The global window length is the minimum over all per-cell views.
         let per_cell_min = views.iter().filter_map(|v| v.cross_min).min();
         assert_eq!(per_cell_min, Some(cross_min));
+    }
+
+    #[test]
+    fn channel_mins_match_per_link_minima() {
+        let topo = topology();
+        // Cells: [0, 20) = 0, [20, 40) = 1. Two links crossing 0→1, one
+        // intra-cell link in cell 0, none in cell 1.
+        let edges = [
+            (NodeId(0), NodeId(1)),
+            (NodeId(2), NodeId(20)),
+            (NodeId(3), NodeId(21)),
+        ];
+        let cache = LinkLatencyCache::build(&topo, edges);
+        let assignment: Vec<u32> = (0..40).map(|i| u32::from(i >= 20)).collect();
+
+        let matrix = cache.channel_mins(&assignment, 2);
+        let cross = topo
+            .latency(NodeId(2), NodeId(20))
+            .min(topo.latency(NodeId(3), NodeId(21)));
+        assert_eq!(matrix[0][1], Some(cross));
+        assert_eq!(matrix[1][0], Some(cross), "links are symmetric");
+        assert_eq!(matrix[0][0], Some(topo.latency(NodeId(0), NodeId(1))));
+        assert_eq!(matrix[1][1], None, "no intra-cell link in cell 1");
+
+        // Incoming mins agree with the matrix and with the global minimum.
+        let incoming = cache.incoming_channel_mins(&assignment, 2);
+        assert_eq!(incoming, vec![Some(cross), Some(cross)]);
+        assert_eq!(
+            incoming.iter().copied().flatten().min(),
+            cache.min_cross_partition_latency(&assignment)
+        );
+    }
+
+    #[test]
+    fn incoming_channel_mins_can_exceed_the_global_floor() {
+        let topo = topology();
+        // Three cells; find two cross links with different latencies so one
+        // destination's incoming minimum sits above the global floor.
+        let assignment: Vec<u32> = (0..40u32).map(|i| i / 14).collect(); // cells 0,1,2
+        let edges = [
+            (NodeId(0), NodeId(15)),  // 0 ↔ 1
+            (NodeId(1), NodeId(30)),  // 0 ↔ 2
+        ];
+        let cache = LinkLatencyCache::build(&topo, edges);
+        let l01 = topo.latency(NodeId(0), NodeId(15));
+        let l02 = topo.latency(NodeId(1), NodeId(30));
+        let incoming = cache.incoming_channel_mins(&assignment, 3);
+        assert_eq!(incoming[1], Some(l01), "cell 1 only hears from cell 0");
+        assert_eq!(incoming[2], Some(l02), "cell 2 only hears from cell 0");
+        assert_eq!(incoming[0], Some(l01.min(l02)));
+        let global = cache.min_cross_partition_latency(&assignment).unwrap();
+        assert_eq!(global, l01.min(l02));
+        // The looser of the two incoming bounds strictly beats the global
+        // floor whenever the two link latencies differ.
+        if l01 != l02 {
+            assert!(incoming[1].unwrap().max(incoming[2].unwrap()) > global);
+        }
     }
 
     #[test]

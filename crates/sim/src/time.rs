@@ -94,6 +94,29 @@ impl Duration {
         }
     }
 
+    /// Checked variant of [`Duration::from_millis_f64`]: returns `None` when
+    /// the value cannot be represented exactly-enough as microseconds — NaN,
+    /// infinite, or so large that the `f64 → u64` cast would saturate (the
+    /// unchecked constructor silently clamps such inputs to `u64::MAX`
+    /// microseconds, i.e. ~584 000 years). Validation paths should use this
+    /// and reject the configuration instead of simulating with a saturated
+    /// span. Negative inputs still clamp to zero: "no time" is representable.
+    pub fn try_from_millis_f64(ms: f64) -> Option<Self> {
+        if ms.is_nan() {
+            return None;
+        }
+        if ms <= 0.0 {
+            return Some(Duration(0));
+        }
+        let us = (ms * 1_000.0).round();
+        // 2^64 exactly; any finite f64 strictly below it casts without
+        // saturating. `is_finite` rejects +inf before the comparison.
+        if !us.is_finite() || us >= 18_446_744_073_709_551_616.0 {
+            return None;
+        }
+        Some(Duration(us as u64))
+    }
+
     /// Builds a duration from fractional seconds (rounded to the nearest
     /// microsecond). Negative inputs clamp to zero.
     pub fn from_secs_f64(s: f64) -> Self {
@@ -244,6 +267,28 @@ mod tests {
         assert_eq!(Duration::from_millis_f64(-3.0), Duration::ZERO);
         assert_eq!(Duration::from_secs_f64(0.25).as_micros(), 250_000);
         assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn try_from_millis_rejects_unrepresentable_spans() {
+        assert_eq!(
+            Duration::try_from_millis_f64(1.5),
+            Some(Duration::from_micros(1_500))
+        );
+        assert_eq!(Duration::try_from_millis_f64(-3.0), Some(Duration::ZERO));
+        assert_eq!(Duration::try_from_millis_f64(f64::NAN), None);
+        assert_eq!(Duration::try_from_millis_f64(f64::INFINITY), None);
+        // 2^64 microseconds is not representable; the unchecked constructor
+        // would silently saturate here.
+        let overflow_ms = 18_446_744_073_709_551_616.0 / 1_000.0;
+        assert_eq!(Duration::try_from_millis_f64(overflow_ms), None);
+        assert_eq!(
+            Duration::from_millis_f64(overflow_ms),
+            Duration::from_micros(u64::MAX),
+            "documented saturation of the unchecked constructor"
+        );
+        // Just below the limit stays representable (1e15 ms = 1e18 us).
+        assert!(Duration::try_from_millis_f64(1.0e15).is_some());
     }
 
     #[test]

@@ -62,6 +62,13 @@ fn report_bytes(report: &SimulationReport) -> Vec<u8> {
             None => bytes.push(0),
         }
         bytes.push(record.answered_from_cache as u8);
+        match record.completion_time_ms {
+            Some(t) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&t.to_bits().to_le_bytes());
+            }
+            None => bytes.push(0),
+        }
     }
     for counters in [&report.message_counters, &report.routing_decisions] {
         for (key, count) in counters.iter() {
@@ -491,22 +498,26 @@ fn report_fingerprint(report: &SimulationReport) -> u64 {
     hash
 }
 
-/// Golden fingerprints captured from the PR 4 tree (commit ffbf08c), pinning
-/// that the constant-rate (`Steady`) scenarios still produce **byte-identical
-/// reports** after the workload layer gained non-homogeneous schedules and
-/// weighted clusters: an omitted schedule must replay the legacy arrival
-/// generator draw-for-draw, and the churn-horizon fix must be a no-op for
-/// steady schedules. (The churn-storm rows also pin that the proactive
+/// Golden fingerprints for the constant-rate (`Steady`) scenarios, pinning the
+/// exact per-query report bytes across refactors that must not change
+/// observable behaviour. (The churn-storm rows also pin that the proactive
 /// provider-invalidation flag defaults to off = the historical behaviour.)
+///
+/// Re-baselined once in PR 6 (from the PR 4 values captured at commit
+/// ffbf08c): the fingerprint definition widened to cover the new
+/// `completion_time_ms` field, and the query-lifecycle tracking made
+/// completion times exact — both intentional observable changes. Every field
+/// that existed before PR 6 was verified byte-identical against the old tree
+/// before re-pinning.
 #[test]
 fn legacy_steady_scenarios_reproduce_pr4_fingerprints() {
     let cases: [(Scenario, ProtocolKind, usize, u64); 6] = [
-        (Scenario::small(60), ProtocolKind::Locaware, 40, 0x64d8ed7b4cb9906c),
-        (Scenario::small(60), ProtocolKind::Flooding, 40, 0x4596baa7a033f77c),
-        (Scenario::small(60), ProtocolKind::Dicas, 40, 0xbe6c9b1199a298bb),
-        (Scenario::small(120), ProtocolKind::Locaware, 80, 0x58c0ac364821c4f9),
-        (Scenario::churn_storm(60), ProtocolKind::Locaware, 40, 0x0b4211c3d34f3a78),
-        (Scenario::churn_storm(60), ProtocolKind::Flooding, 40, 0x80b47dab0a053107),
+        (Scenario::small(60), ProtocolKind::Locaware, 40, 0x5ec9f1b53ec68b39),
+        (Scenario::small(60), ProtocolKind::Flooding, 40, 0x44da88c3c6b3b41d),
+        (Scenario::small(60), ProtocolKind::Dicas, 40, 0x18818846c97c281e),
+        (Scenario::small(120), ProtocolKind::Locaware, 80, 0x7a4cbf46ddeedf62),
+        (Scenario::churn_storm(60), ProtocolKind::Locaware, 40, 0x7bdf5a9e8dfcc14d),
+        (Scenario::churn_storm(60), ProtocolKind::Flooding, 40, 0x04da57ae76c7ea16),
     ];
     for (scenario, protocol, queries, expected) in cases {
         let report = scenario.substrate().run(protocol, queries);

@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 
 use locaware::index::naive::NaiveResponseIndex;
-use locaware::{ResponseIndex, SelectionPolicy};
+use locaware::{ProtocolKind, ResponseIndex, Scenario, SelectionPolicy, SimulationConfig};
 use locaware_bloom::{BloomDelta, BloomFilter, BloomParams};
 use locaware_net::{LandmarkSet, LocId, NodeId, PhysicalTopology};
 use locaware_net::brite::{BriteConfig, BriteGenerator, PlacementModel};
@@ -417,6 +417,51 @@ proptest! {
         let d = Duration::from_micros(b);
         prop_assert_eq!((ta + d) - ta, d);
         prop_assert_eq!(ta.duration_since(ta + d), Duration::ZERO);
+    }
+
+    // ------------------------------------------------------- query lifecycle
+
+    /// The exact query lifecycle is shard-invariant. Random `Burst` schedules
+    /// compress arrivals into dense windows — the regime that stresses the
+    /// sharded engine's lifecycle machinery hardest: barrier folds of
+    /// outstanding-message flux, deferred duplicate-map prunes and the window
+    /// caps that hold back issues racing their own completion. A 1-shard and
+    /// a 4-shard run of the same substrate must agree on every per-query
+    /// record — in particular the completion times (all `Some`: nothing is
+    /// event-budget-truncated at these sizes) and the duplicate-suppression
+    /// decisions (each query's target redraws depend on the pruned `issued`
+    /// map, so a mistimed prune changes targets, messages and outcomes).
+    #[test]
+    fn query_lifecycle_is_shard_invariant_under_bursts(
+        peers in 40usize..=60,
+        multiplier in 1.5f64..40.0,
+        start_secs in 0.0f64..2000.0,
+        duration_secs in 50.0f64..2000.0,
+        queries in 8usize..=30,
+        seed in any::<u64>(),
+    ) {
+        let mut config = SimulationConfig::small(peers);
+        config.seed = seed;
+        config.arrival_schedule = ArrivalSchedule::Burst { multiplier, start_secs, duration_secs };
+        let run = |shards: usize| {
+            let mut config = config.clone();
+            config.shards = shards;
+            Scenario::from_config("burst-lifecycle", config)
+                .expect("a burst over SimulationConfig::small is well formed")
+                .substrate()
+                .run(ProtocolKind::Locaware, queries)
+        };
+        let single = run(1);
+        let sharded = run(4);
+        prop_assert_eq!(single.metrics.records(), sharded.metrics.records());
+        prop_assert_eq!(single.fingerprint(), sharded.fingerprint());
+        for record in single.metrics.records() {
+            prop_assert!(
+                record.completion_time_ms.is_some(),
+                "query {} has no completion time in an untruncated run",
+                record.index
+            );
+        }
     }
 
     // ------------------------------------------------------------ landmarks
