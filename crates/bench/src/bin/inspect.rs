@@ -16,28 +16,17 @@
 
 use locaware::{ExperimentPlan, ProtocolKind, Runner, Scenario};
 
-fn parse_protocol(name: &str) -> Option<ProtocolKind> {
-    Some(match name {
-        "flooding" => ProtocolKind::Flooding,
-        "dicas" => ProtocolKind::Dicas,
-        "dicas-keys" => ProtocolKind::DicasKeys,
-        "locaware" => ProtocolKind::Locaware,
-        "locaware-no-locality" => ProtocolKind::LocawareNoLocality,
-        "locaware-no-bloom" => ProtocolKind::LocawareNoBloom,
-        _ => return None,
-    })
-}
-
 fn usage() -> ! {
+    let labels: Vec<&str> = ProtocolKind::all().iter().map(|k| k.label()).collect();
     eprintln!("usage: inspect <protocol> [scenario] [peers] [queries] [seed]");
-    eprintln!("protocols: flooding dicas dicas-keys locaware locaware-no-locality locaware-no-bloom");
+    eprintln!("protocols: {}", labels.join(" "));
     eprintln!("scenarios: {}", Scenario::PRESET_NAMES.join(" "));
     std::process::exit(2);
 }
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(protocol) = args.first().and_then(|a| parse_protocol(a)) else {
+    let Some(protocol) = args.first().and_then(|a| ProtocolKind::from_label(a)) else {
         usage();
     };
     // Optional scenario name in second position; remaining args are numeric.

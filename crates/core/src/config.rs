@@ -115,6 +115,28 @@ pub enum ConfigError {
         /// Configured maximum one-way latency in milliseconds.
         max_latency_ms: f64,
     },
+    /// A structural DHT parameter (replication factor `k`, lookup parallelism
+    /// `alpha`, or the lookup hop budget) is zero.
+    ZeroDhtParameters,
+    /// The DHT record byte cap cannot hold even a single provider entry, so
+    /// every store would truncate to nothing.
+    DhtRecordBytesTooSmall {
+        /// The configured per-record byte cap.
+        max_record_bytes: usize,
+        /// The smallest cap that holds one entry.
+        minimum: usize,
+    },
+    /// A DHT period (record TTL or republish interval) is not positive and
+    /// finite.
+    NonPositiveDhtPeriod {
+        /// The offending period in simulated seconds.
+        period_secs: f64,
+    },
+    /// The hybrid protocol's head fraction is outside `[0, 1]`.
+    DhtHeadFractionOutOfRange {
+        /// The configured fraction.
+        head_fraction: f64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -175,6 +197,21 @@ impl std::fmt::Display for ConfigError {
             ConfigError::NonPositiveBloomSyncPeriod { period_secs } => {
                 write!(f, "Bloom sync period must be positive: got {period_secs}s")
             }
+            ConfigError::ZeroDhtParameters => {
+                write!(f, "DHT k, alpha and max lookup hops must be positive")
+            }
+            ConfigError::DhtRecordBytesTooSmall { max_record_bytes, minimum } => write!(
+                f,
+                "DHT record byte cap must hold at least one entry: got {max_record_bytes}, \
+                 need at least {minimum}"
+            ),
+            ConfigError::NonPositiveDhtPeriod { period_secs } => {
+                write!(f, "DHT periods must be positive and finite: got {period_secs}s")
+            }
+            ConfigError::DhtHeadFractionOutOfRange { head_fraction } => write!(
+                f,
+                "hybrid head fraction must be in [0, 1]: got {head_fraction}"
+            ),
         }
     }
 }
@@ -201,6 +238,15 @@ pub enum ProtocolKind {
     /// Ablation: Locaware without Bloom-filter routing (falls back to Gid-based
     /// routing only, like Dicas-Keys, but keeps the richer response index).
     LocawareNoBloom,
+    /// Structured baseline: a Kademlia-style keyword→providers DHT. Queries
+    /// resolve by iterative XOR-metric lookup instead of overlay forwarding;
+    /// file keywords are published on placement and download and republished
+    /// on a TTL.
+    DhtIndex,
+    /// Hybrid: the paper's own Zipf head/tail split — popular (head) targets
+    /// use Locaware's caching overlay, rare (tail) targets resolve through
+    /// the DHT index.
+    Hybrid,
 }
 
 impl ProtocolKind {
@@ -213,6 +259,36 @@ impl ProtocolKind {
         ProtocolKind::DicasKeys,
     ];
 
+    /// Every implemented protocol, in a stable order: the single source of
+    /// truth for tests, benches and examples that enumerate protocols, so a
+    /// new kind is a one-line addition here rather than a hunt across the
+    /// repository.
+    pub const ALL: [ProtocolKind; 8] = [
+        ProtocolKind::Flooding,
+        ProtocolKind::Dicas,
+        ProtocolKind::DicasKeys,
+        ProtocolKind::Locaware,
+        ProtocolKind::LocawareNoLocality,
+        ProtocolKind::LocawareNoBloom,
+        ProtocolKind::DhtIndex,
+        ProtocolKind::Hybrid,
+    ];
+
+    /// [`ProtocolKind::ALL`] as a slice (convenient for iteration).
+    pub fn all() -> &'static [ProtocolKind] {
+        &Self::ALL
+    }
+
+    /// Parses a [`ProtocolKind::label`] back into its kind.
+    pub fn from_label(label: &str) -> Option<ProtocolKind> {
+        Self::ALL.into_iter().find(|kind| kind.label() == label)
+    }
+
+    /// True for the structured protocols that run the DHT subsystem.
+    pub fn uses_dht(self) -> bool {
+        matches!(self, ProtocolKind::DhtIndex | ProtocolKind::Hybrid)
+    }
+
     /// A short label used in figures and reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -222,6 +298,8 @@ impl ProtocolKind {
             ProtocolKind::Locaware => "locaware",
             ProtocolKind::LocawareNoLocality => "locaware-no-locality",
             ProtocolKind::LocawareNoBloom => "locaware-no-bloom",
+            ProtocolKind::DhtIndex => "dht-index",
+            ProtocolKind::Hybrid => "hybrid",
         }
     }
 }
@@ -229,6 +307,57 @@ impl ProtocolKind {
 impl std::fmt::Display for ProtocolKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Parameters of the Kademlia-style keyword-index DHT (the structured
+/// protocols' subsystem). Defaults follow the original Kademlia paper where
+/// it gives values (`alpha = 3`) and common deployments elsewhere, scaled to
+/// the simulated population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DhtConfig {
+    /// Replication factor and bucket size `k`: each record lives on the `k`
+    /// nodes closest to its key, and each routing-table bucket keeps up to
+    /// `k` contacts. Kademlia deployments use 20 at million-node scale; 8 is
+    /// proportionate for a 1000-peer population.
+    pub k: usize,
+    /// Lookup parallelism `alpha`: how many closest contacts an iterative
+    /// lookup keeps in flight (Kademlia's tuned value is 3).
+    pub alpha: usize,
+    /// Byte cap per keyword record; stores beyond it deterministically evict
+    /// the stalest provider entries (the paper's index-size pressure, moved
+    /// into the DHT).
+    pub max_record_bytes: usize,
+    /// Lifetime of a stored provider entry in simulated seconds. Entries
+    /// older than this are filtered from lookups and garbage-collected at
+    /// republish rounds. Should exceed the republish period so live entries
+    /// never lapse between rounds.
+    pub record_ttl_secs: f64,
+    /// Period of the publisher-driven republish process in simulated seconds
+    /// (Kademlia republishes hourly; 900 s keeps a few rounds inside the
+    /// default experiment horizon).
+    pub republish_period_secs: f64,
+    /// Upper bound on iterative lookup depth, in hops. A safety valve only:
+    /// converged lookups terminate well below it (`O(log n)`).
+    pub max_lookup_hops: u32,
+    /// The hybrid protocol's head/tail split: targets in the most popular
+    /// `head_fraction` of the catalog resolve through the Locaware caching
+    /// overlay, the rest through the DHT. `0.0` makes hybrid pure DHT,
+    /// `1.0` pure overlay.
+    pub hybrid_head_fraction: f64,
+}
+
+impl Default for DhtConfig {
+    fn default() -> Self {
+        DhtConfig {
+            k: 8,
+            alpha: 3,
+            max_record_bytes: 2048,
+            record_ttl_secs: 1800.0,
+            republish_period_secs: 900.0,
+            max_lookup_hops: 15,
+            hybrid_head_fraction: 0.1,
+        }
     }
 }
 
@@ -312,6 +441,13 @@ pub struct SimulationConfig {
     /// seconds of simulated time.
     pub bloom_sync_period_secs: f64,
 
+    // --- structured index (only read by the DHT-backed protocols) ---------------
+    /// Parameters of the Kademlia-style keyword-index DHT that the
+    /// [`ProtocolKind::DhtIndex`] and [`ProtocolKind::Hybrid`] protocols run.
+    /// Ignored entirely by the six unstructured protocols, so legacy runs and
+    /// their fingerprints are untouched.
+    pub dht: DhtConfig,
+
     // --- churn (off by default; the paper's evaluation is static) ---------------
     /// Churn model parameters.
     pub churn: ChurnConfig,
@@ -379,6 +515,7 @@ impl SimulationConfig {
             bloom_bits: 1200,
             bloom_hashes: 5,
             bloom_sync_period_secs: 60.0,
+            dht: DhtConfig::default(),
             shards: 0,
             churn: ChurnConfig::disabled(),
             proactive_provider_invalidation: false,
@@ -519,6 +656,27 @@ impl SimulationConfig {
         if self.bloom_sync_period_secs <= 0.0 {
             return Err(ConfigError::NonPositiveBloomSyncPeriod {
                 period_secs: self.bloom_sync_period_secs,
+            });
+        }
+        if self.dht.k == 0 || self.dht.alpha == 0 || self.dht.max_lookup_hops == 0 {
+            return Err(ConfigError::ZeroDhtParameters);
+        }
+        let min_record_bytes =
+            locaware_overlay::dht::RECORD_KEY_BYTES + locaware_overlay::dht::RECORD_ENTRY_BYTES;
+        if self.dht.max_record_bytes < min_record_bytes {
+            return Err(ConfigError::DhtRecordBytesTooSmall {
+                max_record_bytes: self.dht.max_record_bytes,
+                minimum: min_record_bytes,
+            });
+        }
+        for period in [self.dht.record_ttl_secs, self.dht.republish_period_secs] {
+            if period <= 0.0 || !period.is_finite() {
+                return Err(ConfigError::NonPositiveDhtPeriod { period_secs: period });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.dht.hybrid_head_fraction) {
+            return Err(ConfigError::DhtHeadFractionOutOfRange {
+                head_fraction: self.dht.hybrid_head_fraction,
             });
         }
         Ok(())
@@ -726,6 +884,58 @@ mod tests {
     fn protocol_labels_are_stable() {
         assert_eq!(ProtocolKind::Locaware.label(), "locaware");
         assert_eq!(ProtocolKind::Flooding.to_string(), "flooding");
+        assert_eq!(ProtocolKind::DhtIndex.label(), "dht-index");
+        assert_eq!(ProtocolKind::Hybrid.label(), "hybrid");
         assert_eq!(ProtocolKind::PAPER_SET.len(), 4);
+    }
+
+    #[test]
+    fn protocol_all_enumerates_every_kind_with_unique_labels() {
+        let labels: std::collections::BTreeSet<&str> =
+            ProtocolKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), ProtocolKind::ALL.len(), "duplicate labels");
+        for kind in ProtocolKind::PAPER_SET {
+            assert!(ProtocolKind::ALL.contains(&kind), "PAPER_SET ⊄ ALL");
+        }
+        for &kind in ProtocolKind::all() {
+            assert_eq!(ProtocolKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(ProtocolKind::from_label("no-such-protocol"), None);
+        assert!(ProtocolKind::DhtIndex.uses_dht());
+        assert!(ProtocolKind::Hybrid.uses_dht());
+        assert!(!ProtocolKind::Locaware.uses_dht());
+    }
+
+    #[test]
+    fn dht_validation_catches_inconsistencies() {
+        let mut c = SimulationConfig::paper_defaults();
+        c.dht.k = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroDhtParameters));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.dht.alpha = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroDhtParameters));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.dht.max_record_bytes = 10;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::DhtRecordBytesTooSmall { max_record_bytes: 10, .. })
+        ));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.dht.republish_period_secs = 0.0;
+        assert!(matches!(c.validate(), Err(ConfigError::NonPositiveDhtPeriod { .. })));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.dht.record_ttl_secs = f64::INFINITY;
+        assert!(matches!(c.validate(), Err(ConfigError::NonPositiveDhtPeriod { .. })));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.dht.hybrid_head_fraction = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::DhtHeadFractionOutOfRange { .. })
+        ));
     }
 }

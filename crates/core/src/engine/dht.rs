@@ -1,0 +1,204 @@
+//! Engine-side DHT machinery: the identity directory and the origin-side
+//! iterative lookup state.
+//!
+//! The directory is the run's *identity oracle*: every peer's 160-bit node id
+//! and every keyword's record key, derived once from the seeded
+//! [`StreamId::DhtIds`] stream. It also answers "which online nodes are
+//! closest to this key" globally — the publish/republish paths use that
+//! oracle directly instead of simulating their own iterative lookups, in the
+//! same modelling spirit as the initial Bloom exchange ("modelled as already
+//! known at start") and the proactive-invalidation oracle: publisher-side
+//! maintenance is priced (every store transfer is a real, latency-paying
+//! message) but not path-simulated. *Query* lookups, which the paper's
+//! search-cost comparison actually measures, are genuinely iterative: the
+//! origin walks the key space contact by contact through
+//! [`DhtLookupState`], paying every hop.
+
+use locaware_overlay::{DhtDistance, DhtId, PeerId};
+use locaware_sim::{RngFactory, StreamId};
+use locaware_workload::KeywordId;
+use rand::Rng;
+
+/// The run-wide DHT identity oracle (immutable after construction).
+pub(crate) struct DhtDirectory {
+    /// Peer index → the peer's 160-bit node id.
+    node_ids: Vec<DhtId>,
+    /// Salt behind keyword record keys.
+    keyword_salt: u64,
+}
+
+impl DhtDirectory {
+    /// Derives every identity from the factory's [`StreamId::DhtIds`] stream.
+    pub(super) fn new(factory: &RngFactory, peers: usize) -> Self {
+        let mut rng = factory.stream(StreamId::DhtIds);
+        let peer_salt: u64 = rng.gen();
+        let keyword_salt: u64 = rng.gen();
+        DhtDirectory {
+            node_ids: (0..peers)
+                .map(|i| DhtId::derive(peer_salt, i as u64))
+                .collect(),
+            keyword_salt,
+        }
+    }
+
+    /// The node id of `peer`.
+    pub(super) fn node_id(&self, peer: PeerId) -> DhtId {
+        self.node_ids[peer.index()]
+    }
+
+    /// The record key of `keyword` (the hash of `idx:{keyword}`).
+    pub(super) fn keyword_key(&self, keyword: KeywordId) -> DhtId {
+        DhtId::derive(self.keyword_salt, u64::from(keyword.0))
+    }
+
+    /// Replaces `out` with the `count` **online** peers closest to `target`
+    /// (XOR distance, ties by peer id), nearest first — the global oracle the
+    /// publish/republish paths address their stores with.
+    pub(super) fn closest_online_into(
+        &self,
+        target: DhtId,
+        online: &[bool],
+        count: usize,
+        out: &mut Vec<PeerId>,
+    ) {
+        let mut ranked: Vec<(DhtDistance, PeerId)> = self
+            .node_ids
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| online.get(i).copied().unwrap_or(false))
+            .map(|(i, &id)| (target.distance(id), PeerId(i as u32)))
+            .collect();
+        ranked.sort_unstable();
+        out.clear();
+        out.extend(ranked.into_iter().take(count).map(|(_, peer)| peer));
+    }
+}
+
+/// Origin-side state of one iterative lookup (lives in the origin peer's
+/// shard, keyed by the query's arrival index).
+///
+/// The shortlist holds every candidate learned so far, sorted by
+/// `(distance to the record key, peer id)` with a queried flag; the origin
+/// keeps up to `alpha` steps in flight among the first `k` unqueried
+/// candidates. There are no timeouts: a step sent to a node that departed at
+/// a later churn barrier is simply lost (its consumption still retires the
+/// query's outstanding-message count, so the query completes honestly — just
+/// without that branch's answer).
+pub(super) struct DhtLookupState {
+    /// The full query keywords (the all-keywords match rule filters record
+    /// entries against these, not just the lookup keyword).
+    pub(super) keywords: Vec<KeywordId>,
+    /// The record key being walked towards.
+    pub(super) key: DhtId,
+    /// Shortlist: `(distance, peer, queried)`, ascending.
+    candidates: Vec<(DhtDistance, PeerId, bool)>,
+    /// Lookup steps currently in flight.
+    pub(super) inflight: usize,
+}
+
+impl DhtLookupState {
+    pub(super) fn new(keywords: Vec<KeywordId>, key: DhtId) -> Self {
+        DhtLookupState {
+            keywords,
+            key,
+            candidates: Vec::new(),
+            inflight: 0,
+        }
+    }
+
+    /// Merges a learned contact into the shortlist (deduplicated by peer,
+    /// kept sorted). Returns `false` if the peer was already known.
+    pub(super) fn add_candidate(&mut self, distance: DhtDistance, peer: PeerId) -> bool {
+        if self.candidates.iter().any(|&(_, p, _)| p == peer) {
+            return false;
+        }
+        let position = self
+            .candidates
+            .partition_point(|&(d, p, _)| (d, p) < (distance, peer));
+        self.candidates.insert(position, (distance, peer, false));
+        true
+    }
+
+    /// The next unqueried candidate among the `k` closest, marked queried.
+    /// `None` once the `k` closest known contacts have all been asked — the
+    /// Kademlia termination condition.
+    pub(super) fn take_next_target(&mut self, k: usize) -> Option<PeerId> {
+        for entry in self.candidates.iter_mut().take(k) {
+            if !entry.2 {
+                entry.2 = true;
+                return Some(entry.1);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directory_identities_are_deterministic_and_distinct() {
+        let a = DhtDirectory::new(&RngFactory::new(7), 50);
+        let b = DhtDirectory::new(&RngFactory::new(7), 50);
+        let c = DhtDirectory::new(&RngFactory::new(8), 50);
+        for i in 0..50u32 {
+            assert_eq!(a.node_id(PeerId(i)), b.node_id(PeerId(i)));
+        }
+        assert_ne!(a.node_id(PeerId(0)), c.node_id(PeerId(0)));
+        assert_ne!(a.node_id(PeerId(0)), a.node_id(PeerId(1)));
+        assert_eq!(a.keyword_key(KeywordId(3)), b.keyword_key(KeywordId(3)));
+        assert_ne!(a.keyword_key(KeywordId(3)), a.keyword_key(KeywordId(4)));
+        // Peer and keyword spaces use different salts: same value, different id.
+        assert_ne!(a.node_id(PeerId(3)), a.keyword_key(KeywordId(3)));
+    }
+
+    #[test]
+    fn closest_online_filters_and_ranks_exhaustively() {
+        let directory = DhtDirectory::new(&RngFactory::new(42), 20);
+        let mut online = vec![true; 20];
+        online[3] = false;
+        online[11] = false;
+        let target = directory.keyword_key(KeywordId(9));
+        let mut got = Vec::new();
+        directory.closest_online_into(target, &online, 5, &mut got);
+        // Model: rank every online peer by (distance, id) and take 5.
+        let mut expected: Vec<(DhtDistance, PeerId)> = (0..20u32)
+            .filter(|&i| online[i as usize])
+            .map(|i| (target.distance(directory.node_id(PeerId(i))), PeerId(i)))
+            .collect();
+        expected.sort_unstable();
+        let expected: Vec<PeerId> = expected.into_iter().take(5).map(|(_, p)| p).collect();
+        assert_eq!(got, expected);
+        assert!(!got.contains(&PeerId(3)) && !got.contains(&PeerId(11)));
+        // The buffer is replaced, not appended to.
+        directory.closest_online_into(target, &online, 2, &mut got);
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn lookup_state_walks_the_k_closest_once_each() {
+        let directory = DhtDirectory::new(&RngFactory::new(1), 10);
+        let key = directory.keyword_key(KeywordId(0));
+        let mut state = DhtLookupState::new(vec![KeywordId(0)], key);
+        for i in 0..10u32 {
+            let peer = PeerId(i);
+            assert!(state.add_candidate(key.distance(directory.node_id(peer)), peer));
+            assert!(
+                !state.add_candidate(key.distance(directory.node_id(peer)), peer),
+                "duplicate candidate accepted"
+            );
+        }
+        let mut asked = Vec::new();
+        while let Some(target) = state.take_next_target(4) {
+            asked.push(target);
+        }
+        assert_eq!(asked.len(), 4, "only the k closest are ever queried");
+        let mut ranked: Vec<(DhtDistance, PeerId)> = (0..10u32)
+            .map(|i| (key.distance(directory.node_id(PeerId(i))), PeerId(i)))
+            .collect();
+        ranked.sort_unstable();
+        let expected: Vec<PeerId> = ranked.into_iter().take(4).map(|(_, p)| p).collect();
+        assert_eq!(asked, expected, "queried nearest-first");
+    }
+}

@@ -63,6 +63,10 @@ pub(crate) const CLASS_DELIVER: u8 = 3;
 /// equal times — a query completing at `t` is still in flight to an issue
 /// or delivery at `t`).
 pub(crate) const CLASS_COMPLETE: u8 = 4;
+/// Event-class rank of periodic DHT republish rounds (structured protocols
+/// only): after completions at equal times, so a republish at `t` sees the
+/// storage state every query completing at `t` left behind.
+pub(crate) const CLASS_DHT_REPUBLISH: u8 = 5;
 
 /// The canonical key of the `index`-th query arrival firing at `at`.
 pub(crate) fn issue_key(at: SimTime, index: usize) -> EventKey {

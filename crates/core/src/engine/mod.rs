@@ -74,6 +74,7 @@
 //! [`LinkLatencyCache::incoming_channel_mins`]:
 //!   locaware_net::LinkLatencyCache::incoming_channel_mins
 
+mod dht;
 mod exchange;
 mod shard;
 mod tally;
@@ -89,7 +90,9 @@ use locaware_bloom::BloomParams;
 use locaware_metrics::{QueryOutcome, QueryRecord, RunMetrics};
 use locaware_net::{LinkLatencyCache, LocId, PhysicalTopology};
 use locaware_overlay::churn::ChurnEvent;
-use locaware_overlay::{ChurnEventKind, Message, OverlayGraph, PeerId};
+use locaware_overlay::{
+    ChurnEventKind, DhtNode, Message, MessageKind, OverlayGraph, PeerId, ProviderEntry,
+};
 use locaware_sim::{Duration, EventKey, RngFactory, SimTime, StreamId};
 use locaware_workload::{Arrival, Catalog, KeywordHashes, QueryGenerator};
 
@@ -97,11 +100,14 @@ use crate::config::{ProtocolKind, SimulationConfig};
 use crate::group::GroupScheme;
 use crate::peer::PeerState;
 use crate::protocol::Protocol;
-use crate::results::SimulationReport;
+use crate::results::{DhtRunStats, SimulationReport};
 
 pub(crate) use exchange::locality_rank_order;
 
-use exchange::{completion_key, issue_key, PeerPartition, CLASS_BLOOM_SYNC, CLASS_CHURN};
+use dht::DhtDirectory;
+use exchange::{
+    completion_key, issue_key, PeerPartition, CLASS_BLOOM_SYNC, CLASS_CHURN, CLASS_DHT_REPUBLISH,
+};
 use shard::{ShardEvent, ShardState};
 use tally::{labelled_counters, Tallies, FORWARD_DECISIONS, MESSAGE_KINDS};
 
@@ -125,6 +131,9 @@ pub(crate) struct RunShared<'a> {
     pub(crate) query_generator: &'a QueryGenerator,
     pub(crate) rng_factory: RngFactory,
     pub(crate) partition: &'a PeerPartition,
+    /// The DHT identity oracle — `Some` exactly for structured protocols
+    /// ([`Protocol::uses_dht`]). Immutable for the whole run.
+    pub(crate) dht: Option<DhtDirectory>,
     pub(crate) graph: RwLock<OverlayGraph>,
     pub(crate) online: RwLock<Vec<bool>>,
     /// Per-destination-shard channel lookahead: `channel_lookahead[i]` is the
@@ -154,6 +163,7 @@ pub(crate) struct ProtocolEngine<'a> {
     churn_rng: StdRng,
     rng_factory: RngFactory,
     bloom_params: BloomParams,
+    dht: Option<DhtDirectory>,
 }
 
 impl<'a> ProtocolEngine<'a> {
@@ -247,6 +257,70 @@ impl<'a> ProtocolEngine<'a> {
             &mut workload_rng,
         );
 
+        // Structured protocols: derive the run's DHT identities, install
+        // per-peer DHT state, and seed routing tables and record stores.
+        // Like the group-id and initial Bloom exchanges above, the bootstrap
+        // is modelled as already converged at simulation start: every peer
+        // has observed every other's node id (bucket capacities still apply,
+        // so far buckets keep only their first `k` in peer-id order), and
+        // each initially shared, DHT-indexed file is stored on the `k`
+        // closest nodes to each of its keyword keys — no messages charged.
+        let dht = if protocol.uses_dht() {
+            let directory = DhtDirectory::new(rng_factory, config.peers);
+            for (i, peer) in peers.iter_mut().enumerate() {
+                peer.dht = Some(DhtNode::new(
+                    directory.node_id(PeerId(i as u32)),
+                    config.dht.k,
+                    config.dht.max_record_bytes,
+                ));
+            }
+            for i in 0..config.peers {
+                for j in 0..config.peers {
+                    if i == j {
+                        continue;
+                    }
+                    let other = PeerId(j as u32);
+                    let other_id = directory.node_id(other);
+                    peers[i]
+                        .dht
+                        .as_mut()
+                        .expect("just installed")
+                        .table
+                        .insert(other_id, other);
+                }
+            }
+            let all_online = vec![true; config.peers];
+            let expiry = SimTime::ZERO + Duration::from_secs_f64(config.dht.record_ttl_secs);
+            let mut targets = Vec::new();
+            for i in 0..config.peers {
+                let provider = ProviderEntry {
+                    provider: PeerId(i as u32),
+                    loc_id: loc_ids[i],
+                };
+                for &file in &initial_shares[i] {
+                    let rank = query_generator.rank_of(file);
+                    if !protocol.dht_resolves_rank(rank, catalog.len()) {
+                        continue;
+                    }
+                    for &kw in catalog.filename(file).keywords() {
+                        let key = directory.keyword_key(kw);
+                        directory.closest_online_into(key, &all_online, config.dht.k, &mut targets);
+                        for &target in &targets {
+                            peers[target.index()]
+                                .dht
+                                .as_mut()
+                                .expect("just installed")
+                                .store
+                                .insert(kw.0, file.0, provider, expiry);
+                        }
+                    }
+                }
+            }
+            Some(directory)
+        } else {
+            None
+        };
+
         ProtocolEngine {
             config,
             protocol,
@@ -264,6 +338,7 @@ impl<'a> ProtocolEngine<'a> {
             churn_rng: rng_factory.stream(StreamId::Churn),
             rng_factory: *rng_factory,
             bloom_params,
+            dht,
         }
     }
 
@@ -274,25 +349,27 @@ impl<'a> ProtocolEngine<'a> {
 
         // Per-destination channel lookaheads: shard `i`'s window may extend
         // `W_i` past the global frontier, where `W_i` lower-bounds the latency
-        // of any message that can cross INTO shard `i`. Static runs only ever
-        // send along overlay links, so `W_i` is the minimum incoming
-        // cross-shard link latency; churn can rewire any pair, so every shard
-        // falls back to the configured minimum pair latency (rounding to
-        // integer microseconds is monotone, so the rounded configured minimum
-        // bounds every rounded pair latency). `None` means shard `i` has no
-        // incoming cross-shard channel (unbounded horizon).
-        let channel_lookahead = |partition: &PeerPartition, churn_free: bool, shards: usize| {
+        // of any message that can cross INTO shard `i`. Static overlay-only
+        // runs only ever send along overlay links, so `W_i` is the minimum
+        // incoming cross-shard link latency; churn can rewire any pair, and
+        // DHT traffic travels arbitrary peer pairs from the start, so in
+        // either case every shard falls back to the configured minimum pair
+        // latency (rounding to integer microseconds is monotone, so the
+        // rounded configured minimum bounds every rounded pair latency).
+        // `None` means shard `i` has no incoming cross-shard channel
+        // (unbounded horizon).
+        let channel_lookahead = |partition: &PeerPartition, links_only: bool, shards: usize| {
             if shards == 1 {
                 vec![None]
-            } else if churn_free {
+            } else if links_only {
                 self.link_latencies
                     .incoming_channel_mins(&partition.shard_of, shards)
             } else {
                 vec![Some(Duration::from_millis_f64(self.config.min_latency_ms)); shards]
             }
         };
-        let mut lookahead =
-            channel_lookahead(&partition, self.churn_schedule.is_empty(), shard_count);
+        let links_only = self.churn_schedule.is_empty() && !self.protocol.uses_dht();
+        let mut lookahead = channel_lookahead(&partition, links_only, shard_count);
         if shard_count > 1 && lookahead.contains(&Some(Duration::ZERO)) {
             // A zero lookahead means some cross-shard message could land in
             // the very window that sent it (sub-microsecond latencies rounding
@@ -363,6 +440,25 @@ impl<'a> ProtocolEngine<'a> {
                 t += period;
             }
         }
+        if self.protocol.uses_dht() {
+            let mut period = Duration::from_secs_f64(self.config.dht.republish_period_secs);
+            if period == Duration::ZERO {
+                // A sub-microsecond period rounds to zero; pin it to the time
+                // grid's resolution so the round loop always advances.
+                period = Duration::from_micros(1);
+            }
+            let horizon = last_arrival + Duration::from_secs(60);
+            let mut t = SimTime::ZERO + period;
+            let mut round = 0u64;
+            while t <= horizon {
+                control.push((
+                    EventKey::new(t, CLASS_DHT_REPUBLISH, round, 0),
+                    ControlAction::DhtRepublish,
+                ));
+                round += 1;
+                t += period;
+            }
+        }
         for (i, event) in self.churn_schedule.iter().enumerate() {
             control.push((
                 EventKey::new(event.at, CLASS_CHURN, i as u64, 0),
@@ -385,6 +481,7 @@ impl<'a> ProtocolEngine<'a> {
             query_generator: &self.query_generator,
             rng_factory: self.rng_factory,
             partition: &partition,
+            dht: self.dht.take(),
             graph: RwLock::new(std::mem::replace(&mut self.graph, OverlayGraph::new(0))),
             online: RwLock::new(vec![true; self.config.peers]),
             channel_lookahead: lookahead,
@@ -507,12 +604,18 @@ impl<'a> ProtocolEngine<'a> {
         // tie-break by index), so records renumber contiguously in it.
         let mut metrics = RunMetrics::new();
         let mut emitted = 0u64;
+        let mut dht_lookups = 0u64;
+        let mut dht_depth_total = 0u64;
         for index in 0..self.arrivals.len() {
             let origin = PeerId(self.arrivals[index].peer as u32);
             let Some(tracking) = shards[partition.shard(origin)].tracking.get(&(index as u32))
             else {
                 continue;
             };
+            if tracking.dht_lookup {
+                dht_lookups += 1;
+                dht_depth_total += u64::from(tracking.dht_depth);
+            }
             let messages: u64 = shards.iter().map(|s| s.messages[index]).sum();
             let hit = shards
                 .iter()
@@ -550,6 +653,29 @@ impl<'a> ProtocolEngine<'a> {
             .map(|p| p.response_index.len())
             .sum();
 
+        let dht = self.protocol.uses_dht().then(|| {
+            let mut stats = DhtRunStats {
+                lookups: dht_lookups,
+                lookup_depth_total: dht_depth_total,
+                store_messages: totals.message_counts[tally::kind_index(MessageKind::DhtStore)],
+                records: 0,
+                provider_entries: 0,
+                record_bytes: 0,
+                truncated_entries: 0,
+                expired_entries: 0,
+            };
+            for peer in shards.iter().flat_map(|s| s.peers.iter()) {
+                if let Some(node) = peer.dht.as_ref() {
+                    stats.records += node.store.records();
+                    stats.provider_entries += node.store.entries();
+                    stats.record_bytes += node.store.bytes();
+                    stats.truncated_entries += node.store.truncated_entries();
+                    stats.expired_entries += node.store.expired_entries();
+                }
+            }
+            stats
+        });
+
         let dispatched_events =
             coordinator.controls_dispatched + shards.iter().map(|s| s.dispatched).sum::<u64>();
         let end_time = shards
@@ -570,6 +696,7 @@ impl<'a> ProtocolEngine<'a> {
             total_cached_index_entries: total_cached,
             simulated_end_time_secs: end_time.as_secs_f64(),
             dispatched_events,
+            dht,
         }
     }
 }
@@ -596,6 +723,8 @@ fn worker_threads_available() -> bool {
 enum ControlAction {
     /// One periodic Bloom synchronisation round over all peers.
     BloomSync,
+    /// One periodic DHT republish round over all peers.
+    DhtRepublish,
     /// The `i`-th entry of the churn schedule.
     Churn(usize),
 }
@@ -1013,6 +1142,7 @@ impl Coordinator {
         self.control_end_time = key.time;
         match action {
             ControlAction::BloomSync => self.bloom_sync(shared, guards, key.time),
+            ControlAction::DhtRepublish => self.dht_republish(shared, guards, key.time),
             ControlAction::Churn(index) => {
                 let event = self.churn_schedule[index];
                 self.apply_churn(shared, guards, event);
@@ -1094,6 +1224,73 @@ impl Coordinator {
         }
     }
 
+    /// One DHT republish round: every online peer sweeps expired entries from
+    /// its own record store, then re-announces each of its shared,
+    /// DHT-indexed files to the *current* `k` closest online index nodes —
+    /// in peer-id order, serially at the barrier, exactly like a Bloom sync
+    /// round. Each remote store transfer is a real background message paying
+    /// link latency (the receiver stamps the TTL at delivery time);
+    /// self-targets store locally for free. This is what re-homes records
+    /// whose index nodes departed and refreshes TTLs so live records outlast
+    /// `record_ttl_secs`.
+    fn dht_republish(
+        &mut self,
+        shared: &RunShared<'_>,
+        guards: &mut [MutexGuard<'_, ShardState>],
+        now: SimTime,
+    ) {
+        let Some(directory) = shared.dht.as_ref() else {
+            return;
+        };
+        let online = shared.online.read().expect("online snapshot lock poisoned");
+        let ttl = Duration::from_secs_f64(shared.config.dht.record_ttl_secs);
+        let mut targets = Vec::new();
+        for i in 0..shared.config.peers {
+            let from = PeerId(i as u32);
+            let shard = shared.partition.shard(from);
+            let slot = shared.partition.slot(from);
+            if !guards[shard].peers[slot].online {
+                continue;
+            }
+            if let Some(node) = guards[shard].peers[slot].dht.as_mut() {
+                node.store.expire(now);
+            }
+            let provider = ProviderEntry {
+                provider: from,
+                loc_id: shared.loc_ids[i],
+            };
+            let files: Vec<locaware_workload::FileId> =
+                guards[shard].peers[slot].shared_files().collect();
+            for file in files {
+                let rank = shared.query_generator.rank_of(file);
+                if !shared.protocol.dht_resolves_rank(rank, shared.catalog.len()) {
+                    continue;
+                }
+                for &kw in shared.catalog.filename(file).keywords() {
+                    let key = directory.keyword_key(kw);
+                    directory.closest_online_into(key, &online, shared.config.dht.k, &mut targets);
+                    for &target in &targets {
+                        if target == from {
+                            guards[shard].peers[slot]
+                                .dht
+                                .as_mut()
+                                .expect("structured peers carry DHT state")
+                                .store
+                                .insert(kw.0, file.0, provider, now + ttl);
+                        } else {
+                            let message = Message::DhtStore {
+                                keyword: kw.0,
+                                file: file.0,
+                                provider,
+                            };
+                            guards[shard].send_background(shared, now, from, target, message);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// One churn transition, mutating the graph, the affected peers (possibly
     /// across several shards) and the online snapshot — all under the write
     /// locks the window drains read.
@@ -1123,6 +1320,32 @@ impl Coordinator {
                     let ns = shared.partition.shard(n);
                     let nslot = shared.partition.slot(n);
                     guards[ns].peers[nslot].forget_neighbor(peer);
+                }
+                if shared.dht.is_some() {
+                    // Failure detection modelled at the barrier, like the
+                    // rewiring itself: the departed node leaves every online
+                    // routing table (in peer-id order). Its *record entries*
+                    // are dropped only under proactive invalidation — by
+                    // default they linger until TTL expiry or a lookup's
+                    // online filter skips them, which is exactly the index
+                    // staleness the churn-storm comparison measures.
+                    for other in 0..shared.config.peers {
+                        if other == peer.index() {
+                            continue;
+                        }
+                        let other_id = PeerId(other as u32);
+                        let os = shared.partition.shard(other_id);
+                        let oslot = shared.partition.slot(other_id);
+                        if !guards[os].peers[oslot].online {
+                            continue;
+                        }
+                        if let Some(node) = guards[os].peers[oslot].dht.as_mut() {
+                            node.table.remove(peer);
+                            if shared.config.proactive_provider_invalidation {
+                                node.store.remove_provider(peer);
+                            }
+                        }
+                    }
                 }
                 if shared.config.proactive_provider_invalidation {
                     // CUP-style proactive invalidation, modelled as an
@@ -1178,6 +1401,33 @@ impl Coordinator {
                             peer_gid,
                             shared.bloom_params,
                         );
+                    }
+                }
+                if let Some(directory) = shared.dht.as_ref() {
+                    // The joiner bootstraps a fresh routing table from the
+                    // online population and announces its node id to every
+                    // online peer, in peer-id order. Its record store
+                    // restarts empty (`reset_volatile_state` cleared it);
+                    // records it should host migrate back at the next
+                    // republish round, and its own files re-announce then
+                    // too.
+                    let joiner_id = directory.node_id(peer);
+                    for other in 0..shared.config.peers {
+                        if other == peer.index() {
+                            continue;
+                        }
+                        let other_id = PeerId(other as u32);
+                        let os = shared.partition.shard(other_id);
+                        let oslot = shared.partition.slot(other_id);
+                        if !guards[os].peers[oslot].online {
+                            continue;
+                        }
+                        if let Some(node) = guards[shard].peers[slot].dht.as_mut() {
+                            node.table.insert(directory.node_id(other_id), other_id);
+                        }
+                        if let Some(node) = guards[os].peers[oslot].dht.as_mut() {
+                            node.table.insert(joiner_id, peer);
+                        }
                     }
                 }
             }

@@ -33,7 +33,7 @@
 //! detects completion by folding the per-shard [`LifecycleFlux`] at
 //! barriers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use rand::rngs::StdRng;
 
@@ -41,7 +41,7 @@ use locaware_bloom::ElementHashes;
 use locaware_net::LocId;
 use locaware_overlay::routing::decrement_ttl;
 use locaware_overlay::{Message, OverlayGraph, PeerId, ProviderEntry, QueryId};
-use locaware_sim::{EventKey, ShardQueue, SimTime, StreamId};
+use locaware_sim::{Duration, EventKey, ShardQueue, SimTime, StreamId};
 use locaware_workload::{FileId, KeywordId};
 
 use crate::config::ProtocolKind;
@@ -49,6 +49,7 @@ use crate::peer::PeerState;
 use crate::protocol::{PeerView, QueryContext, ResponseContext};
 use crate::provider::select_provider;
 
+use super::dht::DhtLookupState;
 use super::exchange::{deliver_key, Outbound};
 use super::tally::{decision_index, kind_index, LifecycleFlux, Tallies};
 use super::RunShared;
@@ -91,6 +92,12 @@ pub(super) struct QueryTracking {
     /// draw sequence is a pure function of (seed, arrival index, response
     /// arrival order at the origin) — never of shard layout.
     pub selection_rng: StdRng,
+    /// Whether the query resolved through the DHT (structured protocols, and
+    /// for the hybrid only tail-rank targets).
+    pub dht_lookup: bool,
+    /// Deepest lookup hop whose reply reached the origin (0 = answered from
+    /// the origin's own record store, or no reply at all).
+    pub dht_depth: u32,
 }
 
 /// A local-match candidate for "first answer wins" semantics: the shard-local
@@ -122,6 +129,11 @@ pub(super) struct ShardState {
     /// `messages`/`hits` slabs below stay dense: they are genuinely written
     /// by every shard and merged commutatively, and their entries are small.
     pub tracking: HashMap<u32, QueryTracking>,
+    /// Arrival index → the origin-driven iterative DHT lookup still walking
+    /// for that query (origin shard only, structured protocols only). An
+    /// entry exists exactly while the walk is live: satisfaction, shortlist
+    /// exhaustion and query completion each remove it.
+    pub dht_lookups: HashMap<u32, DhtLookupState>,
     /// Arrival index → messages this shard charged to the query.
     pub messages: Vec<u64>,
     /// Arrival index → this shard's earliest local-match candidate.
@@ -180,6 +192,7 @@ impl ShardState {
             queue: ShardQueue::new(),
             outboxes: (0..shards).map(|_| Vec::new()).collect(),
             tracking: HashMap::new(),
+            dht_lookups: HashMap::new(),
             messages: vec![0; arrivals],
             hits: vec![None; arrivals],
             outstanding: vec![0; arrivals],
@@ -216,7 +229,9 @@ impl ShardState {
             debug_assert!(key.time >= self.last_event_time || self.dispatched == 0);
             self.last_event_time = key.time;
             match event {
-                ShardEvent::Issue(index) => self.handle_issue(shared, &graph, key, index as usize),
+                ShardEvent::Issue(index) => {
+                    self.handle_issue(shared, &graph, &online, key, index as usize)
+                }
                 ShardEvent::Deliver { from, to, message } => {
                     self.handle_deliver(shared, &graph, &online, key, from, to, message)
                 }
@@ -240,6 +255,7 @@ impl ShardState {
         &mut self,
         shared: &RunShared<'_>,
         graph: &OverlayGraph,
+        online: &[bool],
         key: EventKey,
         index: usize,
     ) {
@@ -315,53 +331,68 @@ impl ShardState {
             selection_rng: shared
                 .rng_factory
                 .indexed_stream(StreamId::ProtocolTieBreak, index as u64),
+            dht_lookup: false,
+            dht_depth: 0,
         });
 
         // The originator registers the query locally (no upstream).
         self.peers[slot].router.on_query(query_id, None);
 
-        let target_filename = if shared.protocol.kind() == ProtocolKind::Dicas {
-            Some(query.target)
+        let structured = shared.protocol.uses_dht()
+            && shared.protocol.dht_resolves_rank(
+                shared.query_generator.rank_of(query.target),
+                shared.catalog.len(),
+            );
+        if structured {
+            // Structured resolution: the query never touches the overlay —
+            // it walks the keyword DHT instead (no forward decision either;
+            // routing-decision counters are an overlay concept).
+            self.dht_issue(shared, online, key, index, slot, query_id, &query.keywords);
         } else {
-            None
-        };
-        shared
-            .keyword_hashes
-            .of_all_into(&query.keywords, &mut self.scratch_hashes);
-        let mut targets = std::mem::take(&mut self.scratch_targets);
-        let decision = {
-            let qctx = QueryContext {
+            let target_filename = if shared.protocol.kind() == ProtocolKind::Dicas {
+                Some(query.target)
+            } else {
+                None
+            };
+            shared
+                .keyword_hashes
+                .of_all_into(&query.keywords, &mut self.scratch_hashes);
+            let mut targets = std::mem::take(&mut self.scratch_targets);
+            let decision = {
+                let qctx = QueryContext {
+                    query: query_id,
+                    origin,
+                    origin_loc,
+                    keywords: &query.keywords,
+                    keyword_hashes: &self.scratch_hashes,
+                    target_filename,
+                };
+                let view = self.view(graph, shared, slot);
+                shared
+                    .protocol
+                    .forward_targets_into(&view, &qctx, None, &mut targets)
+            };
+            self.tallies.decision_counts[decision_index(decision)] += 1;
+
+            let message = Message::Query {
                 query: query_id,
                 origin,
                 origin_loc,
-                keywords: &query.keywords,
-                keyword_hashes: &self.scratch_hashes,
-                target_filename,
+                keywords: query.keywords.iter().map(|k| k.0).collect(),
+                target_filename: target_filename.map(|f| f.0),
+                ttl: shared.config.ttl,
             };
-            let view = self.view(graph, shared, slot);
-            shared
-                .protocol
-                .forward_targets_into(&view, &qctx, None, &mut targets)
-        };
-        self.tallies.decision_counts[decision_index(decision)] += 1;
-
-        let message = Message::Query {
-            query: query_id,
-            origin,
-            origin_loc,
-            keywords: query.keywords.iter().map(|k| k.0).collect(),
-            target_filename: target_filename.map(|f| f.0),
-            ttl: shared.config.ttl,
-        };
-        for &target in &targets {
-            self.send(shared, now, origin, target, message.clone(), Some(index));
+            for &target in &targets {
+                self.send(shared, now, origin, target, message.clone(), Some(index));
+            }
+            targets.clear();
+            self.scratch_targets = targets;
         }
-        targets.clear();
-        self.scratch_targets = targets;
 
-        // A query with no forward targets is born complete: its completion
-        // event coincides with the issue (class 4 at `now`, which every
-        // later event already orders after).
+        // A query with no in-flight traffic is born complete — no forward
+        // targets, or a DHT query answered from (or exhausted at) the
+        // origin's own state: its completion event coincides with the issue
+        // (class 4 at `now`, which every later event already orders after).
         if self.outstanding[index] == 0 && !self.escaped[index] {
             self.complete_locally(shared, index, now);
         }
@@ -387,7 +418,10 @@ impl ShardState {
         // copies, a response) are one atomic event, so a count that touches
         // zero mid-event is not a completion — only the post-event count is.
         let consumed = match &message {
-            Message::Query { query, .. } | Message::QueryResponse { query, .. } => {
+            Message::Query { query, .. }
+            | Message::QueryResponse { query, .. }
+            | Message::DhtLookup { query, .. }
+            | Message::DhtLookupReply { query, .. } => {
                 let index = query.0 as usize;
                 self.outstanding[index] -= 1;
                 if let Some(flux) = &mut self.flux {
@@ -610,6 +644,115 @@ impl ShardState {
                     self.send(shared, key.time, to, upstream, relay, Some(index));
                 }
             }
+            Message::DhtLookup {
+                query,
+                keyword,
+                hop,
+            } => {
+                // An index-node lookup step: answer with everything the local
+                // record store holds for the keyword plus the closest
+                // contacts the local routing table knows toward its key. A
+                // receiver that departed was filtered above — the step is
+                // consumed without a reply, the structured analogue of a
+                // timed-out RPC; the query's lifecycle completes through its
+                // remaining branches.
+                let directory = shared
+                    .dht
+                    .as_ref()
+                    .expect("structured runs carry a directory");
+                let mut entries = Vec::new();
+                let mut closer = Vec::new();
+                if let Some(node) = self.peers[slot].dht.as_ref() {
+                    node.store.lookup_into(keyword, key.time, &mut entries);
+                    node.table.closest_into(
+                        directory.keyword_key(KeywordId(keyword)),
+                        shared.config.dht.k,
+                        &mut closer,
+                    );
+                }
+                let reply = Message::DhtLookupReply {
+                    query,
+                    keyword,
+                    hop,
+                    entries,
+                    closer,
+                };
+                self.send(shared, key.time, to, from, reply, Some(query.0 as usize));
+            }
+            Message::DhtLookupReply {
+                query,
+                keyword,
+                hop,
+                entries,
+                closer,
+            } => {
+                let index = query.0 as usize;
+                // Only the origin holds lookup state; a reply arriving after
+                // the walk concluded (satisfied, exhausted or completed) is
+                // ignored.
+                let Some(state) = self.dht_lookups.get_mut(&(index as u32)) else {
+                    return;
+                };
+                state.inflight = state.inflight.saturating_sub(1);
+                let directory = shared
+                    .dht
+                    .as_ref()
+                    .expect("structured runs carry a directory");
+                for &contact in &closer {
+                    if contact == to {
+                        continue;
+                    }
+                    state.add_candidate(state.key.distance(directory.node_id(contact)), contact);
+                }
+                let keywords = state.keywords.clone();
+                if let Some(tracking) = self.tracking.get_mut(&(index as u32)) {
+                    tracking.dht_depth = tracking.dht_depth.max(hop);
+                }
+                if self.try_satisfy_from_dht(shared, online, key, index, &keywords, &entries, hop) {
+                    return;
+                }
+                // Not satisfied: keep up to `alpha` steps walking among the
+                // `k` closest known contacts, one hop deeper.
+                let next_hop = hop + 1;
+                if next_hop <= shared.config.dht.max_lookup_hops {
+                    while let Some(state) = self.dht_lookups.get_mut(&(index as u32)) {
+                        if state.inflight >= shared.config.dht.alpha {
+                            break;
+                        }
+                        let Some(target) = state.take_next_target(shared.config.dht.k) else {
+                            break;
+                        };
+                        state.inflight += 1;
+                        let step = Message::DhtLookup {
+                            query,
+                            keyword,
+                            hop: next_hop,
+                        };
+                        self.send(shared, key.time, to, target, step, Some(index));
+                    }
+                }
+                // Shortlist exhausted with nothing in flight: the walk is
+                // over; drop the state (the query completes via lifecycle).
+                if self
+                    .dht_lookups
+                    .get(&(index as u32))
+                    .is_some_and(|s| s.inflight == 0)
+                {
+                    self.dht_lookups.remove(&(index as u32));
+                }
+            }
+            Message::DhtStore {
+                keyword,
+                file,
+                provider,
+            } => {
+                // A store transfer from a publish or republish round: the
+                // record's TTL clock starts at delivery.
+                let ttl = Duration::from_secs_f64(shared.config.dht.record_ttl_secs);
+                if let Some(node) = self.peers[slot].dht.as_mut() {
+                    node.store.insert(keyword, file, provider, key.time + ttl);
+                }
+            }
             Message::BloomFull { filter } => {
                 self.peers[slot].set_neighbor_bloom(from, filter);
             }
@@ -625,6 +768,222 @@ impl ShardState {
             }
             Message::Ping | Message::Pong => {
                 // Keep-alives carry no protocol state.
+            }
+        }
+    }
+
+    // --- DHT resolution -----------------------------------------------------
+
+    /// Issues a DHT-resolved query: try the origin's own record store first
+    /// (the origin may itself be an index node for the keyword), then start
+    /// the iterative lookup with up to `alpha` parallel first steps toward
+    /// the keyword's record key.
+    #[allow(clippy::too_many_arguments)]
+    fn dht_issue(
+        &mut self,
+        shared: &RunShared<'_>,
+        online: &[bool],
+        key: EventKey,
+        index: usize,
+        slot: usize,
+        query_id: QueryId,
+        keywords: &[KeywordId],
+    ) {
+        let directory = shared
+            .dht
+            .as_ref()
+            .expect("structured runs carry a directory");
+        if let Some(tracking) = self.tracking.get_mut(&(index as u32)) {
+            tracking.dht_lookup = true;
+        }
+        // The lookup keys on the query's smallest keyword id — generated
+        // keyword lists are sorted, so the choice is canonical for every
+        // shard count. (Entries are still filtered against *all* keywords.)
+        let Some(&keyword) = keywords.first() else {
+            return;
+        };
+        let record_key = directory.keyword_key(keyword);
+        let now = key.time;
+        let mut entries = Vec::new();
+        if let Some(node) = self.peers[slot].dht.as_ref() {
+            node.store.lookup_into(keyword.0, now, &mut entries);
+        }
+        if self.try_satisfy_from_dht(shared, online, key, index, keywords, &entries, 0) {
+            return;
+        }
+        let mut state = DhtLookupState::new(keywords.to_vec(), record_key);
+        let mut seeds = Vec::new();
+        if let Some(node) = self.peers[slot].dht.as_ref() {
+            node.table
+                .closest_into(record_key, shared.config.dht.k, &mut seeds);
+        }
+        for peer in seeds {
+            state.add_candidate(record_key.distance(directory.node_id(peer)), peer);
+        }
+        let origin = self.peers[slot].id;
+        for _ in 0..shared.config.dht.alpha {
+            let Some(target) = state.take_next_target(shared.config.dht.k) else {
+                break;
+            };
+            state.inflight += 1;
+            let step = Message::DhtLookup {
+                query: query_id,
+                keyword: keyword.0,
+                hop: 1,
+            };
+            self.send(shared, now, origin, target, step, Some(index));
+        }
+        if state.inflight > 0 {
+            self.dht_lookups.insert(index as u32, state);
+        }
+        // No known contacts at all: nothing in flight — the caller's
+        // born-complete check closes the query.
+    }
+
+    /// Tries to satisfy query `index` from DHT record entries (the origin's
+    /// own store at hop 0, or a lookup reply's payload). Entries must match
+    /// every query keyword, offer a file the origin does not already hold,
+    /// and name a provider that is online in this window's snapshot. Among
+    /// satisfiable files the one with the most online providers wins (ties:
+    /// smallest file id) — the analogue of the overlay's first-answer-wins
+    /// richest response. On success the origin downloads, replicates and
+    /// immediately re-publishes the file's keywords, and the lookup state is
+    /// dropped.
+    #[allow(clippy::too_many_arguments)]
+    fn try_satisfy_from_dht(
+        &mut self,
+        shared: &RunShared<'_>,
+        online: &[bool],
+        key: EventKey,
+        index: usize,
+        keywords: &[KeywordId],
+        entries: &[(u32, ProviderEntry)],
+        hops: u32,
+    ) -> bool {
+        let Some(tracking) = self.tracking.get_mut(&(index as u32)) else {
+            return false;
+        };
+        if tracking.satisfied {
+            return true;
+        }
+        let origin = tracking.origin;
+        let origin_loc = tracking.origin_loc;
+        let slot = shared.partition.slot(origin);
+        // Group the viable entries per file. A record keyed on one keyword
+        // can index files missing the query's other keywords; those cannot
+        // satisfy it (§3.1's all-keywords rule, same as the overlay path).
+        let mut per_file: BTreeMap<FileId, Vec<ProviderEntry>> = BTreeMap::new();
+        for &(file, provider) in entries {
+            let file = FileId(file);
+            if self.peers[slot].has_file(file) {
+                continue;
+            }
+            if !online
+                .get(provider.provider.index())
+                .copied()
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            if !shared.catalog.filename(file).matches(keywords) {
+                continue;
+            }
+            per_file.entry(file).or_default().push(provider);
+        }
+        let Some((&file, providers)) = per_file
+            .iter()
+            .max_by_key(|(file, providers)| (providers.len(), std::cmp::Reverse(file.0)))
+        else {
+            return false;
+        };
+        tracking.providers_offered = tracking.providers_offered.max(providers.len());
+        let selection = select_provider(
+            shared.protocol.selection_policy(),
+            shared.topology,
+            shared.link_latencies,
+            origin,
+            origin_loc,
+            providers,
+            &mut tracking.selection_rng,
+        );
+        let Some(selected) = selection else {
+            return false;
+        };
+        tracking.satisfied = true;
+        tracking.locality_match = selected.locality_match;
+        tracking.download_distance_ms = Some(
+            shared
+                .link_latencies
+                .latency(shared.topology, origin, selected.provider)
+                .as_millis_f64(),
+        );
+        if self.hits[index].is_none() {
+            self.hits[index] = Some(HitMark {
+                key,
+                hops,
+                from_cache: false,
+            });
+        }
+        // Natural replication, same as the overlay path: the requestor now
+        // stores (and later serves) the file — and announces the new replica
+        // to the keyword index right away.
+        self.peers[slot].share_file(file);
+        if shared.protocol.uses_bloom_sync() {
+            let file_keywords = shared.catalog.filename(file).keywords().to_vec();
+            self.peers[slot].advertise_keywords(&file_keywords);
+        }
+        self.dht_publish_file(shared, online, key.time, origin, slot, file);
+        self.dht_lookups.remove(&(index as u32));
+        true
+    }
+
+    /// Publishes `file`'s keywords from `origin` (a fresh replica) to the
+    /// current `k` closest online index nodes per keyword — the event-driven
+    /// counterpart of the periodic republish round, so a new replica is
+    /// discoverable before the next round. Remote stores are real background
+    /// messages paying link latency; self-targets store locally. Hybrid
+    /// head-rank files skip this entirely: their discovery lives in the
+    /// overlay's response indexes.
+    fn dht_publish_file(
+        &mut self,
+        shared: &RunShared<'_>,
+        online: &[bool],
+        now: SimTime,
+        origin: PeerId,
+        slot: usize,
+        file: FileId,
+    ) {
+        let Some(directory) = shared.dht.as_ref() else {
+            return;
+        };
+        if !shared
+            .protocol
+            .dht_resolves_rank(shared.query_generator.rank_of(file), shared.catalog.len())
+        {
+            return;
+        }
+        let ttl = Duration::from_secs_f64(shared.config.dht.record_ttl_secs);
+        let provider = ProviderEntry {
+            provider: origin,
+            loc_id: self.peers[slot].loc_id,
+        };
+        let mut targets = Vec::new();
+        for &kw in shared.catalog.filename(file).keywords() {
+            let record_key = directory.keyword_key(kw);
+            directory.closest_online_into(record_key, online, shared.config.dht.k, &mut targets);
+            for &target in &targets {
+                if target == origin {
+                    if let Some(node) = self.peers[slot].dht.as_mut() {
+                        node.store.insert(kw.0, file.0, provider, now + ttl);
+                    }
+                } else {
+                    let message = Message::DhtStore {
+                        keyword: kw.0,
+                        file: file.0,
+                        provider,
+                    };
+                    self.send_background(shared, now, origin, target, message);
+                }
             }
         }
     }
@@ -712,6 +1071,9 @@ impl ShardState {
         if self.issued[slot].get(&target) == Some(&(index as u32)) {
             self.issued[slot].remove(&target);
         }
+        // Any leftover lookup state is dead — e.g. the walk's last in-flight
+        // step was consumed by a departed index node that never replied.
+        self.dht_lookups.remove(&(index as u32));
     }
 
     // --- sending ------------------------------------------------------------

@@ -15,7 +15,7 @@ use locaware_overlay::{ForwardDecision, MessageKind};
 use locaware_sim::EventKey;
 
 /// Every message kind with its report label, in tally-array index order.
-pub(super) const MESSAGE_KINDS: [(MessageKind, &str); 7] = [
+pub(super) const MESSAGE_KINDS: [(MessageKind, &str); 10] = [
     (MessageKind::Query, "query"),
     (MessageKind::QueryResponse, "query-response"),
     (MessageKind::BloomFull, "bloom-full"),
@@ -23,6 +23,9 @@ pub(super) const MESSAGE_KINDS: [(MessageKind, &str); 7] = [
     (MessageKind::GroupAnnounce, "group-announce"),
     (MessageKind::Ping, "ping"),
     (MessageKind::Pong, "pong"),
+    (MessageKind::DhtLookup, "dht-lookup"),
+    (MessageKind::DhtLookupReply, "dht-lookup-reply"),
+    (MessageKind::DhtStore, "dht-store"),
 ];
 
 /// Every forwarding decision with its report label, in tally-array index order.
@@ -43,6 +46,9 @@ pub(super) fn kind_index(kind: MessageKind) -> usize {
         MessageKind::GroupAnnounce => 4,
         MessageKind::Ping => 5,
         MessageKind::Pong => 6,
+        MessageKind::DhtLookup => 7,
+        MessageKind::DhtLookupReply => 8,
+        MessageKind::DhtStore => 9,
     }
 }
 

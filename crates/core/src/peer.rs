@@ -52,6 +52,11 @@ pub struct PeerState {
     pub router: QueryRouter,
     /// True while the peer is online (churn can toggle this).
     pub online: bool,
+    /// The peer's DHT half — XOR-metric routing table plus keyword record
+    /// store. `Some` only when the run's protocol uses the structured index
+    /// (the engine installs it at setup); the six unstructured protocols
+    /// never allocate it.
+    pub dht: Option<locaware_overlay::DhtNode>,
     /// Interned Bloom hashes per keyword, shared with the catalog so filter
     /// maintenance never re-hashes (and never re-spells) a pool keyword.
     keyword_hashes: Arc<KeywordHashes>,
@@ -85,6 +90,7 @@ impl PeerState {
             neighbors: HashMap::new(),
             router: QueryRouter::new(),
             online: true,
+            dht: None,
             keyword_hashes,
         }
     }
@@ -216,6 +222,13 @@ impl PeerState {
         self.router.clear();
         for info in self.neighbors.values_mut() {
             info.bloom = BloomFilter::new(info.bloom.params());
+        }
+        // The DHT half is volatile too: a rejoining node has lost its stored
+        // records and its routing table (the engine rebuilds the table from
+        // the current online population; records return via republish).
+        if let Some(dht) = &mut self.dht {
+            dht.table.clear();
+            dht.store.clear();
         }
     }
 

@@ -17,11 +17,18 @@
 //! Four policies are implemented, matching the curves of Figures 2–4:
 //! [`flooding::Flooding`], [`dicas::Dicas`], [`dicas_keys::DicasKeys`] and
 //! [`locaware::Locaware`] (whose ablation switches also cover the
-//! `LocawareNoLocality` / `LocawareNoBloom` variants).
+//! `LocawareNoLocality` / `LocawareNoBloom` variants). Two further protocols
+//! are *structured*: [`dht_index::DhtIndex`] resolves every query through the
+//! Kademlia-style keyword-index DHT (see [`crate::engine`] and
+//! [`locaware_overlay::dht`]) instead of overlay forwarding, and
+//! [`hybrid::Hybrid`] splits the Zipf popularity curve — head targets use
+//! Locaware's caching overlay, tail targets the DHT.
 
+pub mod dht_index;
 pub mod dicas;
 pub mod dicas_keys;
 pub mod flooding;
+pub mod hybrid;
 pub mod locaware;
 
 use locaware_bloom::ElementHashes;
@@ -171,6 +178,23 @@ pub trait Protocol: Send + Sync {
         false
     }
 
+    /// Whether the engine should run the Kademlia-style keyword-index DHT for
+    /// this protocol (identity derivation, routing tables, publish/republish
+    /// rounds, iterative lookups).
+    fn uses_dht(&self) -> bool {
+        false
+    }
+
+    /// For DHT-running protocols: whether a file at popularity `rank`
+    /// (0 = most popular of `catalog_len` files) is indexed in — and resolved
+    /// through — the DHT. The pure DHT protocol says yes to everything; the
+    /// hybrid protocol only to the Zipf tail. Never called when
+    /// [`Protocol::uses_dht`] is false.
+    fn dht_resolves_rank(&self, rank: usize, catalog_len: usize) -> bool {
+        let _ = (rank, catalog_len);
+        false
+    }
+
     /// Maximum provider entries a peer keeps per cached filename.
     fn max_providers_per_file(&self, config: &SimulationConfig) -> usize {
         let _ = config;
@@ -226,6 +250,8 @@ pub fn build_protocol(kind: ProtocolKind, config: &SimulationConfig) -> Box<dyn 
         ProtocolKind::Locaware => Box::new(locaware::Locaware::new(config)),
         ProtocolKind::LocawareNoLocality => Box::new(locaware::Locaware::without_locality(config)),
         ProtocolKind::LocawareNoBloom => Box::new(locaware::Locaware::without_bloom(config)),
+        ProtocolKind::DhtIndex => Box::new(dht_index::DhtIndex::new()),
+        ProtocolKind::Hybrid => Box::new(hybrid::Hybrid::new(config)),
     }
 }
 
@@ -455,16 +481,14 @@ mod tests {
     #[test]
     fn build_protocol_covers_every_kind() {
         let config = SimulationConfig::small(20);
-        for kind in [
-            ProtocolKind::Flooding,
-            ProtocolKind::Dicas,
-            ProtocolKind::DicasKeys,
-            ProtocolKind::Locaware,
-            ProtocolKind::LocawareNoLocality,
-            ProtocolKind::LocawareNoBloom,
-        ] {
+        for &kind in ProtocolKind::all() {
             let protocol = build_protocol(kind, &config);
             assert_eq!(protocol.kind(), kind);
+            assert_eq!(
+                protocol.uses_dht(),
+                kind.uses_dht(),
+                "{kind}: trait and kind disagree on the DHT subsystem"
+            );
         }
     }
 }

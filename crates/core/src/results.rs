@@ -6,6 +6,41 @@ use locaware_metrics::{CounterSet, RunMetrics, Table};
 
 use crate::config::ProtocolKind;
 
+/// End-of-run statistics of the DHT subsystem (structured protocols only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DhtRunStats {
+    /// Queries that resolved through the DHT (for the hybrid, only the
+    /// tail-rank share of the workload).
+    pub lookups: u64,
+    /// Sum over those queries of the deepest lookup hop whose reply reached
+    /// the origin; divide by `lookups` for the mean — the `O(log n)` number.
+    pub lookup_depth_total: u64,
+    /// Store transfers sent over the wire (publishes and republish rounds),
+    /// the subsystem's maintenance-traffic price.
+    pub store_messages: u64,
+    /// Keyword records held across all stores at the end of the run.
+    pub records: usize,
+    /// Provider entries across all records at the end of the run.
+    pub provider_entries: usize,
+    /// Serialized bytes across all stores at the end of the run.
+    pub record_bytes: usize,
+    /// Lifetime count of entries evicted by the per-record byte cap.
+    pub truncated_entries: u64,
+    /// Lifetime count of entries dropped by TTL expiry sweeps.
+    pub expired_entries: u64,
+}
+
+impl DhtRunStats {
+    /// Mean lookup depth over DHT-resolved queries (0.0 if there were none).
+    pub fn mean_lookup_hops(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.lookup_depth_total as f64 / self.lookups as f64
+        }
+    }
+}
+
 /// Everything measured during one run of one protocol.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimulationReport {
@@ -30,6 +65,10 @@ pub struct SimulationReport {
     pub simulated_end_time_secs: f64,
     /// Number of simulation events dispatched.
     pub dispatched_events: u64,
+    /// DHT subsystem statistics — `Some` exactly for structured protocols
+    /// (`dht-index`, `hybrid`), `None` for the unstructured six, whose
+    /// reports are byte-for-byte unchanged by the subsystem's existence.
+    pub dht: Option<DhtRunStats>,
 }
 
 impl SimulationReport {
@@ -62,6 +101,18 @@ impl SimulationReport {
             mix(u64::from(record.hops_to_hit.unwrap_or(u32::MAX)));
             mix(u64::from(record.answered_from_cache));
             mix(record.completion_time_ms.map_or(1, f64::to_bits));
+        }
+        // DHT fields mix only when present, so the unstructured protocols'
+        // pinned fingerprints are untouched by the subsystem's existence.
+        if let Some(dht) = &self.dht {
+            mix(dht.lookups);
+            mix(dht.lookup_depth_total);
+            mix(dht.store_messages);
+            mix(dht.records as u64);
+            mix(dht.provider_entries as u64);
+            mix(dht.record_bytes as u64);
+            mix(dht.truncated_entries);
+            mix(dht.expired_entries);
         }
         hash
     }
@@ -129,6 +180,29 @@ impl SimulationReport {
             "cached index entries at end".to_string(),
             self.total_cached_index_entries.to_string(),
         ]);
+        if let Some(dht) = &self.dht {
+            table.push_row(["dht lookups".to_string(), dht.lookups.to_string()]);
+            table.push_row([
+                "dht mean lookup hops".to_string(),
+                format!("{:.2}", dht.mean_lookup_hops()),
+            ]);
+            table.push_row([
+                "dht store messages".to_string(),
+                dht.store_messages.to_string(),
+            ]);
+            table.push_row([
+                "dht records at end".to_string(),
+                format!("{} ({} entries)", dht.records, dht.provider_entries),
+            ]);
+            table.push_row([
+                "dht index bytes at end".to_string(),
+                dht.record_bytes.to_string(),
+            ]);
+            table.push_row([
+                "dht truncated / expired entries".to_string(),
+                format!("{} / {}", dht.truncated_entries, dht.expired_entries),
+            ]);
+        }
         table
     }
 }
@@ -175,6 +249,7 @@ mod tests {
             total_cached_index_entries: 40,
             simulated_end_time_secs: 100.0,
             dispatched_events: 123,
+            dht: None,
         }
     }
 

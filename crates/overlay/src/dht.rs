@@ -1,0 +1,600 @@
+//! Kademlia-style DHT primitives: a 160-bit XOR key space, k-bucket routing
+//! tables, and size-capped keyword→provider record stores.
+//!
+//! This module is pure data structure — no I/O, no clocks, no randomness of
+//! its own. Identifiers are *derived* deterministically from caller-provided
+//! salts (the simulation draws the salts from its seeded RNG streams), every
+//! tie is broken by a total order, and record truncation is a pure function of
+//! a record's contents, never of insertion order. That is what lets the
+//! sharded engine run DHT maintenance under its bit-identical-for-every-
+//! shard-count contract.
+//!
+//! The record design follows the BitTorrent-DHT keyword-indexing lineage:
+//! one record per keyword (`idx:{keyword}`), holding `(file, provider)`
+//! entries, updated read-modify-write, with a per-record byte cap that forces
+//! deterministic truncation of the stalest entries once popular keywords
+//! overflow it.
+
+use std::collections::BTreeMap;
+
+use locaware_net::LocId;
+use locaware_sim::SimTime;
+
+use crate::message::{FileId, KeywordId, ProviderEntry};
+use crate::PeerId;
+
+/// Width of a DHT identifier in bytes (160 bits, as in Kademlia/BitTorrent).
+pub const DHT_ID_BYTES: usize = 20;
+/// Width of a DHT identifier in bits.
+pub const DHT_ID_BITS: usize = 8 * DHT_ID_BYTES;
+
+/// Wire bytes of one stored record entry: file id (4) + provider id (4) +
+/// locId (1) + expiry (8). Used for the per-record size cap.
+pub const RECORD_ENTRY_BYTES: usize = 17;
+/// Wire bytes of a record's fixed overhead (the 160-bit key).
+pub const RECORD_KEY_BYTES: usize = DHT_ID_BYTES;
+
+/// A 160-bit identifier in the DHT key space (a node id or a record key).
+///
+/// Byte 0 is the most significant: the derived `Ord` is the numeric order,
+/// and XOR distances compare the same way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DhtId(pub [u8; DHT_ID_BYTES]);
+
+impl DhtId {
+    /// Derives an id from `(salt, value)` by iterating a SplitMix64-style
+    /// mixer: three mixed 64-bit words, truncated to 160 bits. Same inputs ⇒
+    /// same id, and distinct values virtually never collide.
+    pub fn derive(salt: u64, value: u64) -> Self {
+        let mut bytes = [0u8; DHT_ID_BYTES];
+        let mut state = salt ^ value.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for chunk in bytes.chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_be_bytes()[..chunk.len()]);
+        }
+        DhtId(bytes)
+    }
+
+    /// The XOR distance between two ids.
+    pub fn distance(self, other: DhtId) -> DhtDistance {
+        let mut out = [0u8; DHT_ID_BYTES];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a ^ b;
+        }
+        DhtDistance(out)
+    }
+}
+
+/// An XOR distance between two [`DhtId`]s. Compares numerically (byte 0 most
+/// significant), which is the order Kademlia's "closest" is defined in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DhtDistance(pub [u8; DHT_ID_BYTES]);
+
+impl DhtDistance {
+    /// True for the distance of an id to itself.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// The k-bucket index of this distance: the bit position of its highest
+    /// set bit (`0` = distances in `[1, 2)`, `159` = the far half of the key
+    /// space). `None` for the zero distance.
+    pub fn bucket_index(&self) -> Option<usize> {
+        for (byte_index, &byte) in self.0.iter().enumerate() {
+            if byte != 0 {
+                let bit = 7 - byte.leading_zeros() as usize;
+                return Some((DHT_ID_BYTES - 1 - byte_index) * 8 + bit);
+            }
+        }
+        None
+    }
+}
+
+/// A Kademlia k-bucket routing table.
+///
+/// Each of the 160 buckets holds at most `k` contacts whose distance to the
+/// local id has its highest set bit at the bucket's index. A full bucket
+/// rejects new contacts (Kademlia's "prefer the oldest live contact" rule —
+/// with the arrival order fixed by the caller, the table contents are a
+/// deterministic function of the insertion sequence).
+#[derive(Debug, Clone)]
+pub struct RoutingTable {
+    local: DhtId,
+    k: usize,
+    buckets: Vec<Vec<(DhtId, PeerId)>>,
+    len: usize,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for the node with id `local`.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(local: DhtId, k: usize) -> Self {
+        assert!(k >= 1, "bucket capacity must be at least 1");
+        RoutingTable {
+            local,
+            k,
+            buckets: vec![Vec::new(); DHT_ID_BITS],
+            len: 0,
+        }
+    }
+
+    /// The local node's id.
+    pub fn local(&self) -> DhtId {
+        self.local
+    }
+
+    /// The bucket capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of contacts currently held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the table holds no contacts.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of contacts in bucket `index`.
+    pub fn bucket_len(&self, index: usize) -> usize {
+        self.buckets[index].len()
+    }
+
+    /// Inserts a contact. Returns `false` (and changes nothing) if the
+    /// contact is the local node, already present, or its bucket is full.
+    pub fn insert(&mut self, id: DhtId, peer: PeerId) -> bool {
+        let Some(bucket) = self.local.distance(id).bucket_index() else {
+            return false; // the local node itself
+        };
+        let bucket = &mut self.buckets[bucket];
+        if bucket.iter().any(|&(_, p)| p == peer) {
+            return false;
+        }
+        if bucket.len() >= self.k {
+            return false;
+        }
+        bucket.push((id, peer));
+        self.len += 1;
+        true
+    }
+
+    /// Removes a contact (a departed peer). Returns `true` if it was present.
+    pub fn remove(&mut self, peer: PeerId) -> bool {
+        for bucket in &mut self.buckets {
+            if let Some(pos) = bucket.iter().position(|&(_, p)| p == peer) {
+                bucket.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True if `peer` is a contact.
+    pub fn contains(&self, peer: PeerId) -> bool {
+        self.buckets
+            .iter()
+            .any(|bucket| bucket.iter().any(|&(_, p)| p == peer))
+    }
+
+    /// Drops every contact (used when a peer's volatile state resets on
+    /// rejoin; the maintenance process repopulates the table).
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Appends the `count` contacts closest to `target` (by XOR distance,
+    /// ties broken by peer id) to `out`, nearest first. The buffer is
+    /// appended to, not cleared.
+    pub fn closest_into(&self, target: DhtId, count: usize, out: &mut Vec<PeerId>) {
+        let mut ranked: Vec<(DhtDistance, PeerId)> = self
+            .buckets
+            .iter()
+            .flatten()
+            .map(|&(id, peer)| (target.distance(id), peer))
+            .collect();
+        ranked.sort_unstable();
+        out.extend(ranked.into_iter().take(count).map(|(_, peer)| peer));
+    }
+
+    /// Allocating convenience wrapper around [`RoutingTable::closest_into`].
+    pub fn closest(&self, target: DhtId, count: usize) -> Vec<PeerId> {
+        let mut out = Vec::new();
+        self.closest_into(target, count, &mut out);
+        out
+    }
+}
+
+/// One stored `(file, provider)` entry's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StoredProvider {
+    loc_id: LocId,
+    expires_at: SimTime,
+}
+
+/// One keyword's record: `(file, provider) → (locId, expiry)`.
+#[derive(Debug, Clone, Default)]
+struct Record {
+    entries: BTreeMap<(FileId, u32), StoredProvider>,
+}
+
+impl Record {
+    fn bytes(&self) -> usize {
+        RECORD_KEY_BYTES + self.entries.len() * RECORD_ENTRY_BYTES
+    }
+}
+
+/// A peer's slice of the keyword→providers index: one size-capped record per
+/// keyword, with TTL-based expiry.
+///
+/// All mutation is order-independent where it must be: an upsert keeps the
+/// *freshest* `(expiry, locId)` for an entry regardless of arrival order, and
+/// truncation always evicts the entry with the smallest
+/// `(expiry, file, provider)` — so a record's contents are a pure function of
+/// the set of inserts applied, which the property tests pin.
+#[derive(Debug, Clone)]
+pub struct DhtRecordStore {
+    max_record_bytes: usize,
+    records: BTreeMap<KeywordId, Record>,
+    truncated_entries: u64,
+    expired_entries: u64,
+}
+
+impl DhtRecordStore {
+    /// Creates an empty store with the given per-record byte cap.
+    ///
+    /// # Panics
+    /// Panics if the cap cannot hold even one entry.
+    pub fn new(max_record_bytes: usize) -> Self {
+        assert!(
+            max_record_bytes >= RECORD_KEY_BYTES + RECORD_ENTRY_BYTES,
+            "record cap must hold at least one entry"
+        );
+        DhtRecordStore {
+            max_record_bytes,
+            records: BTreeMap::new(),
+            truncated_entries: 0,
+            expired_entries: 0,
+        }
+    }
+
+    /// The per-record byte cap.
+    pub fn max_record_bytes(&self) -> usize {
+        self.max_record_bytes
+    }
+
+    /// Maximum entries a record can hold under the cap.
+    pub fn entry_capacity(&self) -> usize {
+        (self.max_record_bytes - RECORD_KEY_BYTES) / RECORD_ENTRY_BYTES
+    }
+
+    /// Upserts an entry into `keyword`'s record (read-modify-write). An
+    /// existing `(file, provider)` entry keeps the freshest
+    /// `(expiry, locId)`; if the record then exceeds the cap, the stalest
+    /// entries are evicted (smallest `(expiry, file, provider)` first) and
+    /// counted as truncated.
+    pub fn insert(
+        &mut self,
+        keyword: KeywordId,
+        file: FileId,
+        provider: ProviderEntry,
+        expires_at: SimTime,
+    ) {
+        let record = self.records.entry(keyword).or_default();
+        let incoming = StoredProvider {
+            loc_id: provider.loc_id,
+            expires_at,
+        };
+        let slot = record.entries.entry((file, provider.provider.0)).or_insert(incoming);
+        if (slot.expires_at, slot.loc_id.value()) < (expires_at, provider.loc_id.value()) {
+            *slot = incoming;
+        }
+        while record.bytes() > self.max_record_bytes {
+            let stalest = record
+                .entries
+                .iter()
+                .map(|(&key, &stored)| (stored.expires_at, key))
+                .min()
+                .map(|(_, key)| key)
+                .expect("over-cap record cannot be empty");
+            record.entries.remove(&stalest);
+            self.truncated_entries += 1;
+        }
+    }
+
+    /// Appends every unexpired entry of `keyword`'s record to `out`, in
+    /// `(file, provider)` order. The buffer is appended to, not cleared.
+    pub fn lookup_into(
+        &self,
+        keyword: KeywordId,
+        now: SimTime,
+        out: &mut Vec<(FileId, ProviderEntry)>,
+    ) {
+        if let Some(record) = self.records.get(&keyword) {
+            out.extend(
+                record
+                    .entries
+                    .iter()
+                    .filter(|(_, stored)| stored.expires_at > now)
+                    .map(|(&(file, provider), stored)| {
+                        (
+                            file,
+                            ProviderEntry {
+                                provider: PeerId(provider),
+                                loc_id: stored.loc_id,
+                            },
+                        )
+                    }),
+            );
+        }
+    }
+
+    /// Physically removes every entry expired at `now` (counting them) and
+    /// drops emptied records.
+    pub fn expire(&mut self, now: SimTime) {
+        let mut removed = 0u64;
+        self.records.retain(|_, record| {
+            let before = record.entries.len();
+            record.entries.retain(|_, stored| stored.expires_at > now);
+            removed += (before - record.entries.len()) as u64;
+            !record.entries.is_empty()
+        });
+        self.expired_entries += removed;
+    }
+
+    /// Drops every entry pointing at `provider` (oracle-style invalidation at
+    /// churn departures, mirroring `proactive_provider_invalidation`).
+    /// Returns the number of entries removed.
+    pub fn remove_provider(&mut self, provider: PeerId) -> usize {
+        let mut removed = 0usize;
+        self.records.retain(|_, record| {
+            let before = record.entries.len();
+            record.entries.retain(|&(_, p), _| p != provider.0);
+            removed += before - record.entries.len();
+            !record.entries.is_empty()
+        });
+        removed
+    }
+
+    /// Drops all records (volatile reset on rejoin). Lifetime counters are
+    /// kept: they price the work already done.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Number of non-empty records held.
+    pub fn records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total entries across all records.
+    pub fn entries(&self) -> usize {
+        self.records.values().map(|r| r.entries.len()).sum()
+    }
+
+    /// Total bytes across all records (key overhead + entries).
+    pub fn bytes(&self) -> usize {
+        self.records.values().map(Record::bytes).sum()
+    }
+
+    /// Lifetime count of entries evicted by the record cap.
+    pub fn truncated_entries(&self) -> u64 {
+        self.truncated_entries
+    }
+
+    /// Lifetime count of entries removed by TTL expiry sweeps.
+    pub fn expired_entries(&self) -> u64 {
+        self.expired_entries
+    }
+}
+
+/// A peer's complete DHT-side state: its node id, routing table and record
+/// store.
+#[derive(Debug, Clone)]
+pub struct DhtNode {
+    /// This node's 160-bit id.
+    pub id: DhtId,
+    /// The k-bucket routing table.
+    pub table: RoutingTable,
+    /// The keyword→providers records this node stores.
+    pub store: DhtRecordStore,
+}
+
+impl DhtNode {
+    /// Creates a node with an empty table and store.
+    pub fn new(id: DhtId, k: usize, max_record_bytes: usize) -> Self {
+        DhtNode {
+            id,
+            table: RoutingTable::new(id, k),
+            store: DhtRecordStore::new(max_record_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locaware_sim::Duration;
+
+    fn id(value: u64) -> DhtId {
+        DhtId::derive(0xD417, value)
+    }
+
+    fn entry(provider: u32, loc: u32) -> ProviderEntry {
+        ProviderEntry {
+            provider: PeerId(provider),
+            loc_id: LocId(loc),
+        }
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn derivation_is_deterministic_and_salted() {
+        assert_eq!(DhtId::derive(1, 2), DhtId::derive(1, 2));
+        assert_ne!(DhtId::derive(1, 2), DhtId::derive(1, 3));
+        assert_ne!(DhtId::derive(1, 2), DhtId::derive(2, 2));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let (a, b) = (id(1), id(2));
+        assert_eq!(a.distance(b), b.distance(a));
+        assert!(a.distance(a).is_zero());
+        assert_eq!(a.distance(a).bucket_index(), None);
+    }
+
+    #[test]
+    fn bucket_index_is_the_highest_set_bit() {
+        let mut d = [0u8; DHT_ID_BYTES];
+        d[DHT_ID_BYTES - 1] = 1;
+        assert_eq!(DhtDistance(d).bucket_index(), Some(0));
+        d[DHT_ID_BYTES - 1] = 0b1000_0000;
+        assert_eq!(DhtDistance(d).bucket_index(), Some(7));
+        d[0] = 0b1000_0000;
+        assert_eq!(DhtDistance(d).bucket_index(), Some(159));
+    }
+
+    #[test]
+    fn routing_table_rejects_self_duplicates_and_overflow() {
+        let local = id(0);
+        let mut table = RoutingTable::new(local, 2);
+        assert!(!table.insert(local, PeerId(0)), "self is never a contact");
+        assert!(table.insert(id(1), PeerId(1)));
+        assert!(!table.insert(id(1), PeerId(1)), "duplicate peer");
+        assert_eq!(table.len(), 1);
+        // Fill one specific bucket of a fresh table to capacity.
+        let mut table = RoutingTable::new(local, 2);
+        let mut raw = local.0;
+        raw[0] ^= 0x80; // far half of the key space → bucket 159
+        let far_bucket = local.distance(DhtId(raw)).bucket_index().unwrap();
+        assert_eq!(far_bucket, DHT_ID_BITS - 1);
+        let mut inserted = 0;
+        for v in 0..100u8 {
+            let mut far = raw;
+            far[DHT_ID_BYTES - 1] = v;
+            if table.insert(DhtId(far), PeerId(1000 + u32::from(v))) {
+                inserted += 1;
+            }
+        }
+        assert_eq!(inserted, 2, "bucket capacity k=2 must bound the bucket");
+        assert_eq!(table.bucket_len(far_bucket), 2);
+    }
+
+    #[test]
+    fn routing_table_remove_and_clear() {
+        let mut table = RoutingTable::new(id(0), 4);
+        for v in 1..6u64 {
+            table.insert(id(v), PeerId(v as u32));
+        }
+        let len = table.len();
+        assert!(table.contains(PeerId(3)));
+        assert!(table.remove(PeerId(3)));
+        assert!(!table.remove(PeerId(3)));
+        assert_eq!(table.len(), len - 1);
+        table.clear();
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn closest_agrees_with_exhaustive_sort() {
+        let local = id(99);
+        let mut table = RoutingTable::new(local, 8);
+        let contacts: Vec<(DhtId, PeerId)> =
+            (0..40u64).map(|v| (id(v), PeerId(v as u32))).collect();
+        for &(cid, peer) in &contacts {
+            table.insert(cid, peer);
+        }
+        let target = id(7777);
+        let mut expected: Vec<(DhtDistance, PeerId)> = contacts
+            .iter()
+            .filter(|&&(_, p)| table.contains(p))
+            .map(|&(cid, p)| (target.distance(cid), p))
+            .collect();
+        expected.sort_unstable();
+        let expected: Vec<PeerId> = expected.into_iter().take(5).map(|(_, p)| p).collect();
+        assert_eq!(table.closest(target, 5), expected);
+    }
+
+    #[test]
+    fn store_upsert_keeps_the_freshest_entry() {
+        let mut store = DhtRecordStore::new(2048);
+        store.insert(7, 3, entry(5, 1), t(100));
+        store.insert(7, 3, entry(5, 2), t(200));
+        store.insert(7, 3, entry(5, 9), t(150)); // staler: ignored
+        let mut out = Vec::new();
+        store.lookup_into(7, t(0), &mut out);
+        assert_eq!(out, vec![(3, entry(5, 2))]);
+        assert_eq!(store.entries(), 1);
+    }
+
+    #[test]
+    fn lookup_filters_expired_entries() {
+        let mut store = DhtRecordStore::new(2048);
+        store.insert(7, 1, entry(1, 0), t(100));
+        store.insert(7, 2, entry(2, 0), t(300));
+        let mut out = Vec::new();
+        store.lookup_into(7, t(200), &mut out);
+        assert_eq!(out, vec![(2, entry(2, 0))]);
+        // The stale entry is still physically present until a sweep.
+        assert_eq!(store.entries(), 2);
+        store.expire(t(200));
+        assert_eq!(store.entries(), 1);
+        assert_eq!(store.expired_entries(), 1);
+    }
+
+    #[test]
+    fn record_cap_truncates_the_stalest_entries() {
+        // Cap sized for exactly 3 entries.
+        let cap = RECORD_KEY_BYTES + 3 * RECORD_ENTRY_BYTES;
+        let mut store = DhtRecordStore::new(cap);
+        assert_eq!(store.entry_capacity(), 3);
+        store.insert(1, 10, entry(1, 0), t(500));
+        store.insert(1, 11, entry(2, 0), t(100)); // stalest — must go
+        store.insert(1, 12, entry(3, 0), t(400));
+        store.insert(1, 13, entry(4, 0), t(300));
+        let mut out = Vec::new();
+        store.lookup_into(1, t(0), &mut out);
+        let files: Vec<FileId> = out.iter().map(|&(f, _)| f).collect();
+        assert_eq!(files, vec![10, 12, 13]);
+        assert_eq!(store.truncated_entries(), 1);
+        assert_eq!(store.bytes(), cap);
+    }
+
+    #[test]
+    fn remove_provider_drops_entries_and_empty_records() {
+        let mut store = DhtRecordStore::new(2048);
+        store.insert(1, 10, entry(5, 0), t(100));
+        store.insert(2, 11, entry(5, 0), t(100));
+        store.insert(2, 12, entry(6, 0), t(100));
+        assert_eq!(store.remove_provider(PeerId(5)), 2);
+        assert_eq!(store.records(), 1);
+        assert_eq!(store.entries(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let cap = RECORD_KEY_BYTES + RECORD_ENTRY_BYTES;
+        let mut store = DhtRecordStore::new(cap);
+        store.insert(1, 10, entry(1, 0), t(100));
+        store.insert(1, 11, entry(2, 0), t(200));
+        assert_eq!(store.truncated_entries(), 1);
+        store.clear();
+        assert_eq!(store.records(), 0);
+        assert_eq!(store.truncated_entries(), 1);
+    }
+}

@@ -17,8 +17,11 @@
 //! * [`generator`] — graph generators: Erdős–Rényi-style random wiring and a
 //!   preferential-attachment variant with a heavier-tailed degree distribution,
 //! * [`message`] — the overlay message vocabulary (queries, query responses,
-//!   Bloom-filter updates, keep-alives) with wire-size estimation used by the
-//!   traffic metrics,
+//!   Bloom-filter updates, DHT lookups/stores, keep-alives) with wire-size
+//!   estimation used by the traffic metrics,
+//! * [`dht`] — Kademlia-style structured-overlay primitives (160-bit XOR key
+//!   space, k-bucket routing tables, size-capped keyword→provider records)
+//!   used by the structured `dht-index`/`hybrid` protocol family,
 //! * [`routing`] — mechanism shared by every protocol: TTL bookkeeping,
 //!   duplicate-query suppression and reverse-path tables for routing responses
 //!   back to the requestor,
@@ -33,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod churn;
+pub mod dht;
 pub mod generator;
 pub mod graph;
 pub mod message;
@@ -40,6 +44,7 @@ pub mod routing;
 pub mod stats;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnEventKind, ChurnModel};
+pub use dht::{DhtDistance, DhtId, DhtNode, DhtRecordStore, RoutingTable};
 pub use generator::{GeneratorConfig, GraphModel};
 pub use graph::OverlayGraph;
 pub use message::{Message, MessageId, MessageKind, ProviderEntry, QueryId};

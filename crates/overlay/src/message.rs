@@ -64,6 +64,12 @@ pub enum MessageKind {
     Ping,
     /// A keep-alive reply.
     Pong,
+    /// An iterative DHT lookup step (structured protocols).
+    DhtLookup,
+    /// The reply to a DHT lookup step.
+    DhtLookupReply,
+    /// A DHT record store/republish (structured-index maintenance traffic).
+    DhtStore,
 }
 
 /// An overlay message.
@@ -131,6 +137,45 @@ pub enum Message {
     Ping,
     /// Keep-alive reply.
     Pong,
+    /// One step of an iterative Kademlia-style lookup: the query's *origin*
+    /// asks the receiver for the providers it stores under `keyword`'s record
+    /// key, plus the contacts it knows closer to that key. Query-charged
+    /// traffic: every step pays real link latency and counts against the
+    /// issuing query, exactly like a forwarded unstructured query.
+    DhtLookup {
+        /// The query this lookup resolves.
+        query: QueryId,
+        /// The keyword whose record key is the lookup target.
+        keyword: KeywordId,
+        /// This step's depth (1 for the origin's first round).
+        hop: u32,
+    },
+    /// The receiver's answer to a [`Message::DhtLookup`] step.
+    DhtLookupReply {
+        /// The query this lookup resolves.
+        query: QueryId,
+        /// The keyword looked up (echoed).
+        keyword: KeywordId,
+        /// The answered step's depth (echoed).
+        hop: u32,
+        /// Every unexpired `(file, provider)` entry of the keyword's record
+        /// at the answering node.
+        entries: Vec<(FileId, ProviderEntry)>,
+        /// The answering node's closest known contacts to the record key,
+        /// nearest first (the iterative lookup's next candidates).
+        closer: Vec<PeerId>,
+    },
+    /// A record store/republish: upsert `(file, provider)` into the
+    /// receiver's record for `keyword`. Background maintenance traffic —
+    /// never query-charged, but counted and priced like Bloom sync traffic.
+    DhtStore {
+        /// The keyword whose record is updated.
+        keyword: KeywordId,
+        /// The file provided.
+        file: FileId,
+        /// The providing peer and its location id.
+        provider: ProviderEntry,
+    },
 }
 
 impl Message {
@@ -144,6 +189,9 @@ impl Message {
             Message::GroupAnnounce { .. } => MessageKind::GroupAnnounce,
             Message::Ping => MessageKind::Ping,
             Message::Pong => MessageKind::Pong,
+            Message::DhtLookup { .. } => MessageKind::DhtLookup,
+            Message::DhtLookupReply { .. } => MessageKind::DhtLookupReply,
+            Message::DhtStore { .. } => MessageKind::DhtStore,
         }
     }
 
@@ -228,6 +276,45 @@ impl Message {
             }
             Message::Ping => buf.put_u8(0x06),
             Message::Pong => buf.put_u8(0x07),
+            Message::DhtLookup { query, keyword, hop } => {
+                buf.put_u8(0x08);
+                buf.put_u64(query.0);
+                buf.put_u32(*keyword);
+                buf.put_u8(*hop as u8);
+            }
+            Message::DhtLookupReply {
+                query,
+                keyword,
+                hop,
+                entries,
+                closer,
+            } => {
+                buf.put_u8(0x09);
+                buf.put_u64(query.0);
+                buf.put_u32(*keyword);
+                buf.put_u8(*hop as u8);
+                buf.put_u16(entries.len() as u16);
+                for (file, p) in entries {
+                    buf.put_u32(*file);
+                    buf.put_u32(p.provider.0);
+                    buf.put_u32(p.loc_id.value());
+                }
+                buf.put_u8(closer.len() as u8);
+                for c in closer {
+                    buf.put_u32(c.0);
+                }
+            }
+            Message::DhtStore {
+                keyword,
+                file,
+                provider,
+            } => {
+                buf.put_u8(0x0a);
+                buf.put_u32(*keyword);
+                buf.put_u32(*file);
+                buf.put_u32(provider.provider.0);
+                buf.put_u32(provider.loc_id.value());
+            }
         }
         buf
     }
@@ -245,10 +332,14 @@ impl Message {
         }
     }
 
-    /// For queries and responses: the query id. `None` otherwise.
+    /// For query-charged messages (queries, responses and DHT lookup steps):
+    /// the query id. `None` otherwise.
     pub fn query_id(&self) -> Option<QueryId> {
         match self {
-            Message::Query { query, .. } | Message::QueryResponse { query, .. } => Some(*query),
+            Message::Query { query, .. }
+            | Message::QueryResponse { query, .. }
+            | Message::DhtLookup { query, .. }
+            | Message::DhtLookupReply { query, .. } => Some(*query),
             _ => None,
         }
     }
@@ -347,6 +438,42 @@ mod tests {
             delta.wire_size(),
             full.wire_size()
         );
+    }
+
+    #[test]
+    fn dht_messages_classify_encode_and_charge_queries() {
+        let lookup = Message::DhtLookup {
+            query: QueryId(9),
+            keyword: 42,
+            hop: 3,
+        };
+        assert_eq!(lookup.kind(), MessageKind::DhtLookup);
+        assert_eq!(lookup.query_id(), Some(QueryId(9)));
+        assert_eq!(lookup.ttl(), None);
+        // 1 + 8 + 4 + 1.
+        assert_eq!(lookup.wire_size(), 14);
+
+        let reply = Message::DhtLookupReply {
+            query: QueryId(9),
+            keyword: 42,
+            hop: 3,
+            entries: vec![(7, ProviderEntry { provider: PeerId(5), loc_id: LocId(1) })],
+            closer: vec![PeerId(1), PeerId(2)],
+        };
+        assert_eq!(reply.kind(), MessageKind::DhtLookupReply);
+        assert_eq!(reply.query_id(), Some(QueryId(9)));
+        // 1 + 8 + 4 + 1 + 2 + 12 + 1 + 8.
+        assert_eq!(reply.wire_size(), 37);
+
+        let store = Message::DhtStore {
+            keyword: 42,
+            file: 7,
+            provider: ProviderEntry { provider: PeerId(5), loc_id: LocId(1) },
+        };
+        assert_eq!(store.kind(), MessageKind::DhtStore);
+        assert_eq!(store.query_id(), None, "stores are background traffic");
+        // 1 + 4 + 4 + 8.
+        assert_eq!(store.wire_size(), 17);
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub enum StreamId {
     ProtocolTieBreak,
     /// Churn (session lengths, rejoin times).
     Churn,
+    /// DHT identity derivation (the salts behind peer node ids and keyword
+    /// record keys in the structured-protocol key space).
+    DhtIds,
     /// Anything else; the payload distinguishes multiple custom streams.
     Custom(u64),
 }
@@ -58,6 +61,7 @@ impl StreamId {
             StreamId::Arrivals => 0x08,
             StreamId::ProtocolTieBreak => 0x09,
             StreamId::Churn => 0x0a,
+            StreamId::DhtIds => 0x0b,
             StreamId::Custom(x) => 0x1000_0000_0000_0000u64 ^ x,
         }
     }

@@ -62,6 +62,8 @@ pub struct QueryGenerator {
     zipf: ZipfDistribution,
     /// Maps popularity rank → file id, so popularity is decoupled from id order.
     rank_to_file: Vec<FileId>,
+    /// The inverse permutation: file id index → popularity rank.
+    rank_of_file: Vec<usize>,
 }
 
 impl QueryGenerator {
@@ -81,10 +83,15 @@ impl QueryGenerator {
         let zipf = ZipfDistribution::new(catalog.len(), config.zipf_exponent);
         let mut rank_to_file: Vec<FileId> = catalog.files().collect();
         rank_to_file.shuffle(rng);
+        let mut rank_of_file = vec![0usize; rank_to_file.len()];
+        for (rank, file) in rank_to_file.iter().enumerate() {
+            rank_of_file[file.index()] = rank;
+        }
         QueryGenerator {
             config,
             zipf,
             rank_to_file,
+            rank_of_file,
         }
     }
 
@@ -96,6 +103,13 @@ impl QueryGenerator {
     /// The file occupying popularity rank `rank` (0 = most popular).
     pub fn file_at_rank(&self, rank: usize) -> FileId {
         self.rank_to_file[rank]
+    }
+
+    /// The popularity rank of `file` (0 = most popular) — the inverse of
+    /// [`Self::file_at_rank`]. The hybrid structured protocol keys its
+    /// head/tail split on this.
+    pub fn rank_of(&self, file: FileId) -> usize {
+        self.rank_of_file[file.index()]
     }
 
     /// Generates one query against `catalog`.
@@ -222,6 +236,14 @@ mod tests {
         // And the most popular file should match the generator's rank-0 file.
         let most_queried = counts.iter().max_by_key(|(_, &c)| c).unwrap().0;
         assert_eq!(*most_queried, generator.file_at_rank(0));
+    }
+
+    #[test]
+    fn rank_of_inverts_file_at_rank() {
+        let (catalog, generator) = setup();
+        for rank in 0..catalog.len() {
+            assert_eq!(generator.rank_of(generator.file_at_rank(rank)), rank);
+        }
     }
 
     #[test]

@@ -19,15 +19,10 @@ use locaware::{
 use locaware_sim::{RngFactory, StreamId};
 use rand::{Rng, RngCore};
 
-/// All six evaluated protocols: the paper's four plus the two ablations.
-const ALL_PROTOCOLS: [ProtocolKind; 6] = [
-    ProtocolKind::Flooding,
-    ProtocolKind::Dicas,
-    ProtocolKind::DicasKeys,
-    ProtocolKind::Locaware,
-    ProtocolKind::LocawareNoLocality,
-    ProtocolKind::LocawareNoBloom,
-];
+/// Every evaluated protocol — the paper's four, the two ablations and the two
+/// structured (DHT) kinds — sourced from the centralised enumeration so a new
+/// protocol joins every matrix below by construction.
+const ALL_PROTOCOLS: [ProtocolKind; 8] = ProtocolKind::ALL;
 
 fn substrate(peers: usize, seed: u64) -> Simulation {
     Scenario::small(peers).with_seed(seed).substrate()
@@ -81,6 +76,22 @@ fn report_bytes(report: &SimulationReport) -> Vec<u8> {
     bytes.extend_from_slice(&(report.total_cached_index_entries as u64).to_le_bytes());
     bytes.extend_from_slice(&report.simulated_end_time_secs.to_bits().to_le_bytes());
     bytes.extend_from_slice(&report.dispatched_events.to_le_bytes());
+    // DHT statistics participate only when present — absent runs append
+    // *nothing*, so the unstructured protocols' encodings (and their pinned
+    // fingerprints) are byte-for-byte what they were before the subsystem
+    // existed. No ambiguity: the protocol label at the head of the encoding
+    // already determines whether the block follows.
+    if let Some(dht) = &report.dht {
+        bytes.push(1);
+        bytes.extend_from_slice(&dht.lookups.to_le_bytes());
+        bytes.extend_from_slice(&dht.lookup_depth_total.to_le_bytes());
+        bytes.extend_from_slice(&dht.store_messages.to_le_bytes());
+        bytes.extend_from_slice(&(dht.records as u64).to_le_bytes());
+        bytes.extend_from_slice(&(dht.provider_entries as u64).to_le_bytes());
+        bytes.extend_from_slice(&(dht.record_bytes as u64).to_le_bytes());
+        bytes.extend_from_slice(&dht.truncated_entries.to_le_bytes());
+        bytes.extend_from_slice(&dht.expired_entries.to_le_bytes());
+    }
     bytes
 }
 
@@ -135,7 +146,7 @@ fn different_seeds_produce_different_reports() {
 // -------------------------------------------------- substrate comparability
 
 #[test]
-fn all_six_protocols_run_over_the_same_substrate() {
+fn all_protocols_run_over_the_same_substrate() {
     let simulation = substrate(80, 5);
     let loc_ids_before = simulation.loc_ids().to_vec();
     let shares_before = simulation.initial_shares().to_vec();
@@ -530,6 +541,31 @@ fn legacy_steady_scenarios_reproduce_pr4_fingerprints() {
     }
 }
 
+/// Golden fingerprints for the structured protocols introduced with the DHT
+/// subsystem, captured at their introduction. These cover the DHT statistics
+/// block of the encoding (lookup depths, store traffic, end-of-run index
+/// size), so any change to identity derivation, routing-table seeding, the
+/// iterative lookup walk or the republish cadence moves them.
+#[test]
+fn structured_protocol_fingerprints_are_pinned() {
+    let cases: [(Scenario, ProtocolKind, usize, u64); 4] = [
+        (Scenario::small(60), ProtocolKind::DhtIndex, 40, 0x1564cd1f44b01de6),
+        (Scenario::small(60), ProtocolKind::Hybrid, 40, 0x54586dd9a1d28f81),
+        (Scenario::churn_storm(60), ProtocolKind::DhtIndex, 40, 0xe4a724f24553623b),
+        (Scenario::churn_storm(60), ProtocolKind::Hybrid, 40, 0x54886a541d2f576f),
+    ];
+    for (scenario, protocol, queries, expected) in cases {
+        let report = scenario.substrate().run(protocol, queries);
+        assert!(report.dht.is_some(), "{protocol}: structured runs carry DHT stats");
+        assert_eq!(
+            report_fingerprint(&report),
+            expected,
+            "{}/{protocol}/{queries}q: structured fingerprint must not move",
+            scenario.name()
+        );
+    }
+}
+
 // ------------------------------------------------ sharded-engine determinism
 
 /// The tentpole invariant of the sharded engine: for a fixed seed, **every**
@@ -617,11 +653,15 @@ fn a_multi_protocol_grid_point_builds_its_substrate_exactly_once() {
         .with_build_counter(Arc::clone(&builds))
         .run(&plan)
         .expect("plan lists every dimension");
-    assert_eq!(outcome.len(), 6 * 2, "every (protocol, query count) must run");
+    assert_eq!(
+        outcome.len(),
+        ALL_PROTOCOLS.len() * 2,
+        "every (protocol, query count) must run"
+    );
     assert_eq!(
         builds.load(Ordering::Relaxed),
         1,
-        "six protocols at two query counts must share one substrate build"
+        "all protocols at two query counts must share one substrate build"
     );
     assert_eq!(outcome.substrates_built, 1);
 }

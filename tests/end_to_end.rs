@@ -15,14 +15,7 @@ fn substrate(peers: usize, seed: u64) -> Simulation {
 #[test]
 fn every_protocol_completes_and_accounts_for_every_query() {
     let simulation = substrate(80, 1);
-    for protocol in [
-        ProtocolKind::Flooding,
-        ProtocolKind::Dicas,
-        ProtocolKind::DicasKeys,
-        ProtocolKind::Locaware,
-        ProtocolKind::LocawareNoLocality,
-        ProtocolKind::LocawareNoBloom,
-    ] {
+    for protocol in ProtocolKind::ALL {
         let report = simulation.run(protocol, 60);
         assert_eq!(report.queries_issued, 60, "{protocol}: every arrival issues a query");
         assert_eq!(report.metrics.len(), 60, "{protocol}: one record per query");

@@ -15,7 +15,9 @@ use locaware::{ProtocolKind, ResponseIndex, Scenario, SelectionPolicy, Simulatio
 use locaware_bloom::{BloomDelta, BloomFilter, BloomParams};
 use locaware_net::{LandmarkSet, LocId, NodeId, PhysicalTopology};
 use locaware_net::brite::{BriteConfig, BriteGenerator, PlacementModel};
-use locaware_overlay::{GeneratorConfig, GraphModel, PeerId, ProviderEntry};
+use locaware_overlay::{
+    DhtId, DhtRecordStore, GeneratorConfig, GraphModel, PeerId, ProviderEntry, RoutingTable,
+};
 use locaware_sim::{Duration, SimTime};
 use locaware_workload::{
     Arrival, ArrivalConfig, ArrivalProcess, ArrivalSchedule, FileId, KeywordId, RatePhase,
@@ -462,6 +464,133 @@ proptest! {
                 record.index
             );
         }
+    }
+
+    // ----------------------------------------------------------------- DHT
+
+    /// Under arbitrary insert/remove interleavings a k-bucket routing table
+    /// never exceeds `k` contacts per bucket, never admits the local node or
+    /// a duplicate peer, and its length always equals the sum of its bucket
+    /// lengths.
+    #[test]
+    fn routing_table_respects_bucket_capacity(
+        k in 1usize..6,
+        local in any::<u64>(),
+        salt in any::<u64>(),
+        // op 0..=5 inserts (biased — the common operation), 6..=7 removes.
+        ops in proptest::collection::vec((0u32..8, 0u64..400), 1..300),
+    ) {
+        use locaware_overlay::dht::DHT_ID_BITS;
+
+        let local = DhtId::derive(salt, local);
+        let mut table = RoutingTable::new(local, k);
+        for (op, value) in ops {
+            let id = DhtId::derive(salt, value);
+            let peer = PeerId(value as u32);
+            if op < 6 {
+                let had = table.contains(peer);
+                let accepted = table.insert(id, peer);
+                prop_assert!(!(had && accepted), "a held contact must be rejected");
+                if id == local {
+                    prop_assert!(!accepted, "the local node is never a contact");
+                }
+            } else {
+                table.remove(peer);
+                prop_assert!(!table.contains(peer), "removed contact still present");
+            }
+            let mut total = 0;
+            for bucket in 0..DHT_ID_BITS {
+                prop_assert!(table.bucket_len(bucket) <= k, "bucket {bucket} over capacity");
+                total += table.bucket_len(bucket);
+            }
+            prop_assert_eq!(table.len(), total, "length must equal the bucket sum");
+        }
+    }
+
+    /// `closest` agrees with an exhaustive scan of the table's contents —
+    /// rank every held contact by `(XOR distance, peer id)` and take the
+    /// prefix — for arbitrary populations, capacities and targets.
+    #[test]
+    fn routing_table_closest_matches_naive_scan(
+        k in 1usize..6,
+        salt in any::<u64>(),
+        contacts in proptest::collection::vec(0u64..500, 0..200),
+        target in any::<u64>(),
+        count in 0usize..12,
+    ) {
+        let local = DhtId::derive(salt, u64::MAX);
+        let mut table = RoutingTable::new(local, k);
+        let mut held: Vec<(DhtId, PeerId)> = Vec::new();
+        for value in contacts {
+            let id = DhtId::derive(salt, value);
+            let peer = PeerId(value as u32);
+            if table.insert(id, peer) {
+                held.push((id, peer));
+            }
+        }
+        let target = DhtId::derive(salt.wrapping_add(1), target);
+        let mut expected: Vec<(locaware_overlay::DhtDistance, PeerId)> = held
+            .iter()
+            .map(|&(id, peer)| (target.distance(id), peer))
+            .collect();
+        expected.sort_unstable();
+        let expected: Vec<PeerId> = expected.into_iter().take(count).map(|(_, p)| p).collect();
+        prop_assert_eq!(table.closest(target, count), expected);
+    }
+
+    /// A record's contents are a pure function of the *set* of inserts
+    /// applied — any permutation of the same upserts yields byte-identical
+    /// lookups, sizes and truncation counts, the property the sharded
+    /// engine's bit-identical contract rests on. The byte cap always holds.
+    #[test]
+    fn record_store_truncation_is_insertion_order_independent(
+        capacity_entries in 1usize..6,
+        // (keyword, file) packed as keyword * 12 + file — the in-tree
+        // proptest shim implements `Strategy` for tuples of at most 4.
+        inserts in proptest::collection::vec((0u32..48, 0u32..10, 0u32..20, 1u64..1000), 1..60),
+        seed in any::<u64>(),
+    ) {
+        use locaware_overlay::dht::{RECORD_ENTRY_BYTES, RECORD_KEY_BYTES};
+
+        let cap = RECORD_KEY_BYTES + capacity_entries * RECORD_ENTRY_BYTES;
+        let apply = |order: &[(u32, u32, u32, u64)]| {
+            let mut store = DhtRecordStore::new(cap);
+            for &(kw_file, provider, loc, expiry_secs) in order {
+                let provider = ProviderEntry {
+                    provider: PeerId(provider),
+                    loc_id: LocId(loc),
+                };
+                store.insert(
+                    kw_file / 12,
+                    kw_file % 12,
+                    provider,
+                    SimTime::ZERO + Duration::from_secs(expiry_secs),
+                );
+            }
+            let mut snapshot = Vec::new();
+            for keyword in 0u32..4 {
+                snapshot.push(0xffff_ffffu32); // record separator
+                let mut out = Vec::new();
+                store.lookup_into(keyword, SimTime::ZERO, &mut out);
+                for (file, entry) in out {
+                    snapshot.extend([file, entry.provider.0, entry.loc_id.value()]);
+                }
+            }
+            (snapshot, store.records(), store.entries(), store.bytes())
+        };
+
+        let baseline = apply(&inserts);
+        prop_assert!(baseline.3 <= 4 * cap, "every record must respect the byte cap");
+        let mut shuffled = inserts.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..=i));
+        }
+        prop_assert_eq!(
+            apply(&shuffled),
+            baseline,
+            "a permutation of the same upserts must be indistinguishable"
+        );
     }
 
     // ------------------------------------------------------------ landmarks
