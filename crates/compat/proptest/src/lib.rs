@@ -106,11 +106,55 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! Strategies for `Option`s.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A strategy producing `Some(inner)` with a fixed probability.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+        probability: f64,
+    }
+
+    /// Strategy for `Option<S::Value>`, `Some` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+
+    /// Strategy for `Option<S::Value>`, `Some` with the given probability.
+    pub fn weighted<S: Strategy>(probability: f64, inner: S) -> OptionStrategy<S> {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "Some-probability must be in [0, 1]: got {probability}"
+        );
+        OptionStrategy { inner, probability }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Always draw the coin so the RNG stream consumed does not depend
+            // on the probability value (same discipline as range strategies).
+            let coin: f64 = rng.gen();
+            if coin < self.probability {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
 pub mod prelude {
     //! The glob-imported proptest surface.
 
     pub use crate::strategy::{any, Just, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
 /// Asserts a condition inside a property, reporting the failing case.
@@ -129,6 +173,22 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Draws uniformly among the given same-typed strategies (the real crate's
+/// weighted form is not supported — list a strategy twice to bias toward it).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let strategy = $strategy;
+                Box::new(move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::strategy::Strategy::generate(&strategy, rng)
+                }) as Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>
+            }),+
+        ])
+    };
 }
 
 /// Declares deterministic property tests.

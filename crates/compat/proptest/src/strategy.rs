@@ -264,6 +264,33 @@ fn parse_class_pattern(pattern: &str) -> Option<(char, char, usize, usize)> {
     (min_len <= max_len).then_some((lo, hi, min_len, max_len))
 }
 
+/// A boxed generator closure — one arm of a [`Union`].
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// See [`prop_oneof!`](crate::prop_oneof): draws a generator uniformly, then
+/// a value from it. Built from boxed generator closures so differently-typed
+/// strategies producing the same value type can share an arm list.
+pub struct Union<T> {
+    arms: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the given generator arms; panics on an empty list.
+    pub fn new(arms: Vec<UnionArm<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.gen_range(0..self.arms.len());
+        (self.arms[pick])(rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +326,34 @@ mod tests {
         assert_eq!(case_rng("t", 3).next_u64(), case_rng("t", 3).next_u64());
         assert_ne!(case_rng("t", 3).next_u64(), case_rng("t", 4).next_u64());
         assert_ne!(case_rng("a", 0).next_u64(), case_rng("b", 0).next_u64());
+    }
+
+    #[test]
+    fn oneof_and_option_cover_their_arms() {
+        let strat = crate::prop_oneof![Just(0.0f64), 1.0f64..2.0];
+        let mut rng = case_rng("oneof_arms", 0);
+        let mut zeros = 0;
+        let mut ranged = 0;
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            if v == 0.0 {
+                zeros += 1;
+            } else {
+                assert!((1.0..2.0).contains(&v));
+                ranged += 1;
+            }
+        }
+        assert!(zeros > 50 && ranged > 50, "both arms must be drawn: {zeros}/{ranged}");
+
+        let maybe = crate::option::weighted(0.6, 0u32..10);
+        let mut somes = 0;
+        for _ in 0..200 {
+            if let Some(v) = maybe.generate(&mut rng) {
+                assert!(v < 10);
+                somes += 1;
+            }
+        }
+        assert!((60..180).contains(&somes), "weighted Some-rate wildly off: {somes}/200");
     }
 
     #[test]

@@ -10,7 +10,10 @@ use serde::{Deserialize, Serialize};
 
 use locaware_net::brite::PlacementModel;
 use locaware_overlay::{ChurnConfig, GraphModel};
-use locaware_workload::{ArrivalSchedule, ClusterWeights, ClusterWeightsError, ScheduleError};
+use locaware_workload::{
+    ArrivalSchedule, ClusterWeights, ClusterWeightsError, FaultConfig, FaultConfigError,
+    ScheduleError, TimeoutPolicyError,
+};
 
 /// A structured description of why a [`SimulationConfig`] is inconsistent.
 ///
@@ -137,6 +140,12 @@ pub enum ConfigError {
         /// The configured fraction.
         head_fraction: f64,
     },
+    /// The fault plan is inconsistent (loss probability outside `[0, 1]`,
+    /// degenerate outage window, negative step timeout).
+    FaultConfig(FaultConfigError),
+    /// The query retransmit policy is inconsistent (negative initial timeout,
+    /// non-finite or sub-unit backoff, unrepresentable retry span).
+    TimeoutPolicy(TimeoutPolicyError),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -212,6 +221,8 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "hybrid head fraction must be in [0, 1]: got {head_fraction}"
             ),
+            ConfigError::FaultConfig(error) => write!(f, "fault plan: {error}"),
+            ConfigError::TimeoutPolicy(error) => write!(f, "timeout policy: {error}"),
         }
     }
 }
@@ -459,6 +470,14 @@ pub struct SimulationConfig {
     /// existing fingerprints hold exactly.
     pub proactive_provider_invalidation: bool,
 
+    // --- faults (off by default; the paper's network is perfectly reliable) -----
+    /// The fault plan: deterministic per-message loss, transient link
+    /// outages, crash-stop departures, and the timeout/retry policies
+    /// protocols use to survive them. [`FaultConfig::disabled`] (the
+    /// default) injects nothing and schedules nothing, so fault-free runs
+    /// stay byte-identical to every prior fingerprint.
+    pub faults: FaultConfig,
+
     // --- execution -------------------------------------------------------------
     /// Number of engine shards (deterministic intra-run parallelism).
     ///
@@ -519,6 +538,7 @@ impl SimulationConfig {
             shards: 0,
             churn: ChurnConfig::disabled(),
             proactive_provider_invalidation: false,
+            faults: FaultConfig::disabled(),
             max_events: 200_000_000,
         }
     }
@@ -679,6 +699,11 @@ impl SimulationConfig {
                 head_fraction: self.dht.hybrid_head_fraction,
             });
         }
+        self.faults.validate().map_err(ConfigError::FaultConfig)?;
+        self.faults
+            .query_timeout
+            .validate()
+            .map_err(ConfigError::TimeoutPolicy)?;
         Ok(())
     }
 }
@@ -904,6 +929,80 @@ mod tests {
         assert!(ProtocolKind::DhtIndex.uses_dht());
         assert!(ProtocolKind::Hybrid.uses_dht());
         assert!(!ProtocolKind::Locaware.uses_dht());
+    }
+
+    #[test]
+    fn fault_validation_catches_inconsistencies() {
+        use locaware_workload::{OutageWindow, TimeoutPolicy};
+
+        // The default plan is disabled and valid.
+        let c = SimulationConfig::paper_defaults();
+        assert!(c.faults.is_disabled());
+        assert!(c.validate().is_ok());
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.faults.message_loss = -0.1;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::FaultConfig(FaultConfigError::InvalidLossProbability { .. }))
+        ));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.faults.message_loss = 1.01;
+        assert!(matches!(c.validate(), Err(ConfigError::FaultConfig(_))));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.faults.outages.push(OutageWindow {
+            start_secs: 100.0,
+            duration_secs: -5.0,
+            fraction: 0.5,
+        });
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::FaultConfig(FaultConfigError::InvalidOutageDuration { .. }))
+        ));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.faults.outages.push(OutageWindow {
+            start_secs: 1.0e300,
+            duration_secs: 1.0e300,
+            fraction: 0.5,
+        });
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::FaultConfig(FaultConfigError::OutageBeyondClock { .. }))
+        ));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.faults.query_timeout = TimeoutPolicy {
+            initial_secs: 10.0,
+            backoff: f64::NAN,
+            max_retries: 2,
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::TimeoutPolicy(TimeoutPolicyError::InvalidBackoff { .. }))
+        ));
+
+        let mut c = SimulationConfig::paper_defaults();
+        c.faults.dht_step_timeout_secs = f64::INFINITY;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::FaultConfig(FaultConfigError::InvalidStepTimeout { .. }))
+        ));
+
+        // A sane faulty plan passes validation.
+        let mut c = SimulationConfig::paper_defaults();
+        c.faults.message_loss = 0.05;
+        c.faults.crash_stop = true;
+        c.faults.query_timeout = TimeoutPolicy {
+            initial_secs: 8.0,
+            backoff: 2.0,
+            max_retries: 2,
+        };
+        c.faults.dht_step_timeout_secs = 3.0;
+        assert!(!c.faults.is_disabled());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -80,10 +80,15 @@ impl DhtDirectory {
 /// The shortlist holds every candidate learned so far, sorted by
 /// `(distance to the record key, peer id)` with a queried flag; the origin
 /// keeps up to `alpha` steps in flight among the first `k` unqueried
-/// candidates. There are no timeouts: a step sent to a node that departed at
-/// a later churn barrier is simply lost (its consumption still retires the
-/// query's outstanding-message count, so the query completes honestly — just
-/// without that branch's answer).
+/// candidates. Each in-flight step is an `awaiting` ledger entry recording
+/// the queried peer and its hop depth; a reply — or, under a fault plan with
+/// step timeouts, the step's deadline — settles the entry. Without step
+/// timeouts a step sent to a node that departed at a later churn barrier is
+/// simply lost: its consumption still retires the query's
+/// outstanding-message count, so the query completes honestly, just without
+/// that branch's answer. With step timeouts the deadline releases the
+/// stalled slot and the walk re-issues against the next shortlist
+/// candidate.
 pub(super) struct DhtLookupState {
     /// The full query keywords (the all-keywords match rule filters record
     /// entries against these, not just the lookup keyword).
@@ -92,8 +97,9 @@ pub(super) struct DhtLookupState {
     pub(super) key: DhtId,
     /// Shortlist: `(distance, peer, queried)`, ascending.
     candidates: Vec<(DhtDistance, PeerId, bool)>,
-    /// Lookup steps currently in flight.
-    pub(super) inflight: usize,
+    /// In-flight steps: `(queried peer, hop depth)`, settled by the reply or
+    /// its deadline, whichever the canonical order dispatches first.
+    awaiting: Vec<(PeerId, u32)>,
 }
 
 impl DhtLookupState {
@@ -102,8 +108,28 @@ impl DhtLookupState {
             keywords,
             key,
             candidates: Vec::new(),
-            inflight: 0,
+            awaiting: Vec::new(),
         }
+    }
+
+    /// Steps currently in flight (each either awaiting its reply or, under a
+    /// fault plan, its deadline).
+    pub(super) fn inflight(&self) -> usize {
+        self.awaiting.len()
+    }
+
+    /// Records a step sent to `peer` at hop depth `hop`.
+    pub(super) fn begin_step(&mut self, peer: PeerId, hop: u32) {
+        self.awaiting.push((peer, hop));
+    }
+
+    /// Settles the in-flight step queried at `peer`, returning its hop depth.
+    /// `None` when no such step is pending — a reply whose slot a step
+    /// deadline already released (the reply's payload still contributes
+    /// candidates, but the in-flight accounting has moved on).
+    pub(super) fn finish_step(&mut self, peer: PeerId) -> Option<u32> {
+        let position = self.awaiting.iter().position(|&(p, _)| p == peer)?;
+        Some(self.awaiting.remove(position).1)
     }
 
     /// Merges a learned contact into the shortlist (deduplicated by peer,
@@ -174,6 +200,22 @@ mod tests {
         // The buffer is replaced, not appended to.
         directory.closest_online_into(target, &online, 2, &mut got);
         assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn step_ledger_settles_by_peer_once() {
+        let directory = DhtDirectory::new(&RngFactory::new(2), 4);
+        let key = directory.keyword_key(KeywordId(1));
+        let mut state = DhtLookupState::new(vec![KeywordId(1)], key);
+        assert_eq!(state.inflight(), 0);
+        state.begin_step(PeerId(2), 1);
+        state.begin_step(PeerId(3), 2);
+        assert_eq!(state.inflight(), 2);
+        assert_eq!(state.finish_step(PeerId(3)), Some(2), "returns the step's hop");
+        assert_eq!(state.finish_step(PeerId(3)), None, "a settled step stays settled");
+        assert_eq!(state.inflight(), 1);
+        assert_eq!(state.finish_step(PeerId(2)), Some(1));
+        assert_eq!(state.inflight(), 0);
     }
 
     #[test]

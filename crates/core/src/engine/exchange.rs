@@ -16,6 +16,7 @@
 //! | churn transition | 2     | schedule index              | 0              |
 //! | message delivery | 3     | `(to << 32) \| from`        | sender seq     |
 //! | query completion | 4     | arrival index               | 0              |
+//! | fault timeout    | 6     | arrival index               | discriminator  |
 //!
 //! The class ranks mirror the sequential engine's initial-scheduling order at
 //! equal times (arrivals, then maintenance, then churn, then in-flight
@@ -67,6 +68,14 @@ pub(crate) const CLASS_COMPLETE: u8 = 4;
 /// only): after completions at equal times, so a republish at `t` sees the
 /// storage state every query completing at `t` left behind.
 pub(crate) const CLASS_DHT_REPUBLISH: u8 = 5;
+/// Event-class rank of fault-plan timeout firings (query retransmit
+/// deadlines and DHT lookup step deadlines). Last at equal times, so a
+/// reply delivered exactly at the deadline wins the race against the
+/// timeout — the timeout handler then sees the reply's effect and stands
+/// down. Timeouts are origin-local: they are scheduled into the waiting
+/// peer's own shard queue and never cross a shard boundary, so they do not
+/// interact with channel lookaheads.
+pub(crate) const CLASS_TIMEOUT: u8 = 6;
 
 /// The canonical key of the `index`-th query arrival firing at `at`.
 pub(crate) fn issue_key(at: SimTime, index: usize) -> EventKey {
@@ -77,6 +86,14 @@ pub(crate) fn issue_key(at: SimTime, index: usize) -> EventKey {
 /// of the delivery that consumed its last in-flight message.
 pub(crate) fn completion_key(at: SimTime, index: usize) -> EventKey {
     EventKey::new(at, CLASS_COMPLETE, index as u64, 0)
+}
+
+/// The canonical key of a fault-plan timeout for query `index`:
+/// `discriminator` distinguishes simultaneous timers of one query (retry
+/// attempt number for retransmit deadlines, awaited peer id for DHT step
+/// deadlines).
+pub(crate) fn timeout_key(at: SimTime, index: usize, discriminator: u64) -> EventKey {
+    EventKey::new(at, CLASS_TIMEOUT, index as u64, discriminator)
 }
 
 /// The canonical key of a message delivery: `seq` is the sender-side send
@@ -167,6 +184,16 @@ impl PeerPartition {
     }
 }
 
+/// Tags the `from` peer of a delivery the fault plan dropped at send time.
+/// The message still travels to the destination queue (its canonical key —
+/// which always carries the *untagged* sender — fixes *when* the loss is
+/// observed) but is consumed there without being processed. A tag bit
+/// instead of a separate `bool` keeps the delivery payload within the two
+/// cache lines the flooding hot path's queue entries are sized to; peer ids
+/// stay far below it (the partition tables index per-peer `Vec`s, so a real
+/// id this large could never have built a substrate).
+pub(crate) const LOST_BIT: u32 = 1 << 31;
+
 /// A message waiting at a window barrier to be merged into another shard's
 /// queue. The canonical key was fixed at send time, so the merge is a plain
 /// heap insertion — no re-ordering decisions are made at the barrier.
@@ -174,7 +201,7 @@ impl PeerPartition {
 pub(crate) struct Outbound {
     /// The delivery's canonical key (at the arrival time).
     pub key: EventKey,
-    /// Sending peer.
+    /// Sending peer, possibly tagged with [`LOST_BIT`].
     pub from: PeerId,
     /// Receiving peer.
     pub to: PeerId,
@@ -244,6 +271,24 @@ mod tests {
         );
         let later = t + Duration::from_micros(1);
         assert!(deliver < issue_key(later, 0), "time dominates everything");
+    }
+
+    #[test]
+    fn timeouts_order_after_every_other_class_at_equal_times() {
+        let t = SimTime::from_millis(5);
+        let timeout = timeout_key(t, 3, 0);
+        assert!(
+            deliver_key(t, PeerId(u32::MAX), PeerId(u32::MAX), u64::MAX) < timeout,
+            "a reply delivered exactly at the deadline beats the timeout"
+        );
+        assert!(completion_key(t, 3) < timeout, "completions precede timeouts");
+        assert!(
+            timeout_key(t, 3, 0) < timeout_key(t, 3, 1),
+            "discriminator breaks same-query ties"
+        );
+        assert!(timeout_key(t, 3, 9) < timeout_key(t, 4, 0), "query index dominates");
+        let later = t + Duration::from_micros(1);
+        assert!(timeout < issue_key(later, 0), "time dominates class");
     }
 
     #[test]

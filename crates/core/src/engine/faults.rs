@@ -1,0 +1,215 @@
+//! The runtime fault plan: the engine-side compilation of a
+//! [`FaultConfig`](locaware_workload::FaultConfig).
+//!
+//! Fault decisions must be **stateless**: a per-message loss coin drawn from
+//! a mutable RNG would depend on the order shards happen to send in, which
+//! differs across shard counts. Instead the plan draws two salts from the
+//! seeded [`StreamId::Faults`] stream once per run and every decision is a
+//! pure hash of shard-invariant message identity — the sender, the sender's
+//! send-sequence number (monotone in the sender's deterministic event order)
+//! and the send time. The same seed and plan therefore lose exactly the same
+//! messages for every shard count, and a disabled plan never consumes the
+//! stream at all, leaving every other stream's draws untouched.
+
+use rand::Rng;
+
+use locaware_overlay::PeerId;
+use locaware_sim::{mix, Duration, RngFactory, SimTime, StreamId};
+use locaware_workload::{FaultConfig, TimeoutPolicy};
+
+/// A probability scaled to the 64-bit coin space (`2^64` = certain, so a
+/// fraction of exactly 1 beats every possible coin).
+fn coin_threshold(probability: f64) -> u128 {
+    (probability * 18_446_744_073_709_551_616.0) as u128
+}
+
+/// One outage window compiled onto the simulation clock.
+struct OutageSpan {
+    /// Window start (inclusive, compared against send time).
+    start: SimTime,
+    /// Window end (exclusive).
+    end: SimTime,
+    /// Link-membership threshold in coin space.
+    threshold: u128,
+    /// Per-window salt, so overlapping windows draw independent link sets.
+    salt: u64,
+}
+
+/// The compiled fault plan of one run. Exists (`Some` in
+/// [`RunShared`](super::RunShared)) exactly when the configuration arms any
+/// fault axis, so fault-free runs pay a single `Option` check per send.
+pub(crate) struct FaultPlan {
+    /// Salt behind per-message loss coins.
+    loss_salt: u64,
+    /// Independent per-message loss threshold in coin space.
+    loss_threshold: u128,
+    /// Outage windows on the simulation clock.
+    outages: Vec<OutageSpan>,
+    /// Churn departures are crash-stop (no goodbyes to neighbours or DHT).
+    pub(crate) crash_stop: bool,
+    /// Retransmit policy for unstructured queries.
+    pub(crate) query_timeout: TimeoutPolicy,
+    /// Per-step deadline for iterative DHT lookups (`None` = disabled).
+    pub(crate) dht_step_timeout: Option<Duration>,
+}
+
+impl FaultPlan {
+    /// Compiles `config` into a runtime plan, drawing the run's fault salts
+    /// from the factory's [`StreamId::Faults`] stream. Returns `None` for a
+    /// disabled configuration — the stream is then never touched.
+    pub(crate) fn new(config: &FaultConfig, factory: &RngFactory) -> Option<Self> {
+        if config.is_disabled() {
+            return None;
+        }
+        let mut rng = factory.stream(StreamId::Faults);
+        let loss_salt: u64 = rng.gen();
+        let outage_salt: u64 = rng.gen();
+        let outages = config
+            .outages
+            .iter()
+            .enumerate()
+            .map(|(i, window)| OutageSpan {
+                start: SimTime::ZERO + Duration::from_secs_f64(window.start_secs),
+                end: SimTime::ZERO + Duration::from_secs_f64(window.end_secs()),
+                threshold: coin_threshold(window.fraction),
+                salt: mix(outage_salt, i as u64),
+            })
+            .collect();
+        Some(FaultPlan {
+            loss_salt,
+            loss_threshold: coin_threshold(config.message_loss),
+            outages,
+            crash_stop: config.crash_stop,
+            query_timeout: config.query_timeout,
+            dht_step_timeout: (config.dht_step_timeout_secs > 0.0)
+                .then(|| Duration::from_secs_f64(config.dht_step_timeout_secs)),
+        })
+    }
+
+    /// Whether the message sent at `now` from `from` to `to` with sender
+    /// sequence `seq` is dropped — by the independent loss coin (a pure hash
+    /// of the message identity `(from, seq)`) or by an outage window active
+    /// at the send time whose deterministic link set contains the
+    /// (undirected) pair.
+    pub(crate) fn lose(&self, now: SimTime, from: PeerId, to: PeerId, seq: u64) -> bool {
+        if self.loss_threshold != 0 {
+            let link = (u64::from(from.0) << 32) | u64::from(to.0);
+            let coin = mix(mix(self.loss_salt, link), seq);
+            if u128::from(coin) < self.loss_threshold {
+                return true;
+            }
+        }
+        for span in &self.outages {
+            if span.threshold != 0 && now >= span.start && now < span.end {
+                let (lo, hi) = if from.0 <= to.0 {
+                    (from.0, to.0)
+                } else {
+                    (to.0, from.0)
+                };
+                let pair = (u64::from(lo) << 32) | u64::from(hi);
+                if u128::from(mix(span.salt, pair)) < span.threshold {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The retransmit policy, if it schedules deadlines at all.
+    pub(crate) fn query_retransmit(&self) -> Option<&TimeoutPolicy> {
+        self.query_timeout.is_enabled().then_some(&self.query_timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locaware_workload::OutageWindow;
+
+    fn plan(config: &FaultConfig) -> FaultPlan {
+        FaultPlan::new(config, &RngFactory::new(7)).expect("armed plan compiles")
+    }
+
+    #[test]
+    fn disabled_config_compiles_to_nothing() {
+        assert!(FaultPlan::new(&FaultConfig::disabled(), &RngFactory::new(7)).is_none());
+    }
+
+    #[test]
+    fn loss_coins_are_deterministic_and_extreme_rates_are_exact() {
+        let mut config = FaultConfig::disabled();
+        config.message_loss = 0.5;
+        let a = plan(&config);
+        let b = plan(&config);
+        let now = SimTime::from_millis(10);
+        let mut lost = 0;
+        for seq in 0..1000u64 {
+            let verdict = a.lose(now, PeerId(3), PeerId(9), seq);
+            assert_eq!(verdict, b.lose(now, PeerId(3), PeerId(9), seq));
+            lost += u64::from(verdict);
+        }
+        assert!((300..700).contains(&lost), "half-rate coin wildly off: {lost}/1000");
+
+        config.message_loss = 1.0;
+        let total = plan(&config);
+        config.message_loss = 0.0;
+        config.crash_stop = true; // keep the plan armed with a zero loss rate
+        let none = plan(&config);
+        for seq in 0..100u64 {
+            assert!(total.lose(now, PeerId(0), PeerId(1), seq));
+            assert!(!none.lose(now, PeerId(0), PeerId(1), seq));
+        }
+    }
+
+    #[test]
+    fn outage_windows_gate_by_time_and_fix_their_link_set() {
+        let mut config = FaultConfig::disabled();
+        config.outages.push(OutageWindow {
+            start_secs: 10.0,
+            duration_secs: 5.0,
+            fraction: 0.5,
+        });
+        let plan = plan(&config);
+        let before = SimTime::ZERO + Duration::from_secs_f64(9.0);
+        let during = SimTime::ZERO + Duration::from_secs_f64(12.0);
+        let after = SimTime::ZERO + Duration::from_secs_f64(15.0);
+        let mut affected = 0;
+        for p in 0..100u32 {
+            let (a, b) = (PeerId(p), PeerId(p + 100));
+            assert!(!plan.lose(before, a, b, 0), "inactive before the window");
+            assert!(!plan.lose(after, a, b, 0), "end is exclusive");
+            let hit = plan.lose(during, a, b, 0);
+            // Membership is per-link and constant across the window — both
+            // directions, any seq.
+            assert_eq!(hit, plan.lose(during, b, a, 7));
+            affected += u64::from(hit);
+        }
+        assert!((20..80).contains(&affected), "half the links should be out: {affected}/100");
+
+        config.outages[0].fraction = 1.0;
+        let blackout = super::FaultPlan::new(&config, &RngFactory::new(7)).unwrap();
+        assert!(blackout.lose(during, PeerId(0), PeerId(1), 0), "fraction 1 is a blackout");
+    }
+
+    #[test]
+    fn timeout_axes_surface_through_the_plan() {
+        let mut config = FaultConfig::disabled();
+        config.query_timeout = TimeoutPolicy {
+            initial_secs: 5.0,
+            backoff: 2.0,
+            max_retries: 3,
+        };
+        config.dht_step_timeout_secs = 2.0;
+        let timed = plan(&config);
+        assert!(!timed.crash_stop);
+        assert_eq!(timed.query_retransmit().unwrap().max_retries, 3);
+        assert_eq!(timed.dht_step_timeout, Some(Duration::from_secs_f64(2.0)));
+
+        let mut config = FaultConfig::disabled();
+        config.crash_stop = true;
+        let crashy = plan(&config);
+        assert!(crashy.crash_stop);
+        assert!(crashy.query_retransmit().is_none());
+        assert!(crashy.dht_step_timeout.is_none());
+    }
+}

@@ -76,6 +76,7 @@
 
 mod dht;
 mod exchange;
+mod faults;
 mod shard;
 mod tally;
 
@@ -100,11 +101,12 @@ use crate::config::{ProtocolKind, SimulationConfig};
 use crate::group::GroupScheme;
 use crate::peer::PeerState;
 use crate::protocol::Protocol;
-use crate::results::{DhtRunStats, SimulationReport};
+use crate::results::{DhtRunStats, FaultRunStats, SimulationReport};
 
 pub(crate) use exchange::locality_rank_order;
 
 use dht::DhtDirectory;
+use faults::FaultPlan;
 use exchange::{
     completion_key, issue_key, PeerPartition, CLASS_BLOOM_SYNC, CLASS_CHURN, CLASS_DHT_REPUBLISH,
 };
@@ -143,6 +145,9 @@ pub(crate) struct RunShared<'a> {
     /// `i` has no incoming cross-shard channel at all (unbounded horizon);
     /// a single-shard run is `vec![None]`.
     pub(crate) channel_lookahead: Vec<Option<Duration>>,
+    /// The compiled fault plan — `Some` exactly when the configuration arms
+    /// any fault axis, so fault-free runs pay one `Option` check per send.
+    pub(crate) faults: Option<FaultPlan>,
 }
 
 /// Everything needed to execute one protocol run over a prepared substrate.
@@ -485,6 +490,7 @@ impl<'a> ProtocolEngine<'a> {
             graph: RwLock::new(std::mem::replace(&mut self.graph, OverlayGraph::new(0))),
             online: RwLock::new(vec![true; self.config.peers]),
             channel_lookahead: lookahead,
+            faults: FaultPlan::new(&self.config.faults, &self.rng_factory),
         };
 
         let mut coordinator = Coordinator {
@@ -514,6 +520,7 @@ impl<'a> ProtocolEngine<'a> {
             capped_windows: 0,
             prev_dispatched: vec![0; shard_count],
             critical_path_events: 0,
+            crash_departures: 0,
         };
 
         if shard_count == 1 || !worker_threads_available() {
@@ -676,6 +683,15 @@ impl<'a> ProtocolEngine<'a> {
             stats
         });
 
+        let faults = (!self.config.faults.is_disabled()).then_some(FaultRunStats {
+            messages_lost: totals.messages_lost,
+            dht_stores_lost: totals.dht_stores_lost,
+            query_timeouts: totals.query_timeouts,
+            query_retransmits: totals.query_retransmits,
+            dht_step_timeouts: totals.dht_step_timeouts,
+            crash_departures: coordinator.crash_departures,
+        });
+
         let dispatched_events =
             coordinator.controls_dispatched + shards.iter().map(|s| s.dispatched).sum::<u64>();
         let end_time = shards
@@ -697,6 +713,7 @@ impl<'a> ProtocolEngine<'a> {
             simulated_end_time_secs: end_time.as_secs_f64(),
             dispatched_events,
             dht,
+            faults,
         }
     }
 }
@@ -869,6 +886,8 @@ struct Coordinator {
     capped_windows: u64,
     prev_dispatched: Vec<u64>,
     critical_path_events: u64,
+    /// Churn departures the fault plan turned into crash-stops (no goodbyes).
+    crash_departures: u64,
 }
 
 impl Coordinator {
@@ -1313,9 +1332,22 @@ impl Coordinator {
                 if !guards[shard].peers[slot].online {
                     return;
                 }
+                // Under a crash-stop fault plan the peer vanishes without
+                // goodbyes: the graph edges still drop (dead links carry no
+                // traffic either way) and the online snapshot flips, but no
+                // neighbour learns of the departure — their Bloom views, DHT
+                // routing tables and provider indexes keep the ghost until
+                // TTLs, lookup filters or the next sync round catch up.
+                // In-flight messages to the peer are consumed as lost by the
+                // ordinary offline-receiver rule.
+                let crash = shared.faults.as_ref().is_some_and(|f| f.crash_stop);
                 let old_neighbors = graph.depart(peer);
                 guards[shard].peers[slot].online = false;
                 online[peer.index()] = false;
+                if crash {
+                    self.crash_departures += 1;
+                    return;
+                }
                 for n in old_neighbors {
                     let ns = shared.partition.shard(n);
                     let nslot = shared.partition.slot(n);

@@ -40,7 +40,7 @@ use rand::rngs::StdRng;
 use locaware_bloom::ElementHashes;
 use locaware_net::LocId;
 use locaware_overlay::routing::decrement_ttl;
-use locaware_overlay::{Message, OverlayGraph, PeerId, ProviderEntry, QueryId};
+use locaware_overlay::{Message, MessageKind, OverlayGraph, PeerId, ProviderEntry, QueryId};
 use locaware_sim::{Duration, EventKey, ShardQueue, SimTime, StreamId};
 use locaware_workload::{FileId, KeywordId};
 
@@ -50,7 +50,7 @@ use crate::protocol::{PeerView, QueryContext, ResponseContext};
 use crate::provider::select_provider;
 
 use super::dht::DhtLookupState;
-use super::exchange::{deliver_key, Outbound};
+use super::exchange::{deliver_key, timeout_key, Outbound, LOST_BIT};
 use super::tally::{decision_index, kind_index, LifecycleFlux, Tallies};
 use super::RunShared;
 
@@ -62,14 +62,65 @@ pub(super) enum ShardEvent {
     /// The `i`-th pre-generated arrival fires: its peer issues a query.
     Issue(u32),
     /// A message arrives at `to`, having been sent by `from`.
+    ///
+    /// A message the fault plan dropped at send time still occupies its
+    /// canonical delivery position (fixing *when* the loss is observed) but
+    /// is consumed without being processed; it is marked by
+    /// [`LOST_BIT`](super::exchange::LOST_BIT) in `from` rather than a
+    /// separate flag, which would push the event (and with it every queue
+    /// entry) over the two-cache-line boundary the flooding hot path is
+    /// sized to.
     Deliver {
-        /// Sending peer.
+        /// Sending peer, possibly tagged with `LOST_BIT`.
         from: PeerId,
         /// Receiving peer.
         to: PeerId,
         /// The message.
         message: Message,
     },
+    /// A fault-plan deadline fires for query `index`. Timers live in the
+    /// waiting peer's own shard queue (origin-local, never cross-shard) and
+    /// are charged into the query's lifecycle like in-flight messages, so
+    /// completions stay exact while a deadline is armed.
+    Timeout {
+        /// The query's arrival index.
+        index: u32,
+        /// Which deadline fired.
+        kind: TimeoutKind,
+    },
+}
+
+/// Which fault-plan deadline a [`ShardEvent::Timeout`] represents.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum TimeoutKind {
+    /// The retransmit deadline of 0-based unstructured query attempt
+    /// `attempt`.
+    Retransmit {
+        /// The attempt whose deadline this is.
+        attempt: u32,
+    },
+    /// The deadline of a DHT lookup step awaiting `peer`'s reply.
+    DhtStep {
+        /// The index node the step was sent to.
+        peer: PeerId,
+    },
+}
+
+/// Recovers the arrival index from a query id. Retransmitted attempts reuse
+/// the arrival index in the low 32 bits and count the attempt in the high
+/// bits — a fresh id per attempt gives every retransmit its own
+/// duplicate-suppression and reverse-path state in [`QueryRouter`] with no
+/// router changes, while every per-query slab keys on the masked index.
+///
+/// [`QueryRouter`]: locaware_overlay::routing::QueryRouter
+pub(super) fn query_index(query: QueryId) -> usize {
+    (query.0 & 0xffff_ffff) as usize
+}
+
+/// The query id of `index`'s 0-based attempt `attempt` (attempt 0 is the
+/// original issue, whose id is the bare arrival index).
+fn attempt_id(index: usize, attempt: u32) -> QueryId {
+    QueryId(index as u64 | (u64::from(attempt) << 32))
 }
 
 /// Origin-local per-query bookkeeping (lives in the origin peer's shard).
@@ -98,6 +149,23 @@ pub(super) struct QueryTracking {
     /// Deepest lookup hop whose reply reached the origin (0 = answered from
     /// the origin's own record store, or no reply at all).
     pub dht_depth: u32,
+    /// Retransmit state — `Some` exactly while a fault plan's query-timeout
+    /// policy has a deadline armed for this (unstructured) query.
+    pub retry: Option<RetryState>,
+}
+
+/// Origin-side retransmit state of one unstructured query under a fault
+/// plan's [`TimeoutPolicy`](locaware_workload::TimeoutPolicy).
+#[derive(Debug)]
+pub(super) struct RetryState {
+    /// The query's keyword list, kept so a deadline can rebuild the wire
+    /// message (the workload draw must not be repeated — re-drawing would
+    /// desynchronise the per-arrival RNG stream).
+    pub keywords: Vec<KeywordId>,
+    /// The Dicas target filename carried on the wire, if any.
+    pub target_filename: Option<FileId>,
+    /// The 0-based attempt whose deadline is currently armed.
+    pub attempt: u32,
 }
 
 /// A local-match candidate for "first answer wins" semantics: the shard-local
@@ -233,7 +301,12 @@ impl ShardState {
                     self.handle_issue(shared, &graph, &online, key, index as usize)
                 }
                 ShardEvent::Deliver { from, to, message } => {
-                    self.handle_deliver(shared, &graph, &online, key, from, to, message)
+                    let lost = from.0 & LOST_BIT != 0;
+                    let from = PeerId(from.0 & !LOST_BIT);
+                    self.handle_deliver(shared, &graph, &online, key, from, to, message, lost)
+                }
+                ShardEvent::Timeout { index, kind } => {
+                    self.handle_timeout(shared, &graph, key, index as usize, kind)
                 }
             }
         }
@@ -333,6 +406,7 @@ impl ShardState {
                 .indexed_stream(StreamId::ProtocolTieBreak, index as u64),
             dht_lookup: false,
             dht_depth: 0,
+            retry: None,
         });
 
         // The originator registers the query locally (no upstream).
@@ -385,8 +459,26 @@ impl ShardState {
             for &target in &targets {
                 self.send(shared, now, origin, target, message.clone(), Some(index));
             }
+            let sent = !targets.is_empty();
             targets.clear();
             self.scratch_targets = targets;
+            // Arm the retransmit deadline for attempt 0 — only if the issue
+            // actually put messages in flight (a query with no forward
+            // targets is born complete and retrying it would re-flood into
+            // the same emptiness).
+            if sent {
+                if let Some(policy) = shared.faults.as_ref().and_then(|f| f.query_retransmit()) {
+                    let deadline = now + Duration::from_secs_f64(policy.delay_secs(0));
+                    if let Some(tracking) = self.tracking.get_mut(&(index as u32)) {
+                        tracking.retry = Some(RetryState {
+                            keywords: query.keywords.clone(),
+                            target_filename,
+                            attempt: 0,
+                        });
+                    }
+                    self.schedule_timeout(deadline, index, TimeoutKind::Retransmit { attempt: 0 });
+                }
+            }
         }
 
         // A query with no in-flight traffic is born complete — no forward
@@ -408,21 +500,23 @@ impl ShardState {
         from: PeerId,
         to: PeerId,
         message: Message,
+        lost: bool,
     ) {
         debug_assert_eq!(shared.partition.shard(to), self.shard as usize);
         // Lifecycle accounting brackets the handler: a query-charged delivery
         // is *consumed* by being dispatched, whatever then happens to it —
-        // offline receiver, duplicate suppression, TTL exhaustion all end
-        // this message's flight. The zero check must wait until the handler
-        // has run, though: consumption and the sends it triggers (forwarded
-        // copies, a response) are one atomic event, so a count that touches
-        // zero mid-event is not a completion — only the post-event count is.
+        // offline receiver, duplicate suppression, TTL exhaustion and
+        // fault-plan loss all end this message's flight. The zero check must
+        // wait until the handler has run, though: consumption and the sends
+        // it triggers (forwarded copies, a response) are one atomic event, so
+        // a count that touches zero mid-event is not a completion — only the
+        // post-event count is.
         let consumed = match &message {
             Message::Query { query, .. }
             | Message::QueryResponse { query, .. }
             | Message::DhtLookup { query, .. }
             | Message::DhtLookupReply { query, .. } => {
-                let index = query.0 as usize;
+                let index = query_index(*query);
                 self.outstanding[index] -= 1;
                 if let Some(flux) = &mut self.flux {
                     flux.consume(index, key);
@@ -431,7 +525,9 @@ impl ShardState {
             }
             _ => None,
         };
-        self.process_delivery(shared, graph, online, key, from, to, message);
+        if !lost {
+            self.process_delivery(shared, graph, online, key, from, to, message);
+        }
         if let Some(index) = consumed {
             if self.outstanding[index] == 0 && !self.escaped[index] {
                 // This delivery was the query's last in-flight message and
@@ -503,7 +599,7 @@ impl ShardState {
                     // engine: within this shard events drain in key order, so
                     // set-once keeps the shard minimum; finalize merges shards
                     // by key minimum.
-                    let index = query.0 as usize;
+                    let index = query_index(query);
                     if self.hits[index].is_none() {
                         self.hits[index] = Some(HitMark {
                             key,
@@ -548,7 +644,7 @@ impl ShardState {
                         requestor: requestor_entry,
                     };
                     if let Some(upstream) = self.peers[slot].router.response_next_hop(query) {
-                        self.send(shared, key.time, to, upstream, response, Some(query.0 as usize));
+                        self.send(shared, key.time, to, upstream, response, Some(query_index(query)));
                     }
                     return;
                 }
@@ -590,7 +686,7 @@ impl ShardState {
                         to,
                         target,
                         forwarded.clone(),
-                        Some(query.0 as usize),
+                        Some(query_index(query)),
                     );
                 }
                 targets.clear();
@@ -605,7 +701,7 @@ impl ShardState {
                 requestor,
             } => {
                 let file = FileId(file);
-                let index = query.0 as usize;
+                let index = query_index(query);
                 // The origin is a pure function of the query id (= arrival
                 // index), so any shard can answer "am I the origin?" without
                 // reading the origin shard's tracking slab.
@@ -677,7 +773,7 @@ impl ShardState {
                     entries,
                     closer,
                 };
-                self.send(shared, key.time, to, from, reply, Some(query.0 as usize));
+                self.send(shared, key.time, to, from, reply, Some(query_index(query)));
             }
             Message::DhtLookupReply {
                 query,
@@ -686,14 +782,17 @@ impl ShardState {
                 entries,
                 closer,
             } => {
-                let index = query.0 as usize;
+                let index = query_index(query);
                 // Only the origin holds lookup state; a reply arriving after
                 // the walk concluded (satisfied, exhausted or completed) is
                 // ignored.
                 let Some(state) = self.dht_lookups.get_mut(&(index as u32)) else {
                     return;
                 };
-                state.inflight = state.inflight.saturating_sub(1);
+                // Settle the step's ledger entry. A reply whose slot a step
+                // deadline already released finds none — its payload still
+                // merges below, but the in-flight accounting has moved on.
+                state.finish_step(from);
                 let directory = shared
                     .dht
                     .as_ref()
@@ -715,20 +814,17 @@ impl ShardState {
                 // `k` closest known contacts, one hop deeper.
                 let next_hop = hop + 1;
                 if next_hop <= shared.config.dht.max_lookup_hops {
-                    while let Some(state) = self.dht_lookups.get_mut(&(index as u32)) {
-                        if state.inflight >= shared.config.dht.alpha {
-                            break;
-                        }
-                        let Some(target) = state.take_next_target(shared.config.dht.k) else {
-                            break;
-                        };
-                        state.inflight += 1;
-                        let step = Message::DhtLookup {
-                            query,
-                            keyword,
-                            hop: next_hop,
-                        };
-                        self.send(shared, key.time, to, target, step, Some(index));
+                    while let Some(target) =
+                        self.dht_lookups.get_mut(&(index as u32)).and_then(|state| {
+                            if state.inflight() >= shared.config.dht.alpha {
+                                return None;
+                            }
+                            let target = state.take_next_target(shared.config.dht.k)?;
+                            state.begin_step(target, next_hop);
+                            Some(target)
+                        })
+                    {
+                        self.send_dht_step(shared, key.time, to, target, query, keyword, next_hop, index);
                     }
                 }
                 // Shortlist exhausted with nothing in flight: the walk is
@@ -736,7 +832,7 @@ impl ShardState {
                 if self
                     .dht_lookups
                     .get(&(index as u32))
-                    .is_some_and(|s| s.inflight == 0)
+                    .is_some_and(|s| s.inflight() == 0)
                 {
                     self.dht_lookups.remove(&(index as u32));
                 }
@@ -825,15 +921,10 @@ impl ShardState {
             let Some(target) = state.take_next_target(shared.config.dht.k) else {
                 break;
             };
-            state.inflight += 1;
-            let step = Message::DhtLookup {
-                query: query_id,
-                keyword: keyword.0,
-                hop: 1,
-            };
-            self.send(shared, now, origin, target, step, Some(index));
+            state.begin_step(target, 1);
+            self.send_dht_step(shared, now, origin, target, query_id, keyword.0, 1, index);
         }
-        if state.inflight > 0 {
+        if state.inflight() > 0 {
             self.dht_lookups.insert(index as u32, state);
         }
         // No known contacts at all: nothing in flight — the caller's
@@ -1076,6 +1167,241 @@ impl ShardState {
         self.dht_lookups.remove(&(index as u32));
     }
 
+    // --- fault-plan timers --------------------------------------------------
+
+    /// Sends one iterative-lookup step and, under a fault plan with step
+    /// timeouts, arms its deadline. The caller has already recorded the step
+    /// in the lookup state's ledger via
+    /// [`begin_step`](DhtLookupState::begin_step).
+    #[allow(clippy::too_many_arguments)]
+    fn send_dht_step(
+        &mut self,
+        shared: &RunShared<'_>,
+        now: SimTime,
+        origin: PeerId,
+        target: PeerId,
+        query: QueryId,
+        keyword: u32,
+        hop: u32,
+        index: usize,
+    ) {
+        let step = Message::DhtLookup {
+            query,
+            keyword,
+            hop,
+        };
+        self.send(shared, now, origin, target, step, Some(index));
+        if let Some(timeout) = shared.faults.as_ref().and_then(|f| f.dht_step_timeout) {
+            self.schedule_timeout(now + timeout, index, TimeoutKind::DhtStep { peer: target });
+        }
+    }
+
+    /// Arms a fault-plan deadline for query `index`. The timer is charged
+    /// into the query's lifecycle exactly like an in-flight message (+1 now,
+    /// −1 when it fires), so the completion stays exact while it is armed —
+    /// and since timers are class 6, a reply landing exactly at the deadline
+    /// is dispatched first. Timers live in the origin's own shard queue and
+    /// never cross shards, so they cannot perturb channel lookaheads.
+    fn schedule_timeout(&mut self, at: SimTime, index: usize, kind: TimeoutKind) {
+        let discriminator = match kind {
+            TimeoutKind::Retransmit { attempt } => u64::from(attempt),
+            TimeoutKind::DhtStep { peer } => (1u64 << 32) | u64::from(peer.0),
+        };
+        self.outstanding[index] += 1;
+        if let Some(flux) = &mut self.flux {
+            flux.charge(index);
+        }
+        self.queue.push(
+            timeout_key(at, index, discriminator),
+            ShardEvent::Timeout {
+                index: index as u32,
+                kind,
+            },
+        );
+    }
+
+    /// Dispatches a fired deadline: retire its lifecycle charge, run the
+    /// kind-specific recovery, then close the query if this was its last
+    /// outstanding obligation.
+    fn handle_timeout(
+        &mut self,
+        shared: &RunShared<'_>,
+        graph: &OverlayGraph,
+        key: EventKey,
+        index: usize,
+        kind: TimeoutKind,
+    ) {
+        self.outstanding[index] -= 1;
+        if let Some(flux) = &mut self.flux {
+            flux.consume(index, key);
+        }
+        match kind {
+            TimeoutKind::Retransmit { attempt } => {
+                self.retransmit_query(shared, graph, key, index, attempt)
+            }
+            TimeoutKind::DhtStep { peer } => self.handle_dht_step_timeout(shared, key, index, peer),
+        }
+        if self.outstanding[index] == 0 && !self.escaped[index] {
+            self.complete_locally(shared, index, key.time);
+        }
+    }
+
+    /// A retransmit deadline fired: if the query is still unanswered and has
+    /// retries left, re-flood it from the origin under a fresh attempt id (a
+    /// fresh id gives the re-flood its own duplicate-suppression and
+    /// reverse-path state, so peers that suppressed attempt `n` still forward
+    /// attempt `n+1`) and arm the next, backed-off deadline.
+    fn retransmit_query(
+        &mut self,
+        shared: &RunShared<'_>,
+        graph: &OverlayGraph,
+        key: EventKey,
+        index: usize,
+        attempt: u32,
+    ) {
+        let (origin, origin_loc, keywords, target_filename) = {
+            let Some(tracking) = self.tracking.get(&(index as u32)) else {
+                return;
+            };
+            if tracking.satisfied || tracking.completed_at.is_some() {
+                return;
+            }
+            let Some(retry) = tracking.retry.as_ref() else {
+                return;
+            };
+            if retry.attempt != attempt {
+                return;
+            }
+            (
+                tracking.origin,
+                tracking.origin_loc,
+                retry.keywords.clone(),
+                retry.target_filename,
+            )
+        };
+        self.tallies.query_timeouts += 1;
+        let Some(policy) = shared.faults.as_ref().and_then(|f| f.query_retransmit()) else {
+            return;
+        };
+        if attempt >= policy.max_retries {
+            return;
+        }
+        let slot = shared.partition.slot(origin);
+        if !self.peers[slot].online {
+            // The origin itself departed: nobody is left to retry (or to
+            // receive an answer). The timer's consumption above lets the
+            // query complete honestly.
+            return;
+        }
+        let next = attempt + 1;
+        let query_id = attempt_id(index, next);
+        self.peers[slot].router.on_query(query_id, None);
+        shared
+            .keyword_hashes
+            .of_all_into(&keywords, &mut self.scratch_hashes);
+        let mut targets = std::mem::take(&mut self.scratch_targets);
+        let decision = {
+            let qctx = QueryContext {
+                query: query_id,
+                origin,
+                origin_loc,
+                keywords: &keywords,
+                keyword_hashes: &self.scratch_hashes,
+                target_filename,
+            };
+            let view = self.view(graph, shared, slot);
+            shared
+                .protocol
+                .forward_targets_into(&view, &qctx, None, &mut targets)
+        };
+        self.tallies.decision_counts[decision_index(decision)] += 1;
+        let message = Message::Query {
+            query: query_id,
+            origin,
+            origin_loc,
+            keywords: keywords.iter().map(|k| k.0).collect(),
+            target_filename: target_filename.map(|f| f.0),
+            ttl: shared.config.ttl,
+        };
+        let now = key.time;
+        for &target in &targets {
+            self.send(shared, now, origin, target, message.clone(), Some(index));
+        }
+        let sent = !targets.is_empty();
+        targets.clear();
+        self.scratch_targets = targets;
+        if sent {
+            self.tallies.query_retransmits += 1;
+            if let Some(retry) = self
+                .tracking
+                .get_mut(&(index as u32))
+                .and_then(|t| t.retry.as_mut())
+            {
+                retry.attempt = next;
+            }
+            let deadline = now + Duration::from_secs_f64(policy.delay_secs(next));
+            self.schedule_timeout(deadline, index, TimeoutKind::Retransmit { attempt: next });
+        } else if let Some(tracking) = self.tracking.get_mut(&(index as u32)) {
+            // Nothing left to flood into (e.g. every neighbour departed):
+            // disarm, and let the lifecycle close the query.
+            tracking.retry = None;
+        }
+    }
+
+    /// A DHT step deadline fired: if the step is still unanswered, release
+    /// its in-flight slot and re-issue against the next shortlist candidates
+    /// at the same hop depth, keeping at most `alpha` steps walking. This is
+    /// what recovers lookups whose step landed on an index node that departed
+    /// mid-walk and will never reply.
+    fn handle_dht_step_timeout(
+        &mut self,
+        shared: &RunShared<'_>,
+        key: EventKey,
+        index: usize,
+        peer: PeerId,
+    ) {
+        // `None` means the reply won the race at this exact deadline (class
+        // ordering dispatches it first) or arrived long ago: nothing stalled.
+        let Some(hop) = self
+            .dht_lookups
+            .get_mut(&(index as u32))
+            .and_then(|state| state.finish_step(peer))
+        else {
+            return;
+        };
+        self.tallies.dht_step_timeouts += 1;
+        let origin = PeerId(shared.arrivals[index].peer as u32);
+        let slot = shared.partition.slot(origin);
+        if self.peers[slot].online {
+            let keyword = self
+                .dht_lookups
+                .get(&(index as u32))
+                .and_then(|state| state.keywords.first().copied());
+            if let Some(keyword) = keyword {
+                let query = QueryId(index as u64);
+                while let Some(target) =
+                    self.dht_lookups.get_mut(&(index as u32)).and_then(|state| {
+                        if state.inflight() >= shared.config.dht.alpha {
+                            return None;
+                        }
+                        let target = state.take_next_target(shared.config.dht.k)?;
+                        state.begin_step(target, hop);
+                        Some(target)
+                    })
+                {
+                    self.send_dht_step(shared, key.time, origin, target, query, keyword.0, hop, index);
+                }
+            }
+        }
+        if self
+            .dht_lookups
+            .get(&(index as u32))
+            .is_some_and(|state| state.inflight() == 0)
+        {
+            self.dht_lookups.remove(&(index as u32));
+        }
+    }
+
     // --- sending ------------------------------------------------------------
 
     /// Sends a query-related message, charging it to the query's traffic
@@ -1134,10 +1460,31 @@ impl ShardState {
         let sender_slot = shared.partition.slot(from);
         let seq = self.send_seq[sender_slot];
         self.send_seq[sender_slot] += 1;
+        // The loss verdict is decided at send time in the sending shard, from
+        // shard-invariant message identity (the send sequence is monotone in
+        // the sender's deterministic event order). A lost message still
+        // travels: its delivery occupies the same canonical position and is
+        // consumed there, it just carries no payload effect — so the query
+        // lifecycle, and therefore every completion time, stays exact.
+        debug_assert_eq!(from.0 & LOST_BIT, 0, "peer ids must stay below the lost tag");
+        let lost = shared
+            .faults
+            .as_ref()
+            .is_some_and(|plan| plan.lose(now, from, to, seq));
         let key = deliver_key(at, to, from, seq);
+        let from = if lost {
+            self.tallies.messages_lost += 1;
+            if message.kind() == MessageKind::DhtStore {
+                self.tallies.dht_stores_lost += 1;
+            }
+            PeerId(from.0 | LOST_BIT)
+        } else {
+            from
+        };
         let destination = shared.partition.shard(to);
         if destination == self.shard as usize {
-            self.queue.push(key, ShardEvent::Deliver { from, to, message });
+            self.queue
+                .push(key, ShardEvent::Deliver { from, to, message });
             false
         } else {
             debug_assert!(

@@ -73,6 +73,19 @@ pub(super) struct Tallies {
     pub background_messages: u64,
     /// Queries issued by this shard's peers.
     pub queries_issued: u64,
+    /// Messages dropped by the fault plan at send time (loss coin or active
+    /// outage window), counted in the sending shard.
+    pub messages_lost: u64,
+    /// DHT store transfers among the lost — the pressure the next republish
+    /// round has to repair.
+    pub dht_stores_lost: u64,
+    /// Query retransmit deadlines that fired with the query still unanswered
+    /// (including the final deadline after retries were exhausted).
+    pub query_timeouts: u64,
+    /// Query re-floods actually issued (bounded by the policy's max retries).
+    pub query_retransmits: u64,
+    /// DHT lookup step deadlines that released a stalled in-flight slot.
+    pub dht_step_timeouts: u64,
 }
 
 impl Tallies {
@@ -82,6 +95,11 @@ impl Tallies {
             decision_counts: [0; FORWARD_DECISIONS.len()],
             background_messages: 0,
             queries_issued: 0,
+            messages_lost: 0,
+            dht_stores_lost: 0,
+            query_timeouts: 0,
+            query_retransmits: 0,
+            dht_step_timeouts: 0,
         }
     }
 
@@ -95,6 +113,11 @@ impl Tallies {
         }
         self.background_messages += other.background_messages;
         self.queries_issued += other.queries_issued;
+        self.messages_lost += other.messages_lost;
+        self.dht_stores_lost += other.dht_stores_lost;
+        self.query_timeouts += other.query_timeouts;
+        self.query_retransmits += other.query_retransmits;
+        self.dht_step_timeouts += other.dht_step_timeouts;
     }
 }
 
@@ -258,10 +281,16 @@ mod tests {
         a.decision_counts[4] = 1;
         a.background_messages = 2;
         a.queries_issued = 5;
+        a.messages_lost = 4;
+        a.query_timeouts = 2;
         let mut b = Tallies::new();
         b.message_counts[0] = 4;
         b.message_counts[6] = 1;
         b.queries_issued = 7;
+        b.messages_lost = 1;
+        b.query_retransmits = 3;
+        b.dht_step_timeouts = 2;
+        b.dht_stores_lost = 1;
 
         let mut ab = a.clone();
         ab.merge(&b);
@@ -271,5 +300,10 @@ mod tests {
         assert_eq!(ab.decision_counts, ba.decision_counts);
         assert_eq!(ab.background_messages, ba.background_messages);
         assert_eq!(ab.queries_issued, 12);
+        assert_eq!(ab.messages_lost, 5);
+        assert_eq!(ab.query_timeouts, ba.query_timeouts);
+        assert_eq!(ab.query_retransmits, 3);
+        assert_eq!(ab.dht_step_timeouts, 2);
+        assert_eq!(ab.dht_stores_lost, 1);
     }
 }

@@ -16,7 +16,9 @@
 
 use locaware_net::brite::PlacementModel;
 use locaware_overlay::ChurnConfig;
-use locaware_workload::{ArrivalSchedule, ClusterWeights};
+use locaware_workload::{
+    ArrivalSchedule, ClusterWeights, FaultConfig, OutageWindow, TimeoutPolicy,
+};
 
 use crate::config::{ConfigError, SimulationConfig};
 use crate::simulation::Simulation;
@@ -39,6 +41,22 @@ pub const FLASH_CROWD_BURST_DURATION_SECS: f64 = 3600.0;
 /// each other third — 75% of initial replicas and query origins.
 pub const REGIONAL_HOTSPOT_WEIGHTS: [f64; 3] = [6.0, 1.0, 1.0];
 
+/// The independent per-message loss rate of [`Scenario::faulty_network`]:
+/// 5% — lossy enough that multi-hop query trees shed branches, mild enough
+/// that retransmits recover most of them.
+pub const FAULTY_NETWORK_LOSS: f64 = 0.05;
+
+/// When the [`Scenario::faulty_network`] outage window opens (simulated
+/// seconds): deep inside the workload, after caches and indexes have formed.
+pub const FAULTY_NETWORK_OUTAGE_START_SECS: f64 = 300.0;
+
+/// How long the [`Scenario::faulty_network`] outage lasts.
+pub const FAULTY_NETWORK_OUTAGE_DURATION_SECS: f64 = 120.0;
+
+/// The fraction of links the [`Scenario::faulty_network`] outage silences
+/// while the window is open.
+pub const FAULTY_NETWORK_OUTAGE_FRACTION: f64 = 0.3;
+
 /// A named, validated simulation configuration.
 ///
 /// Construction always goes through validation — via the presets, via
@@ -56,13 +74,14 @@ pub struct Scenario {
 impl Scenario {
     /// The names of the built-in presets, in the order they are documented:
     /// `paper-defaults`, `small`, `flash-crowd`, `churn-storm`,
-    /// `regional-hotspot`.
-    pub const PRESET_NAMES: [&'static str; 5] = [
+    /// `regional-hotspot`, `faulty-network`.
+    pub const PRESET_NAMES: [&'static str; 6] = [
         "paper-defaults",
         "small",
         "flash-crowd",
         "churn-storm",
         "regional-hotspot",
+        "faulty-network",
     ];
 
     /// Starts a builder named `name`, seeded from the paper's §5.1 defaults.
@@ -182,6 +201,42 @@ impl Scenario {
             .expect("regional-hotspot preset must validate")
     }
 
+    /// Faulty network: the static `small` substrate with every fault axis
+    /// armed except crash-stop churn (there is no churn to crash).
+    ///
+    /// Messages drop independently at `FAULTY_NETWORK_LOSS`; a window of
+    /// `FAULTY_NETWORK_OUTAGE_DURATION_SECS` seconds starting at
+    /// `FAULTY_NETWORK_OUTAGE_START_SECS` silences
+    /// `FAULTY_NETWORK_OUTAGE_FRACTION` of the links entirely. The
+    /// protocols fight back with the resilience machinery this preset
+    /// exists to exercise: unstructured queries retransmit on a 3 s deadline
+    /// doubling per attempt (two retries), and iterative DHT lookup steps
+    /// re-issue against the next shortlist candidate after 2 s. Every loss,
+    /// deadline and retry is drawn from the seeded fault stream, so the
+    /// preset is as deterministic — and as shard-invariant — as the clean
+    /// ones.
+    pub fn faulty_network(peers: usize) -> Self {
+        let mut config = SimulationConfig::small(peers);
+        config.seed = 0xFA_017_E47;
+        config.faults = FaultConfig {
+            message_loss: FAULTY_NETWORK_LOSS,
+            outages: vec![OutageWindow {
+                start_secs: FAULTY_NETWORK_OUTAGE_START_SECS,
+                duration_secs: FAULTY_NETWORK_OUTAGE_DURATION_SECS,
+                fraction: FAULTY_NETWORK_OUTAGE_FRACTION,
+            }],
+            crash_stop: false,
+            query_timeout: TimeoutPolicy {
+                initial_secs: 3.0,
+                backoff: 2.0,
+                max_retries: 2,
+            },
+            dht_step_timeout_secs: 2.0,
+        };
+        Scenario::from_config("faulty-network", config)
+            .expect("faulty-network preset must validate")
+    }
+
     /// Looks a preset up by its [`Scenario::PRESET_NAMES`] name, scaled to
     /// `peers` peers (`paper-defaults` ignores `peers`: it is the published
     /// 1000-peer setup by definition).
@@ -192,6 +247,7 @@ impl Scenario {
             "flash-crowd" => Scenario::flash_crowd(peers),
             "churn-storm" => Scenario::churn_storm(peers),
             "regional-hotspot" => Scenario::regional_hotspot(peers),
+            "faulty-network" => Scenario::faulty_network(peers),
             _ => return None,
         })
     }
@@ -405,6 +461,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the fault plan (message loss, outage windows, crash-stop churn,
+    /// timeout/retry policies); inconsistent plans surface as
+    /// [`ConfigError::FaultConfig`] or [`ConfigError::TimeoutPolicy`] from
+    /// [`ScenarioBuilder::build`].
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
     /// Sets the engine shard count (deterministic intra-run parallelism;
     /// 0 = auto via `LOCAWARE_SHARDS`). Every shard count produces
     /// bit-identical reports for the same seed, so this is purely a
@@ -475,13 +540,14 @@ mod tests {
             Scenario::flash_crowd(60),
             Scenario::churn_storm(60),
             Scenario::regional_hotspot(60),
+            Scenario::faulty_network(60),
         ];
         // `small` intentionally keeps the paper seed (it is the paper's setup
-        // scaled down); the three new regimes each carry their own seed.
+        // scaled down); the four extension regimes each carry their own seed.
         let mut regime_seeds: Vec<u64> = presets[1..].iter().map(|s| s.seed()).collect();
         regime_seeds.sort_unstable();
         regime_seeds.dedup();
-        assert_eq!(regime_seeds.len(), 4, "regime seeds must be distinct");
+        assert_eq!(regime_seeds.len(), 5, "regime seeds must be distinct");
         for (scenario, expected_name) in presets.iter().zip(Scenario::PRESET_NAMES) {
             assert_eq!(scenario.name(), expected_name);
             assert!(scenario.config().validate().is_ok(), "{expected_name} must validate");
@@ -531,6 +597,15 @@ mod tests {
         let weights = hotspot.config().cluster_weights.as_ref().expect("weighted clusters");
         assert_eq!(weights.weights(), &REGIONAL_HOTSPOT_WEIGHTS);
         assert!(small.config().cluster_weights.is_none());
+
+        let faulty = Scenario::faulty_network(100);
+        assert!(small.config().faults.is_disabled());
+        assert!(!faulty.config().faults.is_disabled());
+        assert_eq!(faulty.config().faults.message_loss, FAULTY_NETWORK_LOSS);
+        assert_eq!(faulty.config().faults.outages.len(), 1);
+        assert!(faulty.config().faults.query_timeout.is_enabled());
+        assert!(faulty.config().faults.dht_step_timeout_secs > 0.0);
+        assert!(!faulty.config().faults.crash_stop, "no churn to crash in this preset");
     }
 
     #[test]

@@ -99,4 +99,4 @@ pub use simulation::Simulation;
 pub use locaware_metrics::{Figure, QueryOutcome, QueryRecord, RunMetrics, SeriesPoint};
 pub use locaware_net::{LinkLatencyCache, LocId, PhysicalTopology};
 pub use locaware_overlay::{OverlayGraph, PeerId, ProviderEntry, QueryId};
-pub use locaware_workload::{Catalog, FileId, KeywordId};
+pub use locaware_workload::{Catalog, FaultConfig, FileId, KeywordId, OutageWindow, TimeoutPolicy};

@@ -41,6 +41,26 @@ impl DhtRunStats {
     }
 }
 
+/// End-of-run statistics of the fault plan (runs with any fault axis armed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRunStats {
+    /// Messages dropped at send time by the loss coin or an outage window.
+    pub messages_lost: u64,
+    /// DHT store transfers among the lost — index maintenance the next
+    /// republish round has to repair.
+    pub dht_stores_lost: u64,
+    /// Query retransmit deadlines that fired with the query still unanswered
+    /// (including the final, retries-exhausted one).
+    pub query_timeouts: u64,
+    /// Query re-floods actually issued (bounded by the policy's max retries).
+    pub query_retransmits: u64,
+    /// DHT lookup step deadlines that released a stalled in-flight slot.
+    pub dht_step_timeouts: u64,
+    /// Churn departures executed as crash-stops (no goodbyes to neighbours,
+    /// routing tables or indexes).
+    pub crash_departures: u64,
+}
+
 /// Everything measured during one run of one protocol.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimulationReport {
@@ -69,6 +89,11 @@ pub struct SimulationReport {
     /// (`dht-index`, `hybrid`), `None` for the unstructured six, whose
     /// reports are byte-for-byte unchanged by the subsystem's existence.
     pub dht: Option<DhtRunStats>,
+    /// Fault-plan statistics — `Some` exactly when the run's configuration
+    /// armed any fault axis, `None` otherwise, so fault-free reports (and
+    /// their pinned fingerprints) are byte-for-byte unchanged by the fault
+    /// subsystem's existence.
+    pub faults: Option<FaultRunStats>,
 }
 
 impl SimulationReport {
@@ -113,6 +138,15 @@ impl SimulationReport {
             mix(dht.record_bytes as u64);
             mix(dht.truncated_entries);
             mix(dht.expired_entries);
+        }
+        // Fault fields likewise mix only when a fault axis is armed.
+        if let Some(faults) = &self.faults {
+            mix(faults.messages_lost);
+            mix(faults.dht_stores_lost);
+            mix(faults.query_timeouts);
+            mix(faults.query_retransmits);
+            mix(faults.dht_step_timeouts);
+            mix(faults.crash_departures);
         }
         hash
     }
@@ -203,6 +237,25 @@ impl SimulationReport {
                 format!("{} / {}", dht.truncated_entries, dht.expired_entries),
             ]);
         }
+        if let Some(faults) = &self.faults {
+            table.push_row(["messages lost".to_string(), faults.messages_lost.to_string()]);
+            table.push_row([
+                "dht stores lost".to_string(),
+                faults.dht_stores_lost.to_string(),
+            ]);
+            table.push_row([
+                "query timeouts / retransmits".to_string(),
+                format!("{} / {}", faults.query_timeouts, faults.query_retransmits),
+            ]);
+            table.push_row([
+                "dht step timeouts".to_string(),
+                faults.dht_step_timeouts.to_string(),
+            ]);
+            table.push_row([
+                "crash departures".to_string(),
+                faults.crash_departures.to_string(),
+            ]);
+        }
         table
     }
 }
@@ -250,6 +303,7 @@ mod tests {
             simulated_end_time_secs: 100.0,
             dispatched_events: 123,
             dht: None,
+            faults: None,
         }
     }
 

@@ -41,6 +41,20 @@ impl Figure {
         }
     }
 
+    /// Creates an empty *degradation* figure: the metric as a function of a
+    /// fault level instead of the query count. The x-axis reuses
+    /// [`SeriesPoint::queries`] to carry the level in percent (0–100) — e.g.
+    /// message-loss rate — so every lookup, reduction and rendering helper
+    /// works unchanged; the title records the reinterpretation.
+    pub fn degradation(fault_axis: &str, metric: impl Into<String>) -> Self {
+        let metric = metric.into();
+        Figure {
+            title: format!("Degradation: {metric} vs {fault_axis} (%)"),
+            metric,
+            curves: BTreeMap::new(),
+        }
+    }
+
     /// Appends a point to the curve of `label`, keeping x order.
     pub fn push(&mut self, label: impl Into<String>, point: SeriesPoint) {
         let curve = self.curves.entry(label.into()).or_default();
@@ -210,6 +224,22 @@ mod tests {
         assert_eq!(csv.lines().next().unwrap(), "queries,flooding,locaware");
         assert_eq!(csv.lines().count(), 4);
         assert!(csv.contains("2000,810.000000,14.000000"));
+    }
+
+    #[test]
+    fn degradation_figures_reuse_the_series_machinery() {
+        let mut fig = Figure::degradation("message loss", "success rate");
+        assert!(fig.title.contains("message loss"));
+        assert!(fig.title.contains("success rate"));
+        for (loss_pct, flood, loca) in [(0u64, 0.95, 0.97), (5, 0.80, 0.90), (10, 0.60, 0.82)] {
+            fig.push("flooding", SeriesPoint { queries: loss_pct, value: flood });
+            fig.push("locaware", SeriesPoint { queries: loss_pct, value: loca });
+        }
+        assert_eq!(fig.x_values(), vec![0, 5, 10]);
+        assert_eq!(fig.value_at("locaware", 5), Some(0.90));
+        // Success is a benefit, not a cost: locaware retaining more of it
+        // shows up as a *negative* reduction relative to flooding.
+        assert!(fig.relative_reduction("locaware", "flooding").unwrap() < 0.0);
     }
 
     #[test]

@@ -59,6 +59,6 @@ pub use engine::{Engine, EngineContext, RunStats, StopCondition};
 pub use event::{EventId, ScheduledEvent};
 pub use process::PeriodicProcess;
 pub use queue::EventQueue;
-pub use rng::{RngFactory, StreamId};
+pub use rng::{mix, RngFactory, StreamId};
 pub use shard::{EventKey, ShardQueue};
 pub use time::{Duration, SimTime};

@@ -43,6 +43,10 @@ pub enum StreamId {
     /// DHT identity derivation (the salts behind peer node ids and keyword
     /// record keys in the structured-protocol key space).
     DhtIds,
+    /// Fault injection (per-message loss decisions, link outage membership,
+    /// crash-stop selection) — the salts behind the fault plan's stateless
+    /// hashes, so failure patterns are independent of every other stream.
+    Faults,
     /// Anything else; the payload distinguishes multiple custom streams.
     Custom(u64),
 }
@@ -62,6 +66,7 @@ impl StreamId {
             StreamId::ProtocolTieBreak => 0x09,
             StreamId::Churn => 0x0a,
             StreamId::DhtIds => 0x0b,
+            StreamId::Faults => 0x0c,
             StreamId::Custom(x) => 0x1000_0000_0000_0000u64 ^ x,
         }
     }
@@ -104,6 +109,16 @@ impl RngFactory {
             master_seed: derive(self.master_seed, 0xc0ff_ee00_0000_0000u64 ^ index),
         }
     }
+}
+
+/// Stateless SplitMix64-style hash of `(seed, tag)`, public for components
+/// that need a *per-event* deterministic coin rather than a sequential
+/// stream — e.g. the fault plan hashes `(fault seed, sender, send sequence)`
+/// so each message's loss decision is a pure function of its identity,
+/// independent of the order shards process events in. Chain calls to mix in
+/// more than one tag: `mix(mix(seed, a), b)`.
+pub fn mix(seed: u64, tag: u64) -> u64 {
+    derive(seed, tag)
 }
 
 /// SplitMix64-style mixing of a seed and a tag into a new seed.

@@ -1,0 +1,495 @@
+//! Fault-injection specification: message loss, link outages, crash-stop
+//! departures, and the timeout/retry policies protocols use to survive them.
+//!
+//! The paper's evaluation (and every prior run of this reproduction) assumes
+//! a perfectly reliable network: no message is ever dropped and peers only
+//! leave gracefully at churn barriers. [`FaultConfig`] makes failure a
+//! *workload dimension*: a validated, serialisable plan the engine threads
+//! from configuration to tallies, with the same determinism contract as every
+//! other knob — the same seed and plan produce bit-identical reports for
+//! every shard count, and the disabled plan reproduces fault-free runs
+//! byte-for-byte.
+//!
+//! The types here are pure *specification*; the engine derives the actual
+//! per-message loss coins and outage membership from the
+//! `StreamId::Faults` stream so fault patterns are independent of topology,
+//! workload and protocol randomness.
+
+use serde::{Deserialize, Serialize};
+
+use locaware_sim::Duration;
+
+/// A typed retransmit policy: how long to wait for a query to produce a
+/// response, how the wait grows, and how many times to retry.
+///
+/// `initial_secs == 0` disables the policy (no timeout events are ever
+/// scheduled, which is the default and keeps fault-free runs byte-identical).
+/// When enabled, attempt `n` (0-based) times out after
+/// `initial_secs * backoff.powi(n)` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeoutPolicy {
+    /// Timeout of the first attempt, in seconds of simulated time.
+    /// `0` disables timeouts entirely.
+    pub initial_secs: f64,
+    /// Multiplicative backoff factor applied per retry (`>= 1`).
+    pub backoff: f64,
+    /// Maximum number of retransmits after the initial attempt.
+    pub max_retries: u32,
+}
+
+impl TimeoutPolicy {
+    /// The disabled policy: no timeouts, no retries.
+    pub fn disabled() -> Self {
+        TimeoutPolicy {
+            initial_secs: 0.0,
+            backoff: 1.0,
+            max_retries: 0,
+        }
+    }
+
+    /// True when the policy schedules timeout events at all.
+    pub fn is_enabled(&self) -> bool {
+        self.initial_secs > 0.0
+    }
+
+    /// The timeout of 0-based attempt `attempt`, in seconds.
+    pub fn delay_secs(&self, attempt: u32) -> f64 {
+        self.initial_secs * self.backoff.powi(attempt.min(i32::MAX as u32) as i32)
+    }
+
+    /// Validates the policy; returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), TimeoutPolicyError> {
+        if self.initial_secs < 0.0 || !self.initial_secs.is_finite() {
+            return Err(TimeoutPolicyError::InvalidInitial {
+                initial_secs: self.initial_secs,
+            });
+        }
+        if !self.backoff.is_finite() || (self.is_enabled() && self.backoff < 1.0) {
+            return Err(TimeoutPolicyError::InvalidBackoff { backoff: self.backoff });
+        }
+        if self.is_enabled() {
+            // Worst-case cumulative wait across every attempt must fit the
+            // microsecond simulation clock; engine time arithmetic saturates
+            // silently past it.
+            let worst_delay = self.delay_secs(self.max_retries);
+            let span_secs = worst_delay * (self.max_retries as f64 + 1.0);
+            if Duration::try_from_millis_f64(span_secs * 1000.0).is_none() {
+                return Err(TimeoutPolicyError::SpanOverflow { span_secs });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimeoutPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Why a [`TimeoutPolicy`] is unusable.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TimeoutPolicyError {
+    /// The initial timeout is negative or not finite.
+    InvalidInitial {
+        /// The offending initial timeout in seconds.
+        initial_secs: f64,
+    },
+    /// The backoff factor is not finite, or below 1 while the policy is
+    /// enabled.
+    InvalidBackoff {
+        /// The offending backoff factor.
+        backoff: f64,
+    },
+    /// The worst-case cumulative retry span does not fit the microsecond
+    /// simulation clock.
+    SpanOverflow {
+        /// The unrepresentable span in seconds.
+        span_secs: f64,
+    },
+}
+
+impl std::fmt::Display for TimeoutPolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimeoutPolicyError::InvalidInitial { initial_secs } => write!(
+                f,
+                "initial timeout must be non-negative and finite: got {initial_secs}s"
+            ),
+            TimeoutPolicyError::InvalidBackoff { backoff } => write!(
+                f,
+                "backoff factor must be finite and at least 1: got {backoff}"
+            ),
+            TimeoutPolicyError::SpanOverflow { span_secs } => write!(
+                f,
+                "worst-case retry span {span_secs}s overflows the microsecond simulation clock"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimeoutPolicyError {}
+
+/// A transient link-degradation window: between `start_secs` and
+/// `start_secs + duration_secs`, a deterministic `fraction` of overlay links
+/// drop every message sent across them (a partial partition).
+///
+/// Which links participate is a pure hash of the fault seed and the link's
+/// endpoint pair, so the affected set is fixed per run and identical for
+/// every shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// Window start, in seconds of simulated time.
+    pub start_secs: f64,
+    /// Window length in seconds (must be positive).
+    pub duration_secs: f64,
+    /// Fraction of links affected, in `[0, 1]` (`1` is a full blackout).
+    pub fraction: f64,
+}
+
+impl OutageWindow {
+    /// Window end in seconds.
+    pub fn end_secs(&self) -> f64 {
+        self.start_secs + self.duration_secs
+    }
+}
+
+/// The complete fault plan of a run: what breaks, and how protocols are
+/// allowed to cope.
+///
+/// [`FaultConfig::disabled`] (the default) injects nothing and schedules
+/// nothing — runs under it are byte-identical to runs that predate fault
+/// injection, which is what pins the golden fingerprints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Independent per-message loss probability in `[0, 1]`. Applies to every
+    /// overlay message (queries, responses, DHT traffic, Bloom sync alike):
+    /// the coin is a pure hash of the fault seed and the message identity.
+    pub message_loss: f64,
+    /// Transient link-outage windows (may overlap; a message is lost if any
+    /// active window covers its link).
+    pub outages: Vec<OutageWindow>,
+    /// When true, churn departures are *crash-stop*: the peer vanishes
+    /// without telling neighbours or the DHT, and its in-flight messages are
+    /// consumed as lost. The default (false) keeps the graceful departure
+    /// every prior run used.
+    pub crash_stop: bool,
+    /// Retransmit policy for unstructured queries: when an origin's query
+    /// has produced no response by the deadline, the query is re-flooded
+    /// (with full TTL) as a new attempt, up to `max_retries` times.
+    pub query_timeout: TimeoutPolicy,
+    /// Per-step timeout for iterative DHT lookups, in seconds. When a lookup
+    /// step gets no reply by the deadline, the stalled slot is released and
+    /// the lookup re-issues against the next shortlist candidate. `0`
+    /// disables step timeouts (lost steps then simply conclude the lookup
+    /// early, as before).
+    pub dht_step_timeout_secs: f64,
+}
+
+impl FaultConfig {
+    /// The fault-free plan: no loss, no outages, graceful churn, no timeouts.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            message_loss: 0.0,
+            outages: Vec::new(),
+            crash_stop: false,
+            query_timeout: TimeoutPolicy::disabled(),
+            dht_step_timeout_secs: 0.0,
+        }
+    }
+
+    /// True when the plan injects nothing and arms nothing — the engine then
+    /// skips fault bookkeeping entirely and reproduces fault-free runs
+    /// byte-for-byte.
+    pub fn is_disabled(&self) -> bool {
+        self.message_loss == 0.0
+            && self.outages.is_empty()
+            && !self.crash_stop
+            && !self.query_timeout.is_enabled()
+            && self.dht_step_timeout_secs == 0.0
+    }
+
+    /// Validates every fault axis except the retransmit policy (validated
+    /// separately via [`TimeoutPolicy::validate`] so configuration errors
+    /// stay precisely typed); returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if !(0.0..=1.0).contains(&self.message_loss) || !self.message_loss.is_finite() {
+            return Err(FaultConfigError::InvalidLossProbability {
+                probability: self.message_loss,
+            });
+        }
+        for window in &self.outages {
+            if window.start_secs < 0.0 || !window.start_secs.is_finite() {
+                return Err(FaultConfigError::InvalidOutageStart {
+                    start_secs: window.start_secs,
+                });
+            }
+            if window.duration_secs <= 0.0 || !window.duration_secs.is_finite() {
+                return Err(FaultConfigError::InvalidOutageDuration {
+                    duration_secs: window.duration_secs,
+                });
+            }
+            if !(0.0..=1.0).contains(&window.fraction) || !window.fraction.is_finite() {
+                return Err(FaultConfigError::InvalidOutageFraction {
+                    fraction: window.fraction,
+                });
+            }
+            if Duration::try_from_millis_f64(window.end_secs() * 1000.0).is_none() {
+                return Err(FaultConfigError::OutageBeyondClock {
+                    end_secs: window.end_secs(),
+                });
+            }
+        }
+        if self.dht_step_timeout_secs < 0.0 || !self.dht_step_timeout_secs.is_finite() {
+            return Err(FaultConfigError::InvalidStepTimeout {
+                timeout_secs: self.dht_step_timeout_secs,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Why a [`FaultConfig`] is unusable.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultConfigError {
+    /// The message loss probability is outside `[0, 1]`.
+    InvalidLossProbability {
+        /// The offending probability.
+        probability: f64,
+    },
+    /// An outage window starts at a negative or non-finite time.
+    InvalidOutageStart {
+        /// The offending start time in seconds.
+        start_secs: f64,
+    },
+    /// An outage window has a non-positive or non-finite duration.
+    InvalidOutageDuration {
+        /// The offending duration in seconds.
+        duration_secs: f64,
+    },
+    /// An outage window's link fraction is outside `[0, 1]`.
+    InvalidOutageFraction {
+        /// The offending fraction.
+        fraction: f64,
+    },
+    /// An outage window extends past the representable simulation clock.
+    OutageBeyondClock {
+        /// The unrepresentable window end in seconds.
+        end_secs: f64,
+    },
+    /// The DHT step timeout is negative or not finite.
+    InvalidStepTimeout {
+        /// The offending timeout in seconds.
+        timeout_secs: f64,
+    },
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultConfigError::InvalidLossProbability { probability } => write!(
+                f,
+                "message loss probability must be in [0, 1]: got {probability}"
+            ),
+            FaultConfigError::InvalidOutageStart { start_secs } => write!(
+                f,
+                "outage start must be non-negative and finite: got {start_secs}s"
+            ),
+            FaultConfigError::InvalidOutageDuration { duration_secs } => write!(
+                f,
+                "outage duration must be positive and finite: got {duration_secs}s"
+            ),
+            FaultConfigError::InvalidOutageFraction { fraction } => write!(
+                f,
+                "outage link fraction must be in [0, 1]: got {fraction}"
+            ),
+            FaultConfigError::OutageBeyondClock { end_secs } => write!(
+                f,
+                "outage window ends at {end_secs}s, past the representable simulation clock"
+            ),
+            FaultConfigError::InvalidStepTimeout { timeout_secs } => write!(
+                f,
+                "DHT step timeout must be non-negative and finite: got {timeout_secs}s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_is_disabled_and_valid() {
+        let plan = FaultConfig::disabled();
+        assert!(plan.is_disabled());
+        assert!(plan.validate().is_ok());
+        assert!(plan.query_timeout.validate().is_ok());
+        assert_eq!(plan, FaultConfig::default());
+    }
+
+    #[test]
+    fn any_armed_axis_enables_the_plan() {
+        let mut plan = FaultConfig::disabled();
+        plan.message_loss = 0.05;
+        assert!(!plan.is_disabled());
+
+        let mut plan = FaultConfig::disabled();
+        plan.outages.push(OutageWindow {
+            start_secs: 10.0,
+            duration_secs: 5.0,
+            fraction: 0.5,
+        });
+        assert!(!plan.is_disabled());
+
+        let mut plan = FaultConfig::disabled();
+        plan.crash_stop = true;
+        assert!(!plan.is_disabled());
+
+        let mut plan = FaultConfig::disabled();
+        plan.query_timeout = TimeoutPolicy {
+            initial_secs: 5.0,
+            backoff: 2.0,
+            max_retries: 2,
+        };
+        assert!(!plan.is_disabled());
+
+        let mut plan = FaultConfig::disabled();
+        plan.dht_step_timeout_secs = 2.0;
+        assert!(!plan.is_disabled());
+    }
+
+    #[test]
+    fn timeout_policy_delays_follow_the_backoff() {
+        let policy = TimeoutPolicy {
+            initial_secs: 4.0,
+            backoff: 2.0,
+            max_retries: 3,
+        };
+        assert!(policy.is_enabled());
+        assert_eq!(policy.delay_secs(0), 4.0);
+        assert_eq!(policy.delay_secs(1), 8.0);
+        assert_eq!(policy.delay_secs(2), 16.0);
+        assert!(!TimeoutPolicy::disabled().is_enabled());
+    }
+
+    #[test]
+    fn timeout_policy_rejections_are_typed() {
+        let bad = TimeoutPolicy {
+            initial_secs: -1.0,
+            ..TimeoutPolicy::disabled()
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(TimeoutPolicyError::InvalidInitial { .. })
+        ));
+
+        let bad = TimeoutPolicy {
+            initial_secs: 5.0,
+            backoff: 0.5,
+            max_retries: 1,
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(TimeoutPolicyError::InvalidBackoff { .. })
+        ));
+
+        let bad = TimeoutPolicy {
+            initial_secs: 5.0,
+            backoff: f64::INFINITY,
+            max_retries: 1,
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(TimeoutPolicyError::InvalidBackoff { .. })
+        ));
+
+        let bad = TimeoutPolicy {
+            initial_secs: 1.0e300,
+            backoff: 10.0,
+            max_retries: 100,
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(TimeoutPolicyError::SpanOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_config_rejections_are_typed() {
+        let mut plan = FaultConfig::disabled();
+        plan.message_loss = 1.5;
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultConfigError::InvalidLossProbability { probability }) if probability == 1.5
+        ));
+
+        let mut plan = FaultConfig::disabled();
+        plan.message_loss = f64::NAN;
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultConfigError::InvalidLossProbability { .. })
+        ));
+
+        let window = |start_secs, duration_secs, fraction| OutageWindow {
+            start_secs,
+            duration_secs,
+            fraction,
+        };
+        let mut plan = FaultConfig::disabled();
+        plan.outages.push(window(-1.0, 5.0, 0.5));
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultConfigError::InvalidOutageStart { .. })
+        ));
+
+        let mut plan = FaultConfig::disabled();
+        plan.outages.push(window(0.0, 0.0, 0.5));
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultConfigError::InvalidOutageDuration { .. })
+        ));
+
+        let mut plan = FaultConfig::disabled();
+        plan.outages.push(window(0.0, 5.0, 2.0));
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultConfigError::InvalidOutageFraction { .. })
+        ));
+
+        let mut plan = FaultConfig::disabled();
+        plan.outages.push(window(1.0e300, 1.0e300, 0.5));
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultConfigError::OutageBeyondClock { .. })
+        ));
+
+        let mut plan = FaultConfig::disabled();
+        plan.dht_step_timeout_secs = f64::NEG_INFINITY;
+        assert!(matches!(
+            plan.validate(),
+            Err(FaultConfigError::InvalidStepTimeout { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_their_values_and_box_as_std_errors() {
+        let err = FaultConfigError::InvalidLossProbability { probability: 2.0 };
+        assert!(err.to_string().contains('2'));
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("loss"));
+
+        let err = TimeoutPolicyError::InvalidBackoff { backoff: 0.25 };
+        assert!(err.to_string().contains("0.25"));
+    }
+}

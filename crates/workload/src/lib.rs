@@ -26,13 +26,18 @@
 //!   keywords,
 //! * [`arrival`] — the Poisson arrival process at 0.00083 queries/s/peer,
 //!   modulated by a validated piecewise [`ArrivalSchedule`] (steady, ramp,
-//!   burst, or composed phases) for non-homogeneous regimes.
+//!   burst, or composed phases) for non-homogeneous regimes,
+//! * [`faults`] — the fault plan: per-message loss, transient link outages,
+//!   crash-stop departures, and typed timeout/retry policies
+//!   ([`FaultConfig`], [`TimeoutPolicy`]) making failure a first-class,
+//!   validated workload dimension.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod arrival;
 pub mod catalog;
+pub mod faults;
 pub mod keywords;
 pub mod placement;
 pub mod queries;
@@ -40,6 +45,7 @@ pub mod zipf;
 
 pub use arrival::{Arrival, ArrivalConfig, ArrivalProcess, ArrivalSchedule, RatePhase, ScheduleError};
 pub use catalog::{Catalog, CatalogConfig, FileId, Filename};
+pub use faults::{FaultConfig, FaultConfigError, OutageWindow, TimeoutPolicy, TimeoutPolicyError};
 pub use keywords::{KeywordHashes, KeywordId, KeywordPool};
 pub use placement::{ClusterWeights, ClusterWeightsError, InitialPlacement, PlacementConfig};
 pub use queries::{Query, QueryGenerator, QueryWorkloadConfig};

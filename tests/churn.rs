@@ -12,7 +12,7 @@
 
 use locaware::{ProtocolKind, Scenario, Simulation};
 use locaware_overlay::ChurnConfig;
-use locaware_workload::{ArrivalSchedule, RatePhase};
+use locaware_workload::{ArrivalSchedule, FaultConfig, RatePhase};
 
 fn churny_sim(peers: usize, seed: u64, churn: ChurnConfig) -> Simulation {
     Scenario::builder("churny")
@@ -142,6 +142,53 @@ fn churn_horizon_covers_trailing_quiet_schedule_phases() {
         within_arrivals,
         events.len()
     );
+}
+
+/// Regression: a DHT lookup step addressed to a peer that has already
+/// departed must not strand the query. Under crash-stop churn the departed
+/// peer stays in every routing table (no goodbyes), so lookups keep walking
+/// into it; the per-step deadline must fire, re-issue against the next
+/// shortlist candidate and — crucially — keep the completion-event ledger
+/// exact: every query ends with `completion_time_ms = Some(_)`, satisfied
+/// or not. Before the timeout machinery existed such steps leaked an
+/// outstanding-message charge and the query never completed.
+#[test]
+fn dht_lookups_to_departed_peers_complete_via_step_timeouts() {
+    let mut faults = FaultConfig::disabled();
+    faults.crash_stop = true;
+    faults.dht_step_timeout_secs = 2.0;
+    let simulation = Scenario::builder("crashy-dht")
+        .peers(80)
+        .seed(23)
+        .churn(ChurnConfig {
+            mean_session_secs: 200.0,
+            mean_offline_secs: 400.0,
+            churning_fraction: 0.75,
+        })
+        .faults(faults)
+        .build()
+        .expect("crash-stop never invalidates the config")
+        .substrate();
+    for protocol in [ProtocolKind::DhtIndex, ProtocolKind::Hybrid] {
+        let report = simulation.run(protocol, 120);
+        let stats = report.faults.expect("armed fault plan reports statistics");
+        assert!(
+            stats.crash_departures > 0,
+            "{protocol}: churn-storm departures must take the crash path"
+        );
+        assert!(
+            stats.dht_step_timeouts > 0,
+            "{protocol}: lookups into crashed peers must trip step deadlines"
+        );
+        for record in report.metrics.records() {
+            assert!(
+                record.completion_time_ms.is_some(),
+                "{protocol}: query {} never completed (requestor {})",
+                record.index,
+                record.requestor
+            );
+        }
+    }
 }
 
 /// The proactive provider-invalidation flag (resolving the PR 4 follow-up):

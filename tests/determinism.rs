@@ -92,6 +92,18 @@ fn report_bytes(report: &SimulationReport) -> Vec<u8> {
         bytes.extend_from_slice(&dht.truncated_entries.to_le_bytes());
         bytes.extend_from_slice(&dht.expired_entries.to_le_bytes());
     }
+    // Fault statistics likewise participate only when a fault axis is armed,
+    // so fault-free encodings stay byte-for-byte what they were before the
+    // fault subsystem existed.
+    if let Some(faults) = &report.faults {
+        bytes.push(2);
+        bytes.extend_from_slice(&faults.messages_lost.to_le_bytes());
+        bytes.extend_from_slice(&faults.dht_stores_lost.to_le_bytes());
+        bytes.extend_from_slice(&faults.query_timeouts.to_le_bytes());
+        bytes.extend_from_slice(&faults.query_retransmits.to_le_bytes());
+        bytes.extend_from_slice(&faults.dht_step_timeouts.to_le_bytes());
+        bytes.extend_from_slice(&faults.crash_departures.to_le_bytes());
+    }
     bytes
 }
 
@@ -255,6 +267,7 @@ fn rng_streams_are_pairwise_independent() {
         StreamId::Arrivals,
         StreamId::ProtocolTieBreak,
         StreamId::Churn,
+        StreamId::Faults,
         StreamId::Custom(0),
         StreamId::Custom(1),
     ];
@@ -370,6 +383,7 @@ fn small_presets() -> Vec<Scenario> {
         Scenario::flash_crowd(60),
         Scenario::churn_storm(60),
         Scenario::regional_hotspot(60),
+        Scenario::faulty_network(60),
     ]
 }
 
@@ -485,6 +499,7 @@ fn preset_regimes_produce_distinct_workloads() {
         Scenario::flash_crowd(60).with_seed(seed),
         Scenario::churn_storm(60).with_seed(seed),
         Scenario::regional_hotspot(60).with_seed(seed),
+        Scenario::faulty_network(60).with_seed(seed),
     ] {
         let report = scenario.substrate().run(ProtocolKind::Locaware, 40);
         assert_ne!(
@@ -578,14 +593,20 @@ fn structured_protocol_fingerprints_are_pinned() {
 /// event windows) and regional-hotspot (weighted-cluster workload — skewed
 /// per-shard load). Arrivals stay pre-generated and time-sorted, so the
 /// engine's invariance must be untouched by the new workload primitives.
+/// The faulty-network row extends the invariant to the fault plan: loss
+/// coins, outage membership and timeout deadlines are pure functions of
+/// shard-invariant message identity, never of shard-local execution order.
 #[test]
 fn shard_counts_produce_byte_identical_reports() {
     type Preset = fn(usize) -> Scenario;
-    let scenarios: [(&str, Preset); 4] = [
+    let scenarios: [(&str, Preset); 5] = [
         ("small", Scenario::small as Preset),
         ("churn-storm", Scenario::churn_storm as Preset),
         ("flash-crowd", Scenario::flash_crowd as Preset),
         ("regional-hotspot", Scenario::regional_hotspot as Preset),
+        // Every fault axis armed: losses, an outage window, retransmit
+        // deadlines and DHT step timeouts must all be shard-invariant.
+        ("faulty-network", Scenario::faulty_network as Preset),
     ];
     for (name, make) in scenarios {
         for protocol in ALL_PROTOCOLS {

@@ -20,8 +20,8 @@ use locaware_overlay::{
 };
 use locaware_sim::{Duration, SimTime};
 use locaware_workload::{
-    Arrival, ArrivalConfig, ArrivalProcess, ArrivalSchedule, FileId, KeywordId, RatePhase,
-    ZipfDistribution,
+    Arrival, ArrivalConfig, ArrivalProcess, ArrivalSchedule, FaultConfig, FileId, KeywordId,
+    OutageWindow, RatePhase, TimeoutPolicy, ZipfDistribution,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -461,6 +461,71 @@ proptest! {
             prop_assert!(
                 record.completion_time_ms.is_some(),
                 "query {} has no completion time in an untruncated run",
+                record.index
+            );
+        }
+    }
+
+    /// The fault axis obeys the same contract as every other knob: any
+    /// validated fault plan — loss coins, outage windows, crash-stop churn,
+    /// retransmit deadlines and DHT step timeouts in arbitrary combination —
+    /// produces byte-identical reports for 1 and 4 shards, every query still
+    /// receives an exact completion event (lost messages *consume*, armed
+    /// deadlines are lifecycle-charged), and a plan whose axes are all
+    /// disabled reports no fault stats at all (so fault-free runs keep their
+    /// pinned golden fingerprints, which `tests/determinism.rs` asserts
+    /// against literals).
+    #[test]
+    fn fault_plans_are_deterministic_and_shard_invariant(
+        peers in 40usize..=56,
+        loss in prop_oneof![Just(0.0f64), 0.005f64..0.25],
+        outage in proptest::option::weighted(0.6, (0.0f64..1500.0, 50.0f64..800.0, 0.05f64..1.0)),
+        crash_stop in any::<bool>(),
+        timeout_initial in prop_oneof![Just(0.0f64), 1.0f64..12.0],
+        backoff in 1.0f64..3.0,
+        max_retries in 0u32..3,
+        step_timeout in prop_oneof![Just(0.0f64), 0.5f64..6.0],
+        structured in any::<bool>(),
+        queries in 8usize..=24,
+        seed in any::<u64>(),
+    ) {
+        let mut config = SimulationConfig::small(peers);
+        config.seed = seed;
+        config.faults = FaultConfig {
+            message_loss: loss,
+            outages: outage
+                .map(|(start_secs, duration_secs, fraction)| {
+                    vec![OutageWindow { start_secs, duration_secs, fraction }]
+                })
+                .unwrap_or_default(),
+            crash_stop,
+            query_timeout: TimeoutPolicy {
+                initial_secs: timeout_initial,
+                backoff,
+                max_retries,
+            },
+            dht_step_timeout_secs: step_timeout,
+        };
+        let armed = !config.faults.is_disabled();
+        let protocol = if structured { ProtocolKind::DhtIndex } else { ProtocolKind::Locaware };
+        let run = |shards: usize| {
+            let mut config = config.clone();
+            config.shards = shards;
+            Scenario::from_config("fault-plan", config)
+                .expect("drawn fault plans satisfy their own validation ranges")
+                .substrate()
+                .run(protocol, queries)
+        };
+        let single = run(1);
+        let sharded = run(4);
+        prop_assert_eq!(single.metrics.records(), sharded.metrics.records());
+        prop_assert_eq!(single.faults, sharded.faults);
+        prop_assert_eq!(single.fingerprint(), sharded.fingerprint());
+        prop_assert_eq!(single.faults.is_some(), armed, "fault stats exactly when armed");
+        for record in single.metrics.records() {
+            prop_assert!(
+                record.completion_time_ms.is_some(),
+                "query {} leaked its lifecycle under faults",
                 record.index
             );
         }
