@@ -41,7 +41,7 @@ fn fixture() -> RoutingFixture {
                 state.share_file(file);
             }
             for &n in simulation.overlay().neighbors(id) {
-                state.record_neighbor(n, simulation.group_ids()[n.index()], bloom_params);
+                state.record_neighbor(n, simulation.group_ids()[n.index()]);
             }
             // Give every peer some cached content so Bloom/Gid matching has
             // something to work with.

@@ -228,17 +228,34 @@ pub mod seq {
             amount: usize,
         ) -> std::vec::IntoIter<&T> {
             let amount = amount.min(self.len());
-            let mut indices: Vec<usize> = (0..self.len()).collect();
-            // Partial Fisher–Yates: the first `amount` slots end up uniform.
+            // Sparse partial Fisher–Yates: identical draw sequence and
+            // selection as a dense `(0..len)` index shuffle, but O(amount)
+            // per call instead of O(len) — `amount` is tiny (keywords per
+            // file, landmark count) while `len` scales with the peer count,
+            // so the dense version made every caller quadratic overall.
+            // Only positions hit by a swap differ from the identity map, and
+            // at most `amount` of them exist; the latest entry for a
+            // position wins, exactly like the in-place swap it replaces.
+            let mut swapped: Vec<(usize, usize)> = Vec::with_capacity(amount);
+            let lookup = |swapped: &[(usize, usize)], position: usize| {
+                swapped
+                    .iter()
+                    .rev()
+                    .find(|&&(p, _)| p == position)
+                    .map(|&(_, value)| value)
+                    .unwrap_or(position)
+            };
+            let mut picked: Vec<&T> = Vec::with_capacity(amount);
             for i in 0..amount {
-                let j = rng.gen_range(i..indices.len());
-                indices.swap(i, j);
+                let j = rng.gen_range(i..self.len());
+                let value_at_j = lookup(&swapped, j);
+                let value_at_i = lookup(&swapped, i);
+                picked.push(&self[value_at_j]);
+                // Position `i` is never read again (future draws start past
+                // it), so only `j`'s side of the swap needs recording.
+                swapped.push((j, value_at_i));
             }
-            indices[..amount]
-                .iter()
-                .map(|&i| &self[i])
-                .collect::<Vec<&T>>()
-                .into_iter()
+            picked.into_iter()
         }
     }
 }

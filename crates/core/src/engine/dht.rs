@@ -14,15 +14,53 @@
 //! origin walks the key space contact by contact through
 //! [`DhtLookupState`], paying every hop.
 
-use locaware_overlay::{DhtDistance, DhtId, PeerId};
+use locaware_overlay::{DhtDistance, DhtId, PeerId, DHT_ID_BITS, DHT_ID_BYTES};
 use locaware_sim::{RngFactory, StreamId};
 use locaware_workload::KeywordId;
 use rand::Rng;
+
+/// Bit `depth` of `id`, counting from the most significant (depth 0).
+fn id_bit(id: &DhtId, depth: usize) -> bool {
+    (id.0[depth / 8] >> (7 - depth % 8)) & 1 == 1
+}
+
+/// One pending subrange of the sorted ring during a k-closest search: every
+/// id in `ring[lo..hi]` shares its first `depth` bits, and `bound` is the
+/// smallest XOR distance to the search target any id in the range can have
+/// (the shared-prefix XOR with the low bits zeroed).
+#[derive(Clone, Copy)]
+struct RangeFrame {
+    bound: DhtDistance,
+    lo: u32,
+    hi: u32,
+    depth: u16,
+}
+
+/// Caller-owned scratch for [`DhtDirectory::closest_online_into`], so the
+/// lookup path performs no per-call allocation (the buffers are reused
+/// across calls once warm).
+#[derive(Default)]
+pub(crate) struct DirectoryScratch {
+    /// Deferred far-side subranges, pruned against the current k-th best.
+    frontier: Vec<RangeFrame>,
+    /// The k best `(distance, peer)` found so far, ascending.
+    best: Vec<(DhtDistance, PeerId)>,
+}
+
+/// Subranges at or below this length are scanned linearly instead of split
+/// further — past this point the partition bookkeeping costs more than the
+/// scan.
+const RING_LEAF_LEN: usize = 16;
 
 /// The run-wide DHT identity oracle (immutable after construction).
 pub(crate) struct DhtDirectory {
     /// Peer index → the peer's 160-bit node id.
     node_ids: Vec<DhtId>,
+    /// `(id, peer)` ascending by id: the id space as an implicit binary trie
+    /// (a range sharing a `d`-bit prefix is contiguous, and splitting it at
+    /// bit `d` is one `partition_point`). Both the k-closest search and the
+    /// bootstrap walk descend this instead of scanning all peers.
+    ring: Vec<(DhtId, PeerId)>,
     /// Salt behind keyword record keys.
     keyword_salt: u64,
 }
@@ -33,10 +71,18 @@ impl DhtDirectory {
         let mut rng = factory.stream(StreamId::DhtIds);
         let peer_salt: u64 = rng.gen();
         let keyword_salt: u64 = rng.gen();
+        let node_ids: Vec<DhtId> = (0..peers)
+            .map(|i| DhtId::derive(peer_salt, i as u64))
+            .collect();
+        let mut ring: Vec<(DhtId, PeerId)> = node_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, PeerId(i as u32)))
+            .collect();
+        ring.sort_unstable();
         DhtDirectory {
-            node_ids: (0..peers)
-                .map(|i| DhtId::derive(peer_salt, i as u64))
-                .collect(),
+            node_ids,
+            ring,
             keyword_salt,
         }
     }
@@ -54,23 +100,161 @@ impl DhtDirectory {
     /// Replaces `out` with the `count` **online** peers closest to `target`
     /// (XOR distance, ties by peer id), nearest first — the global oracle the
     /// publish/republish paths address their stores with.
+    ///
+    /// Best-first over the sorted ring viewed as an implicit trie: descend
+    /// the subrange matching the target's next bit (its distance lower bound
+    /// is unchanged), defer the sibling with the bound's bit set, and prune
+    /// deferred ranges that cannot beat the current k-th best. XOR-closest is
+    /// *not* an interval of the numeric order, which is why this walks prefix
+    /// ranges rather than outward from one binary-search position. With most
+    /// peers online this visits O(count · log n) ids; the old exhaustive
+    /// scan ranked all n on every publish/republish/store.
     pub(super) fn closest_online_into(
         &self,
         target: DhtId,
         online: &[bool],
         count: usize,
+        scratch: &mut DirectoryScratch,
         out: &mut Vec<PeerId>,
     ) {
-        let mut ranked: Vec<(DhtDistance, PeerId)> = self
-            .node_ids
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| online.get(i).copied().unwrap_or(false))
-            .map(|(i, &id)| (target.distance(id), PeerId(i as u32)))
-            .collect();
-        ranked.sort_unstable();
+        let DirectoryScratch { frontier, best } = scratch;
+        frontier.clear();
+        best.clear();
         out.clear();
-        out.extend(ranked.into_iter().take(count).map(|(_, peer)| peer));
+        if count == 0 || self.ring.is_empty() {
+            return;
+        }
+        frontier.push(RangeFrame {
+            bound: DhtDistance([0u8; DHT_ID_BYTES]),
+            lo: 0,
+            hi: self.ring.len() as u32,
+            depth: 0,
+        });
+        while let Some(frame) = frontier.pop() {
+            if best.len() == count && frame.bound >= best[count - 1].0 {
+                continue;
+            }
+            let (mut lo, mut hi) = (frame.lo as usize, frame.hi as usize);
+            let mut depth = frame.depth as usize;
+            let bound = frame.bound;
+            // Descend the target-matching side in place; defer far siblings.
+            while hi - lo > RING_LEAF_LEN && depth < DHT_ID_BITS {
+                let mid =
+                    lo + self.ring[lo..hi].partition_point(|&(id, _)| !id_bit(&id, depth));
+                let (near_lo, near_hi, far_lo, far_hi) = if id_bit(&target, depth) {
+                    (mid, hi, lo, mid)
+                } else {
+                    (lo, mid, mid, hi)
+                };
+                if far_lo < far_hi {
+                    let mut far_bound = bound;
+                    far_bound.0[depth / 8] |= 1 << (7 - depth % 8);
+                    if !(best.len() == count && far_bound >= best[count - 1].0) {
+                        frontier.push(RangeFrame {
+                            bound: far_bound,
+                            lo: far_lo as u32,
+                            hi: far_hi as u32,
+                            depth: (depth + 1) as u16,
+                        });
+                    }
+                }
+                depth += 1;
+                if near_lo == near_hi {
+                    lo = near_lo;
+                    hi = near_hi;
+                    break;
+                }
+                lo = near_lo;
+                hi = near_hi;
+            }
+            for &(id, peer) in &self.ring[lo..hi] {
+                if !online.get(peer.index()).copied().unwrap_or(false) {
+                    continue;
+                }
+                let entry = (target.distance(id), peer);
+                if best.len() == count {
+                    if entry >= best[count - 1] {
+                        continue;
+                    }
+                    best.pop();
+                }
+                let position = best.partition_point(|&b| b < entry);
+                best.insert(position, entry);
+            }
+        }
+        out.extend(best.iter().map(|&(_, peer)| peer));
+    }
+
+    /// Walks the bootstrap contact set: for every peer, the contacts its
+    /// routing table converges to when each peer observes all others in
+    /// peer-id order with bucket capacity `k` — i.e. for each k-bucket, the
+    /// `k` lowest-id peers of the sibling subtrie at that depth. `add` is
+    /// called once per `(owner, contact id, contact)` with contacts in
+    /// ascending id order per bucket, exactly the order the old O(n²)
+    /// insertion loop materialized them in. Costs O(n · log n · k).
+    pub(super) fn for_each_bootstrap_contact(
+        &self,
+        k: usize,
+        mut add: impl FnMut(PeerId, DhtId, PeerId),
+    ) {
+        if self.ring.len() > 1 {
+            self.bootstrap_range(0, self.ring.len(), 0, k, &mut add);
+        }
+    }
+
+    /// Recursive step of the bootstrap walk over `ring[lo..hi]` (ids sharing
+    /// their first `depth` bits). Emits cross-half contacts — every peer of
+    /// one half gets the other half's k-lowest peer ids, which is that
+    /// half's entire contribution to its bucket — and returns this range's
+    /// own k-lowest peer ids, ascending.
+    fn bootstrap_range(
+        &self,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        k: usize,
+        add: &mut impl FnMut(PeerId, DhtId, PeerId),
+    ) -> Vec<PeerId> {
+        if hi - lo == 1 {
+            return vec![self.ring[lo].1];
+        }
+        if depth >= DHT_ID_BITS {
+            // Colliding ids (astronomically unlikely): no bucket separates
+            // them — the old loop's insert rejected zero-distance contacts
+            // the same way — so just report the range's lowest peer ids.
+            let mut head: Vec<PeerId> = self.ring[lo..hi].iter().map(|&(_, p)| p).collect();
+            head.sort_unstable();
+            head.truncate(k);
+            return head;
+        }
+        let mid = lo + self.ring[lo..hi].partition_point(|&(id, _)| !id_bit(&id, depth));
+        if mid == lo || mid == hi {
+            return self.bootstrap_range(lo, hi, depth + 1, k, add);
+        }
+        let left = self.bootstrap_range(lo, mid, depth + 1, k, add);
+        let right = self.bootstrap_range(mid, hi, depth + 1, k, add);
+        for &(_, owner) in &self.ring[lo..mid] {
+            for &contact in &right {
+                add(owner, self.node_ids[contact.index()], contact);
+            }
+        }
+        for &(_, owner) in &self.ring[mid..hi] {
+            for &contact in &left {
+                add(owner, self.node_ids[contact.index()], contact);
+            }
+        }
+        let mut merged = Vec::with_capacity(k.min(left.len() + right.len()));
+        let (mut a, mut b) = (left.into_iter().peekable(), right.into_iter().peekable());
+        while merged.len() < k {
+            match (a.peek(), b.peek()) {
+                (Some(&x), Some(&y)) if x < y => merged.push(a.next().expect("peeked")),
+                (Some(_), Some(_)) => merged.push(b.next().expect("peeked")),
+                (Some(_), None) => merged.push(a.next().expect("peeked")),
+                (None, Some(_)) => merged.push(b.next().expect("peeked")),
+                (None, None) => break,
+            }
+        }
+        merged
     }
 }
 
@@ -187,7 +371,8 @@ mod tests {
         online[11] = false;
         let target = directory.keyword_key(KeywordId(9));
         let mut got = Vec::new();
-        directory.closest_online_into(target, &online, 5, &mut got);
+        let mut scratch = DirectoryScratch::default();
+        directory.closest_online_into(target, &online, 5, &mut scratch, &mut got);
         // Model: rank every online peer by (distance, id) and take 5.
         let mut expected: Vec<(DhtDistance, PeerId)> = (0..20u32)
             .filter(|&i| online[i as usize])
@@ -198,8 +383,93 @@ mod tests {
         assert_eq!(got, expected);
         assert!(!got.contains(&PeerId(3)) && !got.contains(&PeerId(11)));
         // The buffer is replaced, not appended to.
-        directory.closest_online_into(target, &online, 2, &mut got);
+        directory.closest_online_into(target, &online, 2, &mut scratch, &mut got);
         assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn ring_search_matches_the_exhaustive_scan_across_patterns() {
+        // The trie search must reproduce the old exhaustive ranking exactly,
+        // across sizes spanning the leaf threshold, counts spanning the
+        // population, and online patterns from dense to sparse.
+        let mut got = Vec::new();
+        let mut scratch = DirectoryScratch::default();
+        for (seed, peers) in [(1u64, 3usize), (2, 16), (3, 17), (4, 200), (5, 1000)] {
+            let directory = DhtDirectory::new(&RngFactory::new(seed), peers);
+            for pattern in 0..4u32 {
+                let online: Vec<bool> = (0..peers)
+                    .map(|i| match pattern {
+                        0 => true,
+                        1 => i % 3 != 0,
+                        2 => i % 7 == 0,
+                        _ => false,
+                    })
+                    .collect();
+                for keyword in 0..5u32 {
+                    let target = directory.keyword_key(KeywordId(keyword));
+                    for count in [0usize, 1, 8, peers + 3] {
+                        directory.closest_online_into(
+                            target, &online, count, &mut scratch, &mut got,
+                        );
+                        let mut expected: Vec<(DhtDistance, PeerId)> = (0..peers)
+                            .filter(|&i| online[i])
+                            .map(|i| {
+                                let peer = PeerId(i as u32);
+                                (target.distance(directory.node_id(peer)), peer)
+                            })
+                            .collect();
+                        expected.sort_unstable();
+                        let expected: Vec<PeerId> =
+                            expected.into_iter().take(count).map(|(_, p)| p).collect();
+                        assert_eq!(got, expected, "peers={peers} pattern={pattern} count={count}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bootstrap_walk_matches_the_quadratic_insertion_loop() {
+        // The recursive range-split walk must leave every routing table in
+        // exactly the state the old loop produced: peer i inserting every
+        // other peer in ascending peer-id order, full buckets keeping their
+        // first k.
+        for (seed, peers, k) in [(11u64, 40usize, 2usize), (12, 97, 8), (13, 1, 8)] {
+            let directory = DhtDirectory::new(&RngFactory::new(seed), peers);
+            let mut naive: Vec<locaware_overlay::RoutingTable> = (0..peers)
+                .map(|i| {
+                    locaware_overlay::RoutingTable::new(directory.node_id(PeerId(i as u32)), k)
+                })
+                .collect();
+            for (i, table) in naive.iter_mut().enumerate() {
+                for j in 0..peers {
+                    if i != j {
+                        let other = PeerId(j as u32);
+                        table.insert(directory.node_id(other), other);
+                    }
+                }
+            }
+            let mut walked: Vec<locaware_overlay::RoutingTable> = (0..peers)
+                .map(|i| {
+                    locaware_overlay::RoutingTable::new(directory.node_id(PeerId(i as u32)), k)
+                })
+                .collect();
+            directory.for_each_bootstrap_contact(k, |owner, contact_id, contact| {
+                assert!(walked[owner.index()].insert(contact_id, contact));
+            });
+            for i in 0..peers {
+                assert_eq!(walked[i].len(), naive[i].len(), "peer {i} table size");
+                for b in 0..DHT_ID_BITS {
+                    assert_eq!(walked[i].bucket_len(b), naive[i].bucket_len(b));
+                }
+                let probe = directory.keyword_key(KeywordId(7));
+                assert_eq!(
+                    walked[i].closest(probe, k + 1),
+                    naive[i].closest(probe, k + 1),
+                    "peer {i} ranking"
+                );
+            }
+        }
     }
 
     #[test]

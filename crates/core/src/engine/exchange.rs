@@ -209,6 +209,13 @@ pub(crate) struct Outbound {
     pub message: Message,
 }
 
+// Cross-shard merges move these by value at every window barrier; keep the
+// payload within two cache lines.
+const _: () = assert!(
+    std::mem::size_of::<Outbound>() <= 128,
+    "Outbound grew past 128 bytes"
+);
+
 #[cfg(test)]
 mod tests {
     use super::*;

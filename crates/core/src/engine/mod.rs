@@ -80,6 +80,7 @@ mod faults;
 mod shard;
 mod tally;
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex, MutexGuard, RwLock};
@@ -105,7 +106,7 @@ use crate::results::{DhtRunStats, FaultRunStats, SimulationReport};
 
 pub(crate) use exchange::locality_rank_order;
 
-use dht::DhtDirectory;
+use dht::{DhtDirectory, DirectoryScratch};
 use faults::FaultPlan;
 use exchange::{
     completion_key, issue_key, PeerPartition, CLASS_BLOOM_SYNC, CLASS_CHURN, CLASS_DHT_REPUBLISH,
@@ -128,7 +129,6 @@ pub(crate) struct RunShared<'a> {
     pub(crate) catalog: &'a Catalog,
     pub(crate) keyword_hashes: Arc<KeywordHashes>,
     pub(crate) scheme: GroupScheme,
-    pub(crate) bloom_params: BloomParams,
     pub(crate) arrivals: &'a [Arrival],
     pub(crate) query_generator: &'a QueryGenerator,
     pub(crate) rng_factory: RngFactory,
@@ -167,7 +167,6 @@ pub(crate) struct ProtocolEngine<'a> {
     query_generator: QueryGenerator,
     churn_rng: StdRng,
     rng_factory: RngFactory,
-    bloom_params: BloomParams,
     dht: Option<DhtDirectory>,
 }
 
@@ -225,7 +224,7 @@ impl<'a> ProtocolEngine<'a> {
             let id = PeerId(i as u32);
             for &n in graph.neighbors(id) {
                 let gid = gids[n.index()];
-                peers[i].record_neighbor(n, gid, bloom_params);
+                peers[i].record_neighbor(n, gid);
             }
         }
 
@@ -273,30 +272,32 @@ impl<'a> ProtocolEngine<'a> {
         let dht = if protocol.uses_dht() {
             let directory = DhtDirectory::new(rng_factory, config.peers);
             for (i, peer) in peers.iter_mut().enumerate() {
-                peer.dht = Some(DhtNode::new(
+                peer.dht = Some(Box::new(DhtNode::new(
                     directory.node_id(PeerId(i as u32)),
                     config.dht.k,
                     config.dht.max_record_bytes,
-                ));
+                )));
             }
-            for i in 0..config.peers {
-                for j in 0..config.peers {
-                    if i == j {
-                        continue;
-                    }
-                    let other = PeerId(j as u32);
-                    let other_id = directory.node_id(other);
-                    peers[i]
-                        .dht
-                        .as_mut()
-                        .expect("just installed")
-                        .table
-                        .insert(other_id, other);
-                }
-            }
+            // The converged tables (for each bucket, the k lowest-id peers of
+            // the bucket's subtree) come from one O(n log n · k) range-split
+            // walk of the directory's sorted ring — identical contents, in
+            // identical bucket order, to inserting all n-1 others per peer.
+            directory.for_each_bootstrap_contact(config.dht.k, |owner, contact_id, contact| {
+                let inserted = peers[owner.index()]
+                    .dht
+                    .as_mut()
+                    .expect("just installed")
+                    .table
+                    .insert(contact_id, contact);
+                debug_assert!(inserted, "bootstrap contacts are pre-capped per bucket");
+            });
             let all_online = vec![true; config.peers];
             let expiry = SimTime::ZERO + Duration::from_secs_f64(config.dht.record_ttl_secs);
-            let mut targets = Vec::new();
+            // With every peer online, the store targets depend only on the
+            // keyword — resolve each keyword's k-closest once, not once per
+            // (peer, file) sharing it.
+            let mut scratch = DirectoryScratch::default();
+            let mut targets_by_keyword: HashMap<u32, Vec<PeerId>> = HashMap::new();
             for i in 0..config.peers {
                 let provider = ProviderEntry {
                     provider: PeerId(i as u32),
@@ -308,9 +309,19 @@ impl<'a> ProtocolEngine<'a> {
                         continue;
                     }
                     for &kw in catalog.filename(file).keywords() {
-                        let key = directory.keyword_key(kw);
-                        directory.closest_online_into(key, &all_online, config.dht.k, &mut targets);
-                        for &target in &targets {
+                        let targets = targets_by_keyword.entry(kw.0).or_insert_with(|| {
+                            let key = directory.keyword_key(kw);
+                            let mut targets = Vec::new();
+                            directory.closest_online_into(
+                                key,
+                                &all_online,
+                                config.dht.k,
+                                &mut scratch,
+                                &mut targets,
+                            );
+                            targets
+                        });
+                        for &target in targets.iter() {
                             peers[target.index()]
                                 .dht
                                 .as_mut()
@@ -342,7 +353,6 @@ impl<'a> ProtocolEngine<'a> {
             query_generator,
             churn_rng: rng_factory.stream(StreamId::Churn),
             rng_factory: *rng_factory,
-            bloom_params,
             dht,
         }
     }
@@ -481,7 +491,6 @@ impl<'a> ProtocolEngine<'a> {
             catalog: self.catalog,
             keyword_hashes: self.keyword_hashes.clone(),
             scheme: self.scheme,
-            bloom_params: self.bloom_params,
             arrivals: &self.arrivals,
             query_generator: &self.query_generator,
             rng_factory: self.rng_factory,
@@ -1263,7 +1272,11 @@ impl Coordinator {
         };
         let online = shared.online.read().expect("online snapshot lock poisoned");
         let ttl = Duration::from_secs_f64(shared.config.dht.record_ttl_secs);
-        let mut targets = Vec::new();
+        // The online set is fixed for the whole round (coordinator-serial),
+        // so a keyword's k-closest targets are too — resolve each keyword
+        // once per round no matter how many peers re-announce it.
+        let mut scratch = DirectoryScratch::default();
+        let mut targets_by_keyword: HashMap<u32, Vec<PeerId>> = HashMap::new();
         for i in 0..shared.config.peers {
             let from = PeerId(i as u32);
             let shard = shared.partition.shard(from);
@@ -1286,9 +1299,19 @@ impl Coordinator {
                     continue;
                 }
                 for &kw in shared.catalog.filename(file).keywords() {
-                    let key = directory.keyword_key(kw);
-                    directory.closest_online_into(key, &online, shared.config.dht.k, &mut targets);
-                    for &target in &targets {
+                    let targets = targets_by_keyword.entry(kw.0).or_insert_with(|| {
+                        let key = directory.keyword_key(kw);
+                        let mut targets = Vec::new();
+                        directory.closest_online_into(
+                            key,
+                            &online,
+                            shared.config.dht.k,
+                            &mut scratch,
+                            &mut targets,
+                        );
+                        targets
+                    });
+                    for &target in targets.iter() {
                         if target == from {
                             guards[shard].peers[slot]
                                 .dht
@@ -1423,16 +1446,8 @@ impl Coordinator {
                         let ps = shared.partition.shard(pick);
                         let pslot = shared.partition.slot(pick);
                         let pick_gid = guards[ps].peers[pslot].gid;
-                        guards[shard].peers[slot].record_neighbor(
-                            pick,
-                            pick_gid,
-                            shared.bloom_params,
-                        );
-                        guards[ps].peers[pslot].record_neighbor(
-                            peer,
-                            peer_gid,
-                            shared.bloom_params,
-                        );
+                        guards[shard].peers[slot].record_neighbor(pick, pick_gid);
+                        guards[ps].peers[pslot].record_neighbor(peer, peer_gid);
                     }
                 }
                 if let Some(directory) = shared.dht.as_ref() {

@@ -49,7 +49,7 @@ use crate::peer::PeerState;
 use crate::protocol::{PeerView, QueryContext, ResponseContext};
 use crate::provider::select_provider;
 
-use super::dht::DhtLookupState;
+use super::dht::{DhtLookupState, DirectoryScratch};
 use super::exchange::{deliver_key, timeout_key, Outbound, LOST_BIT};
 use super::tally::{decision_index, kind_index, LifecycleFlux, Tallies};
 use super::RunShared;
@@ -89,6 +89,13 @@ pub(super) enum ShardEvent {
         kind: TimeoutKind,
     },
 }
+
+// Every queued event is copied at least once per hop on the flooding hot
+// path; a grown variant silently taxes every message of every run.
+const _: () = assert!(
+    std::mem::size_of::<ShardEvent>() <= 96,
+    "ShardEvent grew past 96 bytes"
+);
 
 /// Which fault-plan deadline a [`ShardEvent::Timeout`] represents.
 #[derive(Debug, Clone, Copy)]
@@ -248,6 +255,11 @@ pub(super) struct ShardState {
     scratch_keywords: Vec<KeywordId>,
     scratch_hashes: Vec<ElementHashes>,
     scratch_targets: Vec<PeerId>,
+    // Scratch for the publish path's directory lookups: the trie-search
+    // frontier/best buffers plus the resolved store targets, reused across
+    // publishes so the lookup path never allocates per call.
+    scratch_directory: DirectoryScratch,
+    scratch_publish_targets: Vec<PeerId>,
 }
 
 impl ShardState {
@@ -275,6 +287,8 @@ impl ShardState {
             scratch_keywords: Vec::new(),
             scratch_hashes: Vec::new(),
             scratch_targets: Vec::new(),
+            scratch_directory: DirectoryScratch::default(),
+            scratch_publish_targets: Vec::new(),
         }
     }
 
@@ -629,13 +643,9 @@ impl ShardState {
                     let response = Message::QueryResponse {
                         query,
                         file: hit.file.0,
-                        file_keywords: shared
-                            .catalog
-                            .filename(hit.file)
-                            .keywords()
-                            .iter()
-                            .map(|k| k.0)
-                            .collect(),
+                        // Interned once per file in the catalog; every
+                        // response about the file shares one allocation.
+                        file_keywords: shared.catalog.wire_keywords(hit.file).clone(),
                         // The response carries the query's keywords so caching
                         // peers along the reverse path never need the origin
                         // shard's tracking state.
@@ -856,11 +866,7 @@ impl ShardState {
                 self.peers[slot].apply_neighbor_bloom_delta(from, &delta);
             }
             Message::GroupAnnounce { gid } => {
-                self.peers[slot].record_neighbor(
-                    from,
-                    crate::group::GroupId(gid),
-                    shared.bloom_params,
-                );
+                self.peers[slot].record_neighbor(from, crate::group::GroupId(gid));
             }
             Message::Ping | Message::Pong => {
                 // Keep-alives carry no protocol state.
@@ -1058,10 +1064,17 @@ impl ShardState {
             provider: origin,
             loc_id: self.peers[slot].loc_id,
         };
-        let mut targets = Vec::new();
+        let mut targets = std::mem::take(&mut self.scratch_publish_targets);
+        let mut scratch = std::mem::take(&mut self.scratch_directory);
         for &kw in shared.catalog.filename(file).keywords() {
             let record_key = directory.keyword_key(kw);
-            directory.closest_online_into(record_key, online, shared.config.dht.k, &mut targets);
+            directory.closest_online_into(
+                record_key,
+                online,
+                shared.config.dht.k,
+                &mut scratch,
+                &mut targets,
+            );
             for &target in &targets {
                 if target == origin {
                     if let Some(node) = self.peers[slot].dht.as_mut() {
@@ -1077,6 +1090,8 @@ impl ShardState {
                 }
             }
         }
+        self.scratch_publish_targets = targets;
+        self.scratch_directory = scratch;
     }
 
     fn handle_response_at_origin(

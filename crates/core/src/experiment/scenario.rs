@@ -74,14 +74,15 @@ pub struct Scenario {
 impl Scenario {
     /// The names of the built-in presets, in the order they are documented:
     /// `paper-defaults`, `small`, `flash-crowd`, `churn-storm`,
-    /// `regional-hotspot`, `faulty-network`.
-    pub const PRESET_NAMES: [&'static str; 6] = [
+    /// `regional-hotspot`, `faulty-network`, `large-10k`.
+    pub const PRESET_NAMES: [&'static str; 7] = [
         "paper-defaults",
         "small",
         "flash-crowd",
         "churn-storm",
         "regional-hotspot",
         "faulty-network",
+        "large-10k",
     ];
 
     /// Starts a builder named `name`, seeded from the paper's §5.1 defaults.
@@ -237,6 +238,18 @@ impl Scenario {
             .expect("faulty-network preset must validate")
     }
 
+    /// Large scale: the paper's setup at frontier population (nominally 10⁴
+    /// peers — the `peers` argument still scales it, so tests can validate
+    /// the preset cheaply), steady arrivals, no churn, no faults. Carries
+    /// its own regime seed so frontier runs never alias the paper-scale
+    /// fingerprints. This is the preset the `scale_frontier` bench and the
+    /// weekly paper-scale workflow drive.
+    pub fn large_10k(peers: usize) -> Self {
+        let mut config = SimulationConfig::small(peers);
+        config.seed = 0x5CA1_E4ED;
+        Scenario::from_config("large-10k", config).expect("large-10k preset must validate")
+    }
+
     /// Looks a preset up by its [`Scenario::PRESET_NAMES`] name, scaled to
     /// `peers` peers (`paper-defaults` ignores `peers`: it is the published
     /// 1000-peer setup by definition).
@@ -248,6 +261,7 @@ impl Scenario {
             "churn-storm" => Scenario::churn_storm(peers),
             "regional-hotspot" => Scenario::regional_hotspot(peers),
             "faulty-network" => Scenario::faulty_network(peers),
+            "large-10k" => Scenario::large_10k(peers),
             _ => return None,
         })
     }
@@ -541,13 +555,14 @@ mod tests {
             Scenario::churn_storm(60),
             Scenario::regional_hotspot(60),
             Scenario::faulty_network(60),
+            Scenario::large_10k(60),
         ];
         // `small` intentionally keeps the paper seed (it is the paper's setup
-        // scaled down); the four extension regimes each carry their own seed.
+        // scaled down); the five extension regimes each carry their own seed.
         let mut regime_seeds: Vec<u64> = presets[1..].iter().map(|s| s.seed()).collect();
         regime_seeds.sort_unstable();
         regime_seeds.dedup();
-        assert_eq!(regime_seeds.len(), 5, "regime seeds must be distinct");
+        assert_eq!(regime_seeds.len(), 6, "regime seeds must be distinct");
         for (scenario, expected_name) in presets.iter().zip(Scenario::PRESET_NAMES) {
             assert_eq!(scenario.name(), expected_name);
             assert!(scenario.config().validate().is_ok(), "{expected_name} must validate");

@@ -23,7 +23,10 @@ pub struct NeighborInfo {
     /// The neighbour's group id ("Neighboring peers exchange their group Ids").
     pub gid: GroupId,
     /// The latest copy of the neighbour's Bloom filter this peer holds.
-    pub bloom: BloomFilter,
+    /// `None` means "empty filter" — the state before the first exchange and
+    /// after a volatile reset — kept unallocated because with ~3 neighbours
+    /// per peer the pre-exchange filters dominated per-peer memory at scale.
+    pub bloom: Option<Box<BloomFilter>>,
 }
 
 /// The full protocol-visible state of one peer.
@@ -55,8 +58,10 @@ pub struct PeerState {
     /// The peer's DHT half — XOR-metric routing table plus keyword record
     /// store. `Some` only when the run's protocol uses the structured index
     /// (the engine installs it at setup); the six unstructured protocols
-    /// never allocate it.
-    pub dht: Option<locaware_overlay::DhtNode>,
+    /// never allocate it. Boxed: the node is cold relative to the routing
+    /// fields around it, and boxing keeps `PeerState` small for the
+    /// unstructured majority of runs.
+    pub dht: Option<Box<locaware_overlay::DhtNode>>,
     /// Interned Bloom hashes per keyword, shared with the catalog so filter
     /// maintenance never re-hashes (and never re-spells) a pool keyword.
     keyword_hashes: Arc<KeywordHashes>,
@@ -221,7 +226,7 @@ impl PeerState {
         self.bloom_dirty = false;
         self.router.clear();
         for info in self.neighbors.values_mut() {
-            info.bloom = BloomFilter::new(info.bloom.params());
+            info.bloom = None;
         }
         // The DHT half is volatile too: a rejoining node has lost its stored
         // records and its routing table (the engine rebuilds the table from
@@ -236,14 +241,8 @@ impl PeerState {
 
     /// Records a (new) neighbour and its group id, with an empty filter until
     /// the first Bloom exchange.
-    pub fn record_neighbor(&mut self, neighbor: PeerId, gid: GroupId, bloom_params: BloomParams) {
-        self.neighbors.insert(
-            neighbor,
-            NeighborInfo {
-                gid,
-                bloom: BloomFilter::new(bloom_params),
-            },
-        );
+    pub fn record_neighbor(&mut self, neighbor: PeerId, gid: GroupId) {
+        self.neighbors.insert(neighbor, NeighborInfo { gid, bloom: None });
     }
 
     /// Forgets a neighbour (overlay edge removed).
@@ -254,14 +253,21 @@ impl PeerState {
     /// Replaces the stored copy of a neighbour's filter (full push).
     pub fn set_neighbor_bloom(&mut self, neighbor: PeerId, bloom: BloomFilter) {
         if let Some(info) = self.neighbors.get_mut(&neighbor) {
-            info.bloom = bloom;
+            info.bloom = Some(Box::new(bloom));
         }
     }
 
-    /// Applies an incremental update to the stored copy of a neighbour's filter.
+    /// Applies an incremental update to the stored copy of a neighbour's
+    /// filter, materializing the unallocated empty filter on first delta
+    /// (every peer in a run shares one filter geometry, so the local export's
+    /// parameters are the neighbour's too).
     pub fn apply_neighbor_bloom_delta(&mut self, neighbor: PeerId, delta: &BloomDelta) {
+        let params = self.exported_bloom.params();
         if let Some(info) = self.neighbors.get_mut(&neighbor) {
-            delta.apply(&mut info.bloom);
+            delta.apply(
+                info.bloom
+                    .get_or_insert_with(|| Box::new(BloomFilter::new(params))),
+            );
         }
     }
 
@@ -291,7 +297,10 @@ impl PeerState {
         }
         let start = out.len();
         for (&n, info) in &self.neighbors {
-            if keep(n) && info.bloom.contains_all_hashes(query_hashes) {
+            let Some(bloom) = &info.bloom else {
+                continue; // an unexchanged (empty) filter matches nothing
+            };
+            if keep(n) && bloom.contains_all_hashes(query_hashes) {
                 out.push(n);
             }
         }
@@ -415,8 +424,8 @@ mod tests {
     #[test]
     fn neighbor_bloom_bookkeeping_and_matching() {
         let mut p = peer(1);
-        p.record_neighbor(PeerId(2), GroupId(1), BloomParams::default());
-        p.record_neighbor(PeerId(3), GroupId(2), BloomParams::default());
+        p.record_neighbor(PeerId(2), GroupId(1));
+        p.record_neighbor(PeerId(3), GroupId(2));
 
         // Neighbour 2 announces a filter containing keywords {7, 8}.
         let mut remote = BloomFilter::default();
@@ -442,7 +451,7 @@ mod tests {
     #[test]
     fn neighbor_delta_updates_apply() {
         let mut p = peer(1);
-        p.record_neighbor(PeerId(2), GroupId(0), BloomParams::default());
+        p.record_neighbor(PeerId(2), GroupId(0));
 
         // The neighbour's filter gains keyword 42; we receive only the delta.
         let empty = BloomFilter::default();
@@ -471,7 +480,7 @@ mod tests {
         let mut p = peer(1);
         p.share_file(FileId(3));
         p.cache_index(FileId(5), &kws(&[1, 2]), [(PeerId(9), LocId(2))]);
-        p.record_neighbor(PeerId(2), GroupId(1), BloomParams::default());
+        p.record_neighbor(PeerId(2), GroupId(1));
         p.reset_volatile_state();
         assert!(p.has_file(FileId(3)));
         assert!(p.response_index.is_empty());

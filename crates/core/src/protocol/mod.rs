@@ -381,7 +381,7 @@ pub(crate) mod test_support {
                         catalog.keyword_hashes().clone(),
                     );
                     for n in graph.neighbors(PeerId(i)) {
-                        p.record_neighbor(*n, GroupId(n.0 % modulus), BloomParams::default());
+                        p.record_neighbor(*n, GroupId(n.0 % modulus));
                     }
                     p
                 })

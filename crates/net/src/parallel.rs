@@ -1,0 +1,92 @@
+//! Deterministic worker fan-out for substrate-build stages.
+//!
+//! The expensive build stages (landmark RTT assignment, link-latency
+//! precomputation) are per-element **pure**: element `i`'s value depends only
+//! on immutable inputs, never on element `j`'s. [`map_indexed`] exploits that
+//! with a staged fan-out — contiguous index chunks go to scoped worker
+//! threads, and the per-chunk outputs are concatenated back in chunk order —
+//! so the result is byte-identical for every thread count, including 1. All
+//! RNG-driven stages (topology placement, overlay wiring, catalog draws)
+//! stay strictly serial; parallelism is only ever applied to derivations.
+
+use std::sync::OnceLock;
+
+/// Minimum items before fan-out pays for thread spawns. Purely a function of
+/// the workload size, so it cannot perturb determinism.
+const PARALLEL_MIN_ITEMS: usize = 256;
+
+/// The process-wide build-stage thread count: `LOCAWARE_BUILD_THREADS` if set
+/// (clamped to ≥ 1), otherwise the machine's available parallelism. Read
+/// once — mid-run environment changes cannot split one build across two
+/// fan-out shapes (harmless for results, confusing for profiles).
+pub fn build_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("LOCAWARE_BUILD_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            })
+    })
+}
+
+/// Evaluates `f(0..count)` across `threads` scoped workers and returns the
+/// results in index order.
+///
+/// Each worker owns one contiguous chunk of the index range; the canonical
+/// merge is concatenation in chunk order, so the output equals the serial
+/// `(0..count).map(f).collect()` for **every** thread count — the
+/// build-determinism property tests pin this across {1, 2, 8}.
+pub fn map_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, count.max(1));
+    if threads == 1 || count < PARALLEL_MIN_ITEMS {
+        return (0..count).map(f).collect();
+    }
+    let chunk = count.div_ceil(threads);
+    let mut out: Vec<T> = Vec::with_capacity(count);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|w| {
+                let f = &f;
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(count);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        for worker in workers {
+            out.extend(worker.join().expect("build worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fan_out_matches_serial_for_every_thread_count() {
+        let serial: Vec<usize> = (0..1000).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(map_indexed(1000, threads, |i| i * 3 + 1), serial);
+        }
+    }
+
+    #[test]
+    fn small_and_empty_inputs_stay_serial_and_correct() {
+        assert_eq!(map_indexed(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(3, 8, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn thread_counts_beyond_the_item_count_are_clamped() {
+        let out = map_indexed(300, 1000, |i| i);
+        assert_eq!(out, (0..300).collect::<Vec<_>>());
+    }
+}

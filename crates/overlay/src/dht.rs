@@ -101,11 +101,19 @@ impl DhtDistance {
 /// rejects new contacts (Kademlia's "prefer the oldest live contact" rule —
 /// with the arrival order fixed by the caller, the table contents are a
 /// deterministic function of the insertion sequence).
+///
+/// Buckets are stored sparsely, sorted by bucket index. A converged table
+/// occupies only the ~`log₂ n` buckets its population actually reaches
+/// (bucket `i` requires a contact whose distance has its highest bit at `i`),
+/// so the dense 160-`Vec` spine would be ~95% empty headers — at 10⁵ peers
+/// that is several hundred megabytes of dead capacity across the fleet.
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     local: DhtId,
     k: usize,
-    buckets: Vec<Vec<(DhtId, PeerId)>>,
+    /// `(bucket index, contacts)`, sorted by index; emptied buckets are
+    /// removed so iteration touches only populated buckets.
+    buckets: Vec<(u8, Vec<(DhtId, PeerId)>)>,
     len: usize,
 }
 
@@ -119,7 +127,7 @@ impl RoutingTable {
         RoutingTable {
             local,
             k,
-            buckets: vec![Vec::new(); DHT_ID_BITS],
+            buckets: Vec::new(),
             len: 0,
         }
     }
@@ -145,17 +153,31 @@ impl RoutingTable {
     }
 
     /// Number of contacts in bucket `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is not a valid bucket index.
     pub fn bucket_len(&self, index: usize) -> usize {
-        self.buckets[index].len()
+        assert!(index < DHT_ID_BITS, "bucket index out of range");
+        match self.buckets.binary_search_by_key(&(index as u8), |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1.len(),
+            Err(_) => 0,
+        }
     }
 
     /// Inserts a contact. Returns `false` (and changes nothing) if the
     /// contact is the local node, already present, or its bucket is full.
     pub fn insert(&mut self, id: DhtId, peer: PeerId) -> bool {
-        let Some(bucket) = self.local.distance(id).bucket_index() else {
+        let Some(index) = self.local.distance(id).bucket_index() else {
             return false; // the local node itself
         };
-        let bucket = &mut self.buckets[bucket];
+        let pos = match self.buckets.binary_search_by_key(&(index as u8), |&(i, _)| i) {
+            Ok(pos) => pos,
+            Err(pos) => {
+                self.buckets.insert(pos, (index as u8, Vec::new()));
+                pos
+            }
+        };
+        let bucket = &mut self.buckets[pos].1;
         if bucket.iter().any(|&(_, p)| p == peer) {
             return false;
         }
@@ -169,9 +191,13 @@ impl RoutingTable {
 
     /// Removes a contact (a departed peer). Returns `true` if it was present.
     pub fn remove(&mut self, peer: PeerId) -> bool {
-        for bucket in &mut self.buckets {
-            if let Some(pos) = bucket.iter().position(|&(_, p)| p == peer) {
-                bucket.remove(pos);
+        for pos in 0..self.buckets.len() {
+            let bucket = &mut self.buckets[pos].1;
+            if let Some(entry) = bucket.iter().position(|&(_, p)| p == peer) {
+                bucket.remove(entry);
+                if bucket.is_empty() {
+                    self.buckets.remove(pos);
+                }
                 self.len -= 1;
                 return true;
             }
@@ -183,15 +209,13 @@ impl RoutingTable {
     pub fn contains(&self, peer: PeerId) -> bool {
         self.buckets
             .iter()
-            .any(|bucket| bucket.iter().any(|&(_, p)| p == peer))
+            .any(|(_, bucket)| bucket.iter().any(|&(_, p)| p == peer))
     }
 
     /// Drops every contact (used when a peer's volatile state resets on
     /// rejoin; the maintenance process repopulates the table).
     pub fn clear(&mut self) {
-        for bucket in &mut self.buckets {
-            bucket.clear();
-        }
+        self.buckets.clear();
         self.len = 0;
     }
 
@@ -202,7 +226,7 @@ impl RoutingTable {
         let mut ranked: Vec<(DhtDistance, PeerId)> = self
             .buckets
             .iter()
-            .flatten()
+            .flat_map(|(_, bucket)| bucket.iter())
             .map(|&(id, peer)| (target.distance(id), peer))
             .collect();
         ranked.sort_unstable();
@@ -493,6 +517,21 @@ mod tests {
         }
         assert_eq!(inserted, 2, "bucket capacity k=2 must bound the bucket");
         assert_eq!(table.bucket_len(far_bucket), 2);
+    }
+
+    #[test]
+    fn sparse_buckets_report_zero_when_untouched_and_drop_when_emptied() {
+        let mut table = RoutingTable::new(id(0), 4);
+        for index in 0..DHT_ID_BITS {
+            assert_eq!(table.bucket_len(index), 0);
+        }
+        table.insert(id(1), PeerId(1));
+        let occupied = id(0).distance(id(1)).bucket_index().unwrap();
+        assert_eq!(table.bucket_len(occupied), 1);
+        assert!(table.remove(PeerId(1)));
+        // The emptied bucket leaves the sparse spine but still reports 0.
+        assert_eq!(table.bucket_len(occupied), 0);
+        assert!(table.is_empty());
     }
 
     #[test]

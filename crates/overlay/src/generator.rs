@@ -65,12 +65,17 @@ impl GeneratorConfig {
             (self.average_degree as usize) < self.peers,
             "average degree must be smaller than the number of peers"
         );
-        match self.model {
+        let mut graph = match self.model {
             GraphModel::Random => generate_random(self.peers, self.average_degree, rng),
             GraphModel::PreferentialAttachment => {
                 generate_preferential(self.peers, self.average_degree, rng)
             }
-        }
+        };
+        // Generation mutates every row through the copy-on-write overlay;
+        // fold the result into the compact CSR base once, here, so every
+        // run over the substrate reads (and clones) the dense form.
+        graph.compact();
+        graph
     }
 }
 

@@ -3,16 +3,34 @@
 //! The graph is undirected. Peers keep their neighbour lists sorted so that
 //! iteration order — and therefore every downstream decision that iterates over
 //! neighbours — is deterministic.
+//!
+//! Storage is CSR (one offsets vector into one shared edge arena) with a
+//! copy-on-write overlay for rows mutated since the last [`OverlayGraph::compact`]:
+//! a quiescent graph costs 4 bytes per peer plus 4 bytes per directed edge,
+//! instead of a heap-allocated `Vec` per peer, and cloning it — which every
+//! protocol run does once — is two `memcpy`s. Mutations (churn rewiring)
+//! lift just the touched rows into the overlay; reads always see the merged
+//! view, so the representation change is invisible to callers.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::PeerId;
+
+/// The CSR edge arena stores bare [`PeerId`]s: growing this type grows the
+/// graph's dominant allocation linearly, so pin it.
+const _: () = assert!(std::mem::size_of::<PeerId>() == 4, "CSR edge record grew");
 
 /// An undirected overlay graph over peers `0..n`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OverlayGraph {
-    /// Adjacency lists, indexed by peer id; each list is sorted and duplicate-free.
-    adjacency: Vec<Vec<PeerId>>,
+    /// CSR row offsets: peer `p`'s base row is `arena[offsets[p]..offsets[p+1]]`.
+    offsets: Vec<u32>,
+    /// All base neighbour lists, concatenated; each row sorted, duplicate-free.
+    arena: Vec<PeerId>,
+    /// Copy-on-write rows mutated since the last [`OverlayGraph::compact`];
+    /// a present row overrides the base row entirely. Empty on the hot path
+    /// (no churn yet), which reads check with one branch.
+    dirty: HashMap<u32, Vec<PeerId>>,
     /// Peers that have left the overlay (ids are never reused).
     departed: Vec<bool>,
     edges: usize,
@@ -22,7 +40,9 @@ impl OverlayGraph {
     /// Creates an edgeless graph over `peers` peers.
     pub fn new(peers: usize) -> Self {
         OverlayGraph {
-            adjacency: vec![Vec::new(); peers],
+            offsets: vec![0; peers + 1],
+            arena: Vec::new(),
+            dirty: HashMap::new(),
             departed: vec![false; peers],
             edges: 0,
         }
@@ -30,12 +50,50 @@ impl OverlayGraph {
 
     /// Number of peer slots (including departed peers).
     pub fn len(&self) -> usize {
-        self.adjacency.len()
+        self.offsets.len() - 1
     }
 
     /// True if the graph has no peers at all.
     pub fn is_empty(&self) -> bool {
-        self.adjacency.is_empty()
+        self.len() == 0
+    }
+
+    /// The merged (base or copy-on-write) row of peer index `i`.
+    fn row(&self, i: usize) -> &[PeerId] {
+        if !self.dirty.is_empty() {
+            if let Some(row) = self.dirty.get(&(i as u32)) {
+                return row;
+            }
+        }
+        &self.arena[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The mutable row of peer index `i`, lifted into the copy-on-write
+    /// overlay on first touch.
+    fn row_mut(&mut self, i: usize) -> &mut Vec<PeerId> {
+        let base = &self.arena[self.offsets[i] as usize..self.offsets[i + 1] as usize];
+        self.dirty.entry(i as u32).or_insert_with(|| base.to_vec())
+    }
+
+    /// Folds every copy-on-write row back into a fresh CSR base. Called once
+    /// after bulk construction (the generator) so steady-state reads hit the
+    /// compact arena; later mutations re-enter copy-on-write. A no-op when
+    /// nothing is dirty.
+    pub fn compact(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let peers = self.len();
+        let mut offsets = Vec::with_capacity(peers + 1);
+        let mut arena = Vec::with_capacity(2 * self.edges);
+        offsets.push(0u32);
+        for i in 0..peers {
+            arena.extend_from_slice(self.row(i));
+            offsets.push(u32::try_from(arena.len()).expect("edge arena exceeds u32 offsets"));
+        }
+        self.offsets = offsets;
+        self.arena = arena;
+        self.dirty.clear();
     }
 
     /// Number of undirected edges.
@@ -74,12 +132,12 @@ impl OverlayGraph {
 
     /// The sorted neighbour list of `p`.
     pub fn neighbors(&self, p: PeerId) -> &[PeerId] {
-        &self.adjacency[p.index()]
+        self.row(p.index())
     }
 
     /// Degree of `p`.
     pub fn degree(&self, p: PeerId) -> usize {
-        self.adjacency[p.index()].len()
+        self.row(p.index()).len()
     }
 
     /// The neighbour of `p` with the highest degree (ties broken by id), if any.
@@ -87,7 +145,7 @@ impl OverlayGraph {
     /// This implements the last-resort forwarding rule of §4.2: "or to a highly
     /// connected neighbor [...] to avoid blocking the query forwarding".
     pub fn highest_degree_neighbor(&self, p: PeerId) -> Option<PeerId> {
-        self.adjacency[p.index()]
+        self.row(p.index())
             .iter()
             .copied()
             .max_by_key(|&n| (self.degree(n), std::cmp::Reverse(n.0)))
@@ -96,9 +154,9 @@ impl OverlayGraph {
     /// Iterator over every undirected edge, each reported once as `(a, b)`
     /// with `a < b`, in id order.
     pub fn edges(&self) -> impl Iterator<Item = (PeerId, PeerId)> + '_ {
-        self.adjacency.iter().enumerate().flat_map(|(i, neighbors)| {
+        (0..self.len()).flat_map(move |i| {
             let a = PeerId(i as u32);
-            neighbors
+            self.row(i)
                 .iter()
                 .copied()
                 .filter(move |&b| a < b)
@@ -108,7 +166,7 @@ impl OverlayGraph {
 
     /// True if `a` and `b` are directly connected.
     pub fn are_neighbors(&self, a: PeerId, b: PeerId) -> bool {
-        self.adjacency[a.index()].binary_search(&b).is_ok()
+        self.row(a.index()).binary_search(&b).is_ok()
     }
 
     /// Adds an undirected edge. Self-loops and duplicates are ignored.
@@ -118,25 +176,31 @@ impl OverlayGraph {
             return false;
         }
         assert!(
-            a.index() < self.adjacency.len() && b.index() < self.adjacency.len(),
+            a.index() < self.len() && b.index() < self.len(),
             "peer id out of range"
         );
-        let ia = self.adjacency[a.index()].binary_search(&b).unwrap_err();
-        self.adjacency[a.index()].insert(ia, b);
-        let ib = self.adjacency[b.index()].binary_search(&a).unwrap_err();
-        self.adjacency[b.index()].insert(ib, a);
+        let row = self.row_mut(a.index());
+        let ia = row.binary_search(&b).unwrap_err();
+        row.insert(ia, b);
+        let row = self.row_mut(b.index());
+        let ib = row.binary_search(&a).unwrap_err();
+        row.insert(ib, a);
         self.edges += 1;
         true
     }
 
     /// Removes an undirected edge. Returns true if the edge existed.
     pub fn remove_edge(&mut self, a: PeerId, b: PeerId) -> bool {
-        let Ok(ia) = self.adjacency[a.index()].binary_search(&b) else {
+        if !self.are_neighbors(a, b) {
             return false;
-        };
-        self.adjacency[a.index()].remove(ia);
-        if let Ok(ib) = self.adjacency[b.index()].binary_search(&a) {
-            self.adjacency[b.index()].remove(ib);
+        }
+        let row = self.row_mut(a.index());
+        if let Ok(ia) = row.binary_search(&b) {
+            row.remove(ia);
+        }
+        let row = self.row_mut(b.index());
+        if let Ok(ib) = row.binary_search(&a) {
+            row.remove(ib);
         }
         self.edges -= 1;
         true
@@ -145,7 +209,7 @@ impl OverlayGraph {
     /// Disconnects `p` from all its neighbours and marks it departed.
     /// Returns the neighbours it had (used by churn to re-wire on rejoin).
     pub fn depart(&mut self, p: PeerId) -> Vec<PeerId> {
-        let neighbors = self.adjacency[p.index()].clone();
+        let neighbors = self.row(p.index()).to_vec();
         for n in &neighbors {
             self.remove_edge(p, *n);
         }
@@ -160,7 +224,7 @@ impl OverlayGraph {
 
     /// Peers reachable from `start` (breadth-first), including `start` itself.
     pub fn reachable_from(&self, start: PeerId) -> Vec<PeerId> {
-        let mut visited = vec![false; self.adjacency.len()];
+        let mut visited = vec![false; self.len()];
         let mut queue = VecDeque::new();
         let mut out = Vec::new();
         if !self.is_active(start) {
@@ -198,7 +262,7 @@ impl OverlayGraph {
     /// This is the maximum scope a TTL-bounded flood can reach; used by tests
     /// and by the ground-truth success-rate analysis.
     pub fn peers_within(&self, origin: PeerId, ttl: u32) -> Vec<PeerId> {
-        let mut dist = vec![u32::MAX; self.adjacency.len()];
+        let mut dist = vec![u32::MAX; self.len()];
         let mut queue = VecDeque::new();
         dist[origin.index()] = 0;
         queue.push_back(origin);
@@ -334,6 +398,29 @@ mod tests {
         assert!((g.average_degree() - 1.5).abs() < 1e-12);
         let hist = g.degree_histogram();
         assert_eq!(hist, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn compact_preserves_every_view_and_later_mutations_still_work() {
+        let mut g = path_graph(6);
+        g.remove_edge(PeerId(2), PeerId(3));
+        g.add_edge(PeerId(2), PeerId(5));
+        let edges_before: Vec<_> = g.edges().collect();
+        let rows_before: Vec<Vec<PeerId>> =
+            (0..6).map(|i| g.neighbors(PeerId(i as u32)).to_vec()).collect();
+        g.compact();
+        let edges_after: Vec<_> = g.edges().collect();
+        let rows_after: Vec<Vec<PeerId>> =
+            (0..6).map(|i| g.neighbors(PeerId(i as u32)).to_vec()).collect();
+        assert_eq!(edges_before, edges_after);
+        assert_eq!(rows_before, rows_after);
+        assert_eq!(g.edge_count(), 5);
+        // Compacting twice is a no-op, and mutation after compaction works.
+        g.compact();
+        assert!(g.add_edge(PeerId(0), PeerId(3)));
+        assert!(g.are_neighbors(PeerId(0), PeerId(3)));
+        assert_eq!(g.depart(PeerId(1)), vec![PeerId(0), PeerId(2)]);
+        assert_eq!(g.degree(PeerId(1)), 0);
     }
 
     #[test]

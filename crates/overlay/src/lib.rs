@@ -44,7 +44,7 @@ pub mod routing;
 pub mod stats;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnEventKind, ChurnModel};
-pub use dht::{DhtDistance, DhtId, DhtNode, DhtRecordStore, RoutingTable};
+pub use dht::{DhtDistance, DhtId, DhtNode, DhtRecordStore, RoutingTable, DHT_ID_BITS, DHT_ID_BYTES};
 pub use generator::{GeneratorConfig, GraphModel};
 pub use graph::OverlayGraph;
 pub use message::{Message, MessageId, MessageKind, ProviderEntry, QueryId};

@@ -104,8 +104,11 @@ pub enum Message {
         /// The file satisfying the query.
         file: FileId,
         /// All keywords of the file's filename (needed by caching peers to
-        /// update their Bloom filters).
-        file_keywords: Vec<KeywordId>,
+        /// update their Bloom filters). Interned per file in the catalog and
+        /// shared across every response and relay hop about that file, so
+        /// constructing or cloning a response bumps a reference count instead
+        /// of reallocating the list.
+        file_keywords: Arc<[KeywordId]>,
         /// The keywords the original query was expressed with (Dicas-Keys
         /// keys its cache on these). Carried in the response — shared via
         /// `Arc` with the query message that triggered it — so caching peers
@@ -240,7 +243,7 @@ impl Message {
                 buf.put_u64(query.0);
                 buf.put_u32(*file);
                 buf.put_u8(file_keywords.len() as u8);
-                for kw in file_keywords {
+                for kw in file_keywords.iter() {
                     buf.put_u32(*kw);
                 }
                 buf.put_u8(query_keywords.len() as u8);
@@ -389,7 +392,7 @@ mod tests {
         let small = Message::QueryResponse {
             query: QueryId(1),
             file: 5,
-            file_keywords: vec![1, 2, 3],
+            file_keywords: vec![1, 2, 3].into(),
             query_keywords: vec![1].into(),
             providers: vec![ProviderEntry {
                 provider: PeerId(9),
@@ -403,7 +406,7 @@ mod tests {
         let large = Message::QueryResponse {
             query: QueryId(1),
             file: 5,
-            file_keywords: vec![1, 2, 3],
+            file_keywords: vec![1, 2, 3].into(),
             query_keywords: vec![1].into(),
             providers: (0..10)
                 .map(|i| ProviderEntry {

@@ -109,6 +109,10 @@ pub struct Catalog {
     /// Bloom hashes interned once per pool keyword (shared with peer state so
     /// the routing and cache-maintenance hot paths never re-hash a keyword).
     keyword_hashes: Arc<KeywordHashes>,
+    /// Each filename's raw keyword ids as one shared allocation, interned at
+    /// construction. Response messages clone the `Arc` instead of rebuilding
+    /// a fresh `Vec` per hit on the query hot path.
+    wire_keywords: Vec<Arc<[u32]>>,
 }
 
 impl Catalog {
@@ -140,11 +144,13 @@ impl Catalog {
             filenames.push(Filename::new(kws));
         }
         let keyword_hashes = Arc::new(KeywordHashes::for_pool(&pool));
+        let wire_keywords = intern_wire_keywords(&filenames);
         Catalog {
             pool,
             filenames,
             inverted,
             keyword_hashes,
+            wire_keywords,
         }
     }
 
@@ -157,11 +163,13 @@ impl Catalog {
             }
         }
         let keyword_hashes = Arc::new(KeywordHashes::for_pool(&pool));
+        let wire_keywords = intern_wire_keywords(&filenames);
         Catalog {
             pool,
             filenames,
             inverted,
             keyword_hashes,
+            wire_keywords,
         }
     }
 
@@ -192,6 +200,15 @@ impl Catalog {
     /// Panics if the file id is out of range.
     pub fn filename(&self, file: FileId) -> &Filename {
         &self.filenames[file.index()]
+    }
+
+    /// The interned wire form of `file`'s keywords (raw ids, one shared
+    /// allocation per file).
+    ///
+    /// # Panics
+    /// Panics if the file id is out of range.
+    pub fn wire_keywords(&self, file: FileId) -> &Arc<[u32]> {
+        &self.wire_keywords[file.index()]
     }
 
     /// Iterator over all file ids.
@@ -227,6 +244,14 @@ impl Catalog {
     pub fn file_matches(&self, file: FileId, query_keywords: &[KeywordId]) -> bool {
         self.filename(file).matches(query_keywords)
     }
+}
+
+/// One shared `Arc<[u32]>` of raw keyword ids per filename.
+fn intern_wire_keywords(filenames: &[Filename]) -> Vec<Arc<[u32]>> {
+    filenames
+        .iter()
+        .map(|f| f.keywords().iter().map(|kw| kw.0).collect())
+        .collect()
 }
 
 #[cfg(test)]

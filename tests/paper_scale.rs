@@ -75,6 +75,33 @@ fn sharded_engine_reproduces_single_shard_results_at_paper_scale() {
 }
 
 #[test]
+#[ignore = "frontier scale (10000 peers); run with: cargo test --release --test paper_scale -- --ignored"]
+fn large_10k_substrate_builds_and_is_shard_invariant() {
+    // The scale-frontier smoke: the `large-10k` preset at its nominal
+    // population must build (exercising the staged parallel build, the CSR
+    // overlay and the O(log n) directory bootstrap at 10× the published
+    // scale) and the sharded engine must stay bit-identical to the
+    // single-shard run there.
+    let queries = 200usize;
+    let reports: Vec<_> = [1usize, 4]
+        .iter()
+        .map(|&shards| {
+            let mut config = Scenario::large_10k(10_000).config().clone();
+            config.shards = shards;
+            let scenario = locaware::Scenario::from_config(format!("large-10k-s{shards}"), config)
+                .expect("shard count does not affect validity");
+            scenario.substrate().run(ProtocolKind::Locaware, queries)
+        })
+        .collect();
+
+    let (single, sharded) = (&reports[0], &reports[1]);
+    assert_eq!(single.fingerprint(), sharded.fingerprint());
+    assert_eq!(single.metrics.records(), sharded.metrics.records());
+    assert_eq!(single.dispatched_events, sharded.dispatched_events);
+    assert!(single.dispatched_events > 0);
+}
+
+#[test]
 #[ignore = "paper scale (1000 peers); run with: cargo test --release --test paper_scale -- --ignored"]
 fn paper_defaults_grid_point_shares_one_substrate_across_protocols() {
     let queries = 500usize;
