@@ -19,6 +19,10 @@
 //! a cumulative maximum; if the reset is unavailable the row is marked
 //! cumulative.
 
+// Timing is this binary's job: the wall-clock ban (clippy.toml disallowed-methods,
+// mirroring lint rule D002) exempts crates/bench explicitly.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use locaware::{ProtocolKind, Scenario};

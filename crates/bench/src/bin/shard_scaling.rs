@@ -18,6 +18,10 @@
 //! 0.83 q/s default) fit in one window per query burst and gain little,
 //! which the numbers show honestly.
 
+// Timing is this binary's job: the wall-clock ban (clippy.toml disallowed-methods,
+// mirroring lint rule D002) exempts crates/bench explicitly.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use locaware::{ProtocolKind, Scenario, SimulationReport};

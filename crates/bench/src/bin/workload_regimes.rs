@@ -15,6 +15,10 @@
 //!     [--peers N] [--queries N] [--repeats N] [--scenarios a,b,c]
 //! ```
 
+// Timing is this binary's job: the wall-clock ban (clippy.toml disallowed-methods,
+// mirroring lint rule D002) exempts crates/bench explicitly.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use locaware::{ProtocolKind, Scenario};

@@ -1,8 +1,11 @@
 //! Offline stand-in for `parking_lot`, backed by `std::sync`.
 //!
-//! Same non-poisoning API shape (`lock()` returns the guard directly); the
-//! performance characteristics of the real crate are irrelevant at the call
-//! sites in this workspace (cold metric-collection paths).
+//! Same non-poisoning API shape (`lock()`/`read()`/`write()` return guards
+//! directly); the performance characteristics of the real crate are
+//! irrelevant at the call sites in this workspace. Poison-freedom is the
+//! point: a worker panic already aborts the run through `thread::scope`, so
+//! per-acquisition `expect("poisoned")` boilerplate at every engine lock site
+//! added nothing but D004 ratchet weight.
 
 #![warn(missing_docs)]
 
@@ -32,9 +35,49 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read`/`write` never return poison errors
+/// (matching parking_lot).
+#[derive(Debug, Default)]
+pub struct RwLock<T>(std::sync::RwLock<T>);
+
+/// RAII shared guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// RAII exclusive guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a reader-writer lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Acquires shared read access, ignoring poisoning (parking_lot
+    /// semantics).
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access, ignoring poisoning (parking_lot
+    /// semantics).
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the lock and returns the protected value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access through exclusive ownership — no locking needed.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_round_trips() {
@@ -42,5 +85,14 @@ mod tests {
         *m.lock() += 41;
         assert_eq!(*m.lock(), 42);
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_round_trips() {
+        let mut l = RwLock::new(1u32);
+        *l.write() += 40;
+        assert_eq!(*l.read(), 41);
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 42);
     }
 }

@@ -82,8 +82,9 @@ mod tally;
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Barrier};
 
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -286,7 +287,7 @@ impl<'a> ProtocolEngine<'a> {
                 let inserted = peers[owner.index()]
                     .dht
                     .as_mut()
-                    .expect("just installed")
+                    .expect("dht state installed for every peer when the protocol is structured")
                     .table
                     .insert(contact_id, contact);
                 debug_assert!(inserted, "bootstrap contacts are pre-capped per bucket");
@@ -325,7 +326,7 @@ impl<'a> ProtocolEngine<'a> {
                             peers[target.index()]
                                 .dht
                                 .as_mut()
-                                .expect("just installed")
+                                .expect("dht state installed for every peer when the protocol is structured")
                                 .store
                                 .insert(kw.0, file.0, provider, expiry);
                         }
@@ -430,7 +431,6 @@ impl<'a> ProtocolEngine<'a> {
             let origin = PeerId(arrival.peer as u32);
             shards[partition.shard(origin)]
                 .lock()
-                .expect("fresh shard lock")
                 .queue
                 .push(issue_key(arrival.at, index), ShardEvent::Issue(index as u32));
         }
@@ -551,7 +551,7 @@ impl<'a> ProtocolEngine<'a> {
                     let panicked = &panicked;
                     scope.spawn(move || loop {
                         barrier.wait();
-                        let command = *cmd.lock().expect("window command lock poisoned");
+                        let command = *cmd.lock();
                         match command {
                             Cmd::Quit => break,
                             Cmd::Run(cap) => {
@@ -561,7 +561,6 @@ impl<'a> ProtocolEngine<'a> {
                                         // by the coordinator at plan time.
                                         shards[index]
                                             .lock()
-                                            .expect("shard lock poisoned")
                                             .drain(shared, cap);
                                     }));
                                     if outcome.is_err() {
@@ -596,7 +595,7 @@ impl<'a> ProtocolEngine<'a> {
 
         let shard_states: Vec<ShardState> = shards
             .into_iter()
-            .map(|m| m.into_inner().expect("shard lock poisoned"))
+            .map(|m| m.into_inner())
             .collect();
         coordinator.print_stats(&shard_states, &shared.channel_lookahead);
         self.finalize(&partition, shard_states, coordinator)
@@ -789,7 +788,6 @@ impl Executor<'_> {
                 for shard in shards {
                     shard
                         .lock()
-                        .expect("shard lock poisoned")
                         .drain(shared, cap);
                 }
             }
@@ -799,13 +797,13 @@ impl Executor<'_> {
                 panicked,
                 released,
             } => {
-                *cmd.lock().expect("window command lock poisoned") = Cmd::Run(cap);
+                *cmd.lock() = Cmd::Run(cap);
                 barrier.wait();
                 barrier.wait();
                 if panicked.load(Ordering::SeqCst) {
                     // Release the workers before propagating, so the panic
                     // surfaces as a test failure instead of a barrier hang.
-                    *cmd.lock().expect("window command lock poisoned") = Cmd::Quit;
+                    *cmd.lock() = Cmd::Quit;
                     barrier.wait();
                     *released = true;
                     panic!("a sharded-engine worker thread panicked");
@@ -823,7 +821,7 @@ impl Executor<'_> {
         } = self
         {
             if !*released {
-                *cmd.lock().expect("window command lock poisoned") = Cmd::Quit;
+                *cmd.lock() = Cmd::Quit;
                 barrier.wait();
                 *released = true;
             }
@@ -1226,7 +1224,7 @@ impl Coordinator {
         guards: &mut [MutexGuard<'_, ShardState>],
         now: SimTime,
     ) {
-        let graph = shared.graph.read().expect("overlay graph lock poisoned");
+        let graph = shared.graph.read();
         for i in 0..shared.config.peers {
             let from = PeerId(i as u32);
             let shard = shared.partition.shard(from);
@@ -1270,7 +1268,7 @@ impl Coordinator {
         let Some(directory) = shared.dht.as_ref() else {
             return;
         };
-        let online = shared.online.read().expect("online snapshot lock poisoned");
+        let online = shared.online.read();
         let ttl = Duration::from_secs_f64(shared.config.dht.record_ttl_secs);
         // The online set is fixed for the whole round (coordinator-serial),
         // so a keyword's k-closest targets are too — resolve each keyword
@@ -1348,8 +1346,8 @@ impl Coordinator {
         }
         let shard = shared.partition.shard(peer);
         let slot = shared.partition.slot(peer);
-        let mut graph = shared.graph.write().expect("overlay graph lock poisoned");
-        let mut online = shared.online.write().expect("online snapshot lock poisoned");
+        let mut graph = shared.graph.write();
+        let mut online = shared.online.write();
         match event.kind {
             ChurnEventKind::Leave => {
                 if !guards[shard].peers[slot].online {
@@ -1485,7 +1483,7 @@ impl Coordinator {
 fn lock_all<'g>(shards: &'g [Mutex<ShardState>]) -> Vec<MutexGuard<'g, ShardState>> {
     shards
         .iter()
-        .map(|m| m.lock().expect("shard lock poisoned"))
+        .map(|m| m.lock())
         .collect()
 }
 

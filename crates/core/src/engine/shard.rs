@@ -300,8 +300,8 @@ impl ShardState {
             return;
         }
         let bound = self.window_bound;
-        let graph = shared.graph.read().expect("overlay graph lock poisoned");
-        let online = shared.online.read().expect("online snapshot lock poisoned");
+        let graph = shared.graph.read();
+        let online = shared.online.read();
         let mut dispatched = 0u64;
         while dispatched < cap {
             let Some((key, event)) = self.queue.pop_before(bound) else {

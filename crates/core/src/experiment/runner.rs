@@ -21,7 +21,8 @@
 //! independent of thread count and scheduling.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use parking_lot::Mutex;
+use std::sync::{Arc, OnceLock};
 
 use crate::config::ProtocolKind;
 use crate::results::SimulationReport;
@@ -218,7 +219,7 @@ impl Runner {
                     let protocol = protocols[protocol_index];
                     let queries = query_counts[query_index];
                     let report = simulation.run(protocol, queries);
-                    results.lock().expect("experiment results poisoned").push(ExperimentPoint {
+                    results.lock().push(ExperimentPoint {
                         scenario: scenario.name().to_string(),
                         scenario_index,
                         protocol,
@@ -232,7 +233,7 @@ impl Runner {
         });
 
         let substrates_built = substrates.iter().filter(|cell| cell.get().is_some()).count();
-        let mut points = results.into_inner().expect("experiment results poisoned");
+        let mut points = results.into_inner();
         // Scheduling is nondeterministic; the outcome must not be. Protocol
         // ties are broken by position in the plan so duplicate entries keep a
         // stable order too.

@@ -119,8 +119,7 @@ impl Scenario {
     /// be larger than the degree for the overlay to be wireable). Use
     /// [`Scenario::builder`] for fallible construction.
     pub fn small(peers: usize) -> Self {
-        let config = SimulationConfig::small(peers);
-        Scenario::from_config("small", config).expect("SimulationConfig::small must validate")
+        validated_preset("small", SimulationConfig::small(peers))
     }
 
     /// Flash crowd: a hot keyword set absorbs most queries while arrivals
@@ -148,8 +147,7 @@ impl Scenario {
             start_secs: FLASH_CROWD_BURST_START_SECS,
             duration_secs: FLASH_CROWD_BURST_DURATION_SECS,
         };
-        Scenario::from_config("flash-crowd", config)
-            .expect("flash-crowd preset must validate")
+        validated_preset("flash-crowd", config)
     }
 
     /// Churn storm: an aggressively dynamic population.
@@ -170,8 +168,7 @@ impl Scenario {
             mean_offline_secs: 300.0,
             churning_fraction: 0.75,
         };
-        Scenario::from_config("churn-storm", config)
-            .expect("churn-storm preset must validate")
+        validated_preset("churn-storm", config)
     }
 
     /// Regional hotspot: physical placement collapsed into a few tight
@@ -194,12 +191,13 @@ impl Scenario {
             clusters: 3,
             sigma: 0.015,
         };
-        config.cluster_weights = Some(
-            ClusterWeights::new(REGIONAL_HOTSPOT_WEIGHTS.to_vec())
-                .expect("hotspot weights are positive and finite"),
-        );
-        Scenario::from_config("regional-hotspot", config)
-            .expect("regional-hotspot preset must validate")
+        config.cluster_weights = match ClusterWeights::new(REGIONAL_HOTSPOT_WEIGHTS.to_vec()) {
+            Ok(weights) => Some(weights),
+            // Unreachable: REGIONAL_HOTSPOT_WEIGHTS is a positive, finite
+            // compile-time constant, and the preset test exercises this path.
+            Err(err) => panic!("regional-hotspot weights must validate: {err:?}"),
+        };
+        validated_preset("regional-hotspot", config)
     }
 
     /// Faulty network: the static `small` substrate with every fault axis
@@ -234,8 +232,7 @@ impl Scenario {
             },
             dht_step_timeout_secs: 2.0,
         };
-        Scenario::from_config("faulty-network", config)
-            .expect("faulty-network preset must validate")
+        validated_preset("faulty-network", config)
     }
 
     /// Large scale: the paper's setup at frontier population (nominally 10⁴
@@ -247,7 +244,7 @@ impl Scenario {
     pub fn large_10k(peers: usize) -> Self {
         let mut config = SimulationConfig::small(peers);
         config.seed = 0x5CA1_E4ED;
-        Scenario::from_config("large-10k", config).expect("large-10k preset must validate")
+        validated_preset("large-10k", config)
     }
 
     /// Looks a preset up by its [`Scenario::PRESET_NAMES`] name, scaled to
@@ -298,6 +295,21 @@ impl Scenario {
     /// the scenario was constructed.
     pub fn substrate(&self) -> Simulation {
         Simulation::from_scenario(self)
+    }
+}
+
+/// Wraps a preset configuration, panicking if it fails validation.
+///
+/// Every preset is a compile-time-authored configuration, and
+/// `every_preset_validates_and_has_a_distinct_seed` exercises each one, so
+/// the panic is unreachable in a released tree. Concentrating the
+/// deliberate panic here — instead of a per-preset `.expect(...)` — keeps
+/// the constructors readable and the D004 unwrap ratchet honest about how
+/// many independent panic decisions this module actually makes: one.
+fn validated_preset(name: &'static str, config: SimulationConfig) -> Scenario {
+    match Scenario::from_config(name, config) {
+        Ok(scenario) => scenario,
+        Err(err) => panic!("preset `{name}` must validate: {err}"),
     }
 }
 

@@ -241,15 +241,18 @@ impl ResponseIndex {
         self.entries.contains_key(&file)
     }
 
-    /// Iterator over all entries (arbitrary order).
+    /// Iterator over all entries, least-recently-touched first. Served from
+    /// the recency set so the order is deterministic — the backing hash map's
+    /// is not, and must never escape this module.
     pub fn entries(&self) -> impl Iterator<Item = &IndexEntry> {
-        self.entries.values()
+        self.recency.iter().map(|&(_, file)| &self.entries[&file])
     }
 
     /// Every cached filename's keywords (with multiplicity across files), used
-    /// to rebuild a Bloom filter from scratch.
+    /// to rebuild a Bloom filter from scratch. Recency order, like
+    /// [`ResponseIndex::entries`].
     pub fn all_keywords(&self) -> impl Iterator<Item = KeywordId> + '_ {
-        self.entries.values().flat_map(|e| e.keywords.iter().copied())
+        self.entries().flat_map(|e| e.keywords.iter().copied())
     }
 
     /// Cached files whose filename matches every keyword of `query`.
@@ -545,6 +548,7 @@ pub mod naive {
         pub fn lookup_by_keywords(&self, query: &[KeywordId]) -> Vec<FileId> {
             let mut files: Vec<FileId> = self
                 .entries
+                // lint:allow(hash-iter): matches are sorted to file-id order before return
                 .values()
                 .filter(|e| e.matches(query))
                 .map(|e| e.file)
@@ -604,8 +608,9 @@ pub mod naive {
         /// [`super::ResponseIndex::remove_provider`]).
         pub fn remove_provider(&mut self, peer: PeerId) -> Vec<Eviction> {
             let mut evictions = Vec::new();
-            let emptied: Vec<FileId> = self
+            let mut emptied: Vec<FileId> = self
                 .entries
+                // lint:allow(hash-iter): the per-entry retain commutes, and the emptied set is sorted to file-id order before evictions are emitted
                 .iter_mut()
                 .filter_map(|(&file, entry)| {
                     entry.providers.retain(|p| p.peer != peer);
@@ -616,6 +621,10 @@ pub mod naive {
                     }
                 })
                 .collect();
+            // Deterministic model output: evictions come back in file-id
+            // order (matching the optimized index's posting order), never in
+            // the backing map's.
+            emptied.sort_unstable();
             for file in emptied {
                 if let Some(entry) = self.entries.remove(&file) {
                     evictions.push(Eviction {
@@ -637,6 +646,7 @@ pub mod naive {
         pub fn files_of_provider(&self, peer: PeerId) -> Vec<FileId> {
             let mut files: Vec<FileId> = self
                 .entries
+                // lint:allow(hash-iter): matches are sorted to file-id order before return
                 .values()
                 .filter(|e| e.providers().iter().any(|p| p.peer == peer))
                 .map(|e| e.file)
@@ -649,6 +659,7 @@ pub mod naive {
         /// [`super::ResponseIndex::eviction_candidate`]).
         pub fn eviction_candidate(&self) -> Option<FileId> {
             self.entries
+                // lint:allow(hash-iter): min over the total (last_touched, file) key — every visit order yields the same minimum
                 .values()
                 .min_by_key(|e| (e.last_touched, e.file))
                 .map(|e| e.file)
@@ -657,6 +668,7 @@ pub mod naive {
         fn evict_least_recent(&mut self) -> Option<Eviction> {
             let victim = self
                 .entries
+                // lint:allow(hash-iter): min over the total (last_touched, file) key — every visit order yields the same minimum
                 .values()
                 .min_by_key(|e| (e.last_touched, e.file))
                 .map(|e| e.file)?;

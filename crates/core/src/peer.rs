@@ -225,6 +225,7 @@ impl PeerState {
         self.exported_bloom = BloomFilter::new(self.exported_bloom.params());
         self.bloom_dirty = false;
         self.router.clear();
+        // lint:allow(hash-iter): idempotent per-element write (bloom = None) — visit order cannot matter
         for info in self.neighbors.values_mut() {
             info.bloom = None;
         }
@@ -296,6 +297,7 @@ impl PeerState {
             return;
         }
         let start = out.len();
+        // lint:allow(hash-iter): every neighbour is visited exactly once and the matched set is sorted to id order below; `keep` is a pure membership test at every call site (protocol forward paths pass `n != exclude && online`)
         for (&n, info) in &self.neighbors {
             let Some(bloom) = &info.bloom else {
                 continue; // an unexchanged (empty) filter matches nothing
@@ -327,6 +329,7 @@ impl PeerState {
         out: &mut Vec<PeerId>,
     ) {
         let start = out.len();
+        // lint:allow(hash-iter): every neighbour is visited exactly once and the matched set is sorted to id order below; `keep`/`predicate` are pure membership tests at every call site
         for (&n, info) in &self.neighbors {
             if keep(n) && predicate(info.gid) {
                 out.push(n);

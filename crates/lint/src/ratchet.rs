@@ -1,0 +1,102 @@
+//! The D004 unwrap/expect ratchet.
+//!
+//! `lint-ratchet.toml` commits, per library file, the number of
+//! `.unwrap()`/`.expect(..)` call sites in non-test code. The rule is
+//! monotone: counts may only go **down**. A file above its baseline fails the
+//! lint at the first excess site; a file below its baseline fails too
+//! ("stale ratchet") so the committed numbers always match the tree —
+//! `locaware-lint --update-ratchet` rewrites the file after a burn-down.
+//! Files absent from the table start at zero, so new code cannot introduce
+//! unwraps at all.
+//!
+//! The format is a deliberately tiny TOML subset (one `[unwrap]` table of
+//! `"path" = count` lines) so the dependency-free parser here stays honest.
+
+use std::collections::BTreeMap;
+
+/// Parsed ratchet table: repo-relative path → committed non-test
+/// unwrap/expect count.
+#[derive(Debug, Default, Clone)]
+pub struct Ratchet {
+    /// Per-file baselines.
+    pub unwrap: BTreeMap<String, usize>,
+}
+
+/// A parse failure with its 1-based line.
+#[derive(Debug)]
+pub struct RatchetError {
+    /// 1-based line of the offending entry.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl Ratchet {
+    /// Parses the `[unwrap]` table out of `lint-ratchet.toml` text.
+    pub fn parse(text: &str) -> Result<Ratchet, RatchetError> {
+        let mut ratchet = Ratchet::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(RatchetError {
+                        line,
+                        message: format!("unterminated section header: {trimmed}"),
+                    });
+                };
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = trimmed.split_once('=') else {
+                return Err(RatchetError {
+                    line,
+                    message: format!("expected `\"path\" = count`: {trimmed}"),
+                });
+            };
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim();
+            let count: usize = value.parse().map_err(|_| RatchetError {
+                line,
+                message: format!("count for {key} is not a non-negative integer: {value}"),
+            })?;
+            if section == "unwrap" {
+                if ratchet.unwrap.insert(key.clone(), count).is_some() {
+                    return Err(RatchetError {
+                        line,
+                        message: format!("duplicate ratchet entry for {key}"),
+                    });
+                }
+            } else {
+                return Err(RatchetError {
+                    line,
+                    message: format!("unknown section [{section}] (only [unwrap] exists)"),
+                });
+            }
+        }
+        Ok(ratchet)
+    }
+
+    /// Renders the canonical file content for `--update-ratchet`.
+    pub fn render(counts: &BTreeMap<String, usize>) -> String {
+        let mut out = String::from(
+            "# D004 unwrap/expect ratchet — maintained by `cargo run -p locaware-lint -- --update-ratchet`.\n\
+             #\n\
+             # Counts are `.unwrap()`/`.expect(..)` call sites in NON-TEST code per\n\
+             # library file, and may only go down: exceeding a baseline fails the lint,\n\
+             # and so does a stale (too-high) baseline after a burn-down. Files not\n\
+             # listed are held at zero.\n\
+             \n[unwrap]\n",
+        );
+        for (path, count) in counts {
+            if *count > 0 {
+                out.push_str(&format!("\"{path}\" = {count}\n"));
+            }
+        }
+        out
+    }
+}
